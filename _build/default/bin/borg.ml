@@ -1,0 +1,214 @@
+(* borg: command-line driver for the relational-data-borg library.
+
+     borg generate retailer --scale 0.1 --out /tmp/retailer
+     borg train retailer --scale 0.1
+     borg tree retailer --depth 4
+     borg batches
+     borg ivm retailer --method fivm --limit 20000
+
+   See README.md for the library API; the benchmark harness regenerating the
+   paper's figures lives in bench/main.exe. *)
+
+open Cmdliner
+open Relational
+
+type dataset_spec = {
+  generate : ?scale:float -> seed:int -> unit -> Database.t;
+  features : Aggregates.Feature.t;
+  ivm_features : string list;
+}
+
+let datasets =
+  [
+    ( "retailer",
+      {
+        generate = Datagen.Retailer.generate;
+        features = Datagen.Retailer.features;
+        ivm_features = Datagen.Retailer.ivm_features;
+      } );
+    ( "favorita",
+      {
+        generate = Datagen.Favorita.generate;
+        features = Datagen.Favorita.features;
+        ivm_features = Datagen.Favorita.ivm_features;
+      } );
+    ( "yelp",
+      {
+        generate = Datagen.Yelp.generate;
+        features = Datagen.Yelp.features;
+        ivm_features = Datagen.Yelp.ivm_features;
+      } );
+    ( "tpcds",
+      {
+        generate = Datagen.Tpcds.generate;
+        features = Datagen.Tpcds.features;
+        ivm_features = Datagen.Tpcds.ivm_features;
+      } );
+  ]
+
+let dataset_arg =
+  let dconv =
+    Arg.enum (List.map (fun (name, spec) -> (name, (name, spec))) datasets)
+  in
+  Arg.(required & pos 0 (some dconv) None & info [] ~docv:"DATASET")
+
+let scale_arg =
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"Dataset scale factor.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run (name, spec) scale seed out =
+    let db = spec.generate ~scale ~seed () in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun rel ->
+        let path = Filename.concat out (Relation.name rel ^ ".csv") in
+        let headers = [ Schema.names (Relation.schema rel) ] in
+        Util.Csvio.write_file path (headers @ Relation.csv_rows rel);
+        Printf.printf "wrote %s (%d tuples)\n" path (Relation.cardinality rel))
+      (Database.relations db);
+    Printf.printf "dataset %s at scale %g: %d tuples total\n" name scale
+      (Database.total_cardinality db)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset as CSV files.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ out_arg)
+
+(* ---- train ---- *)
+
+let train_cmd =
+  let run (name, spec) scale seed =
+    let db = spec.generate ~scale ~seed () in
+    Printf.printf "training ridge linear regression over %s (scale %g)...\n" name scale;
+    let r = Ml.Linreg.train_over_database db spec.features in
+    Printf.printf "batch: %d aggregates in %s; solve: %s (%d steps)\n"
+      r.aggregate_count
+      (Util.Timing.to_string r.batch_seconds)
+      (Util.Timing.to_string r.solve_seconds)
+      r.model.iterations_run;
+    let join = Database.materialise_join db in
+    Printf.printf "train RMSE: %.4f over %d rows\n"
+      (Ml.Linreg.rmse_on r.model join)
+      (Relation.cardinality join);
+    let top =
+      List.sort
+        (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a))
+        (Array.to_list
+           (Array.mapi (fun i c -> (c, r.model.weights.(i))) r.model.feature_columns))
+    in
+    Printf.printf "largest weights:\n";
+    List.iteri
+      (fun i (c, w) -> if i < 10 then Printf.printf "  %-30s %+10.4f\n" c w)
+      top
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train linear regression via the aggregate batch.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg)
+
+(* ---- tree ---- *)
+
+let tree_cmd =
+  let depth_arg =
+    Arg.(value & opt int 4 & info [ "depth" ] ~docv:"D" ~doc:"Maximum tree depth.")
+  in
+  let run (name, spec) scale seed depth =
+    let db = spec.generate ~scale ~seed () in
+    Printf.printf "training a depth-%d regression tree over %s...\n" depth name;
+    let tree, seconds =
+      Util.Timing.time (fun () ->
+          Ml.Decision_tree.train
+            ~params:{ Ml.Decision_tree.default_params with max_depth = depth }
+            db spec.features)
+    in
+    Printf.printf "trained in %s (%d nodes)\n" (Util.Timing.to_string seconds)
+      (Ml.Decision_tree.size tree);
+    Format.printf "%a@." (Ml.Decision_tree.pp ?indent:None) tree
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Train a CART regression tree from aggregate batches.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ depth_arg)
+
+(* ---- batches ---- *)
+
+let batches_cmd =
+  let run () =
+    Printf.printf "%-12s %16s %16s %16s %12s\n" "dataset" "covariance"
+      "decision-node" "mutual-info" "k-means";
+    List.iter
+      (fun (name, spec) ->
+        let mi =
+          match name with
+          | "retailer" -> Datagen.Retailer.mi_attrs
+          | "favorita" -> Datagen.Favorita.mi_attrs
+          | "yelp" -> Datagen.Yelp.mi_attrs
+          | _ -> Datagen.Tpcds.mi_attrs
+        in
+        Printf.printf "%-12s %16d %16d %16d %12d\n" name
+          (Aggregates.Batch.size (Aggregates.Batch.covariance spec.features))
+          (Aggregates.Batch.size (Aggregates.Batch.decision_node spec.features))
+          (Aggregates.Batch.size (Aggregates.Batch.mutual_information mi))
+          (Aggregates.Batch.size (Aggregates.Batch.kmeans spec.features)))
+      datasets
+  in
+  Cmd.v
+    (Cmd.info "batches" ~doc:"Print aggregate batch sizes per workload (Figure 5).")
+    Term.(const run $ const ())
+
+(* ---- ivm ---- *)
+
+let ivm_cmd =
+  let method_arg =
+    let mconv =
+      Arg.enum
+        [
+          ("fivm", Fivm.Maintainer.F_ivm);
+          ("higher", Fivm.Maintainer.Higher_order);
+          ("first", Fivm.Maintainer.First_order);
+        ]
+    in
+    Arg.(value & opt mconv Fivm.Maintainer.F_ivm
+         & info [ "method" ] ~docv:"M" ~doc:"fivm | higher | first")
+  in
+  let limit_arg =
+    Arg.(value & opt int max_int & info [ "limit" ] ~docv:"N" ~doc:"Insert at most N tuples.")
+  in
+  let run (name, spec) scale seed strategy limit =
+    let db = spec.generate ~scale ~seed () in
+    let stream = Datagen.Stream_gen.inserts_of_database db in
+    let m = Fivm.Maintainer.create strategy db ~features:spec.ivm_features in
+    let n = ref 0 in
+    let seconds =
+      Util.Timing.time_only (fun () ->
+          List.iter
+            (fun u ->
+              if !n < limit then begin
+                Fivm.Maintainer.apply m u;
+                incr n
+              end)
+            stream)
+    in
+    Printf.printf "%s over %s: %d inserts in %s (%.0f tuples/s)\n"
+      (Fivm.Maintainer.strategy_name strategy)
+      name !n
+      (Util.Timing.to_string seconds)
+      (float_of_int !n /. seconds);
+    let cov = Fivm.Maintainer.covariance m in
+    Printf.printf "maintained join count: %g\n" (Rings.Covariance.count cov)
+  in
+  Cmd.v
+    (Cmd.info "ivm" ~doc:"Maintain the covariance matrix under an insert stream.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg)
+
+let () =
+  let doc = "machine learning over relational data, the structure-aware way" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "borg" ~version:"1.0.0" ~doc)
+          [ generate_cmd; train_cmd; tree_cmd; batches_cmd; ivm_cmd ]))

@@ -1,0 +1,1 @@
+examples/decision_tree.ml: Aggregates Array Database Datagen Format Ml Printf Relation Relational Schema Util Value

@@ -1,0 +1,1 @@
+examples/factorised_join.ml: Factorized Fivm Format List Ops Printf Relation Relational Rings Schema String Util Value

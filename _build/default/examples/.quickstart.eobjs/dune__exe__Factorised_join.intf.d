@@ -1,0 +1,1 @@
+examples/factorised_join.mli:

@@ -1,0 +1,1 @@
+examples/graph_patterns.ml: Aggregates Array Database Factorized Fivm Format Join_tree List Lmfao Ops Printf Relation Relational Schema Stats Util Value

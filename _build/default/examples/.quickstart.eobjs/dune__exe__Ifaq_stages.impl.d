@@ -1,0 +1,1 @@
+examples/ifaq_stages.ml: Float Format Ifaq List Printf String Util

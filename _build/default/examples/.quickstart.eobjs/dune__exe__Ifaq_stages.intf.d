@@ -1,0 +1,1 @@
+examples/ifaq_stages.mli:

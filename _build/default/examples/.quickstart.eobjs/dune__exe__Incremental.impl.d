@@ -1,0 +1,1 @@
+examples/incremental.ml: Array Datagen Fivm Fun List Mat Printf Rings Timing Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregates Array Database Format Ml Printf Relation Relational Schema Util Value

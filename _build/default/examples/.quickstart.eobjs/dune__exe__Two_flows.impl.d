@@ -1,0 +1,1 @@
+examples/two_flows.ml: Baseline Datagen List Ml Printf Relational Sys Util

@@ -1,0 +1,53 @@
+(* IFAQ (Section 5.3, Figure 11): the gradient-descent program over the join
+   S |><| R |><| I taken through every transformation stage. Each stage is
+   printed, evaluated, and checked to produce the same parameters; the
+   operation counters show what each transformation buys.
+
+   Run with:  dune exec examples/ifaq_stages.exe *)
+
+let params_of_value (v : Ifaq.Interp.value) =
+  match v with
+  | Ifaq.Interp.VDict entries ->
+      List.filter_map
+        (function
+          | Ifaq.Interp.VSym s, Ifaq.Interp.VNum x -> Some (s, x)
+          | _ -> None)
+        entries
+  | Ifaq.Interp.VRec fields ->
+      List.filter_map
+        (function n, Ifaq.Interp.VNum x -> Some (n, x) | _ -> None)
+        fields
+  | _ -> []
+
+let () =
+  let relations = Ifaq.Gd_example.relations ~n_s:120 ~n_keys:8 ~seed:13 () in
+  let stages = Ifaq.Gd_example.all_stages () in
+  let reference = ref None in
+  List.iteri
+    (fun i (name, program) ->
+      Printf.printf "%s\nstage %d: %s\n%s\n" (String.make 74 '=') i name
+        (String.make 74 '=');
+      (* print the program for the compact stages; the unrolled ones get a
+         size summary to keep the output readable *)
+      if Ifaq.Expr.size program < 250 then
+        Format.printf "%a@." Ifaq.Expr.pp program
+      else Printf.printf "(program with %d AST nodes)\n" (Ifaq.Expr.size program);
+      let (v, c), seconds =
+        Util.Timing.time (fun () -> Ifaq.Interp.run ~relations program)
+      in
+      let params = List.sort compare (params_of_value v) in
+      (match !reference with
+      | None -> reference := Some params
+      | Some r ->
+          let close =
+            List.for_all2
+              (fun (n1, x) (n2, y) -> n1 = n2 && Float.abs (x -. y) < 1e-7)
+              r params
+          in
+          Printf.printf "equivalent to stage 0: %b\n" close);
+      Printf.printf "parameters: %s\n"
+        (String.concat ", " (List.map (fun (n, x) -> Printf.sprintf "%s=%.6f" n x) params));
+      Printf.printf "cost: %d arith, %d dict ops, %d loop steps (%s)\n\n"
+        c.Ifaq.Interp.arith c.Ifaq.Interp.dict_ops c.Ifaq.Interp.iterations
+        (Util.Timing.to_string seconds))
+    stages

@@ -1,0 +1,74 @@
+(* Keeping models fresh (Section 1.5 and Figure 4 right): stream inserts
+   into an initially empty retailer database while F-IVM maintains the
+   covariance matrix; after every bulk of updates the regression model is
+   refreshed from the maintained aggregates in milliseconds.
+
+   Run with:  dune exec examples/incremental.exe *)
+
+open Util
+module M = Fivm.Maintainer
+module Cov = Rings.Covariance
+
+(* refresh: solve the normal equations on the maintained moment matrix *)
+let refresh_model cov ~dim ~response_index =
+  if Cov.count cov < 10.0 then None
+  else begin
+    let moment = Cov.moment_matrix cov in
+    let keep =
+      Array.of_list
+        (List.filter (fun k -> k <> response_index + 1) (List.init (dim + 1) Fun.id))
+    in
+    let n = Cov.count cov in
+    let a =
+      Mat.init (Array.length keep) (Array.length keep) (fun r c ->
+          (Mat.get moment keep.(r) keep.(c) /. n) +. if r = c then 1e-3 else 0.0)
+    in
+    let b = Array.map (fun r -> Mat.get moment r (response_index + 1) /. n) keep in
+    Some (Mat.solve_spd a b)
+  end
+
+let () =
+  let db = Datagen.Retailer.generate ~scale:0.08 ~seed:5 () in
+  let features = Datagen.Retailer.ivm_features in
+  let dim = List.length features in
+  let stream = Array.of_list (Datagen.Stream_gen.inserts_of_database db) in
+  Printf.printf "streaming %d inserts; maintaining %d covariance aggregates\n"
+    (Array.length stream)
+    ((dim + 1) * (dim + 2) / 2);
+
+  let m = M.create M.F_ivm db ~features in
+  let bulk = 2000 in
+  let response_index = 0 (* inventoryunits is first in ivm_features *) in
+  Printf.printf "%10s %16s %12s %12s %14s\n" "inserts" "maintain (bulk)" "refresh"
+    "join count" "theta[prize]";
+  let bulk_time = ref 0.0 in
+  Array.iteri
+    (fun i u ->
+      let t0 = Timing.now () in
+      M.apply m u;
+      bulk_time := !bulk_time +. (Timing.now () -. t0);
+      if (i + 1) mod bulk = 0 || i + 1 = Array.length stream then begin
+        let cov = M.covariance m in
+        let theta, refresh_seconds =
+          Timing.time (fun () -> refresh_model cov ~dim ~response_index)
+        in
+        Printf.printf "%10d %16s %12s %12.0f %14s\n" (i + 1)
+          (Timing.to_string !bulk_time)
+          (Timing.to_string refresh_seconds)
+          (Cov.count cov)
+          (match theta with
+          | Some t when Array.length t > 1 -> Printf.sprintf "%+.4f" t.(1)
+          | _ -> "--");
+        bulk_time := 0.0
+      end)
+    stream;
+  (* sanity: the maintained state equals a from-scratch recomputation *)
+  let drift =
+    if Cov.equal_rel ~eps:1e-6 (M.covariance m) (M.recompute m) then "none"
+    else "DRIFT DETECTED"
+  in
+  Printf.printf
+    "\nfinal maintained state vs from-scratch recomputation: %s\n\
+     each refresh is a small solve on the maintained aggregates — no data\n\
+     matrix is ever rebuilt.\n"
+    drift

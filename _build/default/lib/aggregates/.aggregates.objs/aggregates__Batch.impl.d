@@ -1,0 +1,1 @@
+lib/aggregates/batch.ml: Array Database Feature Format List Predicate Printf Relation Relational Schema Spec Value

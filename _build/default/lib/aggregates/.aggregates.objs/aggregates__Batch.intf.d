@@ -1,0 +1,1 @@
+lib/aggregates/batch.mli: Database Feature Format Relation Relational Spec

@@ -1,0 +1,1 @@
+lib/aggregates/feature.ml: Format List Option Printf

@@ -1,0 +1,1 @@
+lib/aggregates/feature.mli: Format

@@ -1,0 +1,1 @@
+lib/aggregates/spec.ml: Array Buffer Float Format List Predicate Printf Relation Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/aggregates/spec.mli: Format Predicate Relation Relational Value

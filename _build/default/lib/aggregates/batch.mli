@@ -1,0 +1,34 @@
+(** Batch synthesis: from a learning task to its aggregate batch (Section 2).
+    The batch sizes these produce are the Figure 5 quantities. *)
+
+open Relational
+
+type t = { name : string; aggregates : Spec.t list }
+
+val size : t -> int
+
+val covariance : Feature.t -> t
+(** Section 2.1: COUNT, SUM(Xi), SUM(Xi*Xj) over numeric features, plus the
+    group-by counts/sums encoding all categorical interactions sparsely. *)
+
+val thresholds_for : Database.t -> string -> int -> float list
+(** Equi-width threshold candidates for a continuous attribute, from its
+    observed range in the base relations. *)
+
+val decision_node : ?db:Database.t -> Feature.t -> t
+(** Section 2.2: the variance triples (SUM(y^2), SUM(y), COUNT) per
+    candidate split — threshold filters for continuous features (thresholds
+    from [db] when given), grouped triples for categorical ones. *)
+
+val mutual_information : string list -> t
+(** COUNT plus all marginal and pairwise joint counts over the attributes
+    (model selection / Chow-Liu trees). *)
+
+val kmeans : Feature.t -> t
+(** Rk-means-style sufficient statistics: COUNT, per-dimension sums, and
+    categorical frequency vectors. *)
+
+val eval_flat : Relation.t -> t -> (string * Spec.result) list
+(** Naive evaluation of the whole batch over a materialised data matrix. *)
+
+val pp : Format.formatter -> t -> unit

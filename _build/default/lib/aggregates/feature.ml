@@ -1,0 +1,37 @@
+(* Feature maps: which attributes of the feature-extraction query play which
+   role in the learning task. The batch synthesis (Section 2) is driven
+   entirely by this map. *)
+
+type t = {
+  response : string option; (* the predicted attribute, if supervised *)
+  continuous : string list; (* continuous features (response excluded) *)
+  categorical : string list; (* categorical features (group-by encoded) *)
+  thresholds_per_feature : int; (* decision-tree threshold candidates *)
+}
+
+let make ?response ?(thresholds_per_feature = 30) ~continuous ~categorical () =
+  let all = Option.to_list response @ continuous @ categorical in
+  let sorted = List.sort compare all in
+  let rec dup = function
+    | a :: b :: _ when a = b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  (match dup sorted with
+  | Some a -> invalid_arg (Printf.sprintf "Feature.make: %s has two roles" a)
+  | None -> ());
+  { response; continuous; categorical; thresholds_per_feature }
+
+(* Continuous features plus the response: the variables of the covariance
+   matrix (the paper's n+1 includes the response). *)
+let numeric t = t.continuous @ Option.to_list t.response
+
+let all t = t.continuous @ t.categorical @ Option.to_list t.response
+
+let feature_count t = List.length (all t)
+
+let pp ppf t =
+  Format.fprintf ppf "features: %d continuous, %d categorical%s"
+    (List.length t.continuous)
+    (List.length t.categorical)
+    (match t.response with Some r -> ", response " ^ r | None -> "")

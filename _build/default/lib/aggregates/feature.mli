@@ -1,0 +1,27 @@
+(** Feature maps: the roles the join's attributes play in a learning task.
+    Batch synthesis (Section 2) is driven entirely by this. *)
+
+type t = {
+  response : string option;  (** predicted attribute, if supervised *)
+  continuous : string list;  (** continuous features (response excluded) *)
+  categorical : string list;  (** categorical features (group-by encoded) *)
+  thresholds_per_feature : int;  (** decision-tree threshold candidates *)
+}
+
+val make :
+  ?response:string ->
+  ?thresholds_per_feature:int ->
+  continuous:string list ->
+  categorical:string list ->
+  unit ->
+  t
+(** Raises if an attribute is given two roles. [thresholds_per_feature]
+    defaults to 30. *)
+
+val numeric : t -> string list
+(** Continuous features plus the response: the covariance matrix's
+    variables (the paper's n+1 includes the response). *)
+
+val all : t -> string list
+val feature_count : t -> int
+val pp : Format.formatter -> t -> unit

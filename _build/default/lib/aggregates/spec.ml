@@ -1,0 +1,140 @@
+(* The aggregate language of Section 2.
+
+   Every data-dependent quantity needed by the supported models is a
+   SUM-PRODUCT aggregate over the feature-extraction query:
+
+     SUM(X_{i1}^{p1} * ... * X_{ik}^{pk})  WHERE filter  GROUP BY Z1,...,Zm
+
+   with continuous attributes in the product, categorical attributes in the
+   group-by (the sparse-tensor encoding of one-hot interactions), and
+   filters covering decision-tree thresholds/in-sets and the additive
+   inequalities of Section 2.3. An empty product is COUNT. *)
+
+open Relational
+
+type t = {
+  id : string;
+  terms : (string * int) list; (* (attribute, power), sorted, powers >= 1 *)
+  group_by : string list; (* sorted categorical attributes *)
+  filter : Predicate.t;
+}
+
+let make ?(filter = Predicate.True) ~id ~terms ~group_by () =
+  let terms =
+    List.sort compare (List.filter (fun (_, p) -> p > 0) terms)
+  in
+  let group_by = List.sort_uniq compare group_by in
+  { id; terms; group_by; filter }
+
+let count ~id = make ~id ~terms:[] ~group_by:[] ()
+
+let attrs t =
+  List.sort_uniq compare
+    (List.map fst t.terms @ t.group_by @ Predicate.attrs t.filter)
+
+(* Canonical structural key, ignoring [id]: used to deduplicate identical
+   (partial) aggregates within a batch — LMFAO's sharing. *)
+let canonical t =
+  let terms = String.concat "*" (List.map (fun (a, p) -> Printf.sprintf "%s^%d" a p) t.terms) in
+  let groups = String.concat "," t.group_by in
+  let filter = Format.asprintf "%a" Predicate.pp t.filter in
+  Printf.sprintf "S[%s|%s|%s]" terms groups filter
+
+let is_scalar t = t.group_by = []
+
+(* Results: grouped sums keyed by sorted (attribute, value) assignments.
+   Scalar aggregates have the single key []. *)
+type result = ((string * Value.t) list * float) list
+
+let scalar_result (r : result) =
+  match r with
+  | [] -> 0.0
+  | [ ([], v) ] -> v
+  | _ -> invalid_arg "Spec.scalar_result: grouped result"
+
+let lookup (r : result) key =
+  let key = List.sort compare key in
+  match List.find_opt (fun (k, _) -> k = key) r with
+  | Some (_, v) -> v
+  | None -> 0.0
+
+(* Reference evaluation over a materialised data matrix: one scan, hash
+   group-by. This is also what the per-aggregate baselines use. *)
+let eval_flat rel t : result =
+  let schema = Relation.schema rel in
+  let keep = Predicate.compile schema t.filter in
+  let term_positions =
+    List.map (fun (a, p) -> (Schema.position schema a, p)) t.terms
+  in
+  let group_positions = List.map (fun a -> (a, Schema.position schema a)) t.group_by in
+  let table : float ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
+  let key_buf = Array.of_list (List.map snd group_positions) in
+  Relation.iter
+    (fun tup ->
+      if keep tup then begin
+        let v =
+          List.fold_left
+            (fun acc (i, p) ->
+              let x = Value.to_float tup.(i) in
+              let rec pow acc k = if k = 0 then acc else pow (acc *. x) (k - 1) in
+              pow acc p)
+            1.0 term_positions
+        in
+        let key = Tuple.project tup key_buf in
+        match Tuple.Tbl.find_opt table key with
+        | Some r -> r := !r +. v
+        | None -> Tuple.Tbl.add table key (ref v)
+      end)
+    rel;
+  let names = List.map fst group_positions in
+  Tuple.Tbl.fold
+    (fun key v acc ->
+      let assignment =
+        List.sort compare (List.map2 (fun n x -> (n, x)) names (Array.to_list key))
+      in
+      (assignment, !v) :: acc)
+    table []
+
+let result_equal ?(eps = 1e-6) (a : result) (b : result) =
+  let norm r = List.sort compare r in
+  let a = norm a and b = norm b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ka, va) (kb, vb) ->
+         ka = kb && Float.abs (va -. vb) <= eps *. (1.0 +. Float.abs va))
+       a b
+
+(* The SQL this aggregate stands for, over the feature-extraction query
+   [relation] (Section 2.1: "SELECT X, agg FROM Q GROUP BY X"). *)
+let to_sql ?(relation = "Q") t =
+  let term_sql =
+    match t.terms with
+    | [] -> "1"
+    | ts ->
+        String.concat " * "
+          (List.map
+             (fun (a, p) ->
+               String.concat " * " (List.init p (fun _ -> a)))
+             ts)
+  in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  List.iter (fun g -> Buffer.add_string buf (g ^ ", ")) t.group_by;
+  Buffer.add_string buf (Printf.sprintf "SUM(%s) FROM %s" term_sql relation);
+  if t.filter <> Predicate.True then
+    Buffer.add_string buf (" WHERE " ^ Predicate.to_sql t.filter);
+  if t.group_by <> [] then
+    Buffer.add_string buf (" GROUP BY " ^ String.concat ", " t.group_by);
+  Buffer.add_string buf ";";
+  Buffer.contents buf
+
+let pp ppf t =
+  let terms =
+    match t.terms with
+    | [] -> "1"
+    | ts -> String.concat "*" (List.map (fun (a, p) -> if p = 1 then a else Printf.sprintf "%s^%d" a p) ts)
+  in
+  Format.fprintf ppf "%s: SUM(%s)" t.id terms;
+  if t.filter <> Predicate.True then Format.fprintf ppf " WHERE %a" Predicate.pp t.filter;
+  if t.group_by <> [] then
+    Format.fprintf ppf " GROUP BY %s" (String.concat "," t.group_by)

@@ -1,0 +1,1 @@
+lib/baseline/acdc.ml: Array Database Fivm Hashtbl Join_tree List Option Relation Relational Rings Schema Tuple Util Value

@@ -1,0 +1,1 @@
+lib/baseline/acdc.mli: Database Relational Rings Schema Tuple

@@ -1,0 +1,1 @@
+lib/baseline/agnostic.mli: Aggregates Database Relational Sgd

@@ -1,0 +1,1 @@
+lib/baseline/one_hot.ml: Aggregates Array Hashtbl List Printf Relation Relational Schema Util Value

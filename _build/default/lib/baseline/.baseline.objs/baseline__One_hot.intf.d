@@ -1,0 +1,1 @@
+lib/baseline/one_hot.mli: Aggregates Relation Relational

@@ -1,0 +1,1 @@
+lib/baseline/sgd.ml: Array One_hot Stdlib

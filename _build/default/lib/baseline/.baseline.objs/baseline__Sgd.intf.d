@@ -1,0 +1,1 @@
+lib/baseline/sgd.mli: One_hot

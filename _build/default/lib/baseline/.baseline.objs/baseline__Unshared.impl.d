@@ -1,0 +1,1 @@
+lib/baseline/unshared.ml: Aggregates Array Hashtbl List Predicate Relation Relational Schema Tuple Value

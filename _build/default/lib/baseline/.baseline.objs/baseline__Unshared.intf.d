@@ -1,0 +1,1 @@
+lib/baseline/unshared.mli: Aggregates Relation Relational

@@ -1,0 +1,28 @@
+(** The Figure 6 code-optimisation ladder on the covariance-matrix task:
+    four implementations of the same computation (the (n+1)^2 covariance
+    batch over the never-materialised join), from AC/DC-style interpreted
+    and unshared to specialised, ring-shared, and parallel. All stages
+    return the same triple (asserted by tests). *)
+
+open Relational
+module Cov = Rings.Covariance
+
+val scalar_pass : Database.t -> (string -> Schema.t -> Tuple.t -> float) -> float
+(** One bottom-up pass over the join tree summing per-tuple factor products;
+    [factor] must attribute each aggregate factor to exactly one relation. *)
+
+val stage0_interpreted : Database.t -> features:string list -> Cov.t
+(** One pass PER aggregate, factors evaluated by a boxed expression
+    interpreter with per-tuple name resolution. *)
+
+val stage1_specialised : Database.t -> features:string list -> Cov.t
+(** One pass per aggregate, positions resolved once, tight float loops. *)
+
+val stage2_shared : Database.t -> features:string list -> Cov.t
+(** ONE pass for the whole batch via the covariance ring. *)
+
+val stage3_parallel : Database.t -> features:string list -> Cov.t
+(** Stage 2 with scans chunked across domains. *)
+
+val stages : (string * (Database.t -> features:string list -> Cov.t)) list
+(** The ladder, in order, with display names. *)

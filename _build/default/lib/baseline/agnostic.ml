@@ -1,0 +1,62 @@
+(* The structure-agnostic pipeline of Figure 2 (top flow) / Figure 3 (right
+   table): materialise the feature-extraction join in the "database system",
+   export it to CSV, import it into the "learning system", one-hot encode and
+   shuffle, then run one epoch of mini-batch SGD. Each stage is timed
+   separately so the benchmark can print the paper's per-stage rows. *)
+
+open Relational
+
+type report = {
+  join_seconds : float;
+  export_seconds : float; (* CSV write + read back (the data move) *)
+  shuffle_seconds : float; (* one-hot encode + shuffle *)
+  learn_seconds : float;
+  join_cardinality : int;
+  join_csv_bytes : int;
+  matrix_bytes : int;
+  rmse : float;
+  weights : float array;
+}
+
+let run ?(sgd_params = Sgd.default_params) ?(test_fraction = 0.02)
+    ?(tmp_dir = Filename.get_temp_dir_name ()) (db : Database.t)
+    (features : Aggregates.Feature.t) : report =
+  (* 1. materialise the join (the "PostgreSQL" step) *)
+  let join, join_seconds = Util.Timing.time (fun () -> Database.materialise_join db) in
+  let join_csv_bytes = Relation.csv_size join in
+  (* 2. export to CSV and re-import (the data move between the systems) *)
+  let path = Filename.temp_file ~temp_dir:tmp_dir "borg_export" ".csv" in
+  let reimported, export_seconds =
+    Util.Timing.time (fun () ->
+        Util.Csvio.write_file path (Relation.csv_rows join);
+        let rows = Util.Csvio.read_file path in
+        Relation.of_csv_rows (Relation.name join) (Relation.schema join) rows)
+  in
+  Sys.remove path;
+  (* 3. one-hot encode and shuffle (learner-side preprocessing) *)
+  let (train, test, matrix_bytes), shuffle_seconds =
+    Util.Timing.time (fun () ->
+        let m = One_hot.encode reimported features in
+        let m = One_hot.shuffle m in
+        let train, test = One_hot.split m ~test_fraction in
+        (train, test, One_hot.byte_size m))
+  in
+  (* 4. one epoch of SGD (the "TensorFlow" step) *)
+  let model, learn_seconds =
+    Util.Timing.time (fun () -> Sgd.train ~params:sgd_params train)
+  in
+  let rmse = Sgd.rmse model (if One_hot.rows test > 0 then test else train) in
+  {
+    join_seconds;
+    export_seconds;
+    shuffle_seconds;
+    learn_seconds;
+    join_cardinality = Relation.cardinality join;
+    join_csv_bytes;
+    matrix_bytes;
+    rmse;
+    weights = fst model;
+  }
+
+let total_seconds r =
+  r.join_seconds +. r.export_seconds +. r.shuffle_seconds +. r.learn_seconds

@@ -1,0 +1,28 @@
+(** The structure-agnostic pipeline of Figure 2 (top) / Figure 3: materialise
+    the join, export/import it as CSV (the data move between systems),
+    one-hot encode and shuffle, then one epoch of mini-batch SGD — each
+    stage timed separately for the paper's per-stage rows. *)
+
+open Relational
+
+type report = {
+  join_seconds : float;
+  export_seconds : float;  (** CSV write + read back *)
+  shuffle_seconds : float;  (** one-hot encode + shuffle + split *)
+  learn_seconds : float;
+  join_cardinality : int;
+  join_csv_bytes : int;
+  matrix_bytes : int;
+  rmse : float;  (** on the held-out fraction (train set when empty) *)
+  weights : float array;
+}
+
+val run :
+  ?sgd_params:Sgd.params ->
+  ?test_fraction:float ->
+  ?tmp_dir:string ->
+  Database.t ->
+  Aggregates.Feature.t ->
+  report
+
+val total_seconds : report -> float

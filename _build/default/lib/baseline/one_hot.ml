@@ -1,0 +1,98 @@
+(* One-hot encoding of the materialised data matrix (shortcoming (3) of
+   Section 1.2): categorical features are expanded into indicator columns,
+   turning the tall-and-thin matrix chubby. This is what the mainstream
+   learner receives; the structure-aware path never builds it. *)
+
+open Relational
+
+type matrix = {
+  columns : string array; (* encoded column names *)
+  x : float array array; (* row-major; includes intercept column 0 *)
+  y : float array;
+}
+
+let rows m = Array.length m.x
+let cols m = Array.length m.columns
+
+(* Build the encoded matrix from a materialised join. Categorical domains
+   are discovered from the data (one indicator column per observed value). *)
+let encode (rel : Relation.t) (f : Aggregates.Feature.t) : matrix =
+  let schema = Relation.schema rel in
+  let response =
+    match f.response with
+    | Some r -> Schema.position schema r
+    | None -> invalid_arg "One_hot.encode: needs a response"
+  in
+  let continuous =
+    List.map (fun a -> (a, Schema.position schema a)) f.continuous
+  in
+  let categorical =
+    List.map (fun a -> (a, Schema.position schema a)) f.categorical
+  in
+  (* discover categorical domains *)
+  let domains =
+    List.map
+      (fun (a, pos) ->
+        let seen = Hashtbl.create 16 in
+        let order = ref [] in
+        Relation.iter
+          (fun t ->
+            let v = t.(pos) in
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v (Hashtbl.length seen);
+              order := v :: !order
+            end)
+          rel;
+        (a, pos, seen, List.rev !order))
+      categorical
+  in
+  let columns =
+    Array.of_list
+      ("intercept"
+      :: List.map fst continuous
+      @ List.concat_map
+          (fun (a, _, _, order) ->
+            List.map (fun v -> Printf.sprintf "%s=%s" a (Value.to_string v)) order)
+          domains)
+  in
+  let n = Relation.cardinality rel in
+  let width = Array.length columns in
+  let x = Array.init n (fun _ -> Array.make width 0.0) in
+  let y = Array.make n 0.0 in
+  let n_cont = List.length continuous in
+  Relation.iteri
+    (fun i t ->
+      let row = x.(i) in
+      row.(0) <- 1.0;
+      List.iteri (fun j (_, pos) -> row.(j + 1) <- Value.to_float t.(pos)) continuous;
+      let base = ref (1 + n_cont) in
+      List.iter
+        (fun (_, pos, seen, order) ->
+          let slot = Hashtbl.find seen t.(pos) in
+          row.(!base + slot) <- 1.0;
+          base := !base + List.length order)
+        domains;
+      y.(i) <- Value.to_float t.(response))
+    rel;
+  { columns; x; y }
+
+let shuffle ?(seed = 42) m =
+  let rng = Util.Prng.create seed in
+  let order = Array.init (rows m) (fun i -> i) in
+  Util.Prng.shuffle_in_place rng order;
+  {
+    m with
+    x = Array.map (fun i -> m.x.(i)) order;
+    y = Array.map (fun i -> m.y.(i)) order;
+  }
+
+(* Train/test split by row prefix (call after [shuffle]). *)
+let split m ~test_fraction =
+  let n = rows m in
+  let n_test = int_of_float (float_of_int n *. test_fraction) in
+  let n_train = n - n_test in
+  ( { m with x = Array.sub m.x 0 n_train; y = Array.sub m.y 0 n_train },
+    { m with x = Array.sub m.x n_train n_test; y = Array.sub m.y n_train n_test } )
+
+(* Approximate in-memory size in bytes (floats only). *)
+let byte_size m = rows m * cols m * 8

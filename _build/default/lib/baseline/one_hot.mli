@@ -1,0 +1,26 @@
+(** One-hot encoding of the materialised data matrix (shortcoming (3) of
+    Section 1.2): categorical features expand into indicator columns,
+    turning the tall-and-thin matrix chubby. The structure-aware path never
+    builds this. *)
+
+open Relational
+
+type matrix = {
+  columns : string array;  (** encoded names; column 0 is the intercept *)
+  x : float array array;
+  y : float array;
+}
+
+val rows : matrix -> int
+val cols : matrix -> int
+
+val encode : Relation.t -> Aggregates.Feature.t -> matrix
+(** Categorical domains are discovered from the data (one indicator per
+    observed value). Requires a response in the feature map. *)
+
+val shuffle : ?seed:int -> matrix -> matrix
+val split : matrix -> test_fraction:float -> matrix * matrix
+(** Row-prefix split; call after {!shuffle}. *)
+
+val byte_size : matrix -> int
+(** Approximate in-memory footprint (floats only). *)

@@ -1,0 +1,95 @@
+(* Mini-batch stochastic gradient descent over the one-hot data matrix: the
+   TensorFlow stand-in of Figure 3 (one epoch, 100K-tuple batches in the
+   paper; batch size configurable here). Works row-at-a-time over the
+   materialised matrix — the cost profile the structure-aware approach
+   avoids. *)
+
+type params = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  l2 : float; (* ridge penalty *)
+}
+
+let default_params =
+  { epochs = 1; batch_size = 1024; learning_rate = 1e-2; l2 = 1e-3 }
+
+(* Feature-wise standardisation helps SGD converge; fit on train data. *)
+type scaler = { mean : float array; std : float array }
+
+let fit_scaler (m : One_hot.matrix) =
+  let w = One_hot.cols m and n = One_hot.rows m in
+  let mean = Array.make w 0.0 and std = Array.make w 0.0 in
+  Array.iter (fun row -> Array.iteri (fun j v -> mean.(j) <- mean.(j) +. v) row) m.x;
+  Array.iteri (fun j s -> mean.(j) <- s /. float_of_int (Stdlib.max 1 n)) mean;
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v -> std.(j) <- std.(j) +. ((v -. mean.(j)) ** 2.0))
+        row)
+    m.x;
+  Array.iteri
+    (fun j s ->
+      let v = sqrt (s /. float_of_int (Stdlib.max 1 n)) in
+      std.(j) <- (if v < 1e-9 then 1.0 else v))
+    std;
+  (* never scale the intercept *)
+  mean.(0) <- 0.0;
+  std.(0) <- 1.0;
+  { mean; std }
+
+let scale_row scaler row =
+  Array.mapi (fun j v -> (v -. scaler.mean.(j)) /. scaler.std.(j)) row
+
+(* One SGD run; returns weights in the SCALED feature space together with
+   the scaler (predictions must apply it). *)
+let train ?(params = default_params) (m : One_hot.matrix) =
+  let n = One_hot.rows m and w = One_hot.cols m in
+  let scaler = fit_scaler m in
+  let weights = Array.make w 0.0 in
+  let grad = Array.make w 0.0 in
+  for _ = 1 to params.epochs do
+    let batch_start = ref 0 in
+    while !batch_start < n do
+      let batch_end = Stdlib.min n (!batch_start + params.batch_size) in
+      Array.fill grad 0 w 0.0;
+      for i = !batch_start to batch_end - 1 do
+        let row = scale_row scaler m.x.(i) in
+        let pred = ref 0.0 in
+        for j = 0 to w - 1 do
+          pred := !pred +. (weights.(j) *. row.(j))
+        done;
+        let err = !pred -. m.y.(i) in
+        for j = 0 to w - 1 do
+          grad.(j) <- grad.(j) +. (err *. row.(j))
+        done
+      done;
+      let bsz = float_of_int (batch_end - !batch_start) in
+      for j = 0 to w - 1 do
+        weights.(j) <-
+          weights.(j)
+          -. (params.learning_rate *. ((grad.(j) /. bsz) +. (params.l2 *. weights.(j))))
+      done;
+      batch_start := batch_end
+    done
+  done;
+  (weights, scaler)
+
+let predict (weights, scaler) row =
+  let srow = scale_row scaler row in
+  let acc = ref 0.0 in
+  Array.iteri (fun j v -> acc := !acc +. (weights.(j) *. v)) srow;
+  !acc
+
+let rmse model (m : One_hot.matrix) =
+  let n = One_hot.rows m in
+  if n = 0 then 0.0
+  else begin
+    let se = ref 0.0 in
+    Array.iteri
+      (fun i row ->
+        let err = predict model row -. m.y.(i) in
+        se := !se +. (err *. err))
+      m.x;
+    sqrt (!se /. float_of_int n)
+  end

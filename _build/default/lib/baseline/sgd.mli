@@ -1,0 +1,26 @@
+(** Mini-batch stochastic gradient descent over the one-hot data matrix —
+    the TensorFlow stand-in of Figure 3 (one epoch, large batches), working
+    row-at-a-time over the materialised matrix. *)
+
+type params = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  l2 : float;
+}
+
+val default_params : params
+(** One epoch, batch 1024, lr 1e-2, l2 1e-3. *)
+
+type scaler = { mean : float array; std : float array }
+
+val fit_scaler : One_hot.matrix -> scaler
+(** Feature-wise standardisation fitted on the data (intercept untouched). *)
+
+val scale_row : scaler -> float array -> float array
+
+val train : ?params:params -> One_hot.matrix -> float array * scaler
+(** Weights are in the scaled space; prediction applies the scaler. *)
+
+val predict : float array * scaler -> float array -> float
+val rmse : float array * scaler -> One_hot.matrix -> float

@@ -1,0 +1,22 @@
+(** Per-aggregate batch evaluation over the materialised join — the
+    DBX/MonetDB stand-ins of Figure 4 (left). Both answer every aggregate
+    independently (no sharing across the batch). *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+val dbx : Relation.t -> Batch.t -> (string * Spec.result) list
+(** Tuple-at-a-time: one full interpreted scan per aggregate. *)
+
+type columns
+(** Decoded columnar layout (typed arrays per attribute — MonetDB's BATs). *)
+
+val decode : Relation.t -> columns
+
+val eval_columnar : columns -> Spec.t -> Spec.result
+(** One aggregate, column-at-a-time with a selection vector.
+    Raises on filters outside the columnar shapes (Or/Not/inequalities). *)
+
+val monet : Relation.t -> Batch.t -> (string * Spec.result) list
+(** Column-at-a-time: decode once, then one pass per aggregate. *)

@@ -1,0 +1,1 @@
+lib/datagen/favorita.ml: Aggregates Array Database Gen_util Relation Relational Util Value

@@ -1,0 +1,1 @@
+lib/datagen/favorita.mli: Aggregates Relational

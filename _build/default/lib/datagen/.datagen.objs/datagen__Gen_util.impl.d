@@ -1,0 +1,1 @@
+lib/datagen/gen_util.ml: Relation Relational Schema Stdlib Value

@@ -1,0 +1,1 @@
+lib/datagen/retailer.mli: Aggregates Relational

@@ -1,0 +1,1 @@
+lib/datagen/stream_gen.ml: Array Database Fivm List Option Relation Relational Stdlib Util

@@ -1,0 +1,1 @@
+lib/datagen/stream_gen.mli: Fivm Relational

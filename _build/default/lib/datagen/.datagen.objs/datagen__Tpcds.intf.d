@@ -1,0 +1,1 @@
+lib/datagen/tpcds.mli: Aggregates Relational

@@ -1,0 +1,1 @@
+lib/datagen/yelp.ml: Aggregates Array Database Gen_util List Relation Relational Util Value

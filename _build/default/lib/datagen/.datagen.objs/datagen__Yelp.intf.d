@@ -1,0 +1,1 @@
+lib/datagen/yelp.mli: Aggregates Relational

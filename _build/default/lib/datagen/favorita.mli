@@ -1,0 +1,11 @@
+(** Synthetic Corporación Favorita dataset (public Kaggle schema): Sales
+    fact + Stores/Items/Transactions/Oil/Holidays. *)
+
+type sizes = { n_stores : int; n_items : int; n_dates : int; n_sales : int }
+
+val sizes : ?scale:float -> unit -> sizes
+val name : string
+val generate : ?scale:float -> seed:int -> unit -> Relational.Database.t
+val features : Aggregates.Feature.t
+val mi_attrs : string list
+val ivm_features : string list

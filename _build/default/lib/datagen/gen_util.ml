@@ -1,0 +1,21 @@
+(* Shared helpers for the synthetic dataset generators. *)
+
+open Relational
+
+let int n = Value.Int n
+let flt x = Value.Float x
+
+(* Round a scaled cardinality, with a floor so tiny scales stay joinable. *)
+let scaled ?(floor = 3) base scale =
+  Stdlib.max floor (int_of_float (float_of_int base *. scale))
+
+let build name attrs count gen =
+  let schema = Schema.make attrs in
+  let rel = Relation.create ~capacity:(Stdlib.max 1 count) name schema in
+  for i = 0 to count - 1 do
+    Relation.append rel (gen i)
+  done;
+  rel
+
+(* Clamp to keep generated measures in sane ranges. *)
+let clamp lo hi x = Stdlib.max lo (Stdlib.min hi x)

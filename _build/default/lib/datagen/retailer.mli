@@ -1,0 +1,28 @@
+(** Schema-faithful synthetic stand-in for the paper's US-retailer dataset
+    (Figures 2 and 3): Inventory fact + Items/Stores/Demographics/Weather
+    dimensions in the paper's key-fkey snowflake, with a planted linear
+    signal in the response. Deterministic per seed; cardinalities scale
+    linearly with [scale] (1.0 ~ 1/1000 of the paper's absolute size). *)
+
+type sizes = {
+  n_locn : int;
+  n_zip : int;
+  n_dates : int;
+  n_items : int;
+  n_inventory : int;
+}
+
+val sizes : ?scale:float -> unit -> sizes
+val name : string
+
+val generate : ?scale:float -> seed:int -> unit -> Relational.Database.t
+
+val features : Aggregates.Feature.t
+(** Canonical feature map: response inventoryunits; weather flags and item
+    taxonomy categorical; measures continuous; join keys excluded. *)
+
+val mi_attrs : string list
+(** Categorical attributes of the mutual-information workload. *)
+
+val ivm_features : string list
+(** Numeric features of the IVM / Figure 6 covariance experiments. *)

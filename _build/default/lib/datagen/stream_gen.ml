@@ -1,0 +1,64 @@
+(* Update-stream generation for the IVM experiments (Figure 4 right): turn a
+   generated database into a stream of single-tuple inserts against an
+   initially empty database. Dimension tuples are interleaved early so the
+   fact inserts find join partners, mirroring a live system's load order. *)
+
+open Relational
+
+(* All tuples of the database as inserts: dimensions first (round-robin),
+   then the fact relation's tuples shuffled. [dimension_fraction] of the
+   stream prefix is dimension data. *)
+let inserts_of_database ?(seed = 1) (db : Database.t) =
+  let rng = Util.Prng.create seed in
+  let fact =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some best ->
+            if Relation.cardinality r > Relation.cardinality best then Some r
+            else acc)
+      None (Database.relations db)
+    |> Option.get
+  in
+  let dims = List.filter (fun r -> r != fact) (Database.relations db) in
+  let dim_updates =
+    List.concat_map
+      (fun r ->
+        List.map (fun t -> Fivm.Delta.insert (Relation.name r) t) (Relation.to_list r))
+      dims
+  in
+  let dim_updates = Array.of_list dim_updates in
+  Util.Prng.shuffle_in_place rng dim_updates;
+  let fact_updates =
+    Array.of_list
+      (List.map (fun t -> Fivm.Delta.insert (Relation.name fact) t) (Relation.to_list fact))
+  in
+  Util.Prng.shuffle_in_place rng fact_updates;
+  (* dimensions first: realistic reference-data-before-facts loading *)
+  Array.to_list dim_updates @ Array.to_list fact_updates
+
+(* A mixed insert/delete stream: after the initial load, [churn] fraction of
+   fact tuples are deleted and re-inserted, exercising the additive
+   inverse. *)
+let with_churn ?(seed = 2) ?(churn = 0.1) (db : Database.t) =
+  let rng = Util.Prng.create seed in
+  let base = inserts_of_database ~seed db in
+  let fact_inserts =
+    List.filter
+      (fun (u : Fivm.Delta.update) ->
+        let r = Database.relation db u.relation in
+        Relation.cardinality r
+        = List.fold_left
+            (fun acc r' -> Stdlib.max acc (Relation.cardinality r'))
+            0 (Database.relations db))
+      base
+  in
+  let victims =
+    List.filter (fun _ -> Util.Prng.float rng 1.0 < churn) fact_inserts
+  in
+  base
+  @ List.concat_map
+      (fun (u : Fivm.Delta.update) ->
+        [ Fivm.Delta.delete u.relation u.tuple; Fivm.Delta.insert u.relation u.tuple ])
+      victims

@@ -1,0 +1,10 @@
+(** Update-stream generation for the IVM experiments (Figure 4 right). *)
+
+val inserts_of_database : ?seed:int -> Relational.Database.t -> Fivm.Delta.update list
+(** All tuples as single-tuple inserts against an initially empty database:
+    shuffled dimensions first (reference data before facts), then the
+    shuffled fact. *)
+
+val with_churn : ?seed:int -> ?churn:float -> Relational.Database.t -> Fivm.Delta.update list
+(** The insert stream followed by delete/re-insert pairs for a [churn]
+    fraction of fact tuples — exercises the additive inverse. *)

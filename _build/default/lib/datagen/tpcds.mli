@@ -1,0 +1,18 @@
+(** Synthetic TPC-DS-style dataset: a wide StoreSales fact joining
+    DateDim/Item/Store/Customer (column subsets follow the TPC-DS spec's
+    names — the width drives the paper's largest batch sizes). *)
+
+type sizes = {
+  n_dates : int;
+  n_items : int;
+  n_stores : int;
+  n_customers : int;
+  n_sales : int;
+}
+
+val sizes : ?scale:float -> unit -> sizes
+val name : string
+val generate : ?scale:float -> seed:int -> unit -> Relational.Database.t
+val features : Aggregates.Feature.t
+val mi_attrs : string list
+val ivm_features : string list

@@ -1,0 +1,10 @@
+(** Synthetic Yelp academic dataset: Review fact + Business/User/Attribute. *)
+
+type sizes = { n_users : int; n_business : int; n_reviews : int }
+
+val sizes : ?scale:float -> unit -> sizes
+val name : string
+val generate : ?scale:float -> seed:int -> unit -> Relational.Database.t
+val features : Aggregates.Feature.t
+val mi_attrs : string list
+val ivm_features : string list

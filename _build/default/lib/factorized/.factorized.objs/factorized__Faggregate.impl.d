@@ -1,0 +1,1 @@
+lib/factorized/faggregate.ml: Frep Hashtbl List Map Obj Printf Relational Rings String Value

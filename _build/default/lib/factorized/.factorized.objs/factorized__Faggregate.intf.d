@@ -1,0 +1,1 @@
+lib/factorized/faggregate.mli: Frep Map Relational Rings Value

@@ -1,0 +1,1 @@
+lib/factorized/fjoin.ml: Array Frep Hashtbl List Relation Relational Rings Schema Tuple Value Var_order

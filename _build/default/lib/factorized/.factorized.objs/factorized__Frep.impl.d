@@ -1,0 +1,1 @@
+lib/factorized/frep.ml: Array Format Hashtbl List Obj Relation Relational Schema Value

@@ -1,0 +1,1 @@
+lib/factorized/frep.mli: Format Relation Relational Value

@@ -1,0 +1,1 @@
+lib/factorized/var_order.ml: Format Join_tree List Relation Relational Schema String

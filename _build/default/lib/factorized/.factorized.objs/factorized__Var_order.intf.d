@@ -1,0 +1,1 @@
+lib/factorized/var_order.mli: Format Join_tree Relation Relational

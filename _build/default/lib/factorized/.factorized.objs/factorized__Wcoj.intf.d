@@ -1,0 +1,1 @@
+lib/factorized/wcoj.mli: Fjoin Relation Relational Rings Value

@@ -1,0 +1,147 @@
+(* Aggregates over factorised representations (Figures 9 and 10).
+
+   Two evaluation styles:
+   - [eval] folds an already-built [Frep.t] in a semiring, re-mapping values
+     per variable exactly as Figure 9 does (values to 1 for COUNT, kept for
+     SUM, etc.);
+   - [Grouped] lifts any semiring S to the semiring of S-annotated relations
+     (k-relations over S), which evaluates GROUP BY aggregates in one pass —
+     the sparse-tensor encoding of categorical features (Section 2.1). *)
+
+open Relational
+
+let nat_mul (type a) (module S : Rings.Sig.SEMIRING with type t = a) m (x : a) : a =
+  let rec go m =
+    if m <= 0 then S.zero
+    else if m = 1 then x
+    else
+      let half = go (m / 2) in
+      let dbl = S.add half half in
+      if m land 1 = 1 then S.add dbl x else dbl
+  in
+  go m
+
+(* Fold an f-rep in a semiring; [lift var v] is the image of a value. Shared
+   subtrees (physically equal nodes) are evaluated once via memoisation on
+   physical identity — aggregate time is proportional to the DAG size. *)
+let eval (type a) (module S : Rings.Sig.SEMIRING with type t = a)
+    ~(lift : string -> Value.t -> a) (f : Frep.t) : a =
+  let module H = Hashtbl.Make (struct
+    type t = Obj.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end) in
+  let memo = H.create 256 in
+  let rec go (f : Frep.t) : a =
+    match f with
+    | Frep.Unit -> S.one
+    | Frep.Scalar k -> nat_mul (module S) k S.one
+    | Frep.Union (var, branches) ->
+        let compute () =
+          List.fold_left
+            (fun acc (v, sub) -> S.add acc (S.mul (lift var v) (go sub)))
+            S.zero branches
+        in
+        memoised f compute
+    | Frep.Prod fs ->
+        let compute () = List.fold_left (fun acc g -> S.mul acc (go g)) S.one fs in
+        memoised f compute
+  and memoised f compute =
+    let key = Obj.repr f in
+    match H.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let r = compute () in
+        H.add memo key r;
+        r
+  in
+  go f
+
+let count f = eval (module Rings.Instances.Nat) ~lift:(fun _ _ -> 1) f
+
+let sum_product ~vars f =
+  eval
+    (module Rings.Instances.R)
+    ~lift:(fun var v -> if List.mem var vars then Value.to_float v else 1.0)
+    f
+
+(* K-relations over a semiring: maps from group-by assignments to S values.
+   Assignments are sorted (var, value) lists over disjoint variable sets, so
+   the product concatenates assignments and multiplies annotations. This is
+   itself a semiring, so it plugs into [eval] and [Fjoin.eval_semiring]. *)
+module Grouped (S : Rings.Sig.SEMIRING) = struct
+  module Key = struct
+    type t = (string * Value.t) list
+
+    let compare (a : t) (b : t) =
+      let rec go a b =
+        match (a, b) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | (xa, va) :: ra, (xb, vb) :: rb ->
+            let c = compare xa xb in
+            if c <> 0 then c
+            else
+              let c = Value.compare va vb in
+              if c <> 0 then c else go ra rb
+      in
+      go a b
+  end
+
+  module KMap = Map.Make (Key)
+
+  type t = S.t KMap.t
+
+  let zero = KMap.empty
+  let one = KMap.singleton [] S.one
+
+  let add a b =
+    KMap.union (fun _ x y -> Some (S.add x y)) a b
+
+  (* merge two assignments over disjoint variables, keeping sortedness *)
+  let merge_keys a b =
+    List.sort (fun (x, _) (y, _) -> compare x y) (a @ b)
+
+  let mul a b =
+    KMap.fold
+      (fun ka va acc ->
+        KMap.fold
+          (fun kb vb acc ->
+            let k = merge_keys ka kb in
+            let v = S.mul va vb in
+            KMap.update k
+              (function None -> Some v | Some v0 -> Some (S.add v0 v))
+              acc)
+          b acc)
+      a KMap.empty
+
+  let equal a b = KMap.equal S.equal a b
+
+  let to_string t =
+    String.concat "; "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "{%s} -> %s"
+             (String.concat ","
+                (List.map (fun (x, u) -> x ^ "=" ^ Value.to_string u) k))
+             (S.to_string v))
+         (KMap.bindings t))
+
+  let singleton var value annot = KMap.singleton [ (var, value) ] annot
+
+  let bindings (t : t) = KMap.bindings t
+end
+
+module Grouped_float = Grouped (Rings.Instances.R)
+
+(* SUM(prod of [vars]) GROUP BY [group_by], evaluated in one pass over the
+   f-rep via the k-relation semiring. Result: sorted assignment -> sum. *)
+let sum_grouped ~group_by ~vars f =
+  let lift var v : Grouped_float.t =
+    let weight = if List.mem var vars then Value.to_float v else 1.0 in
+    if List.mem var group_by then Grouped_float.singleton var v weight
+    else Grouped_float.KMap.singleton [] weight
+  in
+  Grouped_float.bindings (eval (module Grouped_float) ~lift f)

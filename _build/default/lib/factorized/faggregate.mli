@@ -1,0 +1,82 @@
+(** Aggregates over factorised representations (Figures 9 and 10): semiring
+    folds of {!Frep.t} with per-variable value re-mapping, and the lifting of
+    any semiring to k-relations for GROUP BY evaluation. *)
+
+open Relational
+
+val nat_mul : (module Rings.Sig.SEMIRING with type t = 'a) -> int -> 'a -> 'a
+(** [nat_mul (module S) m x] is the m-fold sum of [x] (by doubling). *)
+
+val eval :
+  (module Rings.Sig.SEMIRING with type t = 'a) ->
+  lift:(string -> Value.t -> 'a) ->
+  Frep.t ->
+  'a
+(** Fold an f-rep in a semiring; physically shared subtrees are evaluated
+    once, so time is proportional to the DAG size. *)
+
+val count : Frep.t -> int
+(** COUNT: every value maps to 1 in the natural-number semiring. *)
+
+val sum_product : vars:string list -> Frep.t -> float
+(** SUM of the product of the named variables (others map to 1). *)
+
+(** K-relations over a semiring [S]: maps from group-by assignments (sorted
+    [(attr, value)] lists over disjoint variables) to [S] values. Itself a
+    semiring, so it plugs into {!eval} — this is how one factorised pass
+    evaluates GROUP BY aggregates (the sparse-tensor encoding of §2.1). *)
+module Grouped (S : Rings.Sig.SEMIRING) : sig
+  module Key : sig
+    type t = (string * Value.t) list
+
+    val compare : t -> t -> int
+  end
+
+  module KMap : Map.S with type key = Key.t
+
+  type t = S.t KMap.t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  (** Cross product over disjoint variables; coinciding merged keys are
+      added. *)
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+
+  val singleton : string -> Value.t -> S.t -> t
+  (** [singleton var value s] is the one-assignment map [{var=value} -> s]. *)
+
+  val bindings : t -> (Key.t * S.t) list
+end
+
+(** [Grouped] at the reals: the workhorse instance used by the engines. *)
+module Grouped_float : sig
+  module Key : sig
+    type t = (string * Value.t) list
+
+    val compare : t -> t -> int
+  end
+
+  module KMap : Map.S with type key = Key.t
+
+  type t = float KMap.t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+  val singleton : string -> Value.t -> float -> t
+  val bindings : t -> (Key.t * float) list
+end
+
+val sum_grouped :
+  group_by:string list ->
+  vars:string list ->
+  Frep.t ->
+  ((string * Value.t) list * float) list
+(** [SUM(prod vars) GROUP BY group_by] in one pass over the f-rep. *)

@@ -1,0 +1,59 @@
+(** Factorised join computation (Section 5.1): trie-based multiway
+    intersection down a variable order, folded with a caller-supplied
+    algebra — building {!Frep.t} gives the factorised join; folding with a
+    semiring gives fused join-aggregate evaluation that never materialises
+    the join (Figure 9). For acyclic queries with orders from
+    {!Var_order.of_join_tree} this runs in O(input + factorised output). *)
+
+open Relational
+
+module VTbl : Hashtbl.S with type key = Value.t
+
+type trie = Leaf of int | Node of trie VTbl.t
+(** Relation tries following the variable order; leaves carry bag
+    multiplicities. *)
+
+val build_trie : Relation.t -> string list -> trie VTbl.t
+(** [build_trie rel attrs] nests [rel] by [attrs] (ordered root-first). *)
+
+(** The algebra a traversal folds with. *)
+type 'a algebra = {
+  unit_ : 'a;  (** empty product *)
+  mult : int -> 'a -> 'a;  (** bag multiplicity *)
+  union : string -> (Value.t * 'a) list -> 'a;  (** a variable's branches *)
+  prod : 'a list -> 'a;  (** conditionally independent parts *)
+}
+
+val frep_algebra : Frep.t algebra
+
+val semiring_algebra :
+  (module Rings.Sig.SEMIRING with type t = 'a) ->
+  lift:(string -> Value.t -> 'a) ->
+  'a algebra
+(** [lift var v] is the semiring image of a value (Figure 9's re-mapping). *)
+
+exception Unconstrained_variable of string
+(** Raised when a variable of the order is covered by no relation. *)
+
+val fold : ?cache:bool -> 'a algebra -> Relation.t list -> Var_order.t -> 'a
+(** The generic traversal. [cache] (default true) shares subtree results per
+    dependency-key binding, producing DAGs / avoiding recomputation. *)
+
+val factorize : ?cache:bool -> Relation.t list -> Var_order.t -> Frep.t
+(** The factorised natural join of the relations. *)
+
+val eval_semiring :
+  ?cache:bool ->
+  (module Rings.Sig.SEMIRING with type t = 'a) ->
+  ?lift:(string -> Value.t -> 'a) ->
+  Relation.t list ->
+  Var_order.t ->
+  'a
+(** Fused join-aggregate evaluation; [lift] defaults to the constant one. *)
+
+val count : ?cache:bool -> Relation.t list -> Var_order.t -> int
+(** COUNT of the join, in the natural-number semiring. *)
+
+val sum_product :
+  ?cache:bool -> Relation.t list -> Var_order.t -> vars:string list -> float
+(** SUM of the product of the named numeric variables over the join. *)

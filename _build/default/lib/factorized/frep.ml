@@ -1,0 +1,116 @@
+(* Factorised representations of query results (Section 5.1, Figure 8 right).
+
+   An f-rep is a DAG built from unions over the values of a variable,
+   products of conditionally independent parts, and integer multiplicities
+   (bag semantics). With subtree caching enabled, shared sub-representations
+   (e.g. the price of an item, independent of the dish) are physically
+   shared, turning the tree into a DAG — the paper's "factorised
+   representation with definitions". *)
+
+open Relational
+
+type t =
+  | Unit (* the empty product: one tuple of zero attributes *)
+  | Scalar of int (* bag multiplicity *)
+  | Union of string * (Value.t * t) list (* branches over values of a variable *)
+  | Prod of t list
+
+let empty var = Union (var, [])
+
+(* Number of values: each branch value counts once; shared (physically equal)
+   subtrees count once — the paper's size measure for factorised results. *)
+let value_count t =
+  (* Physical-identity table: [Hashtbl.hash] buckets structurally (equal
+     structures share buckets) while [==] distinguishes distinct nodes, so
+     only genuinely shared subtrees are skipped. *)
+  let module H = Hashtbl.Make (struct
+    type t = Obj.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end) in
+  let seen = H.create 256 in
+  let physically_new node =
+    let r = Obj.repr node in
+    if Obj.is_block r && H.mem seen r then false
+    else begin
+      if Obj.is_block r then H.add seen r ();
+      true
+    end
+  in
+  let rec go acc node =
+    if not (physically_new node) then acc
+    else
+      match node with
+      | Unit | Scalar _ -> acc
+      | Union (_, branches) ->
+          List.fold_left (fun acc (_, sub) -> go (acc + 1) sub) acc branches
+      | Prod fs -> List.fold_left go acc fs
+  in
+  go 0 t
+
+(* Number of tuples represented (with multiplicities). *)
+let rec tuple_count = function
+  | Unit -> 1
+  | Scalar k -> k
+  | Union (_, branches) ->
+      List.fold_left (fun acc (_, sub) -> acc + tuple_count sub) 0 branches
+  | Prod fs -> List.fold_left (fun acc f -> acc * tuple_count f) 1 fs
+
+(* Enumerate the represented tuples as assignments (with multiplicities
+   expanded); exponential in general — used by tests against flat joins. *)
+let enumerate t =
+  let rec go = function
+    | Unit -> [ [] ]
+    | Scalar k -> List.concat (List.init k (fun _ -> [ [] ]))
+    | Union (var, branches) ->
+        List.concat_map
+          (fun (v, sub) -> List.map (fun env -> (var, v) :: env) (go sub))
+          branches
+    | Prod fs ->
+        List.fold_left
+          (fun acc f ->
+            let envs = go f in
+            List.concat_map (fun env -> List.map (fun e -> env @ e) envs) acc)
+          [ [] ] fs
+  in
+  go t
+
+(* Convert to a flat relation over the given attribute order. *)
+let to_relation ?(name = "flat") attr_order tys t =
+  let schema =
+    Schema.of_list (List.map2 (fun a ty -> Schema.attr a ty) attr_order tys)
+  in
+  let rel = Relation.create name schema in
+  List.iter
+    (fun env ->
+      Relation.append rel
+        (Array.of_list
+           (List.map
+              (fun a ->
+                match List.assoc_opt a env with
+                | Some v -> v
+                | None -> Value.Null)
+              attr_order)))
+    (enumerate t);
+  rel
+
+let rec pp ppf = function
+  | Unit -> Format.fprintf ppf "()"
+  | Scalar k -> Format.fprintf ppf "%d" k
+  | Union (var, branches) ->
+      Format.fprintf ppf "@[<v 2>U_%s(" var;
+      List.iteri
+        (fun i (v, sub) ->
+          if i > 0 then Format.fprintf ppf "@,";
+          Format.fprintf ppf "%a x %a" Value.pp v pp sub)
+        branches;
+      Format.fprintf ppf ")@]"
+  | Prod fs ->
+      Format.fprintf ppf "@[<hov 1>(";
+      List.iteri
+        (fun i f ->
+          if i > 0 then Format.fprintf ppf " *@ ";
+          pp ppf f)
+        fs;
+      Format.fprintf ppf ")@]"

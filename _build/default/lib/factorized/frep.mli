@@ -1,0 +1,30 @@
+(** Factorised representations of query results (Section 5.1, Figure 8):
+    DAGs of unions over a variable's values, products of conditionally
+    independent parts, and bag multiplicities. *)
+
+open Relational
+
+type t =
+  | Unit  (** the empty product: one tuple of zero attributes *)
+  | Scalar of int  (** bag multiplicity *)
+  | Union of string * (Value.t * t) list  (** branches over a variable's values *)
+  | Prod of t list  (** conditionally independent parts *)
+
+val empty : string -> t
+(** The empty union over a variable: no tuples. *)
+
+val value_count : t -> int
+(** Number of values in the representation, counting physically shared
+    subtrees once — the paper's factorisation-size measure. *)
+
+val tuple_count : t -> int
+(** Number of represented tuples, with multiplicities. *)
+
+val enumerate : t -> (string * Value.t) list list
+(** All represented tuples as assignments (multiplicities expanded).
+    Exponential in general; meant for tests against flat joins. *)
+
+val to_relation : ?name:string -> string list -> Value.ty list -> t -> Relation.t
+(** Flatten into a relation over the given attribute order/types. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+(* Variable orders (d-trees) for factorised query evaluation (Section 5.1,
+   Figure 8 left).
+
+   A variable order is a rooted tree over the query's attributes such that
+   the attributes of every relation lie along one root-to-leaf path. Each
+   variable is adorned with its "key": the subset of its ancestors on which
+   its subtree depends (co-occurs with, in some relation). Variables whose
+   key is a strict subset of their ancestors head conditionally independent
+   subtrees — the source of factorisation's succinctness and of subtree
+   caching (e.g. price depends on item but not on dish). *)
+
+open Relational
+
+type t = {
+  var : string;
+  key : string list; (* ancestors the subtree rooted here depends on *)
+  children : t list;
+}
+
+let rec vars t = t.var :: List.concat_map vars t.children
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+(* Attributes of [rel] must appear on a single root-to-leaf path of [t]. *)
+let valid_for t rels =
+  let rec paths node =
+    match node.children with
+    | [] -> [ [ node.var ] ]
+    | cs -> List.concat_map (fun c -> List.map (fun p -> node.var :: p) (paths c)) cs
+  in
+  let all_paths = paths t in
+  List.for_all
+    (fun rel ->
+      let attrs = Schema.names (Relation.schema rel) in
+      List.exists
+        (fun path -> List.for_all (fun a -> List.mem a path) attrs)
+        all_paths)
+    rels
+
+(* Key adornments: key(x) = ancestors(x) that share a relation with some
+   variable in x's subtree. *)
+let compute_keys rels root =
+  let co_occur a b =
+    List.exists
+      (fun rel ->
+        let s = Relation.schema rel in
+        Schema.mem s a && Schema.mem s b)
+      rels
+  in
+  let rec adorn ancestors node =
+    let children = List.map (adorn (node.var :: ancestors)) node.children in
+    let subtree_vars = node.var :: List.concat_map vars children in
+    let key =
+      List.filter
+        (fun anc -> List.exists (fun v -> co_occur anc v) subtree_vars)
+        (List.rev ancestors)
+    in
+    { node with key; children }
+  in
+  adorn [] root
+
+(* Synthesis from a join tree. Each relation contributes its not-yet-placed
+   attributes as a chain; a child relation's chain is attached at the deepest
+   variable of its join key, giving Figure-8-style branching for
+   conditionally independent parts. Attribute order within a relation places
+   more widely shared attributes higher (so join keys come first). *)
+let of_join_tree rels (jt_root : Join_tree.node) =
+  let sharing a =
+    List.length
+      (List.filter (fun r -> Schema.mem (Relation.schema r) a) rels)
+  in
+  (* Build the order as a mutable tree of (var, children ref). *)
+  let module M = struct
+    type mnode = { v : string; mutable kids : mnode list }
+  end in
+  let open M in
+  (* For each join-tree node we have the root-to-node path of placed
+     variables (deepest last); new vars chain under the attachment point. *)
+  let rec place (jt : Join_tree.node) (path : mnode list) : mnode option =
+    let attrs = Schema.names (Relation.schema jt.rel) in
+    let fresh =
+      List.filter (fun a -> not (List.exists (fun m -> m.v = a) path)) attrs
+    in
+    let fresh =
+      List.sort
+        (fun a b ->
+          let c = compare (sharing b) (sharing a) in
+          if c <> 0 then c else compare a b)
+        fresh
+    in
+    (* Attachment point: deepest path variable among this relation's attrs
+       (they are all on the path by induction); None if path is empty or the
+       relation shares nothing with it (Cartesian component). *)
+    let attach =
+      List.fold_left
+        (fun acc m -> if List.mem m.v attrs then Some m else acc)
+        None path
+    in
+    (* Chain the fresh variables. *)
+    let chain_root, chain_path =
+      match fresh with
+      | [] -> (None, path)
+      | first :: rest ->
+          let head = { v = first; kids = [] } in
+          let deepest =
+            List.fold_left
+              (fun parent v ->
+                let n = { v; kids = [] } in
+                parent.kids <- n :: parent.kids;
+                n)
+              head rest
+          in
+          ignore deepest;
+          (* rebuild path: original path extended by the chain *)
+          let rec chain_nodes n = n :: List.concat_map chain_nodes n.kids in
+          (Some head, path @ chain_nodes head)
+    in
+    (match (attach, chain_root) with
+    | Some parent, Some head -> parent.kids <- head :: parent.kids
+    | _ -> ());
+    (* Recurse into join-tree children along the extended path. *)
+    List.iter
+      (fun child ->
+        match place child chain_path with
+        | None -> ()
+        | Some orphan -> (
+            (* child shares nothing with the path: attach under the deepest
+               node available to keep a single tree (Cartesian branch) *)
+            match List.rev chain_path with
+            | last :: _ -> last.kids <- orphan :: last.kids
+            | [] -> failwith "Var_order.of_join_tree: empty order"))
+      jt.children;
+    match (attach, chain_root) with
+    | None, Some head -> Some head (* new root or orphan *)
+    | _ -> None
+  in
+  let root =
+    match place jt_root [] with
+    | Some r -> r
+    | None -> failwith "Var_order.of_join_tree: root relation has no attributes"
+  in
+  let rec freeze (m : mnode) =
+    { var = m.v; key = []; children = List.map freeze (List.rev m.kids) }
+  in
+  compute_keys rels (freeze root)
+
+let of_relations rels =
+  let jt = Join_tree.build rels in
+  of_join_tree rels (Join_tree.tree jt)
+
+let rec pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s{%s}" t.var (String.concat "," t.key);
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) t.children;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Variable orders (d-trees) for factorised evaluation: rooted trees over
+    the query's attributes such that each relation's attributes lie on one
+    root-to-leaf path, adorned with dependency keys (Figure 8 left). *)
+
+open Relational
+
+type t = {
+  var : string;
+  key : string list;
+      (** ancestors on which the subtree rooted here depends — a strict
+          subset of the ancestors signals conditional independence and
+          enables caching *)
+  children : t list;
+}
+
+val vars : t -> string list
+(** Pre-order variable list. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val valid_for : t -> Relation.t list -> bool
+(** Every relation's attributes lie on a single root-to-leaf path. *)
+
+val compute_keys : Relation.t list -> t -> t
+(** Recompute the key adornments from relation schemas. *)
+
+val of_join_tree : Relation.t list -> Join_tree.node -> t
+(** Synthesise an order from a rooted join tree; shared attributes are placed
+    high so join keys come first. *)
+
+val of_relations : Relation.t list -> t
+(** Build the join tree and synthesise an order. @raise Join_tree.Cyclic *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+(* Worst-case optimal multiway join in the leapfrog-triejoin style
+   (Veldhuizen [75]; Section 3.2's width-attaining algorithms).
+
+   Relations are sorted tries following one GLOBAL variable order; at each
+   variable the candidate values are the intersection of the branches of
+   every relation containing it, computed by iterating the smallest branch
+   set and binary-probing the others (galloping leapfrog seeks give the same
+   asymptotics on our array tries). Unlike [Fjoin], no acyclicity is
+   required: triangles and other cyclic patterns run within their AGM
+   bound. Results fold with the same semiring algebra, so COUNT /
+   SUM-PRODUCT / enumeration come for free. *)
+
+open Relational
+
+(* sorted trie: values in ascending order, one child per value *)
+type strie = { values : Value.t array; children : node array }
+and node = Leaf of int (* multiplicity *) | Sub of strie
+
+let empty_strie = { values = [||]; children = [||] }
+
+(* Build a sorted trie of [rel] nested by [attrs] (projection order). *)
+let build (rel : Relation.t) (attrs : string list) : strie =
+  let schema = Relation.schema rel in
+  let positions = Array.of_list (List.map (Schema.position schema) attrs) in
+  let depth = Array.length positions in
+  let rows =
+    Array.init (Relation.cardinality rel) (fun i ->
+        Tuple.project (Relation.get rel i) positions)
+  in
+  Array.sort Tuple.compare rows;
+  (* recursively group rows.(lo..hi) at level d *)
+  let rec group lo hi d : strie =
+    if d >= depth then empty_strie
+    else begin
+      let values = ref [] and children = ref [] in
+      let i = ref lo in
+      while !i < hi do
+        let v = rows.(!i).(d) in
+        let j = ref !i in
+        while !j < hi && Value.equal rows.(!j).(d) v do
+          incr j
+        done;
+        values := v :: !values;
+        children :=
+          (if d = depth - 1 then Leaf (!j - !i) else Sub (group !i !j (d + 1)))
+          :: !children;
+        i := !j
+      done;
+      {
+        values = Array.of_list (List.rev !values);
+        children = Array.of_list (List.rev !children);
+      }
+    end
+  in
+  if depth = 0 then empty_strie else group 0 (Array.length rows) 0
+
+(* first index in the sorted array with value >= v, or length *)
+let seek (values : Value.t array) (v : Value.t) =
+  let lo = ref 0 and hi = ref (Array.length values) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare values.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find (values : Value.t array) (v : Value.t) =
+  let i = seek values v in
+  if i < Array.length values && Value.equal values.(i) v then Some i else None
+
+(* Default global variable order: most-shared variables first (a common
+   WCOJ heuristic; any order is correct). *)
+let default_order (rels : Relation.t list) : string list =
+  let count a =
+    List.length (List.filter (fun r -> Schema.mem (Relation.schema r) a) rels)
+  in
+  let attrs =
+    List.sort_uniq compare
+      (List.concat_map (fun r -> Schema.names (Relation.schema r)) rels)
+  in
+  List.sort
+    (fun a b ->
+      match compare (count b) (count a) with 0 -> compare a b | c -> c)
+    attrs
+
+(* The generic traversal: same algebra as [Fjoin]. *)
+let fold (type a) (alg : a Fjoin.algebra) ?order (rels : Relation.t list) : a =
+  let order = match order with Some o -> o | None -> default_order rels in
+  (* per relation: its attrs as a subsequence of the global order *)
+  let tries =
+    List.map
+      (fun rel ->
+        let attrs =
+          List.filter (fun v -> Schema.mem (Relation.schema rel) v) order
+        in
+        (attrs, build rel attrs))
+      rels
+  in
+  (* cursor = remaining attrs + current trie position *)
+  let rec visit (vars : string list)
+      (cursors : (string list * node) list) : a =
+    match vars with
+    | [] ->
+        (* all variables bound: multiply the leaf multiplicities *)
+        let m =
+          List.fold_left
+            (fun acc (_, n) ->
+              match n with Leaf k -> acc * k | Sub _ -> assert false)
+            1 cursors
+        in
+        alg.mult m alg.unit_
+    | var :: rest_vars ->
+        let involved, waiting =
+          List.partition
+            (fun (attrs, _) -> match attrs with a :: _ -> a = var | [] -> false)
+            cursors
+        in
+        if involved = [] then raise (Fjoin.Unconstrained_variable var)
+        else begin
+          let tries_at =
+            List.map
+              (fun (attrs, n) ->
+                match n with
+                | Sub t -> (List.tl attrs, t)
+                | Leaf _ -> assert false)
+              involved
+          in
+          (* iterate the smallest branch set, probe the others *)
+          let (first_rest, first_t), others =
+            match
+              List.sort
+                (fun (_, t1) (_, t2) ->
+                  compare (Array.length t1.values) (Array.length t2.values))
+                tries_at
+            with
+            | smallest :: others -> (smallest, others)
+            | [] -> assert false
+          in
+          let branches = ref [] in
+          Array.iteri
+            (fun i v ->
+              let probes =
+                List.map (fun (rest, t) -> (rest, t, find t.values v)) others
+              in
+              if List.for_all (fun (_, _, hit) -> hit <> None) probes then begin
+                let advanced =
+                  (first_rest, first_t.children.(i))
+                  :: List.map
+                       (fun (rest, t, hit) ->
+                         (rest, t.children.(Option.get hit)))
+                       probes
+                in
+                let sub = visit rest_vars (advanced @ waiting) in
+                branches := (v, sub) :: !branches
+              end)
+            first_t.values;
+          alg.union var (List.rev !branches)
+        end
+  in
+  (* keep only order variables actually covered by some relation *)
+  let covered =
+    List.filter
+      (fun v -> List.exists (fun r -> Schema.mem (Relation.schema r) v) rels)
+      order
+  in
+  visit covered (List.map (fun (attrs, t) -> (attrs, Sub t)) tries)
+
+let count ?order rels : int =
+  fold (Fjoin.semiring_algebra (module Rings.Instances.Nat) ~lift:(fun _ _ -> 1))
+    ?order rels
+
+let eval_semiring (type a) ?order (module S : Rings.Sig.SEMIRING with type t = a)
+    ?lift rels : a =
+  let lift = match lift with Some f -> f | None -> fun _ _ -> S.one in
+  fold (Fjoin.semiring_algebra (module S) ~lift) ?order rels
+
+(* Materialise the (possibly cyclic) join as a relation over the order's
+   covered variables — the paper's footnote-4 bag materialisation that turns
+   a cyclic query acyclic. *)
+let materialise ?(name = "wcoj") ?order (rels : Relation.t list) : Relation.t =
+  let order = match order with Some o -> o | None -> default_order rels in
+  let covered =
+    List.filter
+      (fun v -> List.exists (fun r -> Schema.mem (Relation.schema r) v) rels)
+      order
+  in
+  let ty_of v =
+    let rel = List.find (fun r -> Schema.mem (Relation.schema r) v) rels in
+    Schema.ty_of (Relation.schema rel) v
+  in
+  let schema = Schema.make (List.map (fun v -> (v, ty_of v)) covered) in
+  let out = Relation.create name schema in
+  let frep = fold Fjoin.frep_algebra ~order rels in
+  List.iter
+    (fun env ->
+      Relation.append out
+        (Array.of_list
+           (List.map
+              (fun v ->
+                match List.assoc_opt v env with Some x -> x | None -> Value.Null)
+              covered)))
+    (Frep.enumerate frep);
+  out

@@ -1,0 +1,36 @@
+(** Worst-case optimal multiway join (leapfrog-triejoin style, [75]):
+    sorted-trie intersection down one global variable order. Handles CYCLIC
+    queries (triangles and beyond) within their AGM bound, unlike the
+    acyclic-only {!Fjoin}. *)
+
+open Relational
+
+type strie = { values : Value.t array; children : node array }
+and node = Leaf of int | Sub of strie
+
+val build : Relation.t -> string list -> strie
+(** Sorted trie of the relation nested by the given attribute order. *)
+
+val seek : Value.t array -> Value.t -> int
+(** First index with value >= v (binary search), or the array length. *)
+
+val default_order : Relation.t list -> string list
+(** Most-shared variables first (any order is correct). *)
+
+val fold : 'a Fjoin.algebra -> ?order:string list -> Relation.t list -> 'a
+(** The generic traversal, with {!Fjoin}'s algebra.
+    @raise Fjoin.Unconstrained_variable if the order has uncovered gaps. *)
+
+val count : ?order:string list -> Relation.t list -> int
+
+val eval_semiring :
+  ?order:string list ->
+  (module Rings.Sig.SEMIRING with type t = 'a) ->
+  ?lift:(string -> Value.t -> 'a) ->
+  Relation.t list ->
+  'a
+
+val materialise : ?name:string -> ?order:string list -> Relation.t list -> Relation.t
+(** The full join as a relation — the paper's footnote-4 bag
+    materialisation that turns cyclic queries acyclic for the downstream
+    engines. *)

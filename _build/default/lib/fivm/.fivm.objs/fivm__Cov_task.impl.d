@@ -1,0 +1,1 @@
+lib/fivm/cov_task.ml: Array Database Hashtbl List Option Payload Printf Relation Relational Rings Schema Tuple Util Value

@@ -1,0 +1,1 @@
+lib/fivm/cov_task.mli: Database Hashtbl Payload Relational Rings Tuple

@@ -1,0 +1,1 @@
+lib/fivm/delta.ml: Format Relational Tuple

@@ -1,0 +1,1 @@
+lib/fivm/delta.mli: Format Relational Tuple

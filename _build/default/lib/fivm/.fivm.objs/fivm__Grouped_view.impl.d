@@ -1,0 +1,1 @@
+lib/fivm/grouped_view.ml: Aggregates Array Database Delta Factorized Float Hashtbl List Payload Predicate Relation Relational Schema Storage Tuple Value View_tree

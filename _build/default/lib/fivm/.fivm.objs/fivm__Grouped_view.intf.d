@@ -1,0 +1,1 @@
+lib/fivm/grouped_view.mli: Aggregates Database Delta Relational

@@ -1,0 +1,1 @@
+lib/fivm/maintainer.mli: Database Delta Relational Rings Storage

@@ -1,0 +1,1 @@
+lib/fivm/payload.mli: Rings

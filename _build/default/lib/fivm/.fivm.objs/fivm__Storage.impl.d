@@ -1,0 +1,1 @@
+lib/fivm/storage.ml: Array Database Delta Hashtbl Join_tree List Printf Relation Relational Schema Tuple

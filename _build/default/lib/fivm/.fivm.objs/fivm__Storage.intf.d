@@ -1,0 +1,1 @@
+lib/fivm/storage.mli: Database Delta Join_tree Relational Schema Tuple

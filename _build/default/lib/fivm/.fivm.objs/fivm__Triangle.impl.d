@@ -1,0 +1,1 @@
+lib/fivm/triangle.ml: Factorized Hashtbl Option Relation Relational Schema Value

@@ -1,0 +1,1 @@
+lib/fivm/triangle.mli: Relational Value

@@ -1,0 +1,1 @@
+lib/fivm/view_tree.ml: Array Delta Join_tree List Payload Relation Relational Schema Storage Tuple

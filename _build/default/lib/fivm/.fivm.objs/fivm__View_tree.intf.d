@@ -1,0 +1,1 @@
+lib/fivm/view_tree.mli: Delta Payload Relational Storage Tuple

@@ -1,0 +1,94 @@
+(* The covariance-maintenance task shared by the three IVM strategies: which
+   numeric feature lives in which relation, and the per-relation lifts.
+
+   Every feature is owned by exactly one relation (the first one, in
+   database order, whose schema contains it), so the ring product across the
+   join counts each factor exactly once. Aggregates are indexed over
+   0..n with slot 0 the intercept: aggregate (i, j) is SUM(x_i * x_j) with
+   x_0 = 1, i.e. the full (n+1)^2 covariance batch of Section 2.1. *)
+
+open Relational
+
+type t = {
+  features : string array; (* numeric features; dimension n *)
+  dim : int;
+  owned : (string, (int * int) list) Hashtbl.t;
+      (* relation -> (feature index, column position) for owned features *)
+}
+
+let make (db : Database.t) ~features =
+  let features = Array.of_list features in
+  let owned = Hashtbl.create 8 in
+  List.iter
+    (fun rel -> Hashtbl.replace owned (Relation.name rel) [])
+    (Database.relations db);
+  Array.iteri
+    (fun i f ->
+      let rec claim = function
+        | [] -> invalid_arg (Printf.sprintf "Cov_task.make: feature %s not in any relation" f)
+        | rel :: rest -> (
+            let schema = Relation.schema rel in
+            match Schema.position_opt schema f with
+            | Some pos ->
+                let name = Relation.name rel in
+                Hashtbl.replace owned name ((i, pos) :: Hashtbl.find owned name)
+            | None -> claim rest)
+      in
+      claim (Database.relations db))
+    features;
+  { features; dim = Array.length features; owned }
+
+let owned_features t rel_name =
+  Option.value ~default:[] (Hashtbl.find_opt t.owned rel_name)
+
+(* Ring lift of a tuple of [rel_name]: the product of the covariance-ring
+   lifts of its owned features, built directly as a sparse (1, x, x x^T). *)
+let lift_cov t rel_name (tuple : Tuple.t) : Payload.Cov_dyn.t =
+  let xs = Array.make t.dim 0.0 in
+  List.iter
+    (fun (i, pos) -> xs.(i) <- Value.to_float tuple.(pos))
+    (owned_features t rel_name);
+  `Elem (Rings.Covariance.of_tuple xs)
+
+(* All (n+1)(n+2)/2 aggregates of the symmetric covariance batch. *)
+let aggregate_pairs t =
+  let n = t.dim in
+  let acc = ref [] in
+  for i = 0 to n do
+    for j = i to n do
+      acc := (i, j) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Scalar factor contributed by a tuple of [rel_name] to aggregate (i, j):
+   the owned part of x_i * x_j (x_0 = 1). *)
+let factor t (i, j) rel_name (tuple : Tuple.t) =
+  let mine = owned_features t rel_name in
+  let value idx =
+    if idx = 0 then Some 1.0
+    else
+      match List.find_opt (fun (f, _) -> f = idx - 1) mine with
+      | Some (_, pos) -> Some (Value.to_float tuple.(pos))
+      | None -> None
+  in
+  let f = match value i with Some x when i > 0 -> x | _ -> 1.0 in
+  let g = match value j with Some x when j > 0 -> x | _ -> 1.0 in
+  f *. g
+
+(* Assemble the covariance triple from per-aggregate scalar totals. *)
+let assemble t (totals : ((int * int) * float) list) =
+  let n = t.dim in
+  let c = ref 0.0 in
+  let s = Util.Vec.create n in
+  let q = Util.Mat.create n n in
+  List.iter
+    (fun ((i, j), v) ->
+      if i = 0 && j = 0 then c := v
+      else if i = 0 then Util.Vec.set s (j - 1) v
+      else begin
+        Util.Mat.set q (i - 1) (j - 1) v;
+        Util.Mat.set q (j - 1) (i - 1) v
+      end)
+    totals;
+  { Rings.Covariance.c = !c; s; q }

@@ -1,0 +1,32 @@
+(** The covariance-maintenance task shared by the IVM strategies: feature
+    ownership (each numeric feature belongs to exactly one relation) and the
+    per-relation lifts/factors for the (n+1)^2 covariance batch, with slot 0
+    the intercept. *)
+
+open Relational
+
+type t = {
+  features : string array;
+  dim : int;
+  owned : (string, (int * int) list) Hashtbl.t;
+}
+
+val make : Database.t -> features:string list -> t
+(** Raises if a feature appears in no relation. *)
+
+val owned_features : t -> string -> (int * int) list
+(** (feature index, column position) pairs owned by the relation. *)
+
+val lift_cov : t -> string -> Tuple.t -> Payload.Cov_dyn.t
+(** Covariance-ring lift of a tuple: the sparse (1, x, x x^T) over its owned
+    features. *)
+
+val aggregate_pairs : t -> (int * int) array
+(** All (i, j), 0 <= i <= j <= n, of the symmetric batch (0 = intercept). *)
+
+val factor : t -> int * int -> string -> Tuple.t -> float
+(** The scalar factor a tuple contributes to aggregate (i, j): the owned
+    part of x_i * x_j with x_0 = 1. *)
+
+val assemble : t -> ((int * int) * float) list -> Rings.Covariance.t
+(** Rebuild the covariance triple from per-aggregate scalar totals. *)

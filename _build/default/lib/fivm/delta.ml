@@ -1,0 +1,14 @@
+(* Updates with Z-multiplicities (Section 3.1, "Additive inverse").
+
+   Inserts and deletes are treated uniformly: an update maps a tuple of some
+   relation to a multiplicity delta (+1 insert, -1 delete, or any bulk). *)
+
+open Relational
+
+type update = { relation : string; tuple : Tuple.t; multiplicity : int }
+
+let insert relation tuple = { relation; tuple; multiplicity = 1 }
+let delete relation tuple = { relation; tuple; multiplicity = -1 }
+
+let pp ppf u =
+  Format.fprintf ppf "%+d %s%a" u.multiplicity u.relation Tuple.pp u.tuple

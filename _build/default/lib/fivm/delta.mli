@@ -1,0 +1,10 @@
+(** Updates with Z-multiplicities (Section 3.1): inserts and deletes are the
+    same operation with multiplicities +1 / -1. *)
+
+open Relational
+
+type update = { relation : string; tuple : Tuple.t; multiplicity : int }
+
+val insert : string -> Tuple.t -> update
+val delete : string -> Tuple.t -> update
+val pp : Format.formatter -> update -> unit

@@ -1,0 +1,96 @@
+(* Incremental maintenance of GROUP BY aggregates.
+
+   F-IVM's payload-ring design is not limited to the covariance triple: the
+   k-relation semiring (maps from group-by assignments to sums, the sparse
+   one-hot encoding of Section 2.1) is a ring too, so the same view-tree
+   delta propagation keeps SUM(product of terms) GROUP BY attrs fresh under
+   tuple updates. This is how the categorical slices of the covariance
+   matrix stay maintained alongside the continuous triple. *)
+
+open Relational
+module GF = Factorized.Faggregate.Grouped_float
+module Spec = Aggregates.Spec
+
+(* the k-relation ring as an IVM payload: negation and integer scaling are
+   pointwise *)
+module P : Payload.S with type t = GF.t = struct
+  type t = GF.t
+
+  let zero = GF.zero
+  let one = GF.one
+  let add = GF.add
+  let mul = GF.mul
+  let equal = GF.equal
+  let to_string = GF.to_string
+  let neg m = GF.KMap.map (fun v -> -.v) m
+  let smul k m = GF.KMap.map (fun v -> float_of_int k *. v) m
+end
+
+module Tree = View_tree.Make (P)
+
+type t = {
+  storage : Storage.t;
+  tree : Tree.t;
+  spec : Spec.t; (* the maintained aggregate (scalar or grouped) *)
+}
+
+(* Each attribute is owned by its first relation (database order), exactly
+   as in [Cov_task]; a tuple's lift is the singleton k-relation over its
+   owned group-by attributes annotated with its owned term product. *)
+let create (db : Database.t) (spec : Spec.t) : t =
+  if spec.filter <> Predicate.True then
+    invalid_arg "Grouped_view.create: filtered aggregates are not maintained";
+  let owner = Hashtbl.create 8 in
+  List.iter
+    (fun attr ->
+      match
+        List.find_opt (fun r -> Schema.mem (Relation.schema r) attr) (Database.relations db)
+      with
+      | Some r -> Hashtbl.replace owner attr (Relation.name r)
+      | None -> invalid_arg ("Grouped_view.create: unknown attribute " ^ attr))
+    (Spec.attrs spec);
+  let storage = Storage.create db in
+  let lift rel_name =
+    let schema = Relation.schema (Database.relation db rel_name) in
+    let my_terms =
+      List.filter_map
+        (fun (a, p) ->
+          if Hashtbl.find_opt owner a = Some rel_name then
+            Some (Schema.position schema a, p)
+          else None)
+        spec.terms
+    in
+    let my_groups =
+      List.filter_map
+        (fun a ->
+          if Hashtbl.find_opt owner a = Some rel_name then
+            Some (a, Schema.position schema a)
+          else None)
+        spec.group_by
+    in
+    fun (tuple : Tuple.t) : GF.t ->
+      let weight =
+        List.fold_left
+          (fun acc (pos, p) ->
+            let x = Value.to_float tuple.(pos) in
+            let rec pow acc k = if k = 0 then acc else pow (acc *. x) (k - 1) in
+            pow acc p)
+          1.0 my_terms
+      in
+      let assignment =
+        List.sort compare (List.map (fun (a, pos) -> (a, tuple.(pos))) my_groups)
+      in
+      GF.KMap.singleton assignment weight
+  in
+  let tree = Tree.create storage ~lift in
+  { storage; tree; spec }
+
+let apply (t : t) (u : Delta.update) =
+  Tree.delta t.tree u;
+  Storage.apply t.storage u
+
+let result (t : t) : Spec.result =
+  List.filter (fun (_, v) -> Float.abs v > 0.0) (GF.bindings (Tree.result t.tree))
+
+let recompute (t : t) : Spec.result =
+  List.filter (fun (_, v) -> Float.abs v > 0.0) (GF.bindings (Tree.recompute t.tree))

@@ -1,0 +1,21 @@
+(** Incremental maintenance of GROUP BY aggregates: the k-relation semiring
+    as an F-IVM payload keeps [SUM(terms) GROUP BY attrs] fresh under tuple
+    updates — the categorical (sparse one-hot) side of the maintained
+    covariance matrix. *)
+
+open Relational
+module Spec = Aggregates.Spec
+
+type t
+
+val create : Database.t -> Spec.t -> t
+(** Maintenance state over an initially EMPTY database with the given
+    schemas. Raises on filtered aggregates and unknown attributes. *)
+
+val apply : t -> Delta.update -> unit
+
+val result : t -> Spec.result
+(** The maintained grouped sums (zero groups dropped). *)
+
+val recompute : t -> Spec.result
+(** From-scratch recomputation over the current contents (test oracle). *)

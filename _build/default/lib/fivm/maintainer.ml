@@ -1,0 +1,133 @@
+(* The three maintenance strategies compared in Figure 4 (right), all
+   maintaining the full covariance-matrix batch under tuple updates:
+
+   - F-IVM: ONE view tree whose payload is the covariance ring — a single
+     delta propagation per update maintains all (n+1)^2 aggregates at once
+     (the compound-payload sharing of Section 5.2).
+   - Higher-order IVM: one scalar view tree PER aggregate (delta processing
+     with intermediate views, DBToaster-style); each update propagates
+     through every tree.
+   - First-order IVM: no intermediate views; each update re-evaluates each
+     aggregate's delta query against the base relations (classical delta
+     processing with index nested-loop joins). *)
+
+open Relational
+module Cov = Rings.Covariance
+
+module Cov_tree = View_tree.Make (Payload.Cov_dyn)
+module Float_tree = View_tree.Make (Payload.Float)
+
+type strategy = F_ivm | Higher_order | First_order
+
+let strategy_name = function
+  | F_ivm -> "F-IVM"
+  | Higher_order -> "higher-order IVM"
+  | First_order -> "first-order IVM"
+
+type t =
+  | Fivm of { task : Cov_task.t; storage : Storage.t; tree : Cov_tree.t }
+  | Higher of {
+      task : Cov_task.t;
+      storage : Storage.t;
+      aggs : (int * int) array;
+      trees : Float_tree.t array;
+    }
+  | First of {
+      task : Cov_task.t;
+      storage : Storage.t;
+      aggs : (int * int) array;
+      totals : float array;
+    }
+
+let create strategy (db : Database.t) ~features =
+  let task = Cov_task.make db ~features in
+  let storage = Storage.create db in
+  match strategy with
+  | F_ivm ->
+      let tree = Cov_tree.create storage ~lift:(Cov_task.lift_cov task) in
+      Fivm { task; storage; tree }
+  | Higher_order ->
+      let aggs = Cov_task.aggregate_pairs task in
+      let trees =
+        Array.map
+          (fun pair ->
+            Float_tree.create storage ~lift:(fun rel tuple ->
+                Cov_task.factor task pair rel tuple))
+          aggs
+      in
+      Higher { task; storage; aggs; trees }
+  | First_order ->
+      let aggs = Cov_task.aggregate_pairs task in
+      First { task; storage; aggs; totals = Array.make (Array.length aggs) 0.0 }
+
+(* Delta-join evaluation for first-order IVM: the sum, over all extensions
+   of the updated tuple to full join results, of the aggregate's factor
+   product times the stored multiplicities. Walks the join tree's adjacency
+   via the storage indexes (index nested-loop join). *)
+let delta_join_sum storage task pair (u : Delta.update) =
+  let rec expand rel_name tuple visited =
+    let n = Storage.node storage rel_name in
+    let local = Cov_task.factor task pair rel_name tuple in
+    List.fold_left
+      (fun acc (neighbour, _, _) ->
+        if List.mem neighbour visited then acc
+        else begin
+          let key = Storage.key_for n ~neighbour tuple in
+          let partners = Storage.matching (Storage.node storage neighbour) ~neighbour:rel_name key in
+          let s =
+            List.fold_left
+              (fun s t ->
+                let m = Storage.multiplicity (Storage.node storage neighbour) t in
+                s
+                +. float_of_int m
+                   *. expand neighbour t (rel_name :: visited))
+              0.0 partners
+          in
+          acc *. s
+        end)
+      local n.Storage.indexes
+  in
+  float_of_int u.multiplicity *. expand u.relation u.tuple []
+
+let apply t (u : Delta.update) =
+  match t with
+  | Fivm { storage; tree; _ } ->
+      Cov_tree.delta tree u;
+      Storage.apply storage u
+  | Higher { storage; trees; _ } ->
+      Array.iter (fun tree -> Float_tree.delta tree u) trees;
+      Storage.apply storage u
+  | First { storage; task; aggs; totals } ->
+      Array.iteri
+        (fun k pair -> totals.(k) <- totals.(k) +. delta_join_sum storage task pair u)
+        aggs;
+      Storage.apply storage u
+
+let covariance t : Cov.t =
+  match t with
+  | Fivm { task; tree; _ } -> Payload.cov_elem task.Cov_task.dim (Cov_tree.result tree)
+  | Higher { task; aggs; trees; _ } ->
+      Cov_task.assemble task
+        (Array.to_list
+           (Array.mapi (fun k pair -> (pair, Float_tree.result trees.(k))) aggs))
+  | First { task; aggs; totals; _ } ->
+      Cov_task.assemble task
+        (Array.to_list (Array.mapi (fun k pair -> (pair, totals.(k))) aggs))
+
+let storage = function
+  | Fivm { storage; _ } | Higher { storage; _ } | First { storage; _ } -> storage
+
+(* Reference: recompute the covariance triple from scratch over the current
+   storage contents (used by tests and drift checks). *)
+let recompute t : Cov.t =
+  match t with
+  | Fivm { task; tree; _ } -> Payload.cov_elem task.Cov_task.dim (Cov_tree.recompute tree)
+  | Higher { task; aggs; trees; _ } ->
+      Cov_task.assemble task
+        (Array.to_list
+           (Array.mapi (fun k pair -> (pair, Float_tree.recompute trees.(k))) aggs))
+  | First { task; storage; aggs; _ } ->
+      (* build a temporary F-IVM tree shape for recomputation *)
+      let tree = Cov_tree.create storage ~lift:(Cov_task.lift_cov task) in
+      ignore aggs;
+      Payload.cov_elem task.Cov_task.dim (Cov_tree.recompute tree)

@@ -1,0 +1,31 @@
+(** The three maintenance strategies of Figure 4 (right), all keeping the
+    covariance-matrix batch fresh under tuple updates:
+
+    - F-IVM: one view tree with covariance-ring payloads — one delta
+      propagation per update maintains the whole batch;
+    - higher-order IVM: one scalar view tree per aggregate;
+    - first-order IVM: no views; per aggregate, each update re-evaluates its
+      delta query against the base relations. *)
+
+open Relational
+
+type strategy = F_ivm | Higher_order | First_order
+
+val strategy_name : strategy -> string
+
+type t
+
+val create : strategy -> Database.t -> features:string list -> t
+(** Maintenance state over an initially EMPTY database with the given
+    schemas; [features] are the numeric attributes of the covariance task. *)
+
+val apply : t -> Delta.update -> unit
+(** Process one update (views first, then base storage). *)
+
+val covariance : t -> Rings.Covariance.t
+(** The maintained covariance triple. *)
+
+val storage : t -> Storage.t
+
+val recompute : t -> Rings.Covariance.t
+(** From-scratch recomputation over the current contents (test oracle). *)

@@ -1,0 +1,27 @@
+(** Payload rings for incremental view maintenance: a ring plus efficient
+    integer scaling for Z-multiplicities. *)
+
+module type S = sig
+  include Rings.Sig.RING
+
+  val smul : int -> t -> t
+  (** m-fold sum ([neg] for negative m). *)
+end
+
+module Float : S with type t = float
+
+module Cov (_ : sig
+  val n : int
+end) : S with type t = Rings.Covariance.t
+
+val cov : int -> (module S with type t = Rings.Covariance.t)
+(** First-class covariance payload at a runtime dimension. *)
+
+(** Dimension-agnostic covariance payload: [`Zero] and [`One] are symbolic,
+    so no static dimension is needed (it is read off the first concrete
+    element). The dimension-less combinations ([`One + `One], [neg `One],
+    [smul m `One]) are rejected; view-tree maintenance never produces them. *)
+module Cov_dyn : S with type t = [ `Zero | `One | `Elem of Rings.Covariance.t ]
+
+val cov_elem : int -> [ `Zero | `One | `Elem of Rings.Covariance.t ] -> Rings.Covariance.t
+(** Concretise a dynamic payload at the given dimension. *)

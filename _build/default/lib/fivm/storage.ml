@@ -1,0 +1,120 @@
+(* Mutable base-relation storage for IVM: per relation, a Z-multiset of
+   tuples plus hash indexes on every join key shared with a join-tree
+   neighbour. All three maintenance strategies read this storage; updates are
+   applied once per delta, after the strategies have computed their view
+   deltas against the pre-update state. *)
+
+open Relational
+
+type node = {
+  name : string;
+  schema : Schema.t;
+  tuples : int ref Tuple.Tbl.t; (* tuple -> multiplicity (never 0) *)
+  indexes : (string * int array * Tuple.t list ref Tuple.Tbl.t) list;
+      (* (neighbour, key positions in this schema, key -> distinct tuples) *)
+}
+
+type t = { nodes : (string, node) Hashtbl.t; jt : Join_tree.t }
+
+(* Undirected neighbour map from the join tree (via the default rooting plus
+   reversal; every edge appears in both directions). *)
+let neighbour_edges jt =
+  let edges = ref [] in
+  let rec walk (n : Join_tree.node) parent =
+    (match parent with
+    | Some p ->
+        edges := (Relation.name n.rel, p) :: (p, Relation.name n.rel) :: !edges
+    | None -> ());
+    List.iter (fun c -> walk c (Some (Relation.name n.rel))) n.children
+  in
+  walk (Join_tree.tree jt) None;
+  !edges
+
+let create (db : Database.t) =
+  let jt = Database.join_tree db in
+  let edges = neighbour_edges jt in
+  let nodes = Hashtbl.create 8 in
+  List.iter
+    (fun rel ->
+      let name = Relation.name rel in
+      let schema = Relation.schema rel in
+      let indexes =
+        List.filter_map
+          (fun (a, b) ->
+            if a <> name then None
+            else
+              let other = Join_tree.relation_by_name jt b in
+              (* sorted so both endpoints of an edge agree on key order *)
+              let key =
+                List.sort compare (Schema.common schema (Relation.schema other))
+              in
+              Some
+                ( b,
+                  Array.of_list (List.map (Schema.position schema) key),
+                  Tuple.Tbl.create 64 ))
+          edges
+      in
+      Hashtbl.replace nodes name { name; schema; tuples = Tuple.Tbl.create 256; indexes })
+    (Database.relations db);
+  { nodes; jt }
+
+let node t name =
+  match Hashtbl.find_opt t.nodes name with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Storage.node: unknown relation %s" name)
+
+let multiplicity (n : node) tuple =
+  match Tuple.Tbl.find_opt n.tuples tuple with Some m -> !m | None -> 0
+
+(* Distinct tuples of [n] joining with key [key] of neighbour [neighbour]. *)
+let matching (n : node) ~neighbour key =
+  match List.find_opt (fun (b, _, _) -> b = neighbour) n.indexes with
+  | None -> invalid_arg "Storage.matching: not a neighbour"
+  | Some (_, _, idx) -> (
+      match Tuple.Tbl.find_opt idx key with Some l -> !l | None -> [])
+
+let key_for (n : node) ~neighbour tuple =
+  match List.find_opt (fun (b, _, _) -> b = neighbour) n.indexes with
+  | None -> invalid_arg "Storage.key_for: not a neighbour"
+  | Some (_, positions, _) -> Tuple.project tuple positions
+
+let apply t (u : Delta.update) =
+  let n = node t u.relation in
+  let old_m = multiplicity n u.tuple in
+  let new_m = old_m + u.multiplicity in
+  if old_m = 0 && new_m <> 0 then begin
+    Tuple.Tbl.replace n.tuples u.tuple (ref new_m);
+    List.iter
+      (fun (_, positions, idx) ->
+        let key = Tuple.project u.tuple positions in
+        match Tuple.Tbl.find_opt idx key with
+        | Some l -> l := u.tuple :: !l
+        | None -> Tuple.Tbl.add idx key (ref [ u.tuple ]))
+      n.indexes
+  end
+  else if new_m = 0 then begin
+    Tuple.Tbl.remove n.tuples u.tuple;
+    List.iter
+      (fun (_, positions, idx) ->
+        let key = Tuple.project u.tuple positions in
+        match Tuple.Tbl.find_opt idx key with
+        | Some l ->
+            l := List.filter (fun t -> not (Tuple.equal t u.tuple)) !l;
+            if !l = [] then Tuple.Tbl.remove idx key
+        | None -> ())
+      n.indexes
+  end
+  else
+    match Tuple.Tbl.find_opt n.tuples u.tuple with
+    | Some m -> m := new_m
+    | None -> assert false
+
+let total_tuples t =
+  Hashtbl.fold
+    (fun _ n acc -> Tuple.Tbl.fold (fun _ m acc -> acc + abs !m) n.tuples acc)
+    t.nodes 0
+
+let join_tree t = t.jt
+
+(* Iterate distinct tuples with multiplicities. *)
+let iter_tuples (n : node) f = Tuple.Tbl.iter (fun tuple m -> f tuple !m) n.tuples

@@ -1,0 +1,37 @@
+(** Mutable base-relation storage for IVM: Z-multisets of tuples plus hash
+    indexes on every join key shared with a join-tree neighbour. Strategies
+    compute their view deltas against the pre-update state, then the driver
+    calls {!apply} once. *)
+
+open Relational
+
+type node = {
+  name : string;
+  schema : Schema.t;
+  tuples : int ref Tuple.Tbl.t;  (** tuple -> multiplicity (never 0) *)
+  indexes : (string * int array * Tuple.t list ref Tuple.Tbl.t) list;
+      (** (neighbour, key positions in this schema, key -> distinct tuples) *)
+}
+
+type t
+
+val create : Database.t -> t
+(** Empty storage shaped by the database's schemas and join tree. *)
+
+val node : t -> string -> node
+val multiplicity : node -> Tuple.t -> int
+
+val matching : node -> neighbour:string -> Tuple.t -> Tuple.t list
+(** Distinct tuples of the node joining with the given neighbour-edge key. *)
+
+val key_for : node -> neighbour:string -> Tuple.t -> Tuple.t
+(** A tuple's join key towards the given neighbour (sorted attribute
+    order — both edge endpoints agree on it). *)
+
+val apply : t -> Delta.update -> unit
+(** Apply the update to the multiset and all indexes; entries reaching
+    multiplicity 0 are removed. *)
+
+val total_tuples : t -> int
+val join_tree : t -> Join_tree.t
+val iter_tuples : node -> (Tuple.t -> int -> unit) -> unit

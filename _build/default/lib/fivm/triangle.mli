@@ -1,0 +1,22 @@
+(** Triangle counting under updates ([36, 37]): maintains the count of the
+    cyclic join R(a,b) |><| S(b,c) |><| T(c,a) under single-edge updates
+    with Z-multiplicities, in O(min degree) per update via adjacency-list
+    intersection. *)
+
+open Relational
+
+type t
+
+type edge = R | S | T
+
+val create : unit -> t
+(** Empty graph state. *)
+
+val update : t -> edge -> x:Value.t -> y:Value.t -> int -> unit
+(** Apply one edge update (multiplicity +1 insert / -1 delete). *)
+
+val count : t -> int
+(** The maintained triangle count (with multiplicities). *)
+
+val recompute : t -> int
+(** From-scratch recount of the current state via {!Factorized.Wcoj}. *)

@@ -1,0 +1,30 @@
+(** Factorised view trees with ring payloads (F-IVM, Sections 3.1/5.2): one
+    view per join-tree node mapping its parent-join key to the ring
+    aggregate of its subtree; single-tuple updates propagate bottom-up as
+    deltas joined with sibling views. With [Payload.Float] and per-aggregate
+    lifts this is higher-order delta processing; with the covariance ring it
+    is F-IVM proper. *)
+
+open Relational
+
+module Make (P : Payload.S) : sig
+  type t
+
+  val create : Storage.t -> lift:(string -> Tuple.t -> P.t) -> t
+  (** [lift name tuple] is the ring image of a tuple of relation [name]
+      (the product of the lifts of the attributes it owns). Views start
+      empty (matching the empty storage). *)
+
+  val delta : t -> Delta.update -> unit
+  (** Process one update against the CURRENT storage; call
+      {!Storage.apply} once afterwards (after all trees saw the delta). *)
+
+  val result : t -> P.t
+  (** The maintained query result: the root view at the empty key. *)
+
+  val recompute : t -> P.t
+  (** From-scratch recomputation over the current storage (test oracle). *)
+
+  val view_sizes : t -> (string * int) list
+  (** Per-node view cardinalities (diagnostics). *)
+end

@@ -1,0 +1,1 @@
+lib/ifaq/dict_layout.ml: Array Hashtbl Int List Map Option Stdlib Util

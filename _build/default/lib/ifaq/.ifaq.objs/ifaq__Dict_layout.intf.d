@@ -1,0 +1,1 @@
+lib/ifaq/dict_layout.mli:

@@ -1,0 +1,1 @@
+lib/ifaq/expr.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ifaq/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/ifaq/gd_example.ml: Expr Fun Interp List Rewrite Util

@@ -1,0 +1,1 @@
+lib/ifaq/gd_example.mli: Expr Interp

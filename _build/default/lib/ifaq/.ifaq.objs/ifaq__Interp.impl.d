@@ -1,0 +1,1 @@
+lib/ifaq/interp.ml: Array Expr Format List Printf Relation Relational Schema String Value

@@ -1,0 +1,1 @@
+lib/ifaq/interp.mli: Expr Format Relational

@@ -1,0 +1,1 @@
+lib/ifaq/rewrite.ml: Expr List Printf

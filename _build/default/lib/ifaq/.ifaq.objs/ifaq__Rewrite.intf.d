@@ -1,0 +1,1 @@
+lib/ifaq/rewrite.mli: Expr

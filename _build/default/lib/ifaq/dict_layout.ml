@@ -1,0 +1,134 @@
+(* Dictionary data layouts (Section 5.3, "Data layout": "IFAQ supports hash
+   tables, balanced-trees, and sorted dictionaries. Each of them show
+   advantages for different workloads").
+
+   Three implementations of the dictionary interface the generated code
+   consumes — build from a stream of (key, value) contributions (merging by
+   addition), then point-probe and/or scan in key order. The benchmark
+   harness compares them on view-building and probing workloads; the Figure
+   11 pipeline's final stage is exactly such a consumer. *)
+
+type layout = Hash | Tree | Sorted
+
+let layout_name = function
+  | Hash -> "hash table"
+  | Tree -> "balanced tree"
+  | Sorted -> "sorted array"
+
+module type DICT = sig
+  type t
+
+  val layout : layout
+
+  val build : (int * float) array -> t
+  (** Accumulate contributions, summing values of equal keys. *)
+
+  val find : t -> int -> float
+  (** 0.0 for missing keys (sparse semantics). *)
+
+  val fold_ascending : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+  (** In ascending key order (hash layouts must sort on demand). *)
+
+  val size : t -> int
+end
+
+module Hash_dict : DICT = struct
+  type t = (int, float) Hashtbl.t
+
+  let layout = Hash
+
+  let build entries =
+    let h = Hashtbl.create (Stdlib.max 16 (Array.length entries)) in
+    Array.iter
+      (fun (k, v) ->
+        Hashtbl.replace h k (v +. Option.value ~default:0.0 (Hashtbl.find_opt h k)))
+      entries;
+    h
+
+  let find h k = Option.value ~default:0.0 (Hashtbl.find_opt h k)
+
+  let fold_ascending f h init =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+    List.fold_left
+      (fun acc k -> f k (Hashtbl.find h k) acc)
+      init
+      (List.sort compare keys)
+
+  let size = Hashtbl.length
+end
+
+module Tree_dict : DICT = struct
+  module M = Map.Make (Int)
+
+  type t = float M.t
+
+  let layout = Tree
+
+  let build entries =
+    Array.fold_left
+      (fun m (k, v) ->
+        M.update k (function None -> Some v | Some v0 -> Some (v0 +. v)) m)
+      M.empty entries
+
+  let find (m : t) k = Option.value ~default:0.0 (M.find_opt k m)
+  let fold_ascending f m init = M.fold f m init
+  let size = M.cardinal
+end
+
+module Sorted_dict : DICT = struct
+  type t = { keys : int array; values : float array }
+
+  let layout = Sorted
+
+  let build entries =
+    let entries = Array.copy entries in
+    Array.sort (fun (k1, _) (k2, _) -> compare (k1 : int) k2) entries;
+    let keys = ref [] and values = ref [] in
+    Array.iter
+      (fun (k, v) ->
+        match !keys with
+        | k0 :: _ when k0 = k -> (
+            match !values with
+            | v0 :: rest -> values := (v0 +. v) :: rest
+            | [] -> assert false)
+        | _ ->
+            keys := k :: !keys;
+            values := v :: !values)
+      entries;
+    {
+      keys = Array.of_list (List.rev !keys);
+      values = Array.of_list (List.rev !values);
+    }
+
+  let find t k =
+    let lo = ref 0 and hi = ref (Array.length t.keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.keys.(mid) < k then lo := mid + 1 else hi := mid
+    done;
+    if !lo < Array.length t.keys && t.keys.(!lo) = k then t.values.(!lo) else 0.0
+
+  let fold_ascending f t init =
+    let acc = ref init in
+    Array.iteri (fun i k -> acc := f k t.values.(i) !acc) t.keys;
+    !acc
+
+  let size t = Array.length t.keys
+end
+
+let all : (module DICT) list =
+  [ (module Hash_dict); (module Tree_dict); (module Sorted_dict) ]
+
+(* A view-building + probing workload, for cross-layout comparisons: build a
+   dictionary from [n] contributions over [domain] keys, then sum [probes]
+   random point lookups plus one ordered scan. Returns (checksum, seconds
+   to build, seconds to probe) — checksums must agree across layouts. *)
+let workload (module D : DICT) ~entries ~probes =
+  let built, build_seconds = Util.Timing.time (fun () -> D.build entries) in
+  let checksum = ref 0.0 in
+  let probe_seconds =
+    Util.Timing.time_only (fun () ->
+        Array.iter (fun k -> checksum := !checksum +. D.find built k) probes;
+        checksum := D.fold_ascending (fun _ v acc -> acc +. v) built !checksum)
+  in
+  (!checksum, build_seconds, probe_seconds)

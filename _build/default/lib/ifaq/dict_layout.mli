@@ -1,0 +1,33 @@
+(** Dictionary data layouts (Section 5.3, "Data layout"): hash table,
+    balanced tree and sorted array implementations of the dictionary
+    interface IFAQ's generated code consumes, with a comparison workload. *)
+
+type layout = Hash | Tree | Sorted
+
+val layout_name : layout -> string
+
+module type DICT = sig
+  type t
+
+  val layout : layout
+
+  val build : (int * float) array -> t
+  (** Accumulate contributions, summing values of equal keys. *)
+
+  val find : t -> int -> float
+  (** 0.0 for missing keys. *)
+
+  val fold_ascending : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+  val size : t -> int
+end
+
+module Hash_dict : DICT
+module Tree_dict : DICT
+module Sorted_dict : DICT
+
+val all : (module DICT) list
+
+val workload :
+  (module DICT) -> entries:(int * float) array -> probes:int array -> float * float * float
+(** Build-then-probe comparison: (checksum, build seconds, probe seconds);
+    checksums agree across layouts. *)

@@ -1,0 +1,146 @@
+(* The IFAQ expression language (Section 5.3, Figure 11).
+
+   A unified DSL for DB+ML workloads: dictionaries map keys (numbers,
+   symbols, records) to values (numbers, records, or again dictionaries);
+   Sigma-loops aggregate over a dictionary's support; Lambda-loops build
+   dictionaries; [Iter] is the bounded convergence loop of gradient
+   descent. Multiplicative equality guards express joins; singleton
+   dictionaries under a Sigma build query results. *)
+
+type expr =
+  | Num of float
+  | Sym of string (* symbolic constant, e.g. a feature name *)
+  | Var of string
+  | Rec of (string * expr) list (* record literal *)
+  | Field of expr * string (* static field access *)
+  | Set of string list (* static set of symbols: a dict sym -> 1 *)
+  | Rel of string (* base relation: dict tuple-record -> multiplicity *)
+  | Lookup of expr * expr (* dictionary access d(k); dynamic on records too *)
+  | Lam of string * expr * expr (* lambda_{v in sup(e1)} e2 : dictionary *)
+  | Sum of string * expr * expr (* sum_{v in sup(e1)} e2 *)
+  | Sing of expr * expr (* singleton dictionary { e1 -> e2 } *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr (* equality guard: 1.0 / 0.0 *)
+  | Let of string * expr * expr
+  | Iter of { times : int; var : string; init : expr; body : expr }
+      (* var <- init; repeat [times]: var <- body; result var *)
+
+(* free variables *)
+let rec free (e : expr) : string list =
+  let ( ++ ) = List.rev_append in
+  match e with
+  | Num _ | Sym _ | Set _ | Rel _ -> []
+  | Var v -> [ v ]
+  | Rec fields -> List.concat_map (fun (_, e) -> free e) fields
+  | Field (e, _) -> free e
+  | Lookup (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) ->
+      free a ++ free b
+  | Sing (a, b) -> free a ++ free b
+  | Lam (v, src, body) | Sum (v, src, body) ->
+      free src ++ List.filter (fun x -> x <> v) (free body)
+  | Let (v, bound, body) ->
+      free bound ++ List.filter (fun x -> x <> v) (free body)
+  | Iter { var; init; body; _ } ->
+      free init ++ List.filter (fun x -> x <> var) (free body)
+
+let uses v e = List.mem v (free e)
+
+(* capture-avoiding substitution of variable [v] by CLOSED expression [by]
+   (all uses here substitute closed terms: symbols, fresh vars) *)
+let rec subst v by (e : expr) : expr =
+  let s = subst v by in
+  match e with
+  | Num _ | Sym _ | Set _ | Rel _ -> e
+  | Var x -> if x = v then by else e
+  | Rec fields -> Rec (List.map (fun (f, e) -> (f, s e)) fields)
+  | Field (e, f) -> Field (s e, f)
+  | Lookup (a, b) -> Lookup (s a, s b)
+  | Add (a, b) -> Add (s a, s b)
+  | Sub (a, b) -> Sub (s a, s b)
+  | Mul (a, b) -> Mul (s a, s b)
+  | Eq (a, b) -> Eq (s a, s b)
+  | Sing (a, b) -> Sing (s a, s b)
+  | Lam (x, src, body) ->
+      if x = v then Lam (x, s src, body) else Lam (x, s src, s body)
+  | Sum (x, src, body) ->
+      if x = v then Sum (x, s src, body) else Sum (x, s src, s body)
+  | Let (x, bound, body) ->
+      if x = v then Let (x, s bound, body) else Let (x, s bound, s body)
+  | Iter { times; var; init; body } ->
+      if var = v then Iter { times; var; init = s init; body }
+      else Iter { times; var; init = s init; body = s body }
+
+(* structural size, for rewrite heuristics *)
+let rec size = function
+  | Num _ | Sym _ | Var _ | Set _ | Rel _ -> 1
+  | Rec fields -> List.fold_left (fun acc (_, e) -> acc + size e) 1 fields
+  | Field (e, _) -> 1 + size e
+  | Lookup (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Sing (a, b)
+    ->
+      1 + size a + size b
+  | Lam (_, s, b) | Sum (_, s, b) | Let (_, s, b) -> 1 + size s + size b
+  | Iter { init; body; _ } -> 1 + size init + size body
+
+(* bottom-up transformation: apply [f] to every node, children first *)
+let rec map_bottom_up f (e : expr) : expr =
+  let go = map_bottom_up f in
+  let e' =
+    match e with
+    | Num _ | Sym _ | Var _ | Set _ | Rel _ -> e
+    | Rec fields -> Rec (List.map (fun (n, e) -> (n, go e)) fields)
+    | Field (e, n) -> Field (go e, n)
+    | Lookup (a, b) -> Lookup (go a, go b)
+    | Add (a, b) -> Add (go a, go b)
+    | Sub (a, b) -> Sub (go a, go b)
+    | Mul (a, b) -> Mul (go a, go b)
+    | Eq (a, b) -> Eq (go a, go b)
+    | Sing (a, b) -> Sing (go a, go b)
+    | Lam (v, s, b) -> Lam (v, go s, go b)
+    | Sum (v, s, b) -> Sum (v, go s, go b)
+    | Let (v, s, b) -> Let (v, go s, go b)
+    | Iter { times; var; init; body } ->
+        Iter { times; var; init = go init; body = go body }
+  in
+  f e'
+
+(* fixpoint of a bottom-up rewrite (bounded, rewrites here terminate) *)
+let rewrite_fix ?(max_rounds = 50) f e =
+  let rec loop i e =
+    if i = 0 then e
+    else
+      let e' = map_bottom_up f e in
+      if e' = e then e else loop (i - 1) e'
+  in
+  loop max_rounds e
+
+let rec pp ppf (e : expr) =
+  let open Format in
+  match e with
+  | Num x -> fprintf ppf "%g" x
+  | Sym s -> fprintf ppf "'%s" s
+  | Var v -> fprintf ppf "%s" v
+  | Rec fields ->
+      fprintf ppf "{@[<hov>%a@]}"
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> fprintf ppf ",@ ")
+           (fun ppf (n, e) -> fprintf ppf "%s=%a" n pp e))
+        fields
+  | Field (e, f) -> fprintf ppf "%a.%s" pp e f
+  | Set syms -> fprintf ppf "{%s}" (String.concat "," syms)
+  | Rel r -> fprintf ppf "%s" r
+  | Lookup (d, k) -> fprintf ppf "%a(%a)" pp d pp k
+  | Lam (v, s, b) -> fprintf ppf "@[<hov 2>(\xce\xbb %s\xe2\x88\x88%a.@ %a)@]" v pp s pp b
+  | Sum (v, s, b) -> fprintf ppf "@[<hov 2>(\xce\xa3 %s\xe2\x88\x88%a.@ %a)@]" v pp s pp b
+  | Sing (k, v) -> fprintf ppf "{%a \xe2\x86\x92 %a}" pp k pp v
+  | Add (a, b) -> fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> fprintf ppf "(%a * %a)" pp a pp b
+  | Eq (a, b) -> fprintf ppf "[%a = %a]" pp a pp b
+  | Let (v, s, b) -> fprintf ppf "@[<v>let %s =@;<1 2>%a@ in@ %a@]" v pp s pp b
+  | Iter { times; var; init; body } ->
+      fprintf ppf "@[<v>iterate %d from %s :=@;<1 2>%a@ step@;<1 2>%a@]" times var
+        pp init pp body
+
+let to_string e = Format.asprintf "%a" pp e

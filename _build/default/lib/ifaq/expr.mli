@@ -1,0 +1,44 @@
+(** The IFAQ expression language (Section 5.3, Figure 11): a unified DSL for
+    DB+ML workloads with dictionaries, Sigma/Lambda loops over dictionary
+    supports, records, multiplicative equality guards, singleton
+    dictionaries, and a bounded convergence loop. *)
+
+type expr =
+  | Num of float
+  | Sym of string  (** symbolic constant, e.g. a feature name *)
+  | Var of string
+  | Rec of (string * expr) list
+  | Field of expr * string  (** static field access *)
+  | Set of string list  (** static symbol set: the dict sym -> 1 *)
+  | Rel of string  (** base relation: dict tuple-record -> multiplicity *)
+  | Lookup of expr * expr  (** d(k); dynamic on records too *)
+  | Lam of string * expr * expr  (** lambda_(v in sup e1). e2 : a dictionary *)
+  | Sum of string * expr * expr  (** Sigma_(v in sup e1). e2 *)
+  | Sing of expr * expr  (** the singleton dictionary [{e1 -> e2}] *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr  (** equality guard: 1.0 / 0.0 *)
+  | Let of string * expr * expr
+  | Iter of { times : int; var : string; init : expr; body : expr }
+      (** var <- init; repeat [times]: var <- body; result var *)
+
+val free : expr -> string list
+(** Free variables (with repetitions). *)
+
+val uses : string -> expr -> bool
+
+val subst : string -> expr -> expr -> expr
+(** [subst v by e] substitutes the CLOSED expression [by] for [v]. *)
+
+val size : expr -> int
+(** AST node count, for rewrite heuristics. *)
+
+val map_bottom_up : (expr -> expr) -> expr -> expr
+(** Apply a transformation to every node, children first. *)
+
+val rewrite_fix : ?max_rounds:int -> (expr -> expr) -> expr -> expr
+(** Bottom-up rewriting to a fixpoint (bounded). *)
+
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string

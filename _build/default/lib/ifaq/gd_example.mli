@@ -1,0 +1,30 @@
+(** The Section 5.3 worked example: gradient descent for linear regression
+    over S(i,s,u) |><| R(s,c) |><| I(i,p) as an IFAQ program, its
+    transformation ladder, and small random instances to run it on. *)
+
+val features : string list
+val alpha : float
+val iterations : int
+
+val join_expr : Expr.expr
+(** Q as a triple-nested Sigma of guarded singleton dictionaries. *)
+
+val theta0 : Expr.expr
+val update : Expr.expr
+val original : Expr.expr
+(** The paper's starting program: [let Q = ... in iterate ...]. *)
+
+val fused_views_program : Expr.expr
+(** The final stage after aggregate extraction, pushdown past the joins,
+    view fusion and trie conversion: per-relation fused views WR/WI and M
+    entries that scan S probing them (constructed following the paper's
+    derivation; semantically equal to every other stage). *)
+
+val all_stages : unit -> (string * Expr.expr) list
+(** The mechanical [Rewrite.pipeline] stages, the mechanical
+    [Rewrite.aggregate_pushdown] applied on top, and the hand-derived fused
+    final form. *)
+
+val relations :
+  ?n_s:int -> ?n_keys:int -> seed:int -> unit -> (string * Interp.value) list
+(** Random instances of S, R, I as interpreter relation values. *)

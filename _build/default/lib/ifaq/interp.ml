@@ -1,0 +1,255 @@
+(* Interpreter for IFAQ expressions, with operation counters.
+
+   The counters (arithmetic operations, dictionary operations, loop-body
+   executions) are the cost model behind the Figure 11 ablation: every
+   equivalence-preserving transformation must keep the RESULT identical
+   while driving the counters down. Dictionaries are sparse: entries with
+   value zero are dropped on merge (the multiplicities-as-ring view of
+   Section 3.1). *)
+
+type value =
+  | VNum of float
+  | VSym of string
+  | VRec of (string * value) list (* fields sorted by name *)
+  | VDict of (value * value) list (* assoc, keys distinct, sorted *)
+
+type counters = {
+  mutable arith : int; (* + - * and guard comparisons *)
+  mutable dict_ops : int; (* lookups and singleton merges *)
+  mutable iterations : int; (* loop-body executions (Sum/Lam/Iter) *)
+}
+
+let fresh_counters () = { arith = 0; dict_ops = 0; iterations = 0 }
+
+let total c = c.arith + c.dict_ops + c.iterations
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec value_compare a b =
+  match (a, b) with
+  | VNum x, VNum y -> compare x y
+  | VNum _, _ -> -1
+  | _, VNum _ -> 1
+  | VSym x, VSym y -> compare x y
+  | VSym _, _ -> -1
+  | _, VSym _ -> 1
+  | VRec x, VRec y ->
+      List.compare
+        (fun (n1, v1) (n2, v2) ->
+          match compare n1 n2 with 0 -> value_compare v1 v2 | c -> c)
+        x y
+  | VRec _, _ -> -1
+  | _, VRec _ -> 1
+  | VDict x, VDict y ->
+      List.compare
+        (fun (k1, v1) (k2, v2) ->
+          match value_compare k1 k2 with 0 -> value_compare v1 v2 | c -> c)
+        x y
+
+let rec is_zero = function
+  | VNum x -> x = 0.0
+  | VRec fields -> List.for_all (fun (_, v) -> is_zero v) fields
+  | VDict [] -> true
+  | _ -> false
+
+(* pointwise addition of values (numbers, records fieldwise, dictionaries
+   keywise with sparse zero-elimination) *)
+let rec value_add c a b =
+  match (a, b) with
+  | VNum x, VNum y ->
+      c.arith <- c.arith + 1;
+      VNum (x +. y)
+  | VRec x, VRec y ->
+      VRec (List.map2 (fun (n, v) (n', v') ->
+                if n <> n' then type_error "record add: field mismatch"
+                else (n, value_add c v v'))
+              x y)
+  | VDict x, VDict y ->
+      (* merge sorted assoc lists *)
+      let rec merge x y =
+        match (x, y) with
+        | [], r | r, [] -> r
+        | (kx, vx) :: rx, (ky, vy) :: ry -> (
+            match value_compare kx ky with
+            | 0 ->
+                c.dict_ops <- c.dict_ops + 1;
+                let v = value_add c vx vy in
+                if is_zero v then merge rx ry else (kx, v) :: merge rx ry
+            | n when n < 0 -> (kx, vx) :: merge rx y
+            | _ -> (ky, vy) :: merge x ry)
+      in
+      VDict (merge x y)
+  | _ -> type_error "add: incompatible values"
+
+let value_sub c a b =
+  match (a, b) with
+  | VNum x, VNum y ->
+      c.arith <- c.arith + 1;
+      VNum (x -. y)
+  | _ -> type_error "sub: expects numbers"
+
+(* multiplication: numbers, or number * structured (scaling) *)
+let rec value_mul c a b =
+  match (a, b) with
+  | VNum x, VNum y ->
+      c.arith <- c.arith + 1;
+      VNum (x *. y)
+  | VNum _, VRec fields -> VRec (List.map (fun (n, v) -> (n, value_mul c a v)) fields)
+  | VRec fields, VNum _ -> VRec (List.map (fun (n, v) -> (n, value_mul c v b)) fields)
+  | VNum _, VDict entries ->
+      VDict
+        (List.filter_map
+           (fun (k, v) ->
+             let v = value_mul c a v in
+             if is_zero v then None else Some (k, v))
+           entries)
+  | VDict entries, VNum _ ->
+      VDict
+        (List.filter_map
+           (fun (k, v) ->
+             let v = value_mul c v b in
+             if is_zero v then None else Some (k, v))
+           entries)
+  | _ -> type_error "mul: incompatible values"
+
+let rec zero_like = function
+  | VNum _ -> VNum 0.0
+  | VSym _ -> VNum 0.0
+  | VRec fields -> VRec (List.map (fun (n, v) -> (n, zero_like v)) fields)
+  | VDict _ -> VDict []
+
+type env = {
+  vars : (string * value) list;
+  relations : (string * value) list; (* name -> VDict *)
+}
+
+let bind env v x = { env with vars = (v, x) :: env.vars }
+
+let lookup_var env v =
+  match List.assoc_opt v env.vars with
+  | Some x -> x
+  | None -> type_error "unbound variable %s" v
+
+let support = function
+  | VDict entries -> List.map fst entries
+  | v ->
+      ignore v;
+      type_error "sup() of a non-dictionary"
+
+let rec eval (c : counters) (env : env) (e : Expr.expr) : value =
+  match e with
+  | Expr.Num x -> VNum x
+  | Expr.Sym s -> VSym s
+  | Expr.Var v -> lookup_var env v
+  | Expr.Rec fields ->
+      VRec
+        (List.sort
+           (fun (a, _) (b, _) -> compare a b)
+           (List.map (fun (n, e) -> (n, eval c env e)) fields))
+  | Expr.Field (e, f) -> (
+      c.dict_ops <- c.dict_ops + 1;
+      match eval c env e with
+      | VRec fields -> (
+          match List.assoc_opt f fields with
+          | Some v -> v
+          | None -> type_error "missing field %s" f)
+      | _ -> type_error "field access on non-record")
+  | Expr.Set syms -> VDict (List.map (fun s -> (VSym s, VNum 1.0)) (List.sort compare syms))
+  | Expr.Rel r -> (
+      match List.assoc_opt r env.relations with
+      | Some d -> d
+      | None -> type_error "unknown relation %s" r)
+  | Expr.Lookup (d, k) -> (
+      c.dict_ops <- c.dict_ops + 1;
+      let key = eval c env k in
+      match eval c env d with
+      | VDict entries -> (
+          match List.find_opt (fun (k', _) -> value_compare key k' = 0) entries with
+          | Some (_, v) -> v
+          | None -> VNum 0.0 (* sparse default *))
+      | VRec fields -> (
+          (* dynamic field access by symbolic key *)
+          match key with
+          | VSym f -> (
+              match List.assoc_opt f fields with
+              | Some v -> v
+              | None -> type_error "missing field %s" f)
+          | _ -> type_error "record lookup needs a symbolic key")
+      | _ -> type_error "lookup on non-dictionary")
+  | Expr.Lam (v, src, body) ->
+      let keys = support (eval c env src) in
+      VDict
+        (List.filter_map
+           (fun k ->
+             c.iterations <- c.iterations + 1;
+             let r = eval c (bind env v k) body in
+             if is_zero r then None else Some (k, r))
+           keys)
+  | Expr.Sum (v, src, body) ->
+      let keys = support (eval c env src) in
+      let acc = ref None in
+      List.iter
+        (fun k ->
+          c.iterations <- c.iterations + 1;
+          let r = eval c (bind env v k) body in
+          acc := Some (match !acc with None -> r | Some a -> value_add c a r))
+        keys;
+      (match !acc with Some a -> a | None -> VNum 0.0)
+  | Expr.Sing (k, v) ->
+      c.dict_ops <- c.dict_ops + 1;
+      let key = eval c env k and value = eval c env v in
+      if is_zero value then VDict [] else VDict [ (key, value) ]
+  | Expr.Add (a, b) -> value_add c (eval c env a) (eval c env b)
+  | Expr.Sub (a, b) -> value_sub c (eval c env a) (eval c env b)
+  | Expr.Mul (a, b) -> value_mul c (eval c env a) (eval c env b)
+  | Expr.Eq (a, b) ->
+      c.arith <- c.arith + 1;
+      if value_compare (eval c env a) (eval c env b) = 0 then VNum 1.0 else VNum 0.0
+  | Expr.Let (v, bound, body) -> eval c (bind env v (eval c env bound)) body
+  | Expr.Iter { times; var; init; body } ->
+      let state = ref (eval c env init) in
+      for _ = 1 to times do
+        c.iterations <- c.iterations + 1;
+        state := eval c (bind env var !state) body
+      done;
+      !state
+
+let run ?(relations = []) (e : Expr.expr) : value * counters =
+  let c = fresh_counters () in
+  let v = eval c { vars = []; relations } e in
+  (v, c)
+
+(* Convert an in-memory relation to an IFAQ dictionary value: tuple-records
+   mapped to multiplicity 1 (merged if duplicated). *)
+let value_of_relation (rel : Relational.Relation.t) : value =
+  let open Relational in
+  let schema = Relation.schema rel in
+  let names = Schema.names schema in
+  let c = fresh_counters () in
+  Relation.fold
+    (fun acc t ->
+      let key =
+        VRec
+          (List.sort compare
+             (List.mapi (fun i n -> (n, VNum (Value.to_float t.(i)))) names))
+      in
+      value_add c acc (VDict [ (key, VNum 1.0) ]))
+    (VDict []) rel
+
+let rec pp_value ppf = function
+  | VNum x -> Format.fprintf ppf "%g" x
+  | VSym s -> Format.fprintf ppf "'%s" s
+  | VRec fields ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ", "
+           (List.map
+              (fun (n, v) -> Format.asprintf "%s=%a" n pp_value v)
+              fields))
+  | VDict entries ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "; "
+           (List.map
+              (fun (k, v) -> Format.asprintf "%a -> %a" pp_value k pp_value v)
+              entries))

@@ -1,0 +1,45 @@
+(** Interpreter for IFAQ expressions with operation counters — the cost
+    model behind the Figure 11 ablation: transformations must preserve the
+    result while driving the counters down. Dictionaries are sparse
+    (zero-valued entries are dropped on merge). *)
+
+type value =
+  | VNum of float
+  | VSym of string
+  | VRec of (string * value) list  (** fields sorted by name *)
+  | VDict of (value * value) list  (** sorted assoc, distinct keys *)
+
+type counters = {
+  mutable arith : int;  (** + - * and guard comparisons *)
+  mutable dict_ops : int;  (** lookups and singleton merges *)
+  mutable iterations : int;  (** loop-body executions *)
+}
+
+val fresh_counters : unit -> counters
+val total : counters -> int
+
+exception Type_error of string
+
+val value_compare : value -> value -> int
+val is_zero : value -> bool
+val value_add : counters -> value -> value -> value
+(** Pointwise: numbers, records fieldwise, dictionaries keywise (sparse). *)
+
+val value_mul : counters -> value -> value -> value
+(** Numbers, or a number scaling a record/dictionary. *)
+
+type env = {
+  vars : (string * value) list;
+  relations : (string * value) list;  (** name -> VDict *)
+}
+
+val eval : counters -> env -> Expr.expr -> value
+(** @raise Type_error on ill-typed programs. *)
+
+val run : ?relations:(string * value) list -> Expr.expr -> value * counters
+(** Evaluate a closed program with fresh counters. *)
+
+val value_of_relation : Relational.Relation.t -> value
+(** A relation as an IFAQ dictionary: numeric tuple-records -> multiplicity. *)
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,341 @@
+(* IFAQ's equivalence-preserving transformations (Section 5.3, Figure 11).
+
+   Implemented mechanically over the AST:
+   - high-level optimisations: normalisation (pushing factors into the
+     innermost Sigma), loop scheduling (swapping a big-domain Sigma inside a
+     static-set Sigma), and factorisation (pulling loop-invariant factors
+     back out);
+   - static memoisation + code motion: the largest data-intensive Sigma in
+     a convergence-loop body whose only non-global free variables are bound
+     over STATIC sets is abstracted into a dictionary and hoisted out of
+     the loop;
+   - schema specialisation: loop unrolling of Lambda/Sigma over static sets
+     into records/addition chains, and static field access replacing
+     dynamic lookups by record fields.
+
+   The aggregate pushdown is also mechanical (see below); only the final
+   view FUSION + trie conversion stage is constructed by hand in
+   [Gd_example], following the paper's derivation. The test suite checks
+   semantic equivalence of every stage. *)
+
+open Expr
+
+(* ---------- multiplicative chains ---------- *)
+
+let rec mul_factors = function
+  | Mul (a, b) -> mul_factors a @ mul_factors b
+  | e -> [ e ]
+
+let mul_of_list = function
+  | [] -> Num 1.0
+  | f :: fs -> List.fold_left (fun acc g -> Mul (acc, g)) f fs
+
+(* ---------- stage 1: normalise, swap, factor out ---------- *)
+
+(* Push every factor multiplied with a Sigma into its body (when the factor
+   does not use the bound variable). *)
+let push_into_sums e =
+  let rule = function
+    | Mul _ as m -> (
+        let factors = mul_factors m in
+        match
+          List.partition (function Sum _ -> true | _ -> false) factors
+        with
+        | [ Sum (v, src, body) ], others
+          when others <> [] && List.for_all (fun f -> not (uses v f)) others ->
+            Sum (v, src, mul_of_list (others @ [ body ]))
+        | _ -> m)
+    | e -> e
+  in
+  rewrite_fix rule e
+
+(* Swap Sigma over a non-static domain with an inner Sigma over a static
+   set: the outer loop then iterates the SMALL set. *)
+let swap_loops e =
+  let rule = function
+    | Sum (x, big, Sum (f, Set syms, body)) when big <> Set syms && not (uses f big)
+      ->
+        Sum (f, Set syms, Sum (x, big, body))
+    | e -> e
+  in
+  rewrite_fix rule e
+
+(* Pull factors that do not depend on the bound variable out of Sigma
+   bodies (uses fewer arithmetic operations). *)
+let factor_out e =
+  let rule = function
+    | Sum (v, src, body) -> (
+        let factors = mul_factors body in
+        match List.partition (uses v) factors with
+        | _, [] -> Sum (v, src, body)
+        | dependent, invariant ->
+            Mul (mul_of_list invariant, Sum (v, src, mul_of_list dependent)))
+    | e -> e
+  in
+  rewrite_fix rule e
+
+let high_level e = factor_out (swap_loops (push_into_sums e))
+
+(* ---------- stage 2: static memoisation + code motion ---------- *)
+
+let gensym =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+
+(* Replace every occurrence structurally equal to [target] by [by]. *)
+let replace_equal ~target ~by e =
+  map_bottom_up (fun node -> if node = target then by else node) e
+
+(* Find the largest Sigma subexpression of [body] such that
+   - it does not use [loop_var];
+   - each of its free variables is either free in the whole loop body
+     (hence bound outside the Iter, safe to reference from a hoisted Let) or
+     bound by an enclosing Lambda/Sigma over a static [Set].
+   Returns the candidate together with the static binders (outermost
+   first). *)
+let find_memoisable ~loop_var body =
+  let globals = free body in
+  let best = ref None in
+  let consider ctx e =
+    match e with
+    | Sum _ when not (uses loop_var e) ->
+        let needed =
+          List.filter (fun v -> not (List.mem v globals)) (free e)
+        in
+        let binders =
+          List.filter (fun (v, _) -> List.mem v needed) ctx
+        in
+        if List.for_all (fun v -> List.mem_assoc v ctx) needed then begin
+          match !best with
+          | Some (b, _) when size b >= size e -> ()
+          | _ -> best := Some (e, binders)
+        end
+    | _ -> ()
+  in
+  (* context-carrying traversal: ctx lists (var, set) for static binders
+     in scope, outermost first *)
+  let rec walk ctx e =
+    consider ctx e;
+    match e with
+    | Num _ | Sym _ | Var _ | Set _ | Rel _ -> ()
+    | Rec fields -> List.iter (fun (_, e) -> walk ctx e) fields
+    | Field (e, _) -> walk ctx e
+    | Lookup (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Sing (a, b)
+      ->
+        walk ctx a;
+        walk ctx b
+    | Lam (v, (Set _ as s), b) | Sum (v, (Set _ as s), b) ->
+        walk ctx s;
+        walk (ctx @ [ (v, s) ]) b
+    | Lam (v, s, b) | Sum (v, s, b) ->
+        walk ctx s;
+        ignore v;
+        walk ctx b
+    | Let (_, s, b) ->
+        walk ctx s;
+        walk ctx b
+    | Iter { init; body; _ } ->
+        walk ctx init;
+        walk ctx body
+  in
+  walk [] body;
+  !best
+
+(* Memoise the candidate as a nested dictionary and hoist it above the
+   convergence loop. *)
+let memoise_and_hoist e =
+  let rule = function
+    | Iter { times; var; init; body } as it -> (
+        match find_memoisable ~loop_var:var body with
+        | None | Some (_, []) -> it
+        | Some (target, binders) ->
+            let m = gensym "M" in
+            let access =
+              List.fold_left (fun acc (v, _) -> Lookup (acc, Var v)) (Var m) binders
+            in
+            let dict =
+              List.fold_right (fun (v, s) acc -> Lam (v, s, acc)) binders target
+            in
+            let body' = replace_equal ~target ~by:access body in
+            Let (m, dict, Iter { times; var; init; body = body' }))
+    | e -> e
+  in
+  map_bottom_up rule e
+
+(* ---------- stage 3: schema specialisation ---------- *)
+
+let unroll_static e =
+  let rule = function
+    | Lam (v, Set syms, body) ->
+        Rec (List.map (fun s -> (s, subst v (Sym s) body)) syms)
+    | Sum (v, Set syms, body) -> (
+        match List.map (fun s -> subst v (Sym s) body) syms with
+        | [] -> Num 0.0
+        | f :: fs -> List.fold_left (fun acc g -> Add (acc, g)) f fs)
+    | e -> e
+  in
+  rewrite_fix rule e
+
+let static_field_access e =
+  let rule = function
+    | Lookup (d, Sym s) -> Field (d, s)
+    | Field (Rec fields, f) when List.mem_assoc f fields ->
+        (* projection of a record literal *)
+        List.assoc f fields
+    | e -> e
+  in
+  rewrite_fix rule e
+
+let specialise e = static_field_access (unroll_static e)
+
+(* ---------- aggregate pushdown (Figure 11's aggregate optimisations) ----
+
+   Mechanical derivation of the paper's pushdown: inline the join
+   definition, distribute the outer Sigma through the join's nested Sigmas
+   (bilinearity of SUM in the dictionary annotation), eliminate the
+   singleton-dictionary Sigma, turn join guards into dictionary views, and
+   hoist the views out of the enclosing loops. View FUSION (merging the
+   per-entry views into shared record-valued ones) and trie conversion
+   remain the hand-derived final stage in [Gd_example]. *)
+
+(* inline a Let-bound variable everywhere (dropping the Let) *)
+let inline_let name e =
+  let go = function
+    | Let (v, def, body) when v = name -> subst v def body
+    | other -> other
+  in
+  map_bottom_up go e
+
+(* Sigma over a dictionary-valued Sigma: when the body is multiplicative in
+   the dictionary's annotation (it contains the factor d(x)), the outer
+   Sigma distributes through the inner one. *)
+let push_sum_through_join e =
+  let rule = function
+    | Sum (x, (Sum (y, src, d) as j), body) when not (uses y body) -> (
+        let factors = mul_factors body in
+        let is_annot = function
+          | Lookup (j', Var x') -> x' = x && j' = j
+          | _ -> false
+        in
+        match List.partition is_annot factors with
+        | [ _ ], rest ->
+            Sum
+              ( y,
+                src,
+                Sum (x, d, mul_of_list (Lookup (d, Var x) :: rest)) )
+        | _ -> Sum (x, j, body))
+    | e -> e
+  in
+  rewrite_fix rule e
+
+(* Sigma over a singleton dictionary = the body at the key; the residual
+   lookup of the singleton at its own key reduces to the value (sparse
+   semantics are preserved because the body is multiplicative in it). *)
+let eliminate_singleton_sums e =
+  let rule = function
+    | Sum (x, Sing (k, v), body) when not (uses x k) && not (uses x v) ->
+        subst x k body
+    | Lookup (Sing (k, v), k') when k = k' -> v
+    | e -> e
+  in
+  rewrite_fix rule e
+
+(* A multiplicative equality guard linking an inner loop variable to outer
+   context becomes a dictionary view probed from outside:
+     Sigma_y src. [outer = inner(y)] * f(y) * g
+   = g * (Sigma_y src. {inner(y) -> f(y)}) (outer) *)
+let guards_to_views e =
+  let rule = function
+    | Sum (y, src, body) when not (uses y src) -> (
+        let factors = mul_factors body in
+        let is_guard = function
+          | Eq (l, r) -> (uses y r && not (uses y l)) || (uses y l && not (uses y r))
+          | _ -> false
+        in
+        match List.partition is_guard factors with
+        | g :: gs, rest ->
+            let outer, inner =
+              match g with
+              | Eq (l, r) when uses y r -> (l, r)
+              | Eq (l, r) -> (r, l)
+              | _ -> assert false
+            in
+            (* keep further guards and y-dependent factors inside the view *)
+            let value = mul_of_list (gs @ rest) in
+            if uses y value || gs <> [] then
+              Lookup (Sum (y, src, Sing (inner, value)), outer)
+            else Mul (value, Lookup (Sum (y, src, Sing (inner, Num 1.0)), outer))
+        | _ -> Sum (y, src, body))
+    | e -> e
+  in
+  rewrite_fix rule e
+
+(* Hoist view-shaped subexpressions (Sigmas over base relations, free of the
+   loop variable) out of enclosing Sigmas as Lets — loop-invariant code
+   motion for the views the pushdown just created. *)
+let hoist_views e =
+  let rule = function
+    | Sum (x, src, body) -> (
+        (* largest Sum-over-Rel subexpression of body not using x *)
+        let best = ref None in
+        let consider e' =
+          match e' with
+          | Sum (_, Rel _, _) when not (uses x e') -> (
+              match !best with
+              | Some b when size b >= size e' -> ()
+              | _ -> best := Some e')
+          | _ -> ()
+        in
+        let rec walk e' =
+          consider e';
+          match e' with
+          | Num _ | Sym _ | Var _ | Set _ | Rel _ -> ()
+          | Rec fields -> List.iter (fun (_, e) -> walk e) fields
+          | Field (e, _) -> walk e
+          | Lookup (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b)
+          | Sing (a, b) ->
+              walk a;
+              walk b
+          | Lam (_, s, b) | Sum (_, s, b) | Let (_, s, b) ->
+              walk s;
+              walk b
+          | Iter { init; body; _ } ->
+              walk init;
+              walk body
+        in
+        walk body;
+        match !best with
+        | None -> Sum (x, src, body)
+        | Some view ->
+            let v = gensym "V" in
+            Let (v, view, Sum (x, src, replace_equal ~target:view ~by:(Var v) body)))
+    | e -> e
+  in
+  rewrite_fix rule e
+
+let aggregate_pushdown ?(join_name = "Q") e =
+  e |> inline_let join_name |> push_sum_through_join |> eliminate_singleton_sums
+  |> static_field_access |> factor_out |> guards_to_views |> hoist_views
+
+(* ---------- the cumulative pipeline ---------- *)
+
+let stages : (string * (expr -> expr)) list =
+  [
+    ("high-level optimisations (normalise, loop scheduling, factorisation)", high_level);
+    ("static memoisation + code motion", memoise_and_hoist);
+    ("schema specialisation (loop unrolling, static field access)", specialise);
+  ]
+
+(* Apply the pipeline cumulatively, returning each intermediate program. *)
+let pipeline (e : expr) : (string * expr) list =
+  let _, acc =
+    List.fold_left
+      (fun (cur, acc) (name, f) ->
+        let next = f cur in
+        (next, (name, next) :: acc))
+      (e, [ ("original", e) ])
+      stages
+  in
+  List.rev acc

@@ -1,0 +1,65 @@
+(** IFAQ's equivalence-preserving transformations (Section 5.3, Figure 11),
+    implemented mechanically over the AST. The aggregate-pushdown final form
+    is constructed by [Gd_example.fused_views_program] following the paper's
+    derivation; tests check semantic equivalence of every stage. *)
+
+open Expr
+
+val mul_factors : expr -> expr list
+(** Flatten a multiplication chain. *)
+
+val mul_of_list : expr list -> expr
+
+val push_into_sums : expr -> expr
+(** Normalisation: push factors multiplied with a Sigma into its body (when
+    independent of the bound variable). *)
+
+val swap_loops : expr -> expr
+(** Loop scheduling: hoist a static-set Sigma above a big-domain Sigma. *)
+
+val factor_out : expr -> expr
+(** Factorisation: pull loop-invariant factors back out of Sigma bodies. *)
+
+val high_level : expr -> expr
+(** The composed "high-level optimisations" stage. *)
+
+val memoise_and_hoist : expr -> expr
+(** Static memoisation + code motion: the largest data-intensive Sigma in a
+    convergence-loop body whose non-global free variables are bound over
+    static sets is abstracted into a dictionary and Let-hoisted above the
+    loop. *)
+
+val unroll_static : expr -> expr
+(** Loop unrolling: Lambda/Sigma over static sets become records / addition
+    chains. *)
+
+val static_field_access : expr -> expr
+(** [Lookup (d, Sym s)] becomes [Field (d, s)]; record-literal projections
+    reduce. *)
+
+val specialise : expr -> expr
+(** The composed "schema specialisation" stage. *)
+
+val inline_let : string -> expr -> expr
+(** Substitute a Let-bound definition everywhere, dropping the Let. *)
+
+val push_sum_through_join : expr -> expr
+(** Distribute a Sigma over a dictionary-valued Sigma when the body is
+    multiplicative in the dictionary's annotation. *)
+
+val eliminate_singleton_sums : expr -> expr
+(** Sigma over a singleton dictionary reduces to the body at the key. *)
+
+val guards_to_views : expr -> expr
+(** Multiplicative equality guards become dictionary views probed from the
+    outer context — the pushdown past the joins. *)
+
+val hoist_views : expr -> expr
+(** Loop-invariant code motion for the views the pushdown created. *)
+
+val aggregate_pushdown : ?join_name:string -> expr -> expr
+(** The composed mechanical pushdown stage. *)
+
+val stages : (string * (expr -> expr)) list
+val pipeline : expr -> (string * expr) list
+(** Cumulative application, including the original program. *)

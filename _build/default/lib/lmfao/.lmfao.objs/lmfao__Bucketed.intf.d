@@ -1,0 +1,1 @@
+lib/lmfao/bucketed.mli: Aggregates Database Engine Relational Value

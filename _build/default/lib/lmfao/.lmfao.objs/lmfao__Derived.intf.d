@@ -1,0 +1,1 @@
+lib/lmfao/derived.mli: Database Relational Value

@@ -1,0 +1,1 @@
+lib/lmfao/engine.mli: Aggregates Database Hashtbl Join_tree Relational

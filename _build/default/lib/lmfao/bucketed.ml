@@ -1,0 +1,115 @@
+(* Threshold-bucket rewriting for decision-tree node batches.
+
+   The decision-node workload asks, per continuous feature x with candidate
+   thresholds c_1 < ... < c_k, for the triples (SUM(y^2), SUM(y), SUM(1))
+   under each filter x >= c_j — 3k filtered aggregates per feature whose
+   partial aggregates do NOT coincide (each filter differs), so plain
+   sharing cannot collapse them. LMFAO's answer is to rewrite them into ONE
+   group-by triple per feature over the derived bucket column
+
+       bucket_x(v) = |{ j : c_j <= v }|          (in 0..k)
+
+   and recover every threshold answer as a suffix sum over buckets:
+   x >= c_j  <=>  bucket_x >= j. The batch shrinks from 3*k per feature to
+   3, the rest is O(k) postprocessing on the tiny grouped results. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Feature = Aggregates.Feature
+
+let bucket_attr x = "__bucket_" ^ x
+
+let bucket_of thresholds v =
+  (* number of thresholds <= v; thresholds sorted ascending *)
+  let x = Value.to_float v in
+  let rec go acc = function
+    | c :: rest when c <= x -> go (acc + 1) rest
+    | _ -> acc
+  in
+  go 0 thresholds
+
+(* The rewritten batch: per continuous feature a grouped triple over its
+   bucket column; per categorical feature the usual grouped triple; plus the
+   unfiltered totals. *)
+let rewritten_batch (f : Feature.t) (thresholds : (string * float list) list) =
+  let y = Option.get f.response in
+  let triple ~prefix ~group_by =
+    [
+      Spec.make ~id:(prefix ^ "#s2") ~terms:[ (y, 2) ] ~group_by ();
+      Spec.make ~id:(prefix ^ "#s") ~terms:[ (y, 1) ] ~group_by ();
+      Spec.make ~id:(prefix ^ "#n") ~terms:[] ~group_by ();
+    ]
+  in
+  {
+    Aggregates.Batch.name = "decision-node-bucketed";
+    aggregates =
+      triple ~prefix:"total" ~group_by:[]
+      @ List.concat_map
+          (fun x ->
+            if List.mem_assoc x thresholds then
+              triple ~prefix:("bucket|" ^ x) ~group_by:[ bucket_attr x ]
+            else [])
+          f.continuous
+      @ List.concat_map
+          (fun k -> triple ~prefix:("by|" ^ k) ~group_by:[ k ])
+          f.categorical;
+  }
+
+(* Evaluate the ORIGINAL decision-node batch ids (as produced by
+   [Aggregates.Batch.decision_node]) through the bucket rewriting. *)
+let decision_node_results ?(options = Engine.default_options) (db : Database.t)
+    (f : Feature.t) ~(thresholds : (string * float list) list) :
+    (string * Spec.result) list =
+  let y = Option.get f.response in
+  ignore y;
+  let sorted_thresholds =
+    List.map (fun (x, cs) -> (x, List.sort compare cs)) thresholds
+  in
+  let db' =
+    Derived.augment db
+      (List.map
+         (fun (x, cs) -> (x, bucket_attr x, fun v -> bucket_of cs v))
+         sorted_thresholds)
+  in
+  let batch = rewritten_batch f sorted_thresholds in
+  let table, _ = Engine.run_to_table ~options db' batch in
+  let lookup id =
+    match Hashtbl.find_opt table id with
+    | Some r -> r
+    | None -> invalid_arg ("Bucketed: missing aggregate " ^ id)
+  in
+  (* suffix sums over the bucket groups *)
+  let suffix_of x kind j =
+    let grouped = lookup (Printf.sprintf "bucket|%s#%s" x kind) in
+    List.fold_left
+      (fun acc (assignment, v) ->
+        match assignment with
+        | [ (_, bucket) ] when Value.to_int bucket >= j -> acc +. v
+        | _ -> acc)
+      0.0 grouped
+  in
+  let results = ref [] in
+  let push id v = results := (id, v) :: !results in
+  (* mirror the id scheme of Batch.decision_node *)
+  List.iter
+    (fun x ->
+      match List.assoc_opt x sorted_thresholds with
+      | None -> ()
+      | Some cs ->
+          List.iteri
+            (fun j _c ->
+              let suffix = Printf.sprintf "|%s>=t%d" x j in
+              push ("sum_y2" ^ suffix) [ ([], suffix_of x "s2" (j + 1)) ];
+              push ("sum_y" ^ suffix) [ ([], suffix_of x "s" (j + 1)) ];
+              push ("count" ^ suffix) [ ([], suffix_of x "n" (j + 1)) ])
+            cs)
+    f.continuous;
+  List.iter
+    (fun k ->
+      let remap kind = lookup (Printf.sprintf "by|%s#%s" k kind) in
+      let suffix = Printf.sprintf "|by %s" k in
+      push ("sum_y2" ^ suffix) (remap "s2");
+      push ("sum_y" ^ suffix) (remap "s");
+      push ("count" ^ suffix) (remap "n"))
+    f.categorical;
+  List.rev !results

@@ -1,0 +1,28 @@
+(** Threshold-bucket rewriting for decision-tree node batches: the 3k
+    filtered variance triples per continuous feature collapse into one
+    group-by triple over a derived bucket column plus O(k) suffix sums —
+    LMFAO's restructuring that per-aggregate engines cannot apply. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Feature = Aggregates.Feature
+
+val bucket_attr : string -> string
+(** Name of the derived bucket column for a feature. *)
+
+val bucket_of : float list -> Value.t -> int
+(** [bucket_of thresholds v] is the number of (ascending) thresholds <= v. *)
+
+val rewritten_batch : Feature.t -> (string * float list) list -> Aggregates.Batch.t
+(** The bucketed batch: unfiltered totals, one grouped triple per bucketed
+    continuous feature, one grouped triple per categorical feature. *)
+
+val decision_node_results :
+  ?options:Engine.options ->
+  Database.t ->
+  Feature.t ->
+  thresholds:(string * float list) list ->
+  (string * Spec.result) list
+(** Answers the ORIGINAL [Aggregates.Batch.decision_node] aggregate ids by
+    evaluating the rewritten batch over the bucket-augmented database and
+    recovering each threshold answer as a suffix sum. *)

@@ -1,0 +1,58 @@
+(* Derived-column augmentation: extend a relation with computed columns
+   (bucket ids, grid cells) so that downstream group-by aggregates can group
+   on them. Used by the threshold-bucket rewriting of [Bucketed] and by the
+   Rk-means grid coreset. *)
+
+open Relational
+
+(* [augment db specs] returns a database where, for each (attr, new_name,
+   f), the relation owning [attr] (first one containing it) gains an integer
+   column [new_name] = [f value_of_attr]. *)
+let augment (db : Database.t) (specs : (string * string * (Value.t -> int)) list) :
+    Database.t =
+  let by_owner = Hashtbl.create 8 in
+  List.iter
+    (fun ((attr, _, _) as spec) ->
+      let owner =
+        match
+          List.find_opt
+            (fun r -> Schema.mem (Relation.schema r) attr)
+            (Database.relations db)
+        with
+        | Some r -> Relation.name r
+        | None -> invalid_arg (Printf.sprintf "Derived.augment: unknown attribute %s" attr)
+      in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_owner owner) in
+      Hashtbl.replace by_owner owner (spec :: cur))
+    specs;
+  let relations =
+    List.map
+      (fun rel ->
+        match Hashtbl.find_opt by_owner (Relation.name rel) with
+        | None | Some [] -> rel
+        | Some specs ->
+            let specs = List.rev specs in
+            let schema = Relation.schema rel in
+            let schema' =
+              Schema.of_list
+                (Schema.attrs schema
+                @ List.map (fun (_, name, _) -> Schema.attr name Value.TInt) specs)
+            in
+            let positions =
+              List.map (fun (attr, _, f) -> (Schema.position schema attr, f)) specs
+            in
+            let out = Relation.create ~capacity:(Relation.cardinality rel)
+                (Relation.name rel) schema'
+            in
+            Relation.iter
+              (fun t ->
+                let extra =
+                  Array.of_list
+                    (List.map (fun (pos, f) -> Value.Int (f t.(pos))) positions)
+                in
+                Relation.append out (Array.append t extra))
+              rel;
+            out)
+      (Database.relations db)
+  in
+  Database.create (Database.name db ^ "+derived") relations

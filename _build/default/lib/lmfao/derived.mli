@@ -1,0 +1,10 @@
+(** Derived-column augmentation: extend relations with computed integer
+    columns (bucket ids, grid cells) that downstream aggregates can group
+    on. *)
+
+open Relational
+
+val augment : Database.t -> (string * string * (Value.t -> int)) list -> Database.t
+(** [augment db [(attr, name, f); ...]] adds, to the relation owning each
+    [attr], an int column [name] holding [f] of that attribute's value.
+    Raises on unknown attributes. *)

@@ -1,0 +1,509 @@
+(* LMFAO: Layered Multiple Functional Aggregate Optimisation (Sections 1.4
+   and 4).
+
+   Evaluates a batch of SUM-PRODUCT aggregates over the natural join of a
+   database without materialising the join:
+
+   - Each aggregate is decomposed top-down over a join tree: node N is
+     assigned the restriction of the aggregate to the attributes owned by
+     N's subtree; a subtree containing none of the aggregate's attributes is
+     assigned a plain count (the paper's decomposition scheme).
+   - Restrictions that coincide across the batch are computed ONCE per node
+     (partial-aggregate sharing) and all partials at a node share one scan
+     of the node's relation (shared scans).
+   - Aggregates with group-by attributes are decomposed starting from the
+     relation owning their first group-by attribute (multi-root
+     decomposition), keeping high-cardinality grouping local to its node.
+   - Scans can be chunked across domains and independent subtrees computed
+     as parallel tasks (Section 4, "Parallelisation").
+
+   Every attribute is owned by exactly one node (the closest to the root
+   containing it), so factors of an aggregate are counted exactly once. *)
+
+open Relational
+module GF = Factorized.Faggregate.Grouped_float
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+exception Unsupported of string
+
+type options = {
+  share : bool; (* dedup identical partial aggregates (default true) *)
+  parallel : bool; (* chunked scans + parallel subtree tasks *)
+  multi_root : bool; (* root group-by aggregates at their group attr's node *)
+  chunk_threshold : int; (* parallel scans only above this cardinality *)
+}
+
+let default_options =
+  { share = true; parallel = false; multi_root = true; chunk_threshold = 8192 }
+
+(* ---------- filter decomposition ---------- *)
+
+(* Split a predicate into single-attribute conjuncts. Aggregates whose
+   filters span several attributes (additive inequalities) are outside this
+   engine; Section 2.3's dedicated algorithms live in [Ml.Svm]. *)
+let rec conjuncts (p : Predicate.t) : Predicate.t list =
+  match p with
+  | Predicate.True -> []
+  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let conjunct_attr p =
+  match List.sort_uniq compare (Predicate.attrs p) with
+  | [ a ] -> a
+  | _ ->
+      raise
+        (Unsupported
+           (Format.asprintf "filter %a does not decompose per attribute"
+              Predicate.pp p))
+
+(* ---------- payloads ----------
+
+   A view row holds the partial-aggregate payloads of one join-key value:
+   scalar partials (no group-by anywhere below) in a flat float array —
+   the hot path, accumulated without boxing — and grouped partials as
+   k-relation maps. *)
+
+type row = { sc : float array; gr : GF.t array }
+
+(* ---------- plans ---------- *)
+
+type slot_plan = {
+  canonical : string;
+  local_terms : (int * int) array; (* (position, power) over owned attrs *)
+  local_groups : (string * int) array; (* owned group-by attrs *)
+  local_filter : Tuple.t -> bool; (* owned filter conjuncts *)
+  child_slots : int array; (* per child: slot in the child's plan *)
+  child_refs : (int * bool) array; (* per child: (payload index, is_scalar) *)
+  scalar : bool; (* no group-by anywhere in the subtree *)
+  payload_idx : int; (* index into [row.sc] or [row.gr] *)
+}
+
+type node_plan = {
+  rel : Relation.t;
+  key_positions : int array; (* this node's join key with its parent *)
+  child_keys : int array array; (* per child: child-key positions in OUR schema *)
+  slots : slot_plan array;
+  n_scalar : int;
+  n_grouped : int;
+  children : node_plan list;
+}
+
+type stats = { mutable views : int; mutable partials : int; mutable shared_away : int }
+
+(* Restrict a spec to the attributes satisfying [keep]. *)
+let restrict keep (s : Spec.t) : Spec.t =
+  let filter =
+    match List.filter (fun c -> keep (conjunct_attr c)) (conjuncts s.filter) with
+    | [] -> Predicate.True
+    | c :: cs -> List.fold_left (fun acc c -> Predicate.And (acc, c)) c cs
+  in
+  Spec.make ~filter ~id:s.id
+    ~terms:(List.filter (fun (a, _) -> keep a) s.terms)
+    ~group_by:(List.filter keep s.group_by)
+    ()
+
+(* Build the evaluation plan for [specs] rooted at [node]. [owner] maps each
+   attribute to the name of the node that owns it. *)
+let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
+    (specs : Spec.t list) : node_plan =
+  let my_name = Relation.name node.rel in
+  let schema = Relation.schema node.rel in
+  (* deduplicate partials at this node *)
+  let canonical s = if options.share then Spec.canonical s else s.Spec.id in
+  let tbl = Hashtbl.create 16 in
+  let distinct = ref [] in
+  List.iter
+    (fun s ->
+      let key = canonical s in
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key (List.length !distinct);
+        distinct := s :: !distinct
+      end
+      else stats.shared_away <- stats.shared_away + 1)
+    specs;
+  let distinct = Array.of_list (List.rev !distinct) in
+  stats.partials <- stats.partials + Array.length distinct;
+  stats.views <- stats.views + 1;
+  (* subtree ownership predicates *)
+  let subtree_names =
+    Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] node
+  in
+  let owned_by_subtree a = List.mem (Hashtbl.find owner a) subtree_names in
+  ignore owned_by_subtree;
+  let owned_here a = Hashtbl.find owner a = my_name in
+  (* children plans: restrict each distinct partial to each child's subtree *)
+  let children_with_specs =
+    List.map
+      (fun (child : Join_tree.node) ->
+        let child_names =
+          Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] child
+        in
+        let in_child a = List.mem (Hashtbl.find owner a) child_names in
+        let restricted = Array.map (restrict in_child) distinct in
+        (child, restricted))
+      node.children
+  in
+  let child_plans =
+    List.map
+      (fun (child, restricted) ->
+        build_plan ~options ~owner ~stats child (Array.to_list restricted))
+      children_with_specs
+  in
+  (* slot index of each restricted partial within its child's plan *)
+  let child_slot_of =
+    List.map2
+      (fun (_, restricted) (plan : node_plan) ->
+        Array.map
+          (fun (r : Spec.t) ->
+            let key = canonical r in
+            let rec find i =
+              if i >= Array.length plan.slots then
+                failwith "Engine.build_plan: missing child slot"
+              else if plan.slots.(i).canonical = key then i
+              else find (i + 1)
+            in
+            find 0)
+          restricted)
+      children_with_specs child_plans
+  in
+  let n_scalar = ref 0 and n_grouped = ref 0 in
+  let child_plan_arr = Array.of_list child_plans in
+  let slots =
+    Array.mapi
+      (fun i (s : Spec.t) ->
+        let local_terms =
+          Array.of_list
+            (List.filter_map
+               (fun (a, p) ->
+                 if owned_here a then Some (Schema.position schema a, p) else None)
+               s.terms)
+        in
+        let local_groups =
+          Array.of_list
+            (List.filter_map
+               (fun a ->
+                 if owned_here a then Some (a, Schema.position schema a) else None)
+               s.group_by)
+        in
+        let local_filter =
+          let mine =
+            List.filter (fun c -> owned_here (conjunct_attr c)) (conjuncts s.filter)
+          in
+          match mine with
+          | [] -> fun _ -> true
+          | cs ->
+              let compiled = List.map (Predicate.compile schema) cs in
+              fun t -> List.for_all (fun f -> f t) compiled
+        in
+        let child_slots =
+          Array.of_list (List.map (fun arr -> arr.(i)) child_slot_of)
+        in
+        let child_refs =
+          Array.mapi
+            (fun c cs ->
+              let child_slot = child_plan_arr.(c).slots.(cs) in
+              (child_slot.payload_idx, child_slot.scalar))
+            child_slots
+        in
+        let scalar = s.group_by = [] in
+        let payload_idx =
+          if scalar then begin
+            incr n_scalar;
+            !n_scalar - 1
+          end
+          else begin
+            incr n_grouped;
+            !n_grouped - 1
+          end
+        in
+        {
+          canonical = canonical s;
+          local_terms;
+          local_groups;
+          local_filter;
+          child_slots;
+          child_refs;
+          scalar;
+          payload_idx;
+        })
+      distinct
+  in
+  {
+    rel = node.rel;
+    key_positions = Array.of_list (List.map (Schema.position schema) node.key);
+    child_keys =
+      Array.of_list
+        (List.map
+           (fun ((child : Join_tree.node), _) ->
+             Array.of_list (List.map (Schema.position schema) child.key))
+           children_with_specs);
+    slots;
+    n_scalar = !n_scalar;
+    n_grouped = !n_grouped;
+    children = child_plans;
+  }
+
+(* ---------- evaluation ---------- *)
+
+type view = row Tuple.Tbl.t
+
+let fresh_row plan =
+  { sc = Array.make plan.n_scalar 0.0; gr = Array.make plan.n_grouped GF.zero }
+
+let merge_rows (a : row) (b : row) =
+  Array.iteri (fun i v -> a.sc.(i) <- a.sc.(i) +. v) b.sc;
+  Array.iteri (fun i v -> a.gr.(i) <- GF.add a.gr.(i) v) b.gr
+
+let merge_views (a : view) (b : view) : view =
+  Tuple.Tbl.iter
+    (fun key row_b ->
+      match Tuple.Tbl.find_opt a key with
+      | Some row_a -> merge_rows row_a row_b
+      | None -> Tuple.Tbl.add a key row_b)
+    b;
+  a
+
+(* Grouped contribution of one tuple to one slot. *)
+let grouped_contribution (slot : slot_plan) (tuple : Tuple.t) local
+    (child_rows : row array) : GF.t =
+  let assignment =
+    List.sort compare
+      (Array.to_list (Array.map (fun (a, pos) -> (a, tuple.(pos))) slot.local_groups))
+  in
+  let m = ref (GF.KMap.singleton assignment local) in
+  Array.iteri
+    (fun c r ->
+      let idx, is_scalar = slot.child_refs.(c) in
+      if is_scalar then m := GF.mul !m (GF.KMap.singleton [] r.sc.(idx))
+      else m := GF.mul !m r.gr.(idx))
+    child_rows;
+  !m
+
+let rec compute ~options (plan : node_plan) : view =
+  let child_views =
+    if options.parallel && List.length plan.children > 1 then
+      Util.Pool.parallel_tasks
+        (List.map (fun c () -> compute ~options c) plan.children)
+    else List.map (compute ~options) plan.children
+  in
+  let child_views = Array.of_list child_views in
+  let n = Relation.cardinality plan.rel in
+  let n_children = Array.length child_views in
+  let scan lo len =
+    let view : view = Tuple.Tbl.create 256 in
+    let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
+    for i = lo to lo + len - 1 do
+      let tuple = Relation.get plan.rel i in
+      (* probe all children; a missing partner voids the tuple entirely *)
+      let rec probe c =
+        if c = n_children then true
+        else
+          let key = Tuple.project tuple plan.child_keys.(c) in
+          match Tuple.Tbl.find_opt child_views.(c) key with
+          | Some r ->
+              child_rows.(c) <- r;
+              probe (c + 1)
+          | None -> false
+      in
+      if probe 0 then begin
+        let key = Tuple.project tuple plan.key_positions in
+        let acc_row =
+          match Tuple.Tbl.find_opt view key with
+          | Some r -> r
+          | None ->
+              let r = fresh_row plan in
+              Tuple.Tbl.add view key r;
+              r
+        in
+        Array.iter
+          (fun slot ->
+            if slot.local_filter tuple then begin
+              (* product of the owned attribute powers *)
+              let local = ref 1.0 in
+              Array.iter
+                (fun (pos, power) ->
+                  let x = Value.to_float tuple.(pos) in
+                  for _ = 1 to power do
+                    local := !local *. x
+                  done)
+                slot.local_terms;
+              if slot.scalar then begin
+                (* tight unboxed path: multiply the children's scalars in *)
+                for c = 0 to n_children - 1 do
+                  let idx, _ = slot.child_refs.(c) in
+                  local := !local *. child_rows.(c).sc.(idx)
+                done;
+                acc_row.sc.(slot.payload_idx) <-
+                  acc_row.sc.(slot.payload_idx) +. !local
+              end
+              else
+                acc_row.gr.(slot.payload_idx) <-
+                  GF.add
+                    acc_row.gr.(slot.payload_idx)
+                    (grouped_contribution slot tuple !local child_rows)
+            end)
+          plan.slots
+      end
+    done;
+    view
+  in
+  if options.parallel && n > options.chunk_threshold then
+    Util.Pool.parallel_chunks n scan
+      ~combine:(fun acc v ->
+        match acc with None -> Some v | Some a -> Some (merge_views a v))
+      ~zero:None
+    |> Option.value ~default:(Tuple.Tbl.create 1)
+  else scan 0 n
+
+(* ---------- top level ---------- *)
+
+(* Owner of each attribute for a given rooting: the node closest to the root
+   whose relation contains it (BFS order, ties broken by name). *)
+let compute_owners (root : Join_tree.node) =
+  let owner = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let level = ref [] in
+  (* BFS with deterministic within-level order *)
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    level := n :: !level;
+    List.iter (fun c -> Queue.add c queue) n.children
+  done;
+  List.iter
+    (fun (n : Join_tree.node) ->
+      List.iter
+        (fun a -> Hashtbl.replace owner a (Relation.name n.rel))
+        (Schema.names (Relation.schema n.rel)))
+    !level;
+  (* [!level] is reverse BFS, so replace leaves the shallowest node in *)
+  owner
+
+let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
+    (string * Spec.result) list =
+  if specs = [] then []
+  else begin
+    let tree = Join_tree.tree ~root jt in
+    let owner = compute_owners tree in
+    let plan = build_plan ~options ~owner ~stats tree specs in
+    let view = compute ~options plan in
+    (* the root view has the single empty key *)
+    let row =
+      match Tuple.Tbl.find_opt view [||] with
+      | Some r -> Some r
+      | None -> None (* empty join *)
+    in
+    (* map each requested spec to its (possibly shared) slot *)
+    List.map
+      (fun (s : Spec.t) ->
+        let key = if options.share then Spec.canonical s else s.Spec.id in
+        let rec find i =
+          if i >= Array.length plan.slots then
+            failwith "Engine.run_rooted: lost slot"
+          else if plan.slots.(i).canonical = key then i
+          else find (i + 1)
+        in
+        let result =
+          match row with
+          | None -> if s.group_by = [] then [ ([], 0.0) ] else []
+          | Some r ->
+              let slot = plan.slots.(find 0) in
+              if slot.scalar then [ ([], r.sc.(slot.payload_idx)) ]
+              else GF.bindings r.gr.(slot.payload_idx)
+        in
+        (s.id, result))
+      specs
+  end
+
+(* Root choice per aggregate (the heart of LMFAO's multi-root design):
+   group-by aggregates root at the relation owning their first group-by
+   attribute (grouping stays local); scalar products root at the relation
+   owning their first term, so the products are computed over that (usually
+   small dimension) relation while the big fact table contributes only
+   DEDUPLICATED partial sums — one per attribute rather than one per
+   aggregate; pure counts root at the smallest relation. *)
+let choose_root (jt : Join_tree.t) ~default_root (s : Spec.t) =
+  let owner_of attr =
+    match
+      List.find_opt
+        (fun r -> Schema.mem (Relation.schema r) attr)
+        (Join_tree.relations jt)
+    with
+    | Some r -> Relation.name r
+    | None -> default_root
+  in
+  match (s.group_by, s.terms) with
+  | g :: _, _ -> owner_of g
+  | [], (a, _) :: _ -> owner_of a
+  | [], [] -> (
+      match
+        List.sort
+          (fun r1 r2 -> compare (Relation.cardinality r1) (Relation.cardinality r2))
+          (Join_tree.relations jt)
+      with
+      | smallest :: _ -> Relation.name smallest
+      | [] -> default_root)
+
+let run ?(options = default_options) (db : Database.t) (batch : Batch.t) :
+    (string * Spec.result) list * stats =
+  let jt = Database.join_tree db in
+  let stats = { views = 0; partials = 0; shared_away = 0 } in
+  let default_root =
+    let largest =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | None -> Some r
+          | Some best ->
+              if Relation.cardinality r > Relation.cardinality best then Some r
+              else acc)
+        None (Database.relations db)
+    in
+    Relation.name (Option.get largest)
+  in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let root =
+        if options.multi_root then choose_root jt ~default_root s else default_root
+      in
+      (match Hashtbl.find_opt groups root with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.add groups root (ref [ s ]);
+          order := root :: !order))
+    batch.Batch.aggregates;
+  let run_group root =
+    let specs = List.rev !(Hashtbl.find groups root) in
+    run_rooted ~options ~stats jt root specs
+  in
+  let results =
+    let roots = List.rev !order in
+    if options.parallel && List.length roots > 1 then
+      List.concat (Util.Pool.parallel_tasks (List.map (fun r () -> run_group r) roots))
+    else List.concat_map run_group roots
+  in
+  (results, stats)
+
+(* Cyclic fallback (the paper's Section 4 footnote: cyclic queries are
+   partially evaluated to acyclic ones by materialising decomposition bags):
+   when the schema is cyclic, materialise the full join with the worst-case
+   optimal engine and answer the batch by flat evaluation over it. *)
+let run_any ?options (db : Database.t) (batch : Batch.t) :
+    (string * Spec.result) list =
+  match run ?options db batch with
+  | results, _ -> results
+  | exception Join_tree.Cyclic ->
+      let join = Factorized.Wcoj.materialise (Database.relations db) in
+      List.map
+        (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s))
+        batch.Batch.aggregates
+
+(* Convenience: results as a lookup table. *)
+let run_to_table ?options db batch =
+  let results, stats = run ?options db batch in
+  let tbl = Hashtbl.create (List.length results) in
+  List.iter (fun (id, r) -> Hashtbl.replace tbl id r) results;
+  (tbl, stats)

@@ -1,0 +1,50 @@
+(** LMFAO: Layered Multiple Functional Aggregate Optimisation (Sections 1.4
+    and 4). Evaluates a batch of SUM-PRODUCT / GROUP BY / filter aggregates
+    over the natural join of a database without materialising the join:
+    multi-root decomposition over the join tree, per-node deduplication of
+    identical partial aggregates (sharing), one shared scan per node, and
+    optional domain parallelism. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+exception Unsupported of string
+(** Raised for filters that do not decompose per attribute (e.g. additive
+    inequalities — see [Ml.Inequality] / [Ml.Svm] for those). *)
+
+type options = {
+  share : bool;  (** dedup identical partial aggregates (default true) *)
+  parallel : bool;  (** chunked scans + parallel subtree tasks *)
+  multi_root : bool;  (** per-aggregate root choice (default true) *)
+  chunk_threshold : int;  (** parallel scans only above this cardinality *)
+}
+
+val default_options : options
+
+type stats = {
+  mutable views : int;  (** views (node plans) computed *)
+  mutable partials : int;  (** distinct partial aggregates across all views *)
+  mutable shared_away : int;  (** batch restrictions collapsed by dedup *)
+}
+
+val choose_root : Join_tree.t -> default_root:string -> Spec.t -> string
+(** The multi-root policy: group-bys root at their first group attribute's
+    relation; products at their first term's owner; counts at the smallest
+    relation. *)
+
+val run :
+  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list * stats
+(** Evaluate the whole batch; results are keyed by aggregate id.
+    @raise Unsupported on non-decomposable filters
+    @raise Join_tree.Cyclic on cyclic schemas *)
+
+val run_any :
+  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
+(** Like {!run}, but cyclic schemas fall back to materialising the join
+    with {!Factorized.Wcoj} and evaluating the batch flat (the paper's
+    footnote-4 bag materialisation). *)
+
+val run_to_table :
+  ?options:options -> Database.t -> Batch.t -> (string, Spec.result) Hashtbl.t * stats
+(** Like {!run}, as a lookup table. *)

@@ -1,0 +1,1 @@
+lib/ml/chow_liu.ml: Aggregates Database Hashtbl List Lmfao Printf Relational

@@ -1,0 +1,1 @@
+lib/ml/chow_liu.mli: Aggregates Database Lmfao Relational

@@ -1,0 +1,1 @@
+lib/ml/classification_tree.mli: Aggregates Database Decision_tree Lmfao Predicate Relation Relational Value

@@ -1,0 +1,1 @@
+lib/ml/decision_tree.mli: Aggregates Database Format Lmfao Predicate Relation Relational Value

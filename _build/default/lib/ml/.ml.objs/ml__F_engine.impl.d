@@ -1,0 +1,1 @@
+lib/ml/f_engine.ml: Array Database Factorized Fivm Fun Hashtbl List Relational Rings Stdlib Util Value

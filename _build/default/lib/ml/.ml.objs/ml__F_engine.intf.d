@@ -1,0 +1,1 @@
+lib/ml/f_engine.mli: Database Relational Rings

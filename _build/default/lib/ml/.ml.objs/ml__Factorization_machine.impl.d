@@ -1,0 +1,1 @@
+lib/ml/factorization_machine.ml: Array Stdlib Util

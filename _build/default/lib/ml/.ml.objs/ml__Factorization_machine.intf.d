@@ -1,0 +1,1 @@
+lib/ml/factorization_machine.mli:

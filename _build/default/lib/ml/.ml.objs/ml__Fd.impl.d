@@ -1,0 +1,1 @@
+lib/ml/fd.ml: Aggregates Array Database Hashtbl List Option Relation Relational Schema Value

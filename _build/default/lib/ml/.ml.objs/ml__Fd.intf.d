@@ -1,0 +1,1 @@
+lib/ml/fd.mli: Aggregates Database Relation Relational Value

@@ -1,0 +1,1 @@
+lib/ml/huber.ml: Array Float Stdlib

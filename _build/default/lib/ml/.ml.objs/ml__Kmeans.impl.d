@@ -1,0 +1,1 @@
+lib/ml/kmeans.ml: Aggregates Array Database Hashtbl List Lmfao Option Relation Relational Schema Stdlib Util Value

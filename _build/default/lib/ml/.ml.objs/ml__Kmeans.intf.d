@@ -1,0 +1,1 @@
+lib/ml/kmeans.mli: Database Lmfao Relation Relational

@@ -1,0 +1,1 @@
+lib/ml/linreg.mli: Aggregates Database Lmfao Moment Relation Relational Util Value Vec

@@ -1,0 +1,1 @@
+lib/ml/model_selection.ml: Array Fun List Mat Moment Option Stdlib Util Vec

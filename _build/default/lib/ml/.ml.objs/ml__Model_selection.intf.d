@@ -1,0 +1,1 @@
+lib/ml/model_selection.mli: Moment Util Vec

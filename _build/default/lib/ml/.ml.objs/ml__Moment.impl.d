@@ -1,0 +1,1 @@
+lib/ml/moment.ml: Aggregates Array Baseline Format Hashtbl List Mat Printf Relational Util Value

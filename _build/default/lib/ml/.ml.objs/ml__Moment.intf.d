@@ -1,0 +1,1 @@
+lib/ml/moment.mli: Aggregates Baseline Format Hashtbl Mat Relational Util Value

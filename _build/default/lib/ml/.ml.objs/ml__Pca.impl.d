@@ -1,0 +1,1 @@
+lib/ml/pca.ml: Array List Mat Prng Rings Stdlib Util Vec

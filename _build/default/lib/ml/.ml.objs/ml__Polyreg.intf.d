@@ -1,0 +1,1 @@
+lib/ml/polyreg.mli: Aggregates Database Lmfao Relation Relational Util

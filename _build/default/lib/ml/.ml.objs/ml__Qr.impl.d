@@ -1,0 +1,1 @@
+lib/ml/qr.ml: Array Float Fun List Mat Moment Stdlib Util

@@ -1,0 +1,1 @@
+lib/ml/qr.mli: Mat Moment Util

@@ -1,0 +1,1 @@
+lib/ml/svd.mli: Mat Moment Util

@@ -1,0 +1,60 @@
+(* F: regression models over factorised joins (the paper's earliest system
+   in this line [67, 56]).
+
+   Where LMFAO decomposes the aggregate batch over a join tree of views, F
+   evaluates it in one factorised pass: the covariance ring is plugged
+   directly into the factorised-join traversal, each feature variable
+   lifting its values to (1, x*e_i, x^2*E_ii). Because every variable occurs
+   exactly once in a variable order, no ownership bookkeeping is needed.
+   This is a second, independently-structured engine for the same
+   sufficient statistics — the test suite checks it against both LMFAO and
+   the flat computation. *)
+
+open Relational
+module Cov = Rings.Covariance
+module P = Fivm.Payload.Cov_dyn
+
+(* The covariance triple of the numeric [features] over the natural join. *)
+let covariance ?(cache = true) (db : Database.t) ~(features : string list) : Cov.t =
+  let rels = Database.relations db in
+  let order = Factorized.Var_order.of_relations rels in
+  let dim = List.length features in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i f -> Hashtbl.replace index f i) features;
+  let lift var v : P.t =
+    match Hashtbl.find_opt index var with
+    | Some i -> `Elem (Cov.lift dim i (Value.to_float v))
+    | None -> `One
+  in
+  let result =
+    Factorized.Fjoin.eval_semiring ~cache (module P) ~lift rels order
+  in
+  Fivm.Payload.cov_elem dim result
+
+(* Ridge linear regression trained from the factorised covariance pass:
+   response must be listed among [features]. *)
+let train_linreg ?(ridge = 1e-3) ?cache (db : Database.t) ~(features : string list)
+    ~(response : string) : float array * string list =
+  let cov = covariance ?cache db ~features in
+  let moment = Cov.moment_matrix cov in
+  let resp_slot =
+    match List.find_index (fun f -> f = response) features with
+    | Some i -> i + 1
+    | None -> invalid_arg "F_engine.train_linreg: response not in features"
+  in
+  let keep =
+    Array.of_list
+      (List.filter (fun i -> i <> resp_slot) (List.init (List.length features + 1) Fun.id))
+  in
+  let n = Stdlib.max 1.0 (Cov.count cov) in
+  let a =
+    Util.Mat.init (Array.length keep) (Array.length keep) (fun i j ->
+        (Util.Mat.get moment keep.(i) keep.(j) /. n) +. if i = j then ridge else 0.0)
+  in
+  let b = Array.map (fun i -> Util.Mat.get moment i resp_slot /. n) keep in
+  let weights = Util.Mat.solve_spd a b in
+  let columns =
+    Array.to_list
+      (Array.map (fun i -> if i = 0 then "intercept" else List.nth features (i - 1)) keep)
+  in
+  (weights, columns)

@@ -1,0 +1,20 @@
+(** F: regression over factorised joins [67, 56] — the covariance ring
+    plugged directly into the factorised-join traversal. An independent
+    engine for the same sufficient statistics as LMFAO's batch (tests check
+    they agree). *)
+
+open Relational
+
+val covariance : ?cache:bool -> Database.t -> features:string list -> Rings.Covariance.t
+(** One factorised pass; [features] are numeric attributes of the join. *)
+
+val train_linreg :
+  ?ridge:float ->
+  ?cache:bool ->
+  Database.t ->
+  features:string list ->
+  response:string ->
+  float array * string list
+(** Closed-form ridge regression from the factorised pass; [response] must
+    appear in [features]. Returns weights with their column names
+    (intercept first). *)

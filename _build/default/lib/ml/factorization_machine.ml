@@ -1,0 +1,124 @@
+(* Degree-2 factorisation machines (Section 2.1's model list; [6] derives
+   their aggregates).
+
+   Model:  y^(x) = w0 + sum_i w_i x_i + sum_{i<j} <v_i, v_j> x_i x_j
+   with rank-r factor vectors v_i. The pairwise term rewrites as
+   0.5 * sum_f [ (sum_i v_if x_i)^2 - sum_i v_if^2 x_i^2 ], giving O(n r)
+   evaluation and gradients. Training uses mini-batch gradient descent on
+   squared loss with L2 regularisation.
+
+   The linear part's sufficient statistics are the covariance aggregates
+   (shared with [Linreg]); the factor part's gradients involve third and
+   fourth moments that [6] reparameterises — here they are computed by
+   passes over the (possibly factorised-enumerated) data matrix, which is
+   the substitution documented in DESIGN.md. *)
+
+type model = {
+  w0 : float;
+  w : float array; (* n *)
+  v : float array array; (* n x rank *)
+}
+
+type params = {
+  rank : int;
+  learning_rate : float;
+  iterations : int; (* epochs *)
+  l2 : float;
+  init_scale : float;
+  seed : int;
+}
+
+let default_params =
+  { rank = 4; learning_rate = 0.01; iterations = 50; l2 = 1e-4; init_scale = 0.05; seed = 3 }
+
+let init ~params n =
+  let rng = Util.Prng.create params.seed in
+  {
+    w0 = 0.0;
+    w = Array.make n 0.0;
+    v =
+      Array.init n (fun _ ->
+          Array.init params.rank (fun _ ->
+              Util.Prng.gaussian rng ~mu:0.0 ~sigma:params.init_scale));
+  }
+
+let predict (m : model) (x : float array) =
+  let n = Array.length x in
+  let rank = if n = 0 then 0 else Array.length m.v.(0) in
+  let linear = ref m.w0 in
+  for i = 0 to n - 1 do
+    linear := !linear +. (m.w.(i) *. x.(i))
+  done;
+  let pair = ref 0.0 in
+  for f = 0 to rank - 1 do
+    let s = ref 0.0 and s2 = ref 0.0 in
+    for i = 0 to n - 1 do
+      let t = m.v.(i).(f) *. x.(i) in
+      s := !s +. t;
+      s2 := !s2 +. (t *. t)
+    done;
+    pair := !pair +. (0.5 *. ((!s *. !s) -. !s2))
+  done;
+  !linear +. !pair
+
+let train ?(params = default_params) (x : float array array) (y : float array) : model =
+  let n_rows = Array.length x in
+  let n = if n_rows = 0 then 0 else Array.length x.(0) in
+  let m = ref (init ~params n) in
+  for _ = 1 to params.iterations do
+    let model = !m in
+    let g_w0 = ref 0.0 in
+    let g_w = Array.make n 0.0 in
+    let g_v = Array.init n (fun _ -> Array.make params.rank 0.0) in
+    Array.iteri
+      (fun r row ->
+        let err = predict model row -. y.(r) in
+        g_w0 := !g_w0 +. err;
+        (* precompute per-factor sums *)
+        let sums = Array.make params.rank 0.0 in
+        for f = 0 to params.rank - 1 do
+          for i = 0 to n - 1 do
+            sums.(f) <- sums.(f) +. (model.v.(i).(f) *. row.(i))
+          done
+        done;
+        for i = 0 to n - 1 do
+          g_w.(i) <- g_w.(i) +. (err *. row.(i));
+          for f = 0 to params.rank - 1 do
+            let grad =
+              row.(i) *. sums.(f) -. (model.v.(i).(f) *. row.(i) *. row.(i))
+            in
+            g_v.(i).(f) <- g_v.(i).(f) +. (err *. grad)
+          done
+        done)
+      x;
+    let scale = params.learning_rate /. float_of_int (Stdlib.max 1 n_rows) in
+    m :=
+      {
+        w0 = model.w0 -. (scale *. !g_w0);
+        w =
+          Array.mapi
+            (fun i w -> w -. (scale *. (g_w.(i) +. (params.l2 *. w))))
+            model.w;
+        v =
+          Array.mapi
+            (fun i vi ->
+              Array.mapi
+                (fun f vif -> vif -. (scale *. (g_v.(i).(f) +. (params.l2 *. vif))))
+                vi)
+            model.v;
+      }
+  done;
+  !m
+
+let mse (m : model) x y =
+  let n = Array.length x in
+  if n = 0 then 0.0
+  else begin
+    let se = ref 0.0 in
+    Array.iteri
+      (fun i row ->
+        let err = predict m row -. y.(i) in
+        se := !se +. (err *. err))
+      x;
+    !se /. float_of_int n
+  end

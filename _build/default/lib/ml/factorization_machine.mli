@@ -1,0 +1,26 @@
+(** Degree-2 factorisation machines (Section 2.1's model list):
+    y^ = w0 + sum w_i x_i + sum_{i<j} <v_i, v_j> x_i x_j with rank-r
+    factors, trained by full-batch gradient descent on squared loss. The
+    factor-part gradients need third/fourth moments that [6]
+    reparameterises; here they are computed over the explicit data matrix
+    (the substitution documented in DESIGN.md). *)
+
+type model = { w0 : float; w : float array; v : float array array }
+
+type params = {
+  rank : int;
+  learning_rate : float;
+  iterations : int;
+  l2 : float;
+  init_scale : float;
+  seed : int;
+}
+
+val default_params : params
+
+val init : params:params -> int -> model
+val predict : model -> float array -> float
+(** O(n * rank) via the sum-of-squares identity. *)
+
+val train : ?params:params -> float array array -> float array -> model
+val mse : model -> float array array -> float array -> float

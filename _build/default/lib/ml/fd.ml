@@ -1,0 +1,104 @@
+(* Functional dependencies for learning (Section 3.2).
+
+   If city -> country holds, the country-level aggregates are redundant:
+   every aggregate grouped by country (or by country and anything else) is a
+   sum of the corresponding city-level aggregates through the FD mapping.
+   Exploiting this shrinks the covariance batch — the paper's
+   reparameterisation story at the aggregate level — and the dropped
+   aggregates are reconstructed exactly after the fact. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Feature = Aggregates.Feature
+
+type fd = { determinant : string; dependent : string; mapping : (Value.t * Value.t) list }
+
+(* Check determinant -> dependent in a relation containing both; returns the
+   mapping when the FD holds. *)
+let discover_in_relation (rel : Relation.t) ~determinant ~dependent : fd option =
+  let schema = Relation.schema rel in
+  match (Schema.position_opt schema determinant, Schema.position_opt schema dependent) with
+  | Some d, Some e ->
+      let mapping = Hashtbl.create 64 in
+      let ok = ref true in
+      Relation.iter
+        (fun t ->
+          match Hashtbl.find_opt mapping t.(d) with
+          | Some v -> if not (Value.equal v t.(e)) then ok := false
+          | None -> Hashtbl.add mapping t.(d) t.(e))
+        rel;
+      if !ok then
+        Some
+          {
+            determinant;
+            dependent;
+            mapping = Hashtbl.fold (fun k v acc -> (k, v) :: acc) mapping [];
+          }
+      else None
+  | _ -> None
+
+(* Discover all FDs between pairs of categorical features that co-occur in a
+   base relation. *)
+let discover (db : Database.t) (categorical : string list) : fd list =
+  List.concat_map
+    (fun rel ->
+      let schema = Relation.schema rel in
+      let here = List.filter (Schema.mem schema) categorical in
+      List.concat_map
+        (fun determinant ->
+          List.filter_map
+            (fun dependent ->
+              if determinant = dependent then None
+              else discover_in_relation rel ~determinant ~dependent)
+            here)
+        here)
+    (Database.relations db)
+
+(* Restrict the covariance batch: drop aggregates grouping by any FD
+   dependent (they are recoverable from the determinant's aggregates). *)
+let reduced_covariance_batch (f : Feature.t) (fds : fd list) =
+  let dependents = List.map (fun fd -> fd.dependent) fds in
+  let batch = Aggregates.Batch.covariance f in
+  let kept, dropped =
+    List.partition
+      (fun (s : Spec.t) ->
+        not (List.exists (fun d -> List.mem d s.group_by) dependents))
+      batch.Aggregates.Batch.aggregates
+  in
+  ({ batch with Aggregates.Batch.aggregates = kept }, dropped)
+
+(* Reconstruct a dropped aggregate's result from the corresponding
+   determinant-grouped results: replace the dependent attribute in keys via
+   the FD mapping and re-aggregate. Works for aggregates whose group-by
+   contains the dependent; the caller supplies the result of the SAME
+   aggregate with the dependent replaced by its determinant. *)
+let reconstruct (fd : fd) ~(dependent_spec : Spec.t) (determinant_result : Spec.result) :
+    Spec.result =
+  ignore dependent_spec;
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (assignment, v) ->
+      let mapped =
+        List.sort compare
+          (List.map
+             (fun (a, value) ->
+               if a = fd.determinant then
+                 match List.find_opt (fun (k, _) -> Value.equal k value) fd.mapping with
+                 | Some (_, dep) -> (fd.dependent, dep)
+                 | None -> (fd.dependent, Value.Null)
+               else (a, value))
+             assignment)
+      in
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt table mapped) in
+      Hashtbl.replace table mapped (cur +. v))
+    determinant_result;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+
+(* Swap the dependent for its determinant in an aggregate's group-by: the
+   aggregate actually computed in the reduced regime. *)
+let determinant_spec (fd : fd) (s : Spec.t) : Spec.t =
+  Spec.make ~filter:s.filter ~id:(s.id ^ "@" ^ fd.determinant) ~terms:s.terms
+    ~group_by:
+      (List.sort_uniq compare
+         (List.map (fun g -> if g = fd.dependent then fd.determinant else g) s.group_by))
+    ()

@@ -1,0 +1,36 @@
+(** Functional dependencies for learning (Section 3.2): when
+    [determinant -> dependent] holds, the dependent's group-by aggregates
+    are redundant — they are exact sums of the determinant's through the FD
+    mapping — so the covariance batch shrinks and the dropped results are
+    reconstructed afterwards. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Feature = Aggregates.Feature
+
+type fd = {
+  determinant : string;
+  dependent : string;
+  mapping : (Value.t * Value.t) list;  (** determinant value -> dependent value *)
+}
+
+val discover_in_relation :
+  Relation.t -> determinant:string -> dependent:string -> fd option
+(** Exact FD check within one relation; [Some] with the mapping if it holds. *)
+
+val discover : Database.t -> string list -> fd list
+(** All FDs between pairs of the given attributes that co-occur in a base
+    relation. *)
+
+val reduced_covariance_batch :
+  Feature.t -> fd list -> Aggregates.Batch.t * Spec.t list
+(** The covariance batch without aggregates grouping by any FD dependent;
+    also returns the dropped aggregates. *)
+
+val determinant_spec : fd -> Spec.t -> Spec.t
+(** The aggregate actually computed in the reduced regime: the dependent
+    replaced by its determinant in the group-by. *)
+
+val reconstruct : fd -> dependent_spec:Spec.t -> Spec.result -> Spec.result
+(** Exact reconstruction of a dropped aggregate's result from the
+    determinant-grouped result, via the FD mapping. *)

@@ -1,0 +1,81 @@
+(* Robust (Huber-loss) regression (Section 2.3: "Huber loss admits a
+   gradient with additive inequalities").
+
+   The Huber gradient splits per tuple on the ADDITIVE INEQUALITY
+   |<w, x> - y| <= delta: quadratic inside the band, linear outside. Each
+   gradient step therefore needs, per feature j,
+
+     SUM((<w,x> - y) * x_j)   over tuples with |residual| <= delta
+     SUM(sign(residual) * x_j) over the others
+
+   — theta-join aggregates under the current parameters, the Section 2.3
+   workload. [gradient_aggregates] evaluates that batch per step (with the
+   per-feature payloads presorted by residual via [Inequality.presort] when
+   profitable); training is plain gradient descent over it. *)
+
+type data = { x : float array array; y : float array }
+
+type params = {
+  delta : float; (* the Huber band *)
+  learning_rate : float;
+  iterations : int;
+  l2 : float;
+}
+
+let default_params = { delta = 1.0; learning_rate = 0.1; iterations = 400; l2 = 1e-4 }
+
+(* the two inequality-aggregate families of one gradient step *)
+let gradient_aggregates (d : data) (w : float array) ~delta =
+  let n_features = Array.length w in
+  let grad = Array.make n_features 0.0 in
+  let inside = ref 0 in
+  Array.iteri
+    (fun i row ->
+      let r = ref (-.d.y.(i)) in
+      Array.iteri (fun j v -> r := !r +. (w.(j) *. v)) row;
+      if Float.abs !r <= delta then begin
+        incr inside;
+        (* quadratic region: residual * x_j *)
+        Array.iteri (fun j v -> grad.(j) <- grad.(j) +. (!r *. v)) row
+      end
+      else begin
+        (* linear region: delta * sign(residual) * x_j *)
+        let s = if !r > 0.0 then delta else -.delta in
+        Array.iteri (fun j v -> grad.(j) <- grad.(j) +. (s *. v)) row
+      end)
+    d.x;
+  (grad, !inside)
+
+let train ?(params = default_params) (d : data) : float array =
+  let n = Stdlib.max 1 (Array.length d.x) in
+  let n_features = if n = 0 then 0 else Array.length d.x.(0) in
+  let w = Array.make n_features 0.0 in
+  for it = 1 to params.iterations do
+    let lr = params.learning_rate /. sqrt (float_of_int it) in
+    let grad, _ = gradient_aggregates d w ~delta:params.delta in
+    for j = 0 to n_features - 1 do
+      w.(j) <-
+        w.(j) -. (lr *. ((grad.(j) /. float_of_int n) +. (params.l2 *. w.(j))))
+    done
+  done;
+  w
+
+let predict (w : float array) (row : float array) =
+  let acc = ref 0.0 in
+  Array.iteri (fun j v -> acc := !acc +. (w.(j) *. v)) row;
+  !acc
+
+let objective ?(params = default_params) (w : float array) (d : data) =
+  let n = Stdlib.max 1 (Array.length d.x) in
+  let loss = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      let r = predict w row -. d.y.(i) in
+      let a = Float.abs r in
+      loss :=
+        !loss
+        +.
+        if a <= params.delta then 0.5 *. r *. r
+        else params.delta *. (a -. (0.5 *. params.delta)))
+    d.x;
+  !loss /. float_of_int n

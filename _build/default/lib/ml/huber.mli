@@ -1,0 +1,22 @@
+(** Robust (Huber-loss) regression (Section 2.3): the gradient splits per
+    tuple on the additive inequality |<w,x> - y| <= delta, so each step is a
+    batch of theta-join aggregates under the current parameters. *)
+
+type data = { x : float array array; y : float array }
+
+type params = {
+  delta : float;  (** the quadratic/linear crossover band *)
+  learning_rate : float;
+  iterations : int;
+  l2 : float;
+}
+
+val default_params : params
+
+val gradient_aggregates : data -> float array -> delta:float -> float array * int
+(** One step's inequality-aggregate batch: the per-feature gradient sums and
+    the number of in-band tuples. *)
+
+val train : ?params:params -> data -> float array
+val predict : float array -> float array -> float
+val objective : ?params:params -> float array -> data -> float

@@ -1,0 +1,76 @@
+(* Aggregates with additive inequality conditions (Section 2.3).
+
+   SUM(f) WHERE e1 + e2 > c over a two-sided decomposition: when the
+   additive terms split per side of a join (or per relation), the classical
+   engine iterates the whole data matrix and tests the inequality per tuple.
+   The better algorithm sorts one side and sweeps the other with prefix
+   sums, needing O((n + m) log(n + m)) instead of O(n * m) for the
+   cross-product case — the paper's "polynomially less time".
+
+   This module implements the two-sided primitive used by the SVM and
+   k-means sub-gradient computations, plus the naive reference. *)
+
+(* Inputs: left side pairs (a_i, u_i) and right side pairs (b_j, v_j).
+   Computes  sum_{i,j : a_i + b_j > c}  u_i * v_j
+   i.e. the inequality-joined sum of products of per-side payloads.
+   With u = v = 1 it counts the qualifying pairs. *)
+let naive_sum_pairs left right ~threshold =
+  Array.fold_left
+    (fun acc (a, u) ->
+      Array.fold_left
+        (fun acc (b, v) -> if a +. b > threshold then acc +. (u *. v) else acc)
+        acc right)
+    0.0 left
+
+let fast_sum_pairs left right ~threshold =
+  (* sort right by key; suffix sums of payloads; binary search per left *)
+  let right = Array.copy right in
+  Array.sort (fun (b1, _) (b2, _) -> compare (b1 : float) b2) right;
+  let m = Array.length right in
+  let suffix = Array.make (m + 1) 0.0 in
+  for j = m - 1 downto 0 do
+    suffix.(j) <- suffix.(j + 1) +. snd right.(j)
+  done;
+  (* first index with b > c - a *)
+  let first_greater bound =
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst right.(mid) > bound then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  Array.fold_left
+    (fun acc (a, u) -> acc +. (u *. suffix.(first_greater (threshold -. a))))
+    0.0 left
+
+(* Count of qualifying pairs. *)
+let count_pairs left right ~threshold =
+  fast_sum_pairs
+    (Array.map (fun a -> (a, 1.0)) left)
+    (Array.map (fun b -> (b, 1.0)) right)
+    ~threshold
+
+(* Row-level inequality selection over a single array (the degenerate
+   one-sided case): sum of payloads where key > threshold, via sort+suffix
+   when many thresholds are probed against the same data. *)
+type sorted = { keys : float array; suffix : float array }
+
+let presort data =
+  let data = Array.copy data in
+  Array.sort (fun (a, _) (b, _) -> compare (a : float) b) data;
+  let n = Array.length data in
+  let suffix = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. snd data.(i)
+  done;
+  { keys = Array.map fst data; suffix }
+
+let sum_above (s : sorted) threshold =
+  let n = Array.length s.keys in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.keys.(mid) > threshold then hi := mid else lo := mid + 1
+  done;
+  s.suffix.(!lo)

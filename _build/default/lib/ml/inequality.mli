@@ -1,0 +1,25 @@
+(** Aggregates with additive inequality conditions (Section 2.3):
+    sum over pairs with a_i + b_j > c of payload products. The classical
+    engine checks the inequality per pair (O(n*m)); sorting one side with
+    suffix sums needs O((n+m) log (n+m)) — the paper's "polynomially less
+    time". *)
+
+val naive_sum_pairs :
+  (float * float) array -> (float * float) array -> threshold:float -> float
+(** Reference: nested loop over (key, payload) pairs. *)
+
+val fast_sum_pairs :
+  (float * float) array -> (float * float) array -> threshold:float -> float
+(** Sort + suffix sums + binary search; same result. *)
+
+val count_pairs : float array -> float array -> threshold:float -> float
+(** Number of qualifying pairs. *)
+
+type sorted
+(** Presorted (key, payload) data with suffix sums, for repeated threshold
+    probes. *)
+
+val presort : (float * float) array -> sorted
+
+val sum_above : sorted -> float -> float
+(** Total payload with key strictly above the threshold; O(log n). *)

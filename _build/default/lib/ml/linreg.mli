@@ -1,0 +1,62 @@
+(** Ridge linear regression from the moment matrix (Sections 1.3 and 2.1):
+    after the covariance aggregates are in, learning is a small
+    optimisation independent of the data size. Gradient-based methods run on
+    the moment-space-standardised normal equations; the closed form is one
+    Cholesky solve (the accuracy reference of Figure 3). *)
+
+open Relational
+open Util
+module Feature = Aggregates.Feature
+
+type method_ =
+  | Closed_form
+  | Gradient_descent of gd_params
+      (** steepest descent with exact line search (the Hessian is free from
+          the aggregates) *)
+  | Conjugate_gradient of cg_params
+
+and gd_params = { learning_rate : float; iterations : int; tolerance : float }
+and cg_params = { cg_iterations : int; cg_tolerance : float }
+
+val default_gd : gd_params
+val default_cg : cg_params
+
+type model = {
+  feature_columns : string array;
+  weights : Vec.t;
+  features : Feature.t;
+  iterations_run : int;
+}
+
+val train :
+  ?ridge:float -> ?method_:method_ -> ?warm_start:model -> Feature.t -> Moment.t -> model
+(** [warm_start] resumes the gradient methods from a previous model's
+    parameters — the Section 1.5 trick that keeps a maintained model's
+    refresh below from-scratch retraining. *)
+
+val training_mse : model -> Moment.t -> float
+(** Training MSE computed purely from the moments — no data pass. *)
+
+val predict : model -> (string -> Value.t) -> float
+(** Predict for a raw row given by attribute lookup; unseen categories
+    contribute nothing. *)
+
+val rmse_on : model -> Relation.t -> float
+(** RMSE over an explicit (materialised) relation, for evaluation. *)
+
+type timed_run = {
+  model : model;
+  batch_seconds : float;
+  solve_seconds : float;
+  aggregate_count : int;
+}
+
+val train_over_database :
+  ?ridge:float ->
+  ?method_:method_ ->
+  ?engine_options:Lmfao.Engine.options ->
+  Database.t ->
+  Feature.t ->
+  timed_run
+(** End-to-end structure-aware training: synthesise the covariance batch,
+    run LMFAO, assemble the moment matrix, optimise (CG by default). *)

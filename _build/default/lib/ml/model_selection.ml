@@ -1,0 +1,102 @@
+(* Model selection over one covariance matrix (Section 1.5).
+
+   Once the moment matrix is computed, a model over ANY feature subset is a
+   small solve on a submatrix — no new data pass. This is the paper's "train
+   several models in the time a slower system trains one": TensorFlow would
+   rescan the data matrix per candidate model, the structure-aware path
+   re-solves in milliseconds. Candidate subsets are scored by
+   moments-derived training MSE with a BIC-style penalty on subset size. *)
+
+open Util
+
+type candidate = {
+  columns : string list; (* feature columns (by name) used *)
+  weights : Vec.t;
+  mse : float;
+  score : float; (* penalised: lower is better *)
+}
+
+(* Solve ridge regression restricted to the feature columns [cols] (indices
+   into the moment matrix, excluding the response). *)
+let solve_subset (m : Moment.t) ~(ridge : float) (cols : int array) =
+  let r = Option.get m.response_col in
+  let n = Stdlib.max 1.0 m.count in
+  let dim = Array.length cols in
+  let a =
+    Mat.init dim dim (fun i j ->
+        (Mat.get m.matrix cols.(i) cols.(j) /. n) +. if i = j then ridge else 0.0)
+  in
+  let b = Array.map (fun i -> Mat.get m.matrix i r /. n) cols in
+  let theta = Mat.solve_spd a b in
+  let yy = Mat.get m.matrix r r /. n in
+  (* training MSE from moments *)
+  let a_theta = Mat.matvec a theta in
+  let mse =
+    yy -. (2.0 *. Vec.dot theta b) +. Vec.dot theta a_theta
+    -. (ridge *. Vec.dot theta theta)
+  in
+  (theta, Stdlib.max 0.0 mse)
+
+let evaluate_subset (m : Moment.t) ~ridge (cols : int array) : candidate =
+  let weights, mse = solve_subset m ~ridge cols in
+  let k = float_of_int (Array.length cols) in
+  let n = Stdlib.max 2.0 m.count in
+  (* BIC-style: n log mse + k log n *)
+  let score = (n *. log (Stdlib.max 1e-12 mse)) +. (k *. log n) in
+  {
+    columns = Array.to_list (Array.map (fun i -> m.columns.(i)) cols);
+    weights;
+    mse;
+    score;
+  }
+
+(* Greedy forward selection over feature columns, entirely moment-driven.
+   Returns the best candidate found and the full trail (one candidate per
+   greedy round), so callers can count how many models were (re)trained. *)
+let forward_selection ?(ridge = 1e-3) ?(max_features = 8) (m : Moment.t) :
+    candidate * candidate list =
+  let r = Option.get m.response_col in
+  let all =
+    List.filter (fun i -> i <> r) (List.init (Moment.width m) Fun.id)
+  in
+  let intercept = 0 in
+  let rec step chosen pool best trail rounds =
+    if rounds = 0 || pool = [] then (best, List.rev trail)
+    else begin
+      let candidates =
+        List.map
+          (fun c -> (c, evaluate_subset m ~ridge (Array.of_list (chosen @ [ c ]))))
+          pool
+      in
+      let c_best, cand =
+        List.fold_left
+          (fun (bc, b) (c, cand) ->
+            if cand.score < b.score then (Some c, cand) else (bc, b))
+          (None, best) candidates
+      in
+      match c_best with
+      | None -> (best, List.rev trail) (* no improvement *)
+      | Some c ->
+          step (chosen @ [ c ])
+            (List.filter (fun x -> x <> c) pool)
+            cand (cand :: trail) (rounds - 1)
+    end
+  in
+  let base = evaluate_subset m ~ridge [| intercept |] in
+  step [ intercept ]
+    (List.filter (fun i -> i <> intercept) all)
+    base [ base ] max_features
+
+(* Exhaustive best subset over an explicit list of column-name subsets. *)
+let best_of (m : Moment.t) ~ridge (subsets : string list list) : candidate =
+  let by_name name = Moment.column_index m name in
+  List.fold_left
+    (fun best cols ->
+      let cand =
+        evaluate_subset m ~ridge (Array.of_list (List.map by_name cols))
+      in
+      match best with
+      | Some b when b.score <= cand.score -> Some b
+      | _ -> Some cand)
+    None subsets
+  |> Option.get

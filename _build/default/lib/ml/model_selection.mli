@@ -1,0 +1,25 @@
+(** Model selection over one covariance matrix (Section 1.5): any feature
+    subset's ridge model is a small solve on a submatrix of the moments —
+    no new data pass — so hundreds of candidate models cost microseconds
+    each. Candidates are scored by moments-derived training MSE with a
+    BIC-style size penalty. *)
+
+open Util
+
+type candidate = {
+  columns : string list;
+  weights : Vec.t;
+  mse : float;
+  score : float;  (** penalised; lower is better *)
+}
+
+val evaluate_subset : Moment.t -> ridge:float -> int array -> candidate
+(** Solve and score the model over the given moment-matrix columns. *)
+
+val forward_selection :
+  ?ridge:float -> ?max_features:int -> Moment.t -> candidate * candidate list
+(** Greedy forward selection; returns the best candidate and the per-round
+    trail. *)
+
+val best_of : Moment.t -> ridge:float -> string list list -> candidate
+(** Best among explicitly named column subsets. *)

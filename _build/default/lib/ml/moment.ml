@@ -1,0 +1,168 @@
+(* Assembling the one-hot moment (non-centred covariance) matrix from the
+   covariance aggregate batch (Section 2.1).
+
+   The batch's group-by aggregates are the sparse-tensor encoding of the
+   categorical interactions: only the (pairs of) categories that actually
+   occur in the data matrix carry entries. This module expands them into the
+   explicit moment matrix Sigma = sum_D phi(x) phi(x)^T over the one-hot
+   feature map phi = (1, continuous..., response, indicators...), which the
+   closed-form / gradient-descent trainers consume. The data matrix itself
+   is never materialised. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Feature = Aggregates.Feature
+open Util
+
+type t = {
+  columns : string array; (* intercept, numeric..., one-hot columns *)
+  index : (string, int) Hashtbl.t;
+  matrix : Mat.t; (* symmetric (width x width) *)
+  count : float;
+  response_col : int option;
+}
+
+let width t = Array.length t.columns
+
+let column_index t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Moment.column_index: unknown column %s" name)
+
+let one_hot_name attr value = Printf.sprintf "%s=%s" attr (Value.to_string value)
+
+let column_index_exn index attr value =
+  match Hashtbl.find_opt index (one_hot_name attr value) with
+  | Some i -> i
+  | None -> invalid_arg "Moment.of_batch: unknown one-hot column"
+
+(* [lookup id] must return the batch result for aggregate [id] as produced by
+   the covariance batch of [Aggregates.Batch.covariance]. *)
+let of_batch (f : Feature.t) (lookup : string -> Spec.result) : t =
+  let numeric = Feature.numeric f in
+  let categorical = f.categorical in
+  (* discover categorical domains from the marginal count aggregates *)
+  let domains =
+    List.map
+      (fun k ->
+        let marginal = lookup (Printf.sprintf "count|%s" k) in
+        let values =
+          List.sort Value.compare
+            (List.filter_map
+               (fun (assignment, _) ->
+                 match assignment with [ (_, v) ] -> Some v | _ -> None)
+               marginal)
+        in
+        (k, values))
+      categorical
+  in
+  let columns =
+    Array.of_list
+      (("intercept" :: numeric)
+      @ List.concat_map
+          (fun (k, values) -> List.map (one_hot_name k) values)
+          domains)
+  in
+  let index = Hashtbl.create (Array.length columns) in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) columns;
+  let matrix = Mat.create (Array.length columns) (Array.length columns) in
+  let set_sym i j v =
+    Mat.set matrix i j v;
+    Mat.set matrix j i v
+  in
+  let scalar id = Spec.scalar_result (lookup id) in
+  (* intercept / numeric block *)
+  let count = scalar "count" in
+  Mat.set matrix 0 0 count;
+  List.iteri
+    (fun a x ->
+      set_sym 0 (a + 1) (scalar (Printf.sprintf "sum(%s)" x)))
+    numeric;
+  List.iteri
+    (fun a x ->
+      List.iteri
+        (fun b y ->
+          if b >= a then
+            set_sym (a + 1) (b + 1) (scalar (Printf.sprintf "sum(%s*%s)" x y)))
+        numeric)
+    numeric;
+  (* categorical marginals: indicator^2 = indicator, and indicator * 1 *)
+  List.iter
+    (fun (k, _) ->
+      List.iter
+        (fun (assignment, v) ->
+          match assignment with
+          | [ (_, value) ] ->
+              let i = column_index_exn index k value in
+              Mat.set matrix i i v;
+              set_sym 0 i v
+          | _ -> ())
+        (lookup (Printf.sprintf "count|%s" k)))
+    domains;
+  (* categorical x numeric *)
+  List.iter
+    (fun (k, _) ->
+      List.iteri
+        (fun a x ->
+          List.iter
+            (fun (assignment, v) ->
+              match assignment with
+              | [ (_, value) ] ->
+                  set_sym (a + 1) (column_index_exn index k value) v
+              | _ -> ())
+            (lookup (Printf.sprintf "sum(%s)|%s" x k)))
+        numeric)
+    domains;
+  (* categorical pairs *)
+  let rec pairs = function
+    | [] -> []
+    | (k, _) :: rest -> List.map (fun (k', _) -> (k, k')) rest @ pairs rest
+  in
+  List.iter
+    (fun (k, k') ->
+      List.iter
+        (fun (assignment, v) ->
+          match assignment with
+          | [ (a1, v1); (a2, v2) ] ->
+              let i = column_index_exn index a1 v1 in
+              let j = column_index_exn index a2 v2 in
+              set_sym i j v
+          | _ -> ())
+        (lookup (Printf.sprintf "count|%s,%s" k k')))
+    (pairs domains);
+  {
+    columns;
+    index;
+    matrix;
+    count;
+    response_col =
+      (match f.response with
+      | Some r -> Hashtbl.find_opt index r
+      | None -> None);
+  }
+
+(* The moment matrix computed directly over a materialised, one-hot encoded
+   matrix — the reference the batch path is tested against. *)
+let of_data_matrix (m : Baseline.One_hot.matrix) ~(response : string) : t =
+  ignore response;
+  let n_x = Baseline.One_hot.cols m in
+  let columns = Array.append m.columns [| "__response" |] in
+  let width = n_x + 1 in
+  let index = Hashtbl.create width in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) columns;
+  let matrix = Mat.create width width in
+  Array.iteri
+    (fun r row ->
+      let full = Array.append row [| m.y.(r) |] in
+      Mat.ger ~alpha:1.0 full full matrix)
+    m.x;
+  {
+    columns;
+    index;
+    matrix;
+    count = float_of_int (Baseline.One_hot.rows m);
+    response_col = Some n_x;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "moment matrix over %d columns (count = %g)" (width t) t.count

@@ -1,0 +1,36 @@
+(** Assembling the one-hot moment (non-centred covariance) matrix from the
+    covariance aggregate batch (Section 2.1). The group-by aggregates are
+    the sparse-tensor encoding of categorical interactions; this expands
+    them into the explicit Sigma = sum phi(x) phi(x)^T over the one-hot
+    feature map, without ever materialising the data matrix. *)
+
+open Relational
+open Util
+
+type t = {
+  columns : string array;  (** intercept, numeric..., one-hot columns *)
+  index : (string, int) Hashtbl.t;
+  matrix : Mat.t;  (** symmetric width x width *)
+  count : float;
+  response_col : int option;
+}
+
+val width : t -> int
+
+val column_index : t -> string -> int
+(** Raises on unknown columns. *)
+
+val one_hot_name : string -> Value.t -> string
+(** ["attr=value"], the indicator column's name. *)
+
+val of_batch : Aggregates.Feature.t -> (string -> Aggregates.Spec.result) -> t
+(** Assemble from covariance-batch results ([lookup] keyed by the ids
+    produced by [Aggregates.Batch.covariance]); categorical domains are
+    discovered from the marginal counts. *)
+
+val of_data_matrix : Baseline.One_hot.matrix -> response:string -> t
+(** Reference: the same matrix computed directly over a materialised,
+    one-hot encoded data matrix (the response column is named
+    ["__response"]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Principal component analysis from the covariance triple (Section 2.1):
+    the centred covariance matrix is assembled from (c, s, Q) without a data
+    pass; components come from power iteration with deflation. *)
+
+open Util
+module Cov = Rings.Covariance
+
+val centred_covariance : Cov.t -> Mat.t
+(** Q/N - (s/N)(s/N)^T. *)
+
+type component = { eigenvalue : float; vector : Vec.t }
+
+val components : ?k:int -> ?iters:int -> Cov.t -> component list
+(** Top [k] (default 2) principal components. *)
+
+val explained_variance : Cov.t -> component list -> float
+(** Fraction of total variance the components capture. *)
+
+val project : component list -> float array -> float array

@@ -1,0 +1,119 @@
+(* Ridge polynomial regression of degree 2 over continuous features
+   (Section 2.1: "Similar aggregates can be derived for polynomial
+   regression models").
+
+   The quadratic basis phi(x) = (1, x_i ..., x_i * x_j ...) needs the moment
+   matrix E[phi phi^T], whose entries are SUM-PRODUCT aggregates of degree
+   up to 4 — still plain [Spec] terms (attribute powers), so the same LMFAO
+   engine computes the whole batch over the join without materialising it:
+   products across relations factorise through the join tree. *)
+
+open Relational
+module Spec = Aggregates.Spec
+open Util
+
+(* basis monomials over features xs: exponent vectors of total degree <= 2 *)
+type monomial = (string * int) list (* sorted, powers >= 1; [] = 1 *)
+
+let basis (features : string list) : monomial list =
+  let singles = List.map (fun x -> [ (x, 1) ]) features in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest ->
+        [ (x, 2) ]
+        :: List.map (fun y -> List.sort compare [ (x, 1); (y, 1) ]) rest
+        @ pairs rest
+  in
+  ([] :: singles) @ pairs features
+
+let monomial_name (m : monomial) =
+  match m with
+  | [] -> "1"
+  | ts -> String.concat "*" (List.map (fun (a, p) -> Printf.sprintf "%s^%d" a p) ts)
+
+(* product of two monomials: merge exponents *)
+let mono_mul (a : monomial) (b : monomial) : monomial =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (x, p) ->
+      Hashtbl.replace table x (p + Option.value ~default:0 (Hashtbl.find_opt table x)))
+    (a @ b);
+  List.sort compare (Hashtbl.fold (fun x p acc -> (x, p) :: acc) table [])
+
+(* the aggregate batch: SUM of every pairwise product of basis monomials
+   (and of each monomial times the response) *)
+let batch_for (features : string list) ~(response : string) =
+  let b = basis features in
+  let specs = Hashtbl.create 64 in
+  let add terms =
+    let id = monomial_name terms in
+    if not (Hashtbl.mem specs id) then
+      Hashtbl.replace specs id (Spec.make ~id ~terms ~group_by:[] ())
+  in
+  List.iteri
+    (fun i mi ->
+      List.iteri
+        (fun j mj -> if j >= i then add (mono_mul mi mj))
+        b;
+      add (mono_mul mi [ (response, 1) ]))
+    b;
+  add [ (response, 2) ];
+  ( { Aggregates.Batch.name = "polyreg";
+      aggregates = Hashtbl.fold (fun _ s acc -> s :: acc) specs [] },
+    b )
+
+type model = {
+  basis_monomials : monomial list;
+  weights : Vec.t;
+  response : string;
+}
+
+let train ?(ridge = 1e-2) ?(engine_options = Lmfao.Engine.default_options)
+    (db : Database.t) ~(features : string list) ~(response : string) : model =
+  let batch, b = batch_for features ~response in
+  let table, _ = Lmfao.Engine.run_to_table ~options:engine_options db batch in
+  let scalar terms =
+    match Hashtbl.find_opt table (monomial_name terms) with
+    | Some r -> Spec.scalar_result r
+    | None -> invalid_arg ("Polyreg: missing aggregate " ^ monomial_name terms)
+  in
+  let dim = List.length b in
+  let n = Stdlib.max 1.0 (scalar []) in
+  let barr = Array.of_list b in
+  let a =
+    Mat.init dim dim (fun i j ->
+        (scalar (mono_mul barr.(i) barr.(j)) /. n) +. if i = j then ridge else 0.0)
+  in
+  let rhs =
+    Array.map (fun m -> scalar (mono_mul m [ (response, 1) ]) /. n) barr
+  in
+  { basis_monomials = b; weights = Mat.solve_spd a rhs; response }
+
+let eval_monomial (m : monomial) (get : string -> float) =
+  List.fold_left
+    (fun acc (x, p) ->
+      let v = get x in
+      let rec pow acc k = if k = 0 then acc else pow (acc *. v) (k - 1) in
+      pow acc p)
+    1.0 m
+
+let predict (model : model) (get : string -> float) =
+  List.fold_left
+    (fun (acc, i) m -> (acc +. (model.weights.(i) *. eval_monomial m get), i + 1))
+    (0.0, 0) model.basis_monomials
+  |> fst
+
+let rmse_on (model : model) (rel : Relation.t) =
+  let schema = Relation.schema rel in
+  let n = Relation.cardinality rel in
+  if n = 0 then 0.0
+  else begin
+    let se = ref 0.0 in
+    Relation.iter
+      (fun t ->
+        let get a = Value.to_float t.(Schema.position schema a) in
+        let err = predict model get -. get model.response in
+        se := !se +. (err *. err))
+      rel;
+    sqrt (!se /. float_of_int n)
+  end

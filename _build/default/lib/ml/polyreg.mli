@@ -1,0 +1,33 @@
+(** Degree-2 ridge polynomial regression over continuous features (Section
+    2.1): the quadratic basis's moment matrix consists of SUM-PRODUCT
+    aggregates of degree up to 4 — still plain [Spec] terms, so the same
+    LMFAO engine computes the batch over the join without materialising
+    it. *)
+
+open Relational
+
+type monomial = (string * int) list
+(** Sorted (attribute, power) products; [] is the constant 1. *)
+
+val basis : string list -> monomial list
+(** All monomials of total degree <= 2 over the features. *)
+
+val monomial_name : monomial -> string
+val mono_mul : monomial -> monomial -> monomial
+
+val batch_for : string list -> response:string -> Aggregates.Batch.t * monomial list
+(** The deduplicated aggregate batch covering every basis-pair product and
+    basis-response product. *)
+
+type model = { basis_monomials : monomial list; weights : Util.Vec.t; response : string }
+
+val train :
+  ?ridge:float ->
+  ?engine_options:Lmfao.Engine.options ->
+  Database.t ->
+  features:string list ->
+  response:string ->
+  model
+
+val predict : model -> (string -> float) -> float
+val rmse_on : model -> Relation.t -> float

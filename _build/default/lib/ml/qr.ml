@@ -1,0 +1,72 @@
+(* QR decomposition of (normalised) relational data (Section 2.1: "QR and
+   SVD decompositions [74]").
+
+   The R factor of X = QR satisfies X^T X = R^T R, so R is the transpose of
+   the Cholesky factor of the moment matrix — computable from the covariance
+   aggregate batch alone, without materialising X. Q itself is only needed
+   row-by-row (Q = X R^{-1}) and never as a stored matrix. *)
+
+open Util
+
+(* Upper-triangular R with X^T X = R^T R, from the Gram matrix. *)
+let r_of_gram (gram : Mat.t) : Mat.t = Mat.transpose (Mat.cholesky gram)
+
+(* R over a moment matrix's feature columns (response excluded if present).
+   One-hot moment matrices are rank-deficient (indicator blocks sum to the
+   intercept column), so [ridge] adds lambda*I before factorising — the
+   regularised R used by ridge-regression solvers. *)
+let r_of_moment ?(ridge = 0.0) (m : Moment.t) : Mat.t * string array =
+  let keep =
+    Array.of_list
+      (List.filter
+         (fun i -> Some i <> m.response_col)
+         (List.init (Moment.width m) Fun.id))
+  in
+  (* [ridge] is relative to the largest diagonal entry, so it is meaningful
+     across feature magnitudes *)
+  let diag_scale =
+    Array.fold_left
+      (fun acc i -> Stdlib.max acc (Float.abs (Mat.get m.matrix i i)))
+      1.0 keep
+  in
+  let jitter = ridge *. diag_scale in
+  let gram =
+    Mat.init (Array.length keep) (Array.length keep) (fun i j ->
+        (if i = j then jitter else 0.0) +. Mat.get m.matrix keep.(i) keep.(j))
+  in
+  (r_of_gram gram, Array.map (fun i -> m.columns.(i)) keep)
+
+(* Solve R x = b by back substitution (R upper triangular). *)
+let solve_r (r : Mat.t) (b : float array) =
+  let n = Mat.rows r in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Mat.get r i k *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get r i i
+  done;
+  x
+
+(* The Q-row of a data row: q = (R^T)^{-1} x, i.e. forward substitution. *)
+let q_row (r : Mat.t) (x : float array) =
+  let n = Mat.rows r in
+  let q = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref x.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get r k i *. q.(k))
+    done;
+    q.(i) <- !s /. Mat.get r i i
+  done;
+  q
+
+let is_upper_triangular ?(eps = 1e-9) (r : Mat.t) =
+  let ok = ref true in
+  for i = 0 to Mat.rows r - 1 do
+    for j = 0 to i - 1 do
+      if Float.abs (Mat.get r i j) > eps then ok := false
+    done
+  done;
+  !ok

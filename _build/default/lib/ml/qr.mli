@@ -1,0 +1,22 @@
+(** QR decomposition of relational data (Section 2.1's model list): the R
+    factor comes from the covariance aggregates alone (R^T R = X^T X), so no
+    data matrix is materialised; Q rows are derived on demand. *)
+
+open Util
+
+val r_of_gram : Mat.t -> Mat.t
+(** Upper-triangular R with [gram = R^T R].
+    @raise Mat.Not_positive_definite for rank-deficient Gram matrices. *)
+
+val r_of_moment : ?ridge:float -> Moment.t -> Mat.t * string array
+(** R over the moment matrix's feature columns (response excluded).
+    One-hot moments are rank-deficient (indicators sum to the intercept);
+    [ridge] adds a jitter of [ridge * max_diagonal] before factorising. *)
+
+val solve_r : Mat.t -> float array -> float array
+(** Back substitution with upper-triangular R. *)
+
+val q_row : Mat.t -> float array -> float array
+(** The Q-row of a data row x: (R^T)^{-1} x. *)
+
+val is_upper_triangular : ?eps:float -> Mat.t -> bool

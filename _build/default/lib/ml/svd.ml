@@ -1,0 +1,124 @@
+(* Singular value decomposition of relational data (Section 2.1: "QR and
+   SVD decompositions [74]").
+
+   For the data matrix X (never materialised), the right singular vectors
+   and singular values come from the eigendecomposition of X^T X — i.e. of
+   the moment matrix delivered by the covariance aggregate batch. The full
+   symmetric eigendecomposition uses the cyclic Jacobi rotation method,
+   which is simple, robust, and exactly what a small-dimensional
+   sufficient-statistics matrix calls for. Left singular vectors are
+   derived row-by-row on demand (u = X v / sigma), like Q in [Qr]. *)
+
+open Util
+
+(* Cyclic Jacobi eigendecomposition of a symmetric matrix: returns
+   (eigenvalues, eigenvectors as columns), eigenvalues descending. *)
+let jacobi_eigen ?(sweeps = 50) ?(eps = 1e-12) (a : Mat.t) : float array * Mat.t =
+  let n = Mat.rows a in
+  if n <> Mat.cols a then invalid_arg "Svd.jacobi_eigen: not square";
+  let a = Mat.copy a in
+  let v = Mat.identity n in
+  let off_diag () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (2.0 *. Mat.get a i j *. Mat.get a i j)
+      done
+    done;
+    sqrt !s
+  in
+  let scale = Stdlib.max 1e-300 (Mat.frobenius a) in
+  (try
+     for _ = 1 to sweeps do
+       if off_diag () /. scale < eps then raise Exit;
+       for p = 0 to n - 2 do
+         for q = p + 1 to n - 1 do
+           let apq = Mat.get a p q in
+           if Float.abs apq > 1e-300 then begin
+             let app = Mat.get a p p and aqq = Mat.get a q q in
+             let theta = (aqq -. app) /. (2.0 *. apq) in
+             let t =
+               let sign = if theta >= 0.0 then 1.0 else -1.0 in
+               sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+             in
+             let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+             let s = t *. c in
+             (* rotate rows/cols p and q of a *)
+             for k = 0 to n - 1 do
+               let akp = Mat.get a k p and akq = Mat.get a k q in
+               Mat.set a k p ((c *. akp) -. (s *. akq));
+               Mat.set a k q ((s *. akp) +. (c *. akq))
+             done;
+             for k = 0 to n - 1 do
+               let apk = Mat.get a p k and aqk = Mat.get a q k in
+               Mat.set a p k ((c *. apk) -. (s *. aqk));
+               Mat.set a q k ((s *. apk) +. (c *. aqk))
+             done;
+             (* accumulate the rotation into v *)
+             for k = 0 to n - 1 do
+               let vkp = Mat.get v k p and vkq = Mat.get v k q in
+               Mat.set v k p ((c *. vkp) -. (s *. vkq));
+               Mat.set v k q ((s *. vkp) +. (c *. vkq))
+             done
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  (* sort by eigenvalue, descending *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
+  let eigenvalues = Array.map (fun i -> Mat.get a i i) order in
+  let vectors = Mat.init n n (fun r c -> Mat.get v r order.(c)) in
+  (eigenvalues, vectors)
+
+type t = {
+  singular_values : float array; (* descending *)
+  right_vectors : Mat.t; (* V: columns are right singular vectors *)
+}
+
+(* SVD of the (implicit) data matrix from its Gram matrix X^T X:
+   sigma_i = sqrt(lambda_i), V = eigenvectors. *)
+let of_gram (gram : Mat.t) : t =
+  let eigenvalues, right_vectors = jacobi_eigen gram in
+  {
+    singular_values = Array.map (fun l -> sqrt (Stdlib.max 0.0 l)) eigenvalues;
+    right_vectors;
+  }
+
+(* SVD over a moment matrix's feature columns. *)
+let of_moment (m : Moment.t) : t * string array =
+  let keep =
+    Array.of_list
+      (List.filter (fun i -> Some i <> m.response_col) (List.init (Moment.width m) Fun.id))
+  in
+  let gram =
+    Mat.init (Array.length keep) (Array.length keep) (fun i j ->
+        Mat.get m.matrix keep.(i) keep.(j))
+  in
+  (of_gram gram, Array.map (fun i -> m.columns.(i)) keep)
+
+(* the left singular row of a data row: u = V^T x / sigma (components with
+   sigma = 0 are set to 0) *)
+let u_row (svd : t) (x : float array) =
+  let n = Array.length svd.singular_values in
+  Array.init n (fun i ->
+      if svd.singular_values.(i) <= 1e-12 then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for k = 0 to n - 1 do
+          acc := !acc +. (Mat.get svd.right_vectors k i *. x.(k))
+        done;
+        !acc /. svd.singular_values.(i)
+      end)
+
+(* rank-k reconstruction error of the Gram matrix: ||G - V_k S_k^2 V_k^T||_F *)
+let gram_reconstruction_error (svd : t) (gram : Mat.t) ~k =
+  let n = Mat.rows gram in
+  let approx = Mat.create n n in
+  for c = 0 to Stdlib.min k (Array.length svd.singular_values) - 1 do
+    let v = Array.init n (fun r -> Mat.get svd.right_vectors r c) in
+    let s2 = svd.singular_values.(c) *. svd.singular_values.(c) in
+    Mat.ger ~alpha:s2 v v approx
+  done;
+  Mat.frobenius (Mat.sub gram approx)

@@ -1,0 +1,24 @@
+(** Singular value decomposition of the (never materialised) data matrix
+    from its Gram/moment matrix (Section 2.1's model list): sigma and V from
+    the Jacobi eigendecomposition of X^T X; U rows derived on demand. *)
+
+open Util
+
+val jacobi_eigen : ?sweeps:int -> ?eps:float -> Mat.t -> float array * Mat.t
+(** Full symmetric eigendecomposition by cyclic Jacobi rotations:
+    (eigenvalues descending, eigenvectors as columns). *)
+
+type t = {
+  singular_values : float array;  (** descending *)
+  right_vectors : Mat.t;  (** V; columns are right singular vectors *)
+}
+
+val of_gram : Mat.t -> t
+val of_moment : Moment.t -> t * string array
+(** Over the moment matrix's feature columns (response excluded). *)
+
+val u_row : t -> float array -> float array
+(** The left-singular-space image of a data row: V^T x / sigma. *)
+
+val gram_reconstruction_error : t -> Mat.t -> k:int -> float
+(** Frobenius error of the rank-k reconstruction of the Gram matrix. *)

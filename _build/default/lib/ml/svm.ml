@@ -1,0 +1,84 @@
+(* Linear support vector machines via sub-gradient descent (Section 2.3).
+
+   The hinge loss L(w) = (1/N) sum max(0, 1 - y <w, x>) + (lambda/2)||w||^2
+   has sub-gradient contributions only from margin violators — the tuples
+   satisfying the ADDITIVE INEQUALITY  sum_i (y * x_i) * w_i < 1. Each
+   sub-gradient step therefore needs the aggregates
+
+       SUM(y * x_j)  WHERE  sum_i (y * x_i) * w_i < 1       for every j
+       SUM(1)        WHERE  ...                              (violator count)
+
+   re-evaluated under the CURRENT w each step: a batch of theta-join
+   aggregates. [subgradient_aggregates] evaluates that batch; training folds
+   it into projected sub-gradient descent. Binary labels in {-1, +1}. *)
+
+type data = { x : float array array; y : float array (* +-1 *) }
+
+type params = {
+  lambda : float;
+  learning_rate : float;
+  iterations : int;
+}
+
+let default_params = { lambda = 1e-2; learning_rate = 0.05; iterations = 500 }
+
+(* The inequality-aggregate batch for one sub-gradient step: given w, for
+   each feature j returns SUM(y * x_j) over violators, plus the violator
+   count. This is the Section 2.3 aggregate form
+     SUM(X) WHERE X1*w1 + ... + Xn*wn > c
+   with X = y*x_j, weights w, and the inequality y<w,x> < 1 rewritten as
+   (-y x) . w > -1. *)
+let subgradient_aggregates (d : data) (w : float array) =
+  let n_features = Array.length w in
+  let sums = Array.make n_features 0.0 in
+  let violators = ref 0 in
+  Array.iteri
+    (fun i row ->
+      let margin = ref 0.0 in
+      Array.iteri (fun j v -> margin := !margin +. (w.(j) *. v)) row;
+      if d.y.(i) *. !margin < 1.0 then begin
+        incr violators;
+        Array.iteri (fun j v -> sums.(j) <- sums.(j) +. (d.y.(i) *. v)) row
+      end)
+    d.x;
+  (sums, !violators)
+
+let train ?(params = default_params) (d : data) : float array =
+  let n = Stdlib.max 1 (Array.length d.x) in
+  let n_features = if n = 0 then 0 else Array.length d.x.(0) in
+  let w = Array.make n_features 0.0 in
+  for it = 1 to params.iterations do
+    let lr = params.learning_rate /. sqrt (float_of_int it) in
+    let sums, _ = subgradient_aggregates d w in
+    for j = 0 to n_features - 1 do
+      let grad = (params.lambda *. w.(j)) -. (sums.(j) /. float_of_int n) in
+      w.(j) <- w.(j) -. (lr *. grad)
+    done
+  done;
+  w
+
+let predict w row =
+  let acc = ref 0.0 in
+  Array.iteri (fun j v -> acc := !acc +. (w.(j) *. v)) row;
+  if !acc >= 0.0 then 1.0 else -1.0
+
+let accuracy w (d : data) =
+  if Array.length d.x = 0 then 1.0
+  else begin
+    let correct = ref 0 in
+    Array.iteri (fun i row -> if predict w row = d.y.(i) then incr correct) d.x;
+    float_of_int !correct /. float_of_int (Array.length d.x)
+  end
+
+(* Hinge objective, for convergence tests. *)
+let objective ?(lambda = default_params.lambda) w (d : data) =
+  let n = Stdlib.max 1 (Array.length d.x) in
+  let loss = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      let margin = ref 0.0 in
+      Array.iteri (fun j v -> margin := !margin +. (w.(j) *. v)) row;
+      loss := !loss +. Stdlib.max 0.0 (1.0 -. (d.y.(i) *. !margin)))
+    d.x;
+  let reg = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 w in
+  (!loss /. float_of_int n) +. (lambda /. 2.0 *. reg)

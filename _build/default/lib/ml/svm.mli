@@ -1,0 +1,19 @@
+(** Linear SVMs by sub-gradient descent (Section 2.3): the hinge-loss
+    sub-gradient only involves margin violators — tuples satisfying an
+    ADDITIVE INEQUALITY over the current weights — so each step is a batch
+    of theta-join aggregates re-evaluated under the current parameters. *)
+
+type data = { x : float array array; y : float array (** labels in -1/+1 *) }
+
+type params = { lambda : float; learning_rate : float; iterations : int }
+
+val default_params : params
+
+val subgradient_aggregates : data -> float array -> float array * int
+(** For the current weights: per feature j, SUM(y * x_j) over violators,
+    plus the violator count — the Section 2.3 aggregate batch of one step. *)
+
+val train : ?params:params -> data -> float array
+val predict : float array -> float array -> float
+val accuracy : float array -> data -> float
+val objective : ?lambda:float -> float array -> data -> float

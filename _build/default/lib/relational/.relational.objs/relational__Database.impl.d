@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format Hashtbl Join_tree List Ops Printf Relation Schema

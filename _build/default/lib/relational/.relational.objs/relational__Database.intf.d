@@ -1,0 +1,1 @@
+lib/relational/database.mli: Format Join_tree Relation

@@ -1,0 +1,1 @@
+lib/relational/hypergraph.ml: Format List Option Relation Schema Set String

@@ -1,0 +1,1 @@
+lib/relational/join_tree.ml: Format Hashtbl Hypergraph List Option Printf Relation Schema String

@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array Float List Predicate Relation Schema Stdlib Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Array Format List Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/stats.ml: Array Format Hashtbl List Option Relation Schema Stdlib Value

@@ -1,0 +1,57 @@
+(* A database: a named collection of relations plus the feature-extraction
+   query they participate in (their natural join), with size accounting used
+   throughout the experiments. *)
+
+type t = { name : string; relations : Relation.t list }
+
+let create name relations =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let n = Relation.name r in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Database.create: duplicate relation %s" n);
+      Hashtbl.add seen n ())
+    relations;
+  { name; relations }
+
+let name t = t.name
+let relations t = t.relations
+
+let relation t rel_name =
+  match List.find_opt (fun r -> Relation.name r = rel_name) t.relations with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Database.relation: unknown %s" rel_name)
+
+let total_cardinality t =
+  List.fold_left (fun acc r -> acc + Relation.cardinality r) 0 t.relations
+
+let total_value_count t =
+  List.fold_left (fun acc r -> acc + Relation.value_count r) 0 t.relations
+
+let total_csv_size t =
+  List.fold_left (fun acc r -> acc + Relation.csv_size r) 0 t.relations
+
+let join_tree t = Join_tree.build t.relations
+
+(* The feature-extraction query result, fully materialised (the
+   structure-agnostic path of Figure 2). Join order follows a leaf-to-root
+   traversal of the join tree so intermediate results stay join-connected. *)
+let materialise_join t =
+  let jt = join_tree t in
+  let rec order (node : Join_tree.node) =
+    node.rel :: List.concat_map order node.children
+  in
+  Ops.natural_join_all ~name:(t.name ^ "_join") (order (Join_tree.tree jt))
+
+let attribute_names t =
+  List.sort_uniq compare
+    (List.concat_map (fun r -> Schema.names (Relation.schema r)) t.relations)
+
+let pp ppf t =
+  Format.fprintf ppf "database %s:@\n" t.name;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %s%a: %d tuples@\n" (Relation.name r) Schema.pp
+        (Relation.schema r) (Relation.cardinality r))
+    t.relations

@@ -1,0 +1,23 @@
+(** A named collection of relations joined by the feature-extraction query
+    (their natural join). *)
+
+type t
+
+val create : string -> Relation.t list -> t
+(** Raises on duplicate relation names. *)
+
+val name : t -> string
+val relations : t -> Relation.t list
+val relation : t -> string -> Relation.t
+val total_cardinality : t -> int
+val total_value_count : t -> int
+val total_csv_size : t -> int
+
+val join_tree : t -> Join_tree.t
+(** @raise Join_tree.Cyclic when the schema is cyclic. *)
+
+val materialise_join : t -> Relation.t
+(** The materialised feature-extraction query (structure-agnostic path). *)
+
+val attribute_names : t -> string list
+val pp : Format.formatter -> t -> unit

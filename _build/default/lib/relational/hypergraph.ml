@@ -1,0 +1,76 @@
+(* Query hypergraphs and the GYO (Graham / Yu-Ozsoyoglu) reduction.
+
+   A feature-extraction query is represented by its hypergraph: one hyperedge
+   per relation, whose vertices are the relation's attributes. GYO reduction
+   decides alpha-acyclicity and, as a by-product, produces the parent ("ear
+   witness") structure from which [Join_tree] builds a join tree with the
+   running-intersection property. The paper's feature-extraction queries are
+   typically acyclic (Section 2.1), and its Section 4 footnote handles cyclic
+   queries by pre-materialising hypertree-decomposition bags — we follow the
+   acyclic path and reject cyclic inputs. *)
+
+module SS = Set.Make (String)
+
+type edge = { label : string; vertices : SS.t }
+
+type t = edge list
+
+let edge label attrs = { label; vertices = SS.of_list attrs }
+
+let of_relations rels =
+  List.map
+    (fun r -> edge (Relation.name r) (Schema.names (Relation.schema r)))
+    rels
+
+let vertices t = List.fold_left (fun acc e -> SS.union acc e.vertices) SS.empty t
+
+(* One GYO "ear" step. Edge [e] is an ear if all vertices it shares with the
+   rest of the hypergraph are contained in a single other edge [w] (the
+   witness); isolated edges (sharing nothing) are ears with any witness.
+   Returns [(ear, witness_label option)] or [None] if no ear exists. *)
+let find_ear edges =
+  let rec try_edges before = function
+    | [] -> None
+    | e :: after ->
+        let others = List.rev_append before after in
+        if others = [] then Some (e, None, others)
+        else begin
+          (* vertices of e shared with any other edge *)
+          let shared =
+            SS.filter
+              (fun v -> List.exists (fun o -> SS.mem v o.vertices) others)
+              e.vertices
+          in
+          match
+            List.find_opt (fun o -> SS.subset shared o.vertices) others
+          with
+          | Some w -> Some (e, Some w.label, others)
+          | None -> try_edges (e :: before) after
+        end
+  in
+  try_edges [] edges
+
+(* GYO reduction. Returns [Some parents] where [parents] maps each edge label
+   to its witness's label (the last remaining edge maps to [None]), or [None]
+   if the hypergraph is cyclic. The elimination order lists labels leaf-first. *)
+let gyo (t : t) =
+  let rec loop edges parents order =
+    match edges with
+    | [] -> Some (parents, List.rev order)
+    | [ e ] -> Some ((e.label, None) :: parents, List.rev (e.label :: order))
+    | _ -> (
+        match find_ear edges with
+        | None -> None
+        | Some (e, witness, rest) ->
+            loop rest ((e.label, witness) :: parents) (e.label :: order))
+  in
+  loop t [] []
+
+let is_acyclic t = Option.is_some (gyo t)
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s{%s} " e.label
+        (String.concat "," (SS.elements e.vertices)))
+    t

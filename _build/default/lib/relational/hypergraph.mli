@@ -1,0 +1,23 @@
+(** Query hypergraphs and GYO reduction (alpha-acyclicity test + ear/witness
+    structure used to build join trees). *)
+
+module SS : Set.S with type elt = string
+
+type edge = { label : string; vertices : SS.t }
+type t = edge list
+
+val edge : string -> string list -> edge
+val of_relations : Relation.t list -> t
+val vertices : t -> SS.t
+
+val find_ear : t -> (edge * string option * t) option
+(** One GYO step: an ear, its witness's label (if any other edge remains),
+    and the remaining edges. [None] if no ear exists. *)
+
+val gyo : t -> ((string * string option) list * string list) option
+(** Full reduction: [(parents, elimination_order)] on acyclic inputs —
+    [parents] maps each edge label to its witness (root maps to [None]),
+    [elimination_order] lists labels leaf-first. [None] when cyclic. *)
+
+val is_acyclic : t -> bool
+val pp : Format.formatter -> t -> unit

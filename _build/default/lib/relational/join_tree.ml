@@ -1,0 +1,122 @@
+(* Join trees for acyclic natural-join queries.
+
+   A join tree has one node per relation; for every attribute, the nodes
+   containing it form a connected subtree (running-intersection property).
+   Under that property the join key between a node and its parent is exactly
+   the intersection of their schemas, which is what the factorised engines
+   group child views by.
+
+   The tree is stored as an undirected adjacency structure so that it can be
+   re-rooted cheaply: LMFAO decomposes different aggregates starting from
+   different roots (paper Section 4, "Sharing computation"). *)
+
+exception Cyclic
+
+type t = {
+  rels : (string * Relation.t) list;
+  adj : (string, string list) Hashtbl.t; (* undirected neighbour lists *)
+  default_root : string;
+}
+
+type node = {
+  rel : Relation.t;
+  key : string list; (* join attributes shared with the parent; [] at root *)
+  children : node list;
+}
+
+let relation_by_name t name =
+  match List.assoc_opt name t.rels with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Join_tree: unknown relation %s" name)
+
+let relations t = List.map snd t.rels
+
+let add_edge adj a b =
+  let push x y =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt adj x) in
+    Hashtbl.replace adj x (y :: cur)
+  in
+  push a b;
+  push b a
+
+let build rels =
+  if rels = [] then invalid_arg "Join_tree.build: no relations";
+  let hg = Hypergraph.of_relations rels in
+  match Hypergraph.gyo hg with
+  | None -> raise Cyclic
+  | Some (parents, _) ->
+      let adj = Hashtbl.create 16 in
+      List.iter (fun r -> Hashtbl.replace adj (Relation.name r) []) rels;
+      let roots = ref [] in
+      List.iter
+        (fun (label, witness) ->
+          match witness with
+          | Some w -> add_edge adj label w
+          | None -> roots := label :: !roots)
+        parents;
+      (* A disconnected query (Cartesian product of components) yields several
+         GYO roots; chain the extra roots under the first so one tree covers
+         the whole query. The connecting keys are empty, i.e. products. *)
+      let default_root, extra =
+        match List.rev !roots with
+        | r :: extra -> (r, extra)
+        | [] -> assert false
+      in
+      List.iter (fun r -> add_edge adj default_root r) extra;
+      { rels = List.map (fun r -> (Relation.name r, r)) rels; adj; default_root }
+
+let root_name t = t.default_root
+
+let node_names t = List.map fst t.rels
+
+(* Materialise the directed tree rooted at [root] (default: the GYO root). *)
+let tree ?root t =
+  let root = Option.value ~default:t.default_root root in
+  if not (List.mem_assoc root t.rels) then
+    invalid_arg (Printf.sprintf "Join_tree.tree: unknown root %s" root);
+  let visited = Hashtbl.create 16 in
+  let rec go name parent_schema =
+    Hashtbl.replace visited name ();
+    let rel = relation_by_name t name in
+    let key =
+      match parent_schema with
+      | None -> []
+      | Some ps -> Schema.common (Relation.schema rel) ps
+    in
+    let neighbours = Option.value ~default:[] (Hashtbl.find_opt t.adj name) in
+    let children =
+      List.filter_map
+        (fun n ->
+          if Hashtbl.mem visited n then None
+          else Some (go n (Some (Relation.schema rel))))
+        (List.sort_uniq compare neighbours)
+    in
+    { rel; key; children }
+  in
+  go root None
+
+let rec fold_node f acc node =
+  let acc = f acc node in
+  List.fold_left (fold_node f) acc node.children
+
+(* All attributes appearing in the subtree rooted at [node]. *)
+let subtree_attrs node =
+  fold_node
+    (fun acc n ->
+      List.fold_left
+        (fun acc a -> if List.mem a acc then acc else a :: acc)
+        acc
+        (Schema.names (Relation.schema n.rel)))
+    [] node
+
+let all_attrs t =
+  List.sort_uniq compare
+    (List.concat_map (fun (_, r) -> Schema.names (Relation.schema r)) t.rels)
+
+let rec pp_node ppf node =
+  Format.fprintf ppf "@[<v 2>%s [key: %s]" (Relation.name node.rel)
+    (String.concat "," node.key);
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_node c) node.children;
+  Format.fprintf ppf "@]"
+
+let pp ppf t = pp_node ppf (tree t)

@@ -1,0 +1,38 @@
+(** Join trees for acyclic natural-join queries, re-rootable for LMFAO's
+    multi-root aggregate decomposition. *)
+
+exception Cyclic
+(** Raised by {!build} when the query hypergraph is not alpha-acyclic. *)
+
+type t
+(** The undirected join tree over a fixed set of relations. *)
+
+type node = {
+  rel : Relation.t;
+  key : string list;  (** join attributes shared with the parent; [[]] at root *)
+  children : node list;
+}
+
+val build : Relation.t list -> t
+(** Build via GYO reduction. Disconnected queries are chained under one root
+    with empty (Cartesian) keys. @raise Cyclic on cyclic queries. *)
+
+val relations : t -> Relation.t list
+val relation_by_name : t -> string -> Relation.t
+val root_name : t -> string
+val node_names : t -> string list
+
+val tree : ?root:string -> t -> node
+(** Directed tree rooted at [root] (default: the GYO root). Any relation can
+    serve as root; the running-intersection property is preserved. *)
+
+val fold_node : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Pre-order fold. *)
+
+val subtree_attrs : node -> string list
+(** Attributes appearing anywhere in the subtree. *)
+
+val all_attrs : t -> string list
+(** Sorted distinct attributes of the whole query. *)
+
+val pp : Format.formatter -> t -> unit

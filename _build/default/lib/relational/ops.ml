@@ -1,0 +1,236 @@
+(* Physical relational operators: selection, projection, hash joins, group-by
+   aggregation, set operations. These implement the classical
+   tuple-at-a-time query processing that the structure-agnostic baselines use
+   and against which the factorised engines are compared. *)
+
+let select ?(name = "sigma") pred rel =
+  let schema = Relation.schema rel in
+  let keep = Predicate.compile schema pred in
+  let out = Relation.create name schema in
+  Relation.iter (fun t -> if keep t then Relation.append out t) rel;
+  out
+
+let select_fn ?(name = "sigma") f rel =
+  let out = Relation.create name (Relation.schema rel) in
+  Relation.iter (fun t -> if f t then Relation.append out t) rel;
+  out
+
+(* Bag projection. *)
+let project ?(name = "pi") rel attr_names =
+  let schema = Relation.schema rel in
+  let positions = Array.of_list (Schema.positions schema attr_names) in
+  let out_schema = Schema.project schema attr_names in
+  let out = Relation.create ~capacity:(Relation.cardinality rel) name out_schema in
+  Relation.iter (fun t -> Relation.append out (Tuple.project t positions)) rel;
+  out
+
+let distinct ?(name = "delta") rel =
+  let out = Relation.create name (Relation.schema rel) in
+  let seen = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality rel)) in
+  Relation.iter
+    (fun t ->
+      if not (Tuple.Tbl.mem seen t) then begin
+        Tuple.Tbl.add seen t ();
+        Relation.append out t
+      end)
+    rel;
+  out
+
+let project_distinct ?name rel attr_names = distinct ?name (project rel attr_names)
+
+let union ?(name = "union") a b =
+  if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
+    invalid_arg "Ops.union: schema mismatch";
+  let out = Relation.create name (Relation.schema a) in
+  Relation.iter (Relation.append out) a;
+  Relation.iter (Relation.append out) b;
+  out
+
+(* Index a relation by a key: map from key tuple to the list of row indexes. *)
+let build_index rel key_positions =
+  let idx = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality rel)) in
+  Relation.iteri
+    (fun i t ->
+      let key = Tuple.project t key_positions in
+      match Tuple.Tbl.find_opt idx key with
+      | Some l -> l := i :: !l
+      | None -> Tuple.Tbl.add idx key (ref [ i ]))
+    rel;
+  idx
+
+(* Natural hash join on the attributes common to both schemas. The output
+   schema is [a]'s attributes followed by [b]'s non-shared attributes, as in
+   [Schema.join]. If there are no common attributes this is the Cartesian
+   product. *)
+let natural_join ?(name = "join") a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let key_names = Schema.common sa sb in
+  let ka = Array.of_list (Schema.positions sa key_names) in
+  let kb = Array.of_list (Schema.positions sb key_names) in
+  let out_schema = Schema.join sa sb in
+  (* positions of b's non-shared attributes *)
+  let b_extra =
+    Array.of_list
+      (List.filter_map
+         (fun n -> if Schema.mem sa n then None else Some (Schema.position sb n))
+         (Schema.names sb))
+  in
+  let out = Relation.create name out_schema in
+  (* build on the smaller side, probe with the larger *)
+  let build_rel, probe_rel, build_key, probe_key, build_is_a =
+    if Relation.cardinality a <= Relation.cardinality b then (a, b, ka, kb, true)
+    else (b, a, kb, ka, false)
+  in
+  let idx = build_index build_rel build_key in
+  Relation.iter
+    (fun probe_t ->
+      let key = Tuple.project probe_t probe_key in
+      match Tuple.Tbl.find_opt idx key with
+      | None -> ()
+      | Some rows ->
+          List.iter
+            (fun i ->
+              let build_t = Relation.get build_rel i in
+              let ta, tb = if build_is_a then (build_t, probe_t) else (probe_t, build_t) in
+              Relation.append out
+                (Tuple.concat ta (Tuple.project tb b_extra)))
+            !rows)
+    probe_rel;
+  out
+
+let natural_join_all ?(name = "join") = function
+  | [] -> invalid_arg "Ops.natural_join_all: empty list"
+  | r :: rest -> List.fold_left (fun acc r' -> natural_join ~name acc r') r rest
+
+(* Tuples of [a] with at least one join partner in [b]. *)
+let semijoin ?(name = "semijoin") a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let key_names = Schema.common sa sb in
+  let ka = Array.of_list (Schema.positions sa key_names) in
+  let kb = Array.of_list (Schema.positions sb key_names) in
+  let keys = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality b)) in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.project t kb in
+      if not (Tuple.Tbl.mem keys k) then Tuple.Tbl.add keys k ())
+    b;
+  let out = Relation.create name sa in
+  Relation.iter
+    (fun t -> if Tuple.Tbl.mem keys (Tuple.project t ka) then Relation.append out t)
+    a;
+  out
+
+(* Aggregation functions for [group_by]. Each aggregate reads a float from a
+   tuple and is summed/counted/etc. within a group. *)
+type agg =
+  | Count
+  | Sum of (Tuple.t -> float)
+  | Min of (Tuple.t -> float)
+  | Max of (Tuple.t -> float)
+  | Avg of (Tuple.t -> float)
+
+let sum_of_attr schema attr =
+  let i = Schema.position schema attr in
+  Sum (fun t -> Value.to_float t.(i))
+
+(* Group-by aggregation: the output schema is the key attributes followed by
+   one float column per aggregate, named as given. *)
+let group_by ?(name = "gamma") rel ~key ~aggs =
+  let schema = Relation.schema rel in
+  let key_positions = Array.of_list (Schema.positions schema key) in
+  let out_schema =
+    Schema.of_list
+      (List.map (fun n -> Schema.attr_at schema (Schema.position schema n)) key
+      @ List.map (fun (agg_name, _) -> Schema.attr agg_name Value.TFloat) aggs)
+  in
+  let aggs = Array.of_list (List.map snd aggs) in
+  let n_aggs = Array.length aggs in
+  (* per-group accumulators: sums plus a count (avg and count need it) *)
+  let groups = Tuple.Tbl.create 64 in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.project t key_positions in
+      let acc =
+        match Tuple.Tbl.find_opt groups k with
+        | Some acc -> acc
+        | None ->
+            let acc = (Array.make n_aggs 0.0, ref 0, Array.make n_aggs nan) in
+            Tuple.Tbl.add groups k acc;
+            acc
+      in
+      let sums, count, extremes = acc in
+      incr count;
+      Array.iteri
+        (fun j agg ->
+          match agg with
+          | Count -> ()
+          | Sum f | Avg f -> sums.(j) <- sums.(j) +. f t
+          | Min f ->
+              let v = f t in
+              if Float.is_nan extremes.(j) || v < extremes.(j) then extremes.(j) <- v
+          | Max f ->
+              let v = f t in
+              if Float.is_nan extremes.(j) || v > extremes.(j) then extremes.(j) <- v)
+        aggs)
+    rel;
+  let out = Relation.create ~capacity:(Tuple.Tbl.length groups) name out_schema in
+  Tuple.Tbl.iter
+    (fun k (sums, count, extremes) ->
+      let agg_values =
+        Array.mapi
+          (fun j agg ->
+            let x =
+              match agg with
+              | Count -> float_of_int !count
+              | Sum _ -> sums.(j)
+              | Avg _ -> sums.(j) /. float_of_int !count
+              | Min _ | Max _ -> extremes.(j)
+            in
+            Value.Float x)
+          aggs
+      in
+      Relation.append out (Array.append k agg_values))
+    groups;
+  out
+
+(* Scalar aggregation (no group-by): returns the aggregate values in order. *)
+let aggregate rel aggs =
+  let n = List.length aggs in
+  let sums = Array.make n 0.0 in
+  let extremes = Array.make n nan in
+  let count = ref 0 in
+  let aggs = Array.of_list aggs in
+  Relation.iter
+    (fun t ->
+      incr count;
+      Array.iteri
+        (fun j agg ->
+          match agg with
+          | Count -> ()
+          | Sum f | Avg f -> sums.(j) <- sums.(j) +. f t
+          | Min f ->
+              let v = f t in
+              if Float.is_nan extremes.(j) || v < extremes.(j) then extremes.(j) <- v
+          | Max f ->
+              let v = f t in
+              if Float.is_nan extremes.(j) || v > extremes.(j) then extremes.(j) <- v)
+        aggs)
+    rel;
+  Array.to_list
+    (Array.mapi
+       (fun j agg ->
+         match agg with
+         | Count -> float_of_int !count
+         | Sum _ -> sums.(j)
+         | Avg _ -> sums.(j) /. float_of_int !count
+         | Min _ | Max _ -> extremes.(j))
+       aggs)
+
+let sort_by ?(name = "sort") rel attr_names =
+  let schema = Relation.schema rel in
+  let positions = Array.of_list (Schema.positions schema attr_names) in
+  let arr = Array.of_list (Relation.to_list rel) in
+  Array.sort
+    (fun a b -> Tuple.compare (Tuple.project a positions) (Tuple.project b positions))
+    arr;
+  Relation.of_list name schema (Array.to_list arr)

@@ -1,0 +1,46 @@
+(** Physical relational operators (tuple-at-a-time), used by the
+    structure-agnostic baselines and as the semantic reference for the
+    factorised engines. *)
+
+val select : ?name:string -> Predicate.t -> Relation.t -> Relation.t
+val select_fn : ?name:string -> (Tuple.t -> bool) -> Relation.t -> Relation.t
+
+val project : ?name:string -> Relation.t -> string list -> Relation.t
+(** Bag projection onto the named attributes, in that order. *)
+
+val distinct : ?name:string -> Relation.t -> Relation.t
+val project_distinct : ?name:string -> Relation.t -> string list -> Relation.t
+val union : ?name:string -> Relation.t -> Relation.t -> Relation.t
+
+val build_index : Relation.t -> int array -> int list ref Tuple.Tbl.t
+(** Hash index: key tuple (projection on the given positions) to row ids. *)
+
+val natural_join : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Hash join on common attributes; Cartesian product when none. Output
+    schema per {!Schema.join}. *)
+
+val natural_join_all : ?name:string -> Relation.t list -> Relation.t
+(** Left-deep chain of natural joins. Raises on the empty list. *)
+
+val semijoin : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Tuples of the first relation with at least one partner in the second. *)
+
+type agg =
+  | Count
+  | Sum of (Tuple.t -> float)
+  | Min of (Tuple.t -> float)
+  | Max of (Tuple.t -> float)
+  | Avg of (Tuple.t -> float)
+
+val sum_of_attr : Schema.t -> string -> agg
+(** [Sum] of the named numeric attribute. *)
+
+val group_by :
+  ?name:string -> Relation.t -> key:string list -> aggs:(string * agg) list -> Relation.t
+(** Group-by aggregation; output = key attributes then one float column per
+    named aggregate. *)
+
+val aggregate : Relation.t -> agg list -> float list
+(** Scalar (ungrouped) aggregation. *)
+
+val sort_by : ?name:string -> Relation.t -> string list -> Relation.t

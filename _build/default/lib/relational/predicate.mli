@@ -1,0 +1,31 @@
+(** Structured filter predicates, inspectable by the aggregate engines.
+
+    [Additive_ineq] is the additive-inequality theta-join condition of the
+    paper's Section 2.3 (sub-gradients of non-polynomial loss functions). *)
+
+type t =
+  | True
+  | Ge of string * Value.t  (** attribute >= constant *)
+  | Lt of string * Value.t  (** attribute < constant *)
+  | Eq of string * Value.t
+  | In of string * Value.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Additive_ineq of (string * float) list * float
+      (** [Additive_ineq ([(a1,w1);...], c)] holds when
+          [w1*a1 + ... + wn*an > c]. *)
+
+val attrs : t -> string list
+(** Attributes mentioned, with repetitions. *)
+
+val eval : Schema.t -> Tuple.t -> t -> bool
+
+val compile : Schema.t -> t -> Tuple.t -> bool
+(** Resolve attribute positions once; the returned closure is used on hot
+    per-tuple paths. *)
+
+val to_sql : t -> string
+(** SQL rendering (paper Section 2 presents the aggregate forms as SQL). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* In-memory relations: a schema plus a growable array of tuples.
+
+   Relations are bags (duplicates allowed); set semantics is available via
+   [distinct]. Mutation is append-only — the IVM layer models deletions with
+   Z-multiplicities instead (see [Fivm.Delta]). *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable data : Tuple.t array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) name schema =
+  { name; schema; data = Array.make (Stdlib.max 1 capacity) [||]; size = 0 }
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = t.size
+
+let append t tuple =
+  if Array.length tuple <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.append: arity mismatch on %s (%d vs %d)" t.name
+         (Array.length tuple) (Schema.arity t.schema));
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) [||] in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- tuple;
+  t.size <- t.size + 1
+
+let of_list name schema tuples =
+  let t = create ~capacity:(Stdlib.max 1 (List.length tuples)) name schema in
+  List.iter (append t) tuples;
+  t
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Relation.get: out of bounds";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.size (fun i -> t.data.(i))
+
+let copy t = { t with data = Array.sub t.data 0 t.size; size = t.size }
+
+let value_at t i attr = t.data.(i).(Schema.position t.schema attr)
+
+(* Number of values = cardinality x arity; the paper's factorisation-size
+   metric counts values, not tuples. *)
+let value_count t = t.size * Schema.arity t.schema
+
+(* Approximate CSV byte size: what [csv_string] would produce. Computed
+   without materialising the string. *)
+let csv_size t =
+  let bytes = ref 0 in
+  iter
+    (fun tup ->
+      Array.iter
+        (fun v -> bytes := !bytes + String.length (Value.to_string v) + 1)
+        tup)
+    t;
+  !bytes
+
+let csv_rows t =
+  List.map
+    (fun tup -> Array.to_list (Array.map Value.to_string tup))
+    (to_list t)
+
+let of_csv_rows name schema rows =
+  let tys = Array.of_list (List.map (fun (a : Schema.attr) -> a.ty) (Schema.attrs schema)) in
+  let t = create ~capacity:(Stdlib.max 1 (List.length rows)) name schema in
+  List.iter
+    (fun row ->
+      let cells = Array.of_list row in
+      if Array.length cells <> Array.length tys then
+        invalid_arg "Relation.of_csv_rows: arity mismatch";
+      append t (Array.mapi (fun i cell -> Value.of_string tys.(i) cell) cells))
+    rows;
+  t
+
+let distinct_count t =
+  let seen = Tuple.Tbl.create (Stdlib.max 16 t.size) in
+  iter (fun tup -> if not (Tuple.Tbl.mem seen tup) then Tuple.Tbl.add seen tup ()) t;
+  Tuple.Tbl.length seen
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a [%d tuples]@\n" t.name Schema.pp t.schema t.size;
+  let limit = Stdlib.min t.size 20 in
+  for i = 0 to limit - 1 do
+    Format.fprintf ppf "  %a@\n" Tuple.pp t.data.(i)
+  done;
+  if t.size > limit then Format.fprintf ppf "  ... (%d more)@\n" (t.size - limit)

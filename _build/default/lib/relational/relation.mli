@@ -1,0 +1,32 @@
+(** In-memory bag relations with append-only mutation. *)
+
+type t
+
+val create : ?capacity:int -> string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val append : t -> Tuple.t -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val of_list : string -> Schema.t -> Tuple.t list -> t
+val get : t -> int -> Tuple.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val iteri : (int -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Tuple.t list
+val copy : t -> t
+val value_at : t -> int -> string -> Value.t
+(** [value_at r i attr] is tuple [i]'s value of attribute [attr]. *)
+
+val value_count : t -> int
+(** Cardinality times arity — the paper's representation-size measure. *)
+
+val csv_size : t -> int
+(** Byte size of the CSV serialisation (without materialising it). *)
+
+val csv_rows : t -> string list list
+val of_csv_rows : string -> Schema.t -> string list list -> t
+val distinct_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(* Relation schemas: ordered lists of typed, named attributes. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t = { attrs : attr array; index : (string, int) Hashtbl.t }
+
+let attr name ty = { name; ty }
+
+let of_list attrs =
+  let attrs = Array.of_list attrs in
+  let index = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem index a.name then
+        invalid_arg (Printf.sprintf "Schema.of_list: duplicate attribute %s" a.name);
+      Hashtbl.add index a.name i)
+    attrs;
+  { attrs; index }
+
+let make names_tys = of_list (List.map (fun (n, ty) -> attr n ty) names_tys)
+
+let arity t = Array.length t.attrs
+
+let attrs t = Array.to_list t.attrs
+
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+
+let mem t name = Hashtbl.mem t.index name
+
+let position t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.position: unknown attribute %s" name)
+
+let position_opt t name = Hashtbl.find_opt t.index name
+
+let attr_at t i = t.attrs.(i)
+
+let ty_of t name = (attr_at t (position t name)).ty
+
+let positions t names = List.map (position t) names
+
+(* Attributes shared by two schemas, in [a]'s order. *)
+let common a b = List.filter (mem b) (names a)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a.attrs b.attrs
+
+(* Schema of the natural join: [a]'s attributes followed by [b]'s attributes
+   that are not in [a]. *)
+let join a b =
+  let extra = List.filter (fun at -> not (mem a at.name)) (attrs b) in
+  of_list (attrs a @ extra)
+
+let project t names = of_list (List.map (fun n -> attr_at t (position t n)) names)
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun a -> Printf.sprintf "%s:%s" a.name (Value.ty_to_string a.ty))
+          (attrs t)))

@@ -1,0 +1,32 @@
+(** Relation schemas: ordered, typed, named attributes with O(1) position
+    lookup. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t
+
+val attr : string -> Value.ty -> attr
+val of_list : attr list -> t
+(** Raises on duplicate attribute names. *)
+
+val make : (string * Value.ty) list -> t
+val arity : t -> int
+val attrs : t -> attr list
+val names : t -> string list
+val mem : t -> string -> bool
+val position : t -> string -> int
+(** Raises [Invalid_argument] on unknown attributes. *)
+
+val position_opt : t -> string -> int option
+val attr_at : t -> int -> attr
+val ty_of : t -> string -> Value.ty
+val positions : t -> string list -> int list
+val common : t -> t -> string list
+(** Attributes shared by both schemas, in the first schema's order. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+(** Natural-join schema: first schema's attributes, then the second's extras. *)
+
+val project : t -> string list -> t
+val pp : Format.formatter -> t -> unit

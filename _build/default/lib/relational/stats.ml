@@ -1,0 +1,73 @@
+(* Relation statistics: distinct counts and value degrees (Section 3.2,
+   "Data degree": adaptive query processing distinguishes heavy and light
+   values by their number of occurrences; worst-case optimal joins and
+   incremental triangle maintenance both rely on this split). *)
+
+type degree_stats = {
+  attr : string;
+  distinct : int;
+  max_degree : int;
+  avg_degree : float;
+  heavy : (Value.t * int) list; (* values with degree above the threshold *)
+  light_count : int;
+}
+
+(* Occurrence counts of each value of [attr]. *)
+let degrees (rel : Relation.t) (attr : string) : (Value.t * int) list =
+  let pos = Schema.position (Relation.schema rel) attr in
+  let counts = Hashtbl.create 64 in
+  Relation.iter
+    (fun t ->
+      let v = t.(pos) in
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    rel;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+
+(* Heavy/light split: a value is heavy when its degree exceeds [threshold].
+   The classical choice is sqrt(|R|), which [default_threshold] provides. *)
+let default_threshold rel =
+  Stdlib.max 1 (int_of_float (sqrt (float_of_int (Relation.cardinality rel))))
+
+let degree_stats ?threshold (rel : Relation.t) (attr : string) : degree_stats =
+  let threshold =
+    match threshold with Some t -> t | None -> default_threshold rel
+  in
+  let ds = degrees rel attr in
+  let distinct = List.length ds in
+  let heavy = List.filter (fun (_, c) -> c > threshold) ds in
+  {
+    attr;
+    distinct;
+    max_degree = List.fold_left (fun m (_, c) -> Stdlib.max m c) 0 ds;
+    avg_degree =
+      (if distinct = 0 then 0.0
+       else float_of_int (Relation.cardinality rel) /. float_of_int distinct);
+    heavy = List.sort (fun (_, a) (_, b) -> compare b a) heavy;
+    light_count = distinct - List.length heavy;
+  }
+
+(* Partition a relation into its heavy and light tuples on [attr]. *)
+let heavy_light_partition ?threshold (rel : Relation.t) (attr : string) :
+    Relation.t * Relation.t =
+  let stats = degree_stats ?threshold rel attr in
+  let heavy_values = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> Hashtbl.replace heavy_values v ()) stats.heavy;
+  let pos = Schema.position (Relation.schema rel) attr in
+  let heavy = Relation.create (Relation.name rel ^ "_heavy") (Relation.schema rel) in
+  let light = Relation.create (Relation.name rel ^ "_light") (Relation.schema rel) in
+  Relation.iter
+    (fun t ->
+      Relation.append (if Hashtbl.mem heavy_values t.(pos) then heavy else light) t)
+    rel;
+  (heavy, light)
+
+(* Per-attribute distinct counts for a whole relation. *)
+let distinct_counts (rel : Relation.t) : (string * int) list =
+  List.map
+    (fun a -> (a, List.length (degrees rel a)))
+    (Schema.names (Relation.schema rel))
+
+let pp ppf (s : degree_stats) =
+  Format.fprintf ppf
+    "%s: %d distinct, max degree %d, avg %.1f, %d heavy / %d light" s.attr
+    s.distinct s.max_degree s.avg_degree (List.length s.heavy) s.light_count

@@ -1,0 +1,26 @@
+(** Relation statistics: value degrees and heavy/light splits (Section 3.2,
+    "Data degree" — the basis of adaptive worst-case optimal processing). *)
+
+type degree_stats = {
+  attr : string;
+  distinct : int;
+  max_degree : int;
+  avg_degree : float;
+  heavy : (Value.t * int) list;  (** degree above the threshold, descending *)
+  light_count : int;
+}
+
+val degrees : Relation.t -> string -> (Value.t * int) list
+(** Occurrence count of each value of the attribute. *)
+
+val default_threshold : Relation.t -> int
+(** The classical sqrt(|R|) heavy/light threshold. *)
+
+val degree_stats : ?threshold:int -> Relation.t -> string -> degree_stats
+
+val heavy_light_partition :
+  ?threshold:int -> Relation.t -> string -> Relation.t * Relation.t
+(** Tuples whose [attr] value is heavy, and the rest. *)
+
+val distinct_counts : Relation.t -> (string * int) list
+val pp : Format.formatter -> degree_stats -> unit

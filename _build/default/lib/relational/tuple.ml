@@ -1,0 +1,45 @@
+(* Tuples are flat arrays of values, positionally aligned with a schema. *)
+
+type t = Value.t array
+
+let arity = Array.length
+
+let get (t : t) i = t.(i)
+
+let project (t : t) positions = Array.map (fun i -> t.(i)) positions
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
+      !ok)
+
+let compare (a : t) (b : t) =
+  let n = Stdlib.min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i = n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let to_string (t : t) =
+  String.concat "," (Array.to_list (Array.map Value.to_string t))
+
+let pp ppf t = Format.fprintf ppf "(%s)" (to_string t)
+
+(* Hashtbl key module for tuple-keyed indexes. *)
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)

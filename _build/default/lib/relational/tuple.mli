@@ -1,0 +1,21 @@
+(** Tuples: flat arrays of values positionally aligned with a schema. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val project : t -> int array -> t
+(** Keep the values at the given positions, in that order. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic. *)
+
+val hash : t -> int
+val concat : t -> t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Key : Hashtbl.HashedType with type t = t
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by tuples, used for join and group-by indexes. *)

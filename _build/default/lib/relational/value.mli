@@ -1,0 +1,26 @@
+(** Database values and their scalar types. *)
+
+type t = Null | Int of int | Float of float | Str of string
+
+type ty = TInt | TFloat | TStr
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val compare : t -> t -> int
+(** Total order; within-constructor comparisons are the natural ones. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_float : t -> float
+(** Numeric view ([Null] is 0.0). Raises on strings. *)
+
+val to_int : t -> int
+val to_string : t -> string
+val of_string : ty -> string -> t
+(** Parse a CSV cell at the given type. Raises on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rings/covariance.ml: Array Float Format Mat Sig Util Vec

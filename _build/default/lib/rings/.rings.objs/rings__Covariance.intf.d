@@ -1,0 +1,1 @@
+lib/rings/covariance.mli: Format Mat Sig Util Vec

@@ -1,0 +1,1 @@
+lib/rings/instances.ml: Bool Float Int Sig

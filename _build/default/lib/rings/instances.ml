@@ -1,0 +1,79 @@
+(* Standard (semi)ring instances. *)
+
+(* Boolean semiring: query satisfiability. *)
+module Bool : Sig.SEMIRING with type t = bool = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let add = ( || )
+  let mul = ( && )
+  let equal = Bool.equal
+  let to_string = string_of_bool
+end
+
+(* Natural-number semiring: counting (Figure 9 left). *)
+module Nat : Sig.SEMIRING with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let equal = Int.equal
+  let to_string = string_of_int
+end
+
+(* Ring of integers: tuple multiplicities with additive inverse — the
+   uniform treatment of inserts (+1) and deletes (-1) in IVM (Section 3.1,
+   "Additive inverse"). *)
+module Z : Sig.RING with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let neg x = -x
+  let equal = Int.equal
+  let to_string = string_of_int
+end
+
+(* Field of reals (as floats): SUM-PRODUCT aggregates (Figure 9 right). *)
+module R : Sig.RING with type t = float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let add = ( +. )
+  let mul = ( *. )
+  let neg x = -.x
+  let equal a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+  let to_string = string_of_float
+end
+
+(* Tropical (min, +) semiring: shortest-path-style aggregates; included to
+   exercise the FAQ claim that the same factorised evaluation covers
+   semirings beyond sum-product. *)
+module Min_plus : Sig.SEMIRING with type t = float = struct
+  type t = float
+
+  let zero = Float.infinity
+  let one = 0.0
+  let add = Float.min
+  let mul = ( +. )
+  let equal a b = a = b || Float.abs (a -. b) <= 1e-9
+  let to_string = string_of_float
+end
+
+(* (max, +) semiring. *)
+module Max_plus : Sig.SEMIRING with type t = float = struct
+  type t = float
+
+  let zero = Float.neg_infinity
+  let one = 0.0
+  let add = Float.max
+  let mul = ( +. )
+  let equal a b = a = b || Float.abs (a -. b) <= 1e-9
+  let to_string = string_of_float
+end

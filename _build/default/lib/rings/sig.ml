@@ -1,0 +1,43 @@
+(* (Semi)ring signatures (paper Section 3.1, footnote 3).
+
+   Factorised computation is parameterised by a commutative semiring: the
+   same one-pass evaluation over a factorised join computes counts, sums,
+   boolean satisfiability, or whole covariance matrices depending only on the
+   carrier. Rings additionally have additive inverses, which is what makes
+   inserts and deletes uniform in the IVM layer. *)
+
+module type SEMIRING = sig
+  type t
+
+  val zero : t
+  (** Additive identity; also absorbing for [mul]. *)
+
+  val one : t
+  (** Multiplicative identity. *)
+
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module type RING = sig
+  include SEMIRING
+
+  val neg : t -> t
+  (** Additive inverse: [add x (neg x) = zero]. *)
+end
+
+(* Product of two semirings, pointwise. Used to evaluate several independent
+   aggregates in one pass. *)
+module Pair (A : SEMIRING) (B : SEMIRING) :
+  SEMIRING with type t = A.t * B.t = struct
+  type t = A.t * B.t
+
+  let zero = (A.zero, B.zero)
+  let one = (A.one, B.one)
+  let add (a1, b1) (a2, b2) = (A.add a1 a2, B.add b1 b2)
+  let mul (a1, b1) (a2, b2) = (A.mul a1 a2, B.mul b1 b2)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let to_string (a, b) = Printf.sprintf "(%s, %s)" (A.to_string a) (B.to_string b)
+end

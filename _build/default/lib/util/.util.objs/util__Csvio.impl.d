@@ -1,0 +1,1 @@
+lib/util/csvio.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/util/mat.ml: Array Float Format Vec

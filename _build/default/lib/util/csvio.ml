@@ -1,0 +1,63 @@
+(* Minimal CSV reading/writing.
+
+   The structure-agnostic baseline of Figure 3 round-trips the materialised
+   data matrix through CSV to model the PostgreSQL -> TensorFlow export/import
+   step, so this module is on the measured path and avoids quadratic string
+   building. Only the simple dialect is supported: comma separator, no quoted
+   separators (our generators never emit commas inside fields). *)
+
+let split_line line =
+  String.split_on_char ',' line
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  List.filter_map
+    (fun line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if line = "" then None else Some (split_line line))
+    lines
+
+let write_row buf row =
+  List.iteri
+    (fun i cell ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf cell)
+    row;
+  Buffer.add_char buf '\n'
+
+let to_string rows =
+  let buf = Buffer.create 4096 in
+  List.iter (write_row buf) rows;
+  Buffer.contents buf
+
+let write_file path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      List.iter
+        (fun row ->
+          write_row buf row;
+          if Buffer.length buf > 1_000_000 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end)
+        rows;
+      Buffer.output_buffer oc buf)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (split_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])

@@ -1,0 +1,11 @@
+(** Minimal CSV support for the export/import steps of the structure-agnostic
+    baseline. Simple dialect: comma separator, no embedded commas/quotes. *)
+
+val parse_string : string -> string list list
+(** Parse CSV text into rows of cells; blank lines are skipped. *)
+
+val to_string : string list list -> string
+(** Serialise rows to CSV text. *)
+
+val write_file : string -> string list list -> unit
+val read_file : string -> string list list

@@ -1,0 +1,36 @@
+(* String interning: bijection between strings and dense non-negative ids.
+
+   Categorical attribute values are interned once at load time so that joins,
+   group-bys and factorised tries compare integers instead of strings. *)
+
+type t = {
+  table : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let create ?(capacity = 256) () =
+  { table = Hashtbl.create capacity; names = Array.make capacity ""; count = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.table s with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * Stdlib.max 1 id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- s;
+      Hashtbl.add t.table s id;
+      t.count <- id + 1;
+      id
+
+let lookup t s = Hashtbl.find_opt t.table s
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.name: unknown id";
+  t.names.(id)
+
+let size t = t.count

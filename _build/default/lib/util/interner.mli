@@ -1,0 +1,17 @@
+(** String interning: a bijection between strings and dense ids, used to
+    dictionary-encode categorical values at load time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val intern : t -> string -> int
+(** Id of the string, allocating a fresh id on first sight. *)
+
+val lookup : t -> string -> int option
+(** Id if already interned. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}. Raises [Invalid_argument] on unknown ids. *)
+
+val size : t -> int
+(** Number of distinct interned strings. *)

@@ -1,0 +1,70 @@
+(* Domain-based parallel map over index ranges (OCaml 5 Domains).
+
+   LMFAO's domain parallelism (Section 4 of the paper) partitions a relation
+   into chunks processed by worker domains whose partial aggregates are then
+   combined. This module provides exactly that pattern. *)
+
+let num_domains () =
+  match Sys.getenv_opt "BORG_DOMAINS" with
+  | Some s -> (try Stdlib.max 1 (int_of_string s) with _ -> 4)
+  | None -> Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+(* Split [0, n) into at most [chunks] contiguous ranges. *)
+let ranges n chunks =
+  let chunks = Stdlib.max 1 (Stdlib.min n chunks) in
+  let base = n / chunks and rem = n mod chunks in
+  let rec build i start acc =
+    if i = chunks then List.rev acc
+    else
+      let len = base + if i < rem then 1 else 0 in
+      build (i + 1) (start + len) ((start, len) :: acc)
+  in
+  if n = 0 then [] else build 0 0 []
+
+(* [parallel_chunks ~domains n f combine zero] applies [f lo len] on each
+   chunk in its own domain and folds the results with [combine]. *)
+let parallel_chunks ?domains n f ~combine ~zero =
+  let domains = match domains with Some d -> d | None -> num_domains () in
+  match ranges n domains with
+  | [] -> zero
+  | [ (lo, len) ] -> combine zero (f lo len)
+  | (lo0, len0) :: rest ->
+      let handles =
+        List.map (fun (lo, len) -> Domain.spawn (fun () -> f lo len)) rest
+      in
+      let first = f lo0 len0 in
+      List.fold_left
+        (fun acc h -> combine acc (Domain.join h))
+        (combine zero first) handles
+
+(* Run a list of independent thunks in parallel, preserving order of
+   results. Used for LMFAO task parallelism over independent view groups. *)
+let parallel_tasks ?domains thunks =
+  let domains = match domains with Some d -> d | None -> num_domains () in
+  if domains <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let tasks = Array.of_list thunks in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (Stdlib.min (domains - 1) (Stdlib.max 0 (n - 1))) (fun _ ->
+          Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> failwith "Pool.parallel_tasks: missing")
+         results)
+  end

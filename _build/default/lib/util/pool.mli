@@ -1,0 +1,18 @@
+(** Domain-based parallelism helpers (OCaml 5) implementing LMFAO's domain
+    and task parallelism patterns. *)
+
+val num_domains : unit -> int
+(** Worker count: [BORG_DOMAINS] env var if set, else the runtime's
+    recommendation capped at 8. *)
+
+val ranges : int -> int -> (int * int) list
+(** [ranges n chunks] splits [\[0, n)] into at most [chunks] contiguous
+    [(start, length)] ranges covering it exactly. *)
+
+val parallel_chunks :
+  ?domains:int -> int -> (int -> int -> 'a) -> combine:('b -> 'a -> 'b) -> zero:'b -> 'b
+(** [parallel_chunks n f ~combine ~zero] evaluates [f start len] on each chunk
+    of [\[0, n)] in parallel domains and folds the partial results. *)
+
+val parallel_tasks : ?domains:int -> (unit -> 'a) list -> 'a list
+(** Run independent thunks in parallel, returning results in input order. *)

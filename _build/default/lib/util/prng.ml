@@ -1,0 +1,83 @@
+(* Deterministic pseudo-random number generation based on splitmix64.
+
+   All data generators and randomised algorithms in this repository draw from
+   this PRNG rather than [Stdlib.Random] so that every experiment is exactly
+   reproducible from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: the state advances by the golden-gamma constant and the
+   output is a finalising mix of the new state. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* A non-negative 62-bit integer. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod bound
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Stdlib.float_of_int (bits t) /. 4611686018427387904.0 *. bound
+
+let float_range t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Box-Muller transform; one value per call, the pair's second half is
+   discarded to keep the generator stateless beyond [state]. *)
+let gaussian t ~mu ~sigma =
+  let u1 = Stdlib.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  { state = Int64.of_int seed }
+
+(* Zipf-distributed rank in [1, n] with exponent [s], via rejection-free
+   inverse-CDF over a precomputed table would be costly per-call; we use the
+   standard approximation by rejection sampling (Devroye). Good enough for
+   skewed workload generation. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if s <= 0.0 then int_range t 1 n
+  else begin
+    let b = 2.0 ** (s -. 1.0) in
+    let rec loop () =
+      let u = Stdlib.max 1e-12 (float t 1.0) in
+      let v = float t 1.0 in
+      let x = Float.of_int (Float.to_int (float_of_int n ** u)) +. 1.0 in
+      let x = Stdlib.min x (float_of_int n) in
+      let t' = x ** (s -. 1.0) in
+      if v *. x *. (t' -. 1.0) /. (b -. 1.0) <= t' /. b then Float.to_int x
+      else loop ()
+    in
+    Stdlib.max 1 (Stdlib.min n (loop ()))
+  end

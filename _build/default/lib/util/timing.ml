@@ -1,0 +1,27 @@
+(* Wall-clock timing helpers used by the benchmark harness. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  let t1 = now () in
+  (result, t1 -. t0)
+
+let time_only f = snd (time f)
+
+(* Median-of-[repeats] timing with one warm-up run; used by the macro
+   benchmarks where a full Bechamel run would be too slow. *)
+let measure ?(repeats = 3) ?(warmup = true) f =
+  if warmup then ignore (f ());
+  let samples = List.init repeats (fun _ -> time_only f) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeats / 2)
+
+let pp_duration ppf secs =
+  if secs < 1e-6 then Format.fprintf ppf "%.0fns" (secs *. 1e9)
+  else if secs < 1e-3 then Format.fprintf ppf "%.1fus" (secs *. 1e6)
+  else if secs < 1.0 then Format.fprintf ppf "%.2fms" (secs *. 1e3)
+  else Format.fprintf ppf "%.2fs" secs
+
+let to_string secs = Format.asprintf "%a" pp_duration secs

@@ -1,0 +1,20 @@
+(** Wall-clock timing for the experiment harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch (monotonic enough for our interval measurements). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] once, returning its result and elapsed seconds. *)
+
+val time_only : (unit -> 'a) -> float
+(** Elapsed seconds of one run, result discarded. *)
+
+val measure : ?repeats:int -> ?warmup:bool -> (unit -> 'a) -> float
+(** Median elapsed seconds over [repeats] runs (default 3) after an optional
+    warm-up run. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Human-readable duration (ns/us/ms/s). *)
+
+val to_string : float -> string
+(** [to_string s] renders like {!pp_duration}. *)

@@ -1,0 +1,67 @@
+(* Dense float vectors. Thin wrappers over [float array] used by the linear
+   algebra in the ML layer and by the covariance ring. *)
+
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let of_array a = Array.copy a
+
+let to_array v = Array.copy v
+
+let get (v : t) i = v.(i)
+
+let set (v : t) i x = v.(i) <- x
+
+let fill (v : t) x = Array.fill v 0 (Array.length v) x
+
+let add a b = Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b = Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let add_in_place a b =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) +. b.(i)
+  done
+
+let axpy ~alpha x y =
+  (* y <- alpha * x + y *)
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Stdlib.max m (Float.abs x)) 0.0 a
+
+let map = Array.map
+
+let mapi = Array.mapi
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if Float.abs (x -. b.(i)) > eps then ok := false) a;
+      !ok)
+
+let pp ppf v =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i x -> Format.fprintf ppf (if i = 0 then "%.4g" else "; %.4g") x)
+    v;
+  Format.fprintf ppf "]"

@@ -1,0 +1,36 @@
+(** Dense float vectors. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+val of_array : float array -> t
+val to_array : t -> float array
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val add_in_place : t -> t -> unit
+(** [add_in_place a b] sets [a := a + b]. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] sets [y := alpha * x + y]. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+val map : (float -> float) -> t -> t
+val mapi : (int -> float -> float) -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise equality within [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

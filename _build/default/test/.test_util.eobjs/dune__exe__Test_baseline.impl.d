@@ -1,0 +1,1 @@
+test/test_baseline.ml: Aggregates Alcotest Array Baseline Database Datagen Float List Lmfao Relation Relational Rings Schema Stdlib Util Value

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Aggregates Alcotest Database Datagen Join_tree List Lmfao Relation Relational Tuple

@@ -1,0 +1,1 @@
+test/test_differential.ml: Aggregates Alcotest Array Baseline Database Factorized Float List Lmfao Predicate Printf QCheck2 QCheck_alcotest Relation Relational Schema Stats Util Value

@@ -1,0 +1,1 @@
+test/test_factorized.ml: Alcotest Array Factorized Float Gen List Ops Printf QCheck2 QCheck_alcotest Relation Relational Rings Schema Test Util Value

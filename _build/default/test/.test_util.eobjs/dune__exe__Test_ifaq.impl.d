@@ -1,0 +1,1 @@
+test/test_ifaq.ml: Alcotest Array Dict_layout Expr Float Format Gd_example Ifaq Interp List Printf QCheck2 QCheck_alcotest Relation Relational Rewrite Schema Value

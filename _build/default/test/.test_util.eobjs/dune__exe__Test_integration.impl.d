@@ -1,0 +1,1 @@
+test/test_integration.ml: Aggregates Alcotest Array Baseline Database Datagen Fivm Float List Ml Printf Relation Relational Rings Schema

@@ -1,0 +1,1 @@
+test/test_lmfao.ml: Aggregates Alcotest Database Float Format List Lmfao Predicate Printf QCheck2 QCheck_alcotest Relation Relational Schema String Util Value

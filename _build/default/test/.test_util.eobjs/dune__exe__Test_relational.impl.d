@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Database Float Hashtbl Hypergraph Join_tree List Ops Option Predicate Printf QCheck2 QCheck_alcotest Relation Relational Schema Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_rings.ml: Alcotest Array Fivm Gen List Mat Prng QCheck2 QCheck_alcotest Rings Test Util Vec

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csvio Float Interner List Mat Pool Printf Prng QCheck2 QCheck_alcotest Util Vec

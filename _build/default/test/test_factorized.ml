@@ -1,0 +1,381 @@
+(* Tests for the factorised-database layer: the paper's Section 5.1 worked
+   example (Figures 7-9), equivalence of factorised and flat evaluation on
+   random acyclic databases, and size accounting. *)
+
+open Relational
+module VO = Factorized.Var_order
+module Fjoin = Factorized.Fjoin
+module Frep = Factorized.Frep
+module Fagg = Factorized.Faggregate
+
+let str s = Value.Str s
+let int n = Value.Int n
+let flt x = Value.Float x
+
+(* The example database of Figure 7. *)
+let orders () =
+  Relation.of_list "Orders"
+    (Schema.make [ ("customer", TStr); ("day", TStr); ("dish", TStr) ])
+    [
+      [| str "Elise"; str "Monday"; str "burger" |];
+      [| str "Elise"; str "Friday"; str "burger" |];
+      [| str "Steve"; str "Friday"; str "hotdog" |];
+      [| str "Joe"; str "Friday"; str "hotdog" |];
+    ]
+
+let dish () =
+  Relation.of_list "Dish"
+    (Schema.make [ ("dish", TStr); ("item", TStr) ])
+    [
+      [| str "burger"; str "patty" |];
+      [| str "burger"; str "onion" |];
+      [| str "burger"; str "bun" |];
+      [| str "hotdog"; str "bun" |];
+      [| str "hotdog"; str "onion" |];
+      [| str "hotdog"; str "sausage" |];
+    ]
+
+let items () =
+  Relation.of_list "Items"
+    (Schema.make [ ("item", TStr); ("price", TFloat) ])
+    [
+      [| str "patty"; flt 6.0 |];
+      [| str "onion"; flt 2.0 |];
+      [| str "bun"; flt 2.0 |];
+      [| str "sausage"; flt 4.0 |];
+    ]
+
+let example_rels () = [ orders (); dish (); items () ]
+
+let example_order rels = VO.of_relations rels
+
+(* --- Figure 7/9: flat join and count --- *)
+
+let test_flat_join_count () =
+  let rels = example_rels () in
+  let join = Ops.natural_join_all rels in
+  Alcotest.(check int) "flat join cardinality" 12 (Relation.cardinality join)
+
+let test_factorised_count () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  Alcotest.(check bool) "order valid" true (VO.valid_for order rels);
+  Alcotest.(check int) "COUNT via semiring" 12 (Fjoin.count rels order)
+
+let test_factorised_count_via_frep () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let f = Fjoin.factorize rels order in
+  Alcotest.(check int) "COUNT over f-rep" 12 (Fagg.count f);
+  Alcotest.(check int) "tuple_count" 12 (Frep.tuple_count f)
+
+(* --- Figure 9 right: SUM(price) GROUP BY dish --- *)
+
+let test_sum_price_by_dish () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let f = Fjoin.factorize rels order in
+  let grouped = Fagg.sum_grouped ~group_by:[ "dish" ] ~vars:[ "price" ] f in
+  let find d =
+    match
+      List.find_opt (fun (k, _) -> k = [ ("dish", str d) ]) grouped
+    with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "missing group %s" d
+  in
+  Alcotest.(check (float 1e-9)) "burger" 20.0 (find "burger");
+  Alcotest.(check (float 1e-9)) "hotdog" 16.0 (find "hotdog")
+
+let test_sum_price_total () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  Alcotest.(check (float 1e-9))
+    "SUM(price)" 36.0
+    (Fjoin.sum_product rels order ~vars:[ "price" ])
+
+(* --- Figure 8: factorisation is smaller than the flat join --- *)
+
+let test_sizes () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let f = Fjoin.factorize rels order in
+  let join = Ops.natural_join_all rels in
+  let flat_values = Relation.value_count join in
+  let fact_values = Frep.value_count f in
+  Alcotest.(check bool)
+    (Printf.sprintf "factorised (%d) < flat (%d)" fact_values flat_values)
+    true
+    (fact_values < flat_values)
+
+(* --- enumeration equals the flat join --- *)
+
+let normalise_rows rel =
+  let names = List.sort compare (Schema.names (Relation.schema rel)) in
+  List.sort compare
+    (List.map
+       (fun t ->
+         List.map
+           (fun a -> (a, Value.to_string (t.(Schema.position (Relation.schema rel) a))))
+           names)
+       (Relation.to_list rel))
+
+let normalise_envs envs =
+  List.sort compare
+    (List.map
+       (fun env ->
+         List.sort compare (List.map (fun (a, v) -> (a, Value.to_string v)) env))
+       envs)
+
+let test_enumeration_equals_flat () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let f = Fjoin.factorize rels order in
+  let join = Ops.natural_join_all rels in
+  Alcotest.(check bool)
+    "same tuple bags" true
+    (normalise_rows join = normalise_envs (Frep.enumerate f))
+
+(* --- randomised equivalence on star and chain schemas --- *)
+
+let random_db rng shape =
+  (* shape: list of (name, attrs); attrs with equal names join *)
+  List.map
+    (fun (name, attrs, card, domain) ->
+      let schema = Schema.make (List.map (fun a -> (a, Value.TInt)) attrs) in
+      let rel = Relation.create name schema in
+      for _ = 1 to card do
+        Relation.append rel
+          (Array.of_list
+             (List.map (fun _ -> int (Util.Prng.int rng domain)) attrs))
+      done;
+      rel)
+    shape
+
+let star_shape card domain =
+  [
+    ("F", [ "a"; "b"; "c" ], card, domain);
+    ("D1", [ "a"; "x" ], card, domain);
+    ("D2", [ "b"; "y" ], card, domain);
+    ("D3", [ "c"; "z" ], card, domain);
+  ]
+
+let chain_shape card domain =
+  [
+    ("R1", [ "a"; "b" ], card, domain);
+    ("R2", [ "b"; "c" ], card, domain);
+    ("R3", [ "c"; "d" ], card, domain);
+  ]
+
+let equivalence_prop shape_fn =
+  QCheck2.Test.make ~count:40
+    ~name:"factorised count & sum = flat count & sum"
+    QCheck2.Gen.(triple (int_range 0 30) (int_range 1 6) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let rels = random_db rng (shape_fn card domain) in
+      let order = VO.of_relations rels in
+      let join = Ops.natural_join_all rels in
+      let flat_count = Relation.cardinality join in
+      let fact_count = Fjoin.count rels order in
+      let vars = [ List.hd (Schema.names (Relation.schema (List.hd rels))) ] in
+      let flat_sum =
+        match Ops.aggregate join [ Ops.sum_of_attr (Relation.schema join) (List.hd vars) ] with
+        | [ s ] -> s
+        | _ -> assert false
+      in
+      let fact_sum = Fjoin.sum_product rels order ~vars in
+      flat_count = fact_count && Float.abs (flat_sum -. fact_sum) < 1e-6 *. (1.0 +. Float.abs flat_sum))
+
+let test_cache_matches_nocache () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let with_cache = Fjoin.count ~cache:true rels order in
+  let without = Fjoin.count ~cache:false rels order in
+  Alcotest.(check int) "cache-independent" with_cache without
+
+(* the k-relation lifting is itself a semiring: axioms via qcheck *)
+module GF = Factorized.Faggregate.Grouped_float
+
+let gf_gen =
+  QCheck2.Gen.(
+    let assignment =
+      list_size (int_range 0 2)
+        (map2
+           (fun a v -> (Printf.sprintf "x%d" a, Value.Int v))
+           (int_range 0 2) (int_range 0 3))
+    in
+    let entry = map2 (fun k v -> (List.sort_uniq compare k, float_of_int v)) assignment (int_range (-5) 5) in
+    map
+      (fun entries ->
+        List.fold_left
+          (fun acc (k, v) -> GF.add acc (GF.KMap.singleton k v))
+          GF.zero entries)
+      (list_size (int_range 0 4) entry))
+
+let grouped_semiring_axioms =
+  let open QCheck2 in
+  [
+    Test.make ~count:100 ~name:"grouped: + commutative" (Gen.pair gf_gen gf_gen)
+      (fun (a, b) -> GF.equal (GF.add a b) (GF.add b a));
+    Test.make ~count:100 ~name:"grouped: + associative" (Gen.triple gf_gen gf_gen gf_gen)
+      (fun (a, b, c) -> GF.equal (GF.add (GF.add a b) c) (GF.add a (GF.add b c)));
+    Test.make ~count:100 ~name:"grouped: 0/1 neutral" gf_gen (fun a ->
+        GF.equal (GF.add GF.zero a) a && GF.equal (GF.mul GF.one a) a);
+    Test.make ~count:60 ~name:"grouped: distributivity (disjoint vars)"
+      (Gen.triple gf_gen gf_gen gf_gen) (fun (a, b, c) ->
+        (* keys of a use x0..x2; make the multiplier range over fresh vars to
+           keep variable sets disjoint, as the engines do *)
+        let rename =
+          GF.KMap.fold
+            (fun k v acc ->
+              let k' = List.map (fun (x, u) -> ("y" ^ x, u)) k in
+              GF.KMap.add (List.sort compare k') v acc)
+            c GF.KMap.empty
+        in
+        GF.equal
+          (GF.mul rename (GF.add a b))
+          (GF.add (GF.mul rename a) (GF.mul rename b)));
+  ]
+
+let test_frep_to_relation () =
+  let rels = example_rels () in
+  let order = example_order rels in
+  let f = Fjoin.factorize rels order in
+  let attrs = [ "customer"; "day"; "dish"; "item"; "price" ] in
+  let tys = [ Value.TStr; Value.TStr; Value.TStr; Value.TStr; Value.TFloat ] in
+  let flat = Frep.to_relation attrs tys f in
+  Alcotest.(check int) "12 tuples" 12 (Relation.cardinality flat)
+
+let test_min_plus_over_frep () =
+  (* cheapest price reachable per join tuple: min over the join of price *)
+  let rels = example_rels () in
+  let order = example_order rels in
+  let cheapest =
+    Fjoin.eval_semiring
+      (module Rings.Instances.Min_plus)
+      ~lift:(fun var v -> if var = "price" then Value.to_float v else 0.0)
+      rels order
+  in
+  Alcotest.(check (float 1e-9)) "min price in join" 2.0 cheapest
+
+let test_unconstrained_variable_raises () =
+  (* a variable covered by no relation: dish -> customer -> day -> ghost *)
+  let rels = [ orders () ] in
+  let chain var children = { Factorized.Var_order.var; key = []; children } in
+  let order =
+    chain "dish" [ chain "customer" [ chain "day" [ chain "ghost" [] ] ] ]
+  in
+  Alcotest.(check bool) "raises" true
+    (match Fjoin.count rels order with
+    | exception Fjoin.Unconstrained_variable "ghost" -> true
+    | _ -> false)
+
+(* ---- worst-case optimal join (cyclic queries) ---- *)
+module Wcoj = Factorized.Wcoj
+
+(* naive triangle count by nested loops *)
+let naive_triangles r s t =
+  let count = ref 0 in
+  Relation.iter
+    (fun tr ->
+      Relation.iter
+        (fun ts ->
+          if Value.equal tr.(1) ts.(0) then
+            Relation.iter
+              (fun tt ->
+                if Value.equal ts.(1) tt.(0) && Value.equal tt.(1) tr.(0) then
+                  incr count)
+              t)
+        s)
+    r;
+  !count
+
+let random_edges rng name (a1, a2) card domain =
+  let rel = Relation.create name (Schema.make [ (a1, Value.TInt); (a2, Value.TInt) ]) in
+  for _ = 1 to card do
+    Relation.append rel
+      [| int (Util.Prng.int rng domain); int (Util.Prng.int rng domain) |]
+  done;
+  rel
+
+let wcoj_triangle_count =
+  QCheck2.Test.make ~count:40 ~name:"wcoj triangle count = nested loops"
+    QCheck2.Gen.(triple (int_range 0 40) (int_range 1 6) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let r = random_edges rng "R" ("a", "b") card domain in
+      let s = random_edges rng "S" ("b", "c") card domain in
+      let t = random_edges rng "T" ("c", "a") card domain in
+      Wcoj.count [ r; s; t ] = naive_triangles r s t)
+
+let wcoj_matches_fjoin_on_acyclic =
+  QCheck2.Test.make ~count:30 ~name:"wcoj = fjoin on acyclic queries"
+    QCheck2.Gen.(triple (int_range 0 30) (int_range 1 6) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let rels = random_db rng (star_shape card domain) in
+      Wcoj.count rels = Fjoin.count rels (VO.of_relations rels))
+
+let test_wcoj_materialise_triangle () =
+  let edges = [ (0, 1); (1, 2); (2, 0); (0, 2) ] in
+  let mk name (a1, a2) =
+    Relation.of_list name
+      (Schema.make [ (a1, Value.TInt); (a2, Value.TInt) ])
+      (List.map (fun (x, y) -> [| int x; int y |]) edges)
+  in
+  let r = mk "R" ("a", "b") and s = mk "S" ("b", "c") and t = mk "T" ("c", "a") in
+  let join = Wcoj.materialise [ r; s; t ] in
+  Alcotest.(check int) "materialised = counted" (Wcoj.count [ r; s; t ])
+    (Relation.cardinality join);
+  Alcotest.(check int) "triangle attrs" 3 (Schema.arity (Relation.schema join))
+
+let test_wcoj_bag_semantics () =
+  (* duplicate edges multiply *)
+  let dup = [ [| int 1; int 2 |]; [| int 1; int 2 |] ] in
+  let r = Relation.of_list "R" (Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ]) dup in
+  let s =
+    Relation.of_list "S"
+      (Schema.make [ ("b", Value.TInt); ("c", Value.TInt) ])
+      [ [| int 2; int 3 |] ]
+  in
+  Alcotest.(check int) "2 x 1" 2 (Wcoj.count [ r; s ])
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "factorized"
+    [
+      ( "paper-example",
+        [
+          Alcotest.test_case "flat join has 12 tuples" `Quick test_flat_join_count;
+          Alcotest.test_case "factorised COUNT = 12" `Quick test_factorised_count;
+          Alcotest.test_case "COUNT over f-rep" `Quick test_factorised_count_via_frep;
+          Alcotest.test_case "SUM(price) GROUP BY dish" `Quick test_sum_price_by_dish;
+          Alcotest.test_case "SUM(price) = 36" `Quick test_sum_price_total;
+          Alcotest.test_case "factorised smaller than flat" `Quick test_sizes;
+          Alcotest.test_case "enumeration = flat join" `Quick
+            test_enumeration_equals_flat;
+          Alcotest.test_case "cache on/off agree" `Quick test_cache_matches_nocache;
+        ] );
+      ( "random-equivalence",
+        [
+          qcheck (equivalence_prop star_shape);
+          qcheck (equivalence_prop chain_shape);
+        ] );
+      ("grouped-semiring", List.map qcheck grouped_semiring_axioms);
+      ( "wcoj",
+        [
+          qcheck wcoj_triangle_count;
+          qcheck wcoj_matches_fjoin_on_acyclic;
+          Alcotest.test_case "materialise triangle join" `Quick
+            test_wcoj_materialise_triangle;
+          Alcotest.test_case "bag semantics" `Quick test_wcoj_bag_semantics;
+        ] );
+      ( "frep-extras",
+        [
+          Alcotest.test_case "to_relation flattens" `Quick test_frep_to_relation;
+          Alcotest.test_case "min-plus semiring" `Quick test_min_plus_over_frep;
+          Alcotest.test_case "unconstrained variable" `Quick
+            test_unconstrained_variable_raises;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Tests for IFAQ: the interpreter's semantics, each rewrite's equivalence
+   (on the Section 5.3 gradient-descent program over random databases), and
+   the operation-count reduction along the pipeline. *)
+
+open Ifaq
+open Expr
+
+let vnum = function
+  | Interp.VNum x -> x
+  | v -> Alcotest.failf "expected number, got %s" (Format.asprintf "%a" Interp.pp_value v)
+
+(* normalise a parameter value (dict over feature symbols OR record) *)
+let params_of_value (v : Interp.value) : (string * float) list =
+  match v with
+  | Interp.VDict entries ->
+      List.sort compare
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | Interp.VSym s -> (s, vnum v)
+             | _ -> Alcotest.fail "expected symbolic key")
+           entries)
+  | Interp.VRec fields -> List.sort compare (List.map (fun (n, v) -> (n, vnum v)) fields)
+  | _ -> Alcotest.fail "expected parameters"
+
+let params_close a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, x) (n2, y) ->
+         n1 = n2 && Float.abs (x -. y) <= 1e-7 *. (1.0 +. Float.abs x))
+       a b
+
+(* ---- interpreter basics ---- *)
+
+let test_arith_and_let () =
+  let e = Let ("x", Num 3.0, Add (Var "x", Mul (Var "x", Num 2.0))) in
+  let v, _ = Interp.run e in
+  Alcotest.(check (float 1e-12)) "3 + 3*2" 9.0 (vnum v)
+
+let test_sum_over_set () =
+  (* sum over a static set of the guard [f = 'b] is 1 *)
+  let e = Sum ("f", Set [ "a"; "b"; "c" ], Eq (Var "f", Sym "b")) in
+  let v, _ = Interp.run e in
+  Alcotest.(check (float 1e-12)) "one match" 1.0 (vnum v)
+
+let test_dict_merge_drops_zero () =
+  let e =
+    Add (Sing (Num 1.0, Num 2.0), Add (Sing (Num 1.0, Num (-2.0)), Sing (Num 5.0, Num 3.0)))
+  in
+  match fst (Interp.run e) with
+  | Interp.VDict [ (Interp.VNum 5.0, Interp.VNum 3.0) ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Interp.pp_value v)
+
+let test_lookup_default_zero () =
+  let e = Lookup (Sing (Num 1.0, Num 2.0), Num 9.0) in
+  Alcotest.(check (float 1e-12)) "missing key" 0.0 (vnum (fst (Interp.run e)))
+
+let test_join_expr_counts () =
+  let relations = Gd_example.relations ~n_s:20 ~n_keys:4 ~seed:3 () in
+  let q, _ = Interp.run ~relations Gd_example.join_expr in
+  (* every S tuple joins exactly once (R and I are keyed) *)
+  match q with
+  | Interp.VDict entries ->
+      let total =
+        List.fold_left (fun acc (_, v) -> acc +. vnum v) 0.0 entries
+      in
+      Alcotest.(check (float 1e-9)) "20 join tuples" 20.0 total
+  | _ -> Alcotest.fail "expected dict"
+
+(* ---- rewrite rules in isolation ---- *)
+
+let test_push_into_sums () =
+  let e = Mul (Var "a", Sum ("x", Rel "S", Var "x")) in
+  match Rewrite.push_into_sums e with
+  | Sum ("x", Rel "S", Mul (Var "a", Var "x")) -> ()
+  | e' -> Alcotest.failf "unexpected %s" (to_string e')
+
+let test_factor_out () =
+  let e = Sum ("x", Rel "S", Mul (Var "a", Mul (Var "x", Var "b"))) in
+  match Rewrite.factor_out e with
+  | Mul (Mul (Var "a", Var "b"), Sum ("x", Rel "S", Var "x")) -> ()
+  | e' -> Alcotest.failf "unexpected %s" (to_string e')
+
+let test_swap_loops () =
+  let e = Sum ("x", Var "Q", Sum ("f", Set [ "a" ], Var "f")) in
+  match Rewrite.swap_loops e with
+  | Sum ("f", Set [ "a" ], Sum ("x", Var "Q", Var "f")) -> ()
+  | e' -> Alcotest.failf "unexpected %s" (to_string e')
+
+let test_unroll () =
+  let e = Sum ("f", Set [ "a"; "b" ], Lookup (Var "d", Var "f")) in
+  match Rewrite.unroll_static e with
+  | Add (Lookup (Var "d", Sym "a"), Lookup (Var "d", Sym "b")) -> ()
+  | e' -> Alcotest.failf "unexpected %s" (to_string e')
+
+let test_static_fields () =
+  let e = Lookup (Var "d", Sym "a") in
+  match Rewrite.static_field_access e with
+  | Field (Var "d", "a") -> ()
+  | e' -> Alcotest.failf "unexpected %s" (to_string e')
+
+let test_memoise_hoists_out_of_loop () =
+  let stage1 = Rewrite.high_level Gd_example.original in
+  let stage2 = Rewrite.memoise_and_hoist stage1 in
+  (* a Let must now sit between the Q binding and the Iter *)
+  match stage2 with
+  | Let ("Q", _, Let (_, Lam _, Iter _)) -> ()
+  | e -> Alcotest.failf "no hoisted memo:\n%s" (to_string e)
+
+(* ---- whole-pipeline equivalence and cost ---- *)
+
+let stage_equivalence =
+  QCheck2.Test.make ~count:12 ~name:"all pipeline stages compute equal parameters"
+    QCheck2.Gen.(pair (int_range 5 40) int)
+    (fun (n_s, seed) ->
+      let relations = Gd_example.relations ~n_s ~n_keys:5 ~seed () in
+      let stages = Gd_example.all_stages () in
+      let reference =
+        params_of_value (fst (Interp.run ~relations (snd (List.hd stages))))
+      in
+      List.for_all
+        (fun (_, program) ->
+          let v, _ = Interp.run ~relations program in
+          params_close reference (params_of_value v))
+        stages)
+
+let test_ops_drop () =
+  let relations = Gd_example.relations ~n_s:60 ~n_keys:6 ~seed:9 () in
+  let stages = Gd_example.all_stages () in
+  let counts =
+    List.map
+      (fun (name, program) ->
+        let _, c = Interp.run ~relations program in
+        (name, Interp.total c))
+      stages
+  in
+  let original = List.assoc "original" counts in
+  let final = snd (List.nth counts (List.length counts - 1)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final ops %d < 20%% of original %d" final original)
+    true
+    (final * 5 < original);
+  (* memoisation must beat the stage before it *)
+  let by_index i = snd (List.nth counts i) in
+  Alcotest.(check bool) "memoisation reduces ops" true (by_index 2 < by_index 1)
+
+(* ---- interpreter value algebra ---- *)
+
+let value_gen =
+  QCheck2.Gen.(
+    let num = map (fun n -> Interp.VNum (float_of_int n)) (int_range (-5) 5) in
+    let record =
+      map
+        (fun xs ->
+          Interp.VRec
+            (List.sort compare
+               (List.mapi (fun i x -> (Printf.sprintf "f%d" i, Interp.VNum (float_of_int x))) xs)))
+        (list_size (return 3) (int_range (-5) 5))
+    in
+    let dict base =
+      map
+        (fun entries ->
+          List.fold_left
+            (fun acc (k, v) ->
+              Interp.value_add (Interp.fresh_counters ()) acc
+                (Interp.VDict [ (Interp.VNum (float_of_int k), v) ]))
+            (Interp.VDict []) entries)
+        (list_size (int_range 0 4) (pair (int_range 0 5) base))
+    in
+    oneof [ num; record; dict num; dict record ])
+
+let value_add_commutative_associative =
+  QCheck2.Test.make ~count:150 ~name:"value_add commutative + associative (same shape)"
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let shape = function
+        | Interp.VNum _ -> 0
+        | Interp.VSym _ -> 1
+        | Interp.VRec _ -> 2
+        | Interp.VDict _ -> 3
+      in
+      let cnt = Interp.fresh_counters () in
+      let inner_shape v = match v with
+        | Interp.VDict ((_, x) :: _) -> 10 + shape x
+        | v -> shape v
+      in
+      if inner_shape a <> inner_shape b || inner_shape b <> inner_shape c then true
+      else
+        try
+          Interp.value_compare (Interp.value_add cnt a b) (Interp.value_add cnt b a) = 0
+          && Interp.value_compare
+               (Interp.value_add cnt (Interp.value_add cnt a b) c)
+               (Interp.value_add cnt a (Interp.value_add cnt b c))
+             = 0
+        with Interp.Type_error _ -> true)
+
+let test_scaling_distributes () =
+  let c = Interp.fresh_counters () in
+  let d =
+    Interp.VDict
+      [ (Interp.VNum 1.0, Interp.VNum 2.0); (Interp.VNum 2.0, Interp.VNum 5.0) ]
+  in
+  let lhs = Interp.value_mul c (Interp.VNum 3.0) d in
+  let rhs =
+    Interp.value_add c
+      (Interp.value_mul c (Interp.VNum 1.0) d)
+      (Interp.value_mul c (Interp.VNum 2.0) d)
+  in
+  Alcotest.(check bool) "3*d = 1*d + 2*d" true (Interp.value_compare lhs rhs = 0)
+
+let test_value_of_relation () =
+  let open Relational in
+  let rel =
+    Relation.of_list "R"
+      (Schema.make [ ("a", Value.TInt); ("b", Value.TFloat) ])
+      [ [| Value.Int 1; Value.Float 2.0 |]; [| Value.Int 1; Value.Float 2.0 |] ]
+  in
+  match Interp.value_of_relation rel with
+  | Interp.VDict [ (_, Interp.VNum 2.0) ] -> () (* duplicate merged to mult 2 *)
+  | v -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Interp.pp_value v)
+
+(* ---- dictionary layouts (Section 5.3 data layout) ---- *)
+
+let layouts_agree =
+  QCheck2.Test.make ~count:80 ~name:"dictionary layouts compute equal results"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (pair (int_range 0 20) (int_range (-5) 5)))
+        (list_size (int_range 0 30) (int_range 0 25)))
+    (fun (entries, probes) ->
+      let entries =
+        Array.of_list (List.map (fun (k, v) -> (k, float_of_int v)) entries)
+      in
+      let probes = Array.of_list probes in
+      let results =
+        List.map
+          (fun d ->
+            let checksum, _, _ = Dict_layout.workload d ~entries ~probes in
+            checksum)
+          Dict_layout.all
+      in
+      match results with
+      | r :: rest -> List.for_all (fun x -> Float.abs (x -. r) < 1e-9) rest
+      | [] -> true)
+
+let test_layout_sizes_agree () =
+  let entries = [| (1, 2.0); (1, 3.0); (5, 1.0); (2, 0.5) |] in
+  List.iter
+    (fun (module D : Dict_layout.DICT) ->
+      Alcotest.(check int)
+        (Dict_layout.layout_name D.layout ^ " size")
+        3
+        (D.size (D.build entries)))
+    Dict_layout.all
+
+let test_sorted_scan_order () =
+  let module D = Dict_layout.Sorted_dict in
+  let d = D.build [| (5, 1.0); (1, 2.0); (3, 4.0) |] in
+  let keys = List.rev (D.fold_ascending (fun k _ acc -> k :: acc) d []) in
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5 ] keys
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ifaq"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "arith + let" `Quick test_arith_and_let;
+          Alcotest.test_case "sum over set" `Quick test_sum_over_set;
+          Alcotest.test_case "dict merge drops zeros" `Quick test_dict_merge_drops_zero;
+          Alcotest.test_case "lookup default 0" `Quick test_lookup_default_zero;
+          Alcotest.test_case "join cardinality" `Quick test_join_expr_counts;
+        ] );
+      ( "rewrites",
+        [
+          Alcotest.test_case "push into sums" `Quick test_push_into_sums;
+          Alcotest.test_case "factor out" `Quick test_factor_out;
+          Alcotest.test_case "swap loops" `Quick test_swap_loops;
+          Alcotest.test_case "unroll static" `Quick test_unroll;
+          Alcotest.test_case "static fields" `Quick test_static_fields;
+          Alcotest.test_case "memoise hoists out of loop" `Quick
+            test_memoise_hoists_out_of_loop;
+        ] );
+      ( "value-algebra",
+        [
+          qcheck value_add_commutative_associative;
+          Alcotest.test_case "scaling distributes" `Quick test_scaling_distributes;
+          Alcotest.test_case "relation to dict merges duplicates" `Quick
+            test_value_of_relation;
+        ] );
+      ( "dict-layouts",
+        [
+          qcheck layouts_agree;
+          Alcotest.test_case "sizes agree" `Quick test_layout_sizes_agree;
+          Alcotest.test_case "sorted scan order" `Quick test_sorted_scan_order;
+        ] );
+      ( "pipeline",
+        [ qcheck stage_equivalence; Alcotest.test_case "op counts drop" `Quick test_ops_drop ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the LMFAO engine: every aggregate of every batch must equal the
+   naive evaluation over the materialised join, across random databases,
+   option combinations (sharing / multi-root / parallel), and batch types. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+module Feature = Aggregates.Feature
+module Engine = Lmfao.Engine
+
+let int n = Value.Int n
+let flt x = Value.Float x
+
+(* A small star database: fact F(a,b,c,m1,m2) with dims D1(a,x,u), D2(b,y),
+   D3(c,z). a,b,c,x,y,z categorical (ints), m1,m2,u,v continuous floats. *)
+let random_star rng card domain =
+  let mk name attrs gen =
+    let schema = Schema.make attrs in
+    let rel = Relation.create name schema in
+    for _ = 1 to card do
+      Relation.append rel (gen ())
+    done;
+    rel
+  in
+  let ri d = int (Util.Prng.int rng d) in
+  let rf () = flt (float_of_int (Util.Prng.int rng 10)) in
+  let f =
+    mk "F"
+      [ ("a", Value.TInt); ("b", Value.TInt); ("c", Value.TInt);
+        ("m1", Value.TFloat); ("m2", Value.TFloat) ]
+      (fun () -> [| ri domain; ri domain; ri domain; rf (); rf () |])
+  in
+  let d1 =
+    mk "D1"
+      [ ("a", Value.TInt); ("x", Value.TInt); ("u", Value.TFloat) ]
+      (fun () -> [| ri domain; ri 3; rf () |])
+  in
+  let d2 =
+    mk "D2"
+      [ ("b", Value.TInt); ("y", Value.TInt) ]
+      (fun () -> [| ri domain; ri 3 |])
+  in
+  let d3 =
+    mk "D3"
+      [ ("c", Value.TInt); ("z", Value.TInt) ]
+      (fun () -> [| ri domain; ri 3 |])
+  in
+  Database.create "star" [ f; d1; d2; d3 ]
+
+let features =
+  Feature.make ~response:"m1" ~thresholds_per_feature:3
+    ~continuous:[ "m2"; "u" ] ~categorical:[ "x"; "y"; "z" ] ()
+
+let check_engine_vs_flat ~options db batch =
+  let flat = Batch.eval_flat (Database.materialise_join db) batch in
+  let got, _stats = Engine.run ~options db batch in
+  List.for_all
+    (fun (id, reference) ->
+      let mine = List.assoc id got in
+      (* flat eval omits empty groups; engine may produce explicit scalar 0 *)
+      let norm r =
+        List.sort compare (List.filter (fun (_, v) -> Float.abs v > 1e-12) r)
+      in
+      let ok = norm mine = [] && norm reference = [] || Spec.result_equal (norm mine) (norm reference) in
+      if not ok then
+        Format.eprintf "MISMATCH %s@. engine: %s@. flat:   %s@." id
+          (String.concat " "
+             (List.map (fun (k, v) ->
+                  Printf.sprintf "{%s}=%g"
+                    (String.concat ","
+                       (List.map (fun (a, x) -> a ^ "=" ^ Value.to_string x) k))
+                    v)
+                (norm mine)))
+          (String.concat " "
+             (List.map (fun (k, v) ->
+                  Printf.sprintf "{%s}=%g"
+                    (String.concat ","
+                       (List.map (fun (a, x) -> a ^ "=" ^ Value.to_string x) k))
+                    v)
+                (norm reference)));
+      ok)
+    flat
+
+let batch_of name db =
+  match name with
+  | "covariance" -> Batch.covariance features
+  | "decision" -> Batch.decision_node ~db features
+  | "mutualinfo" -> Batch.mutual_information [ "x"; "y"; "z" ]
+  | "kmeans" -> Batch.kmeans features
+  | _ -> assert false
+
+let engine_matches_flat batch_name options_desc options =
+  QCheck2.Test.make ~count:12
+    ~name:(Printf.sprintf "%s batch = flat eval (%s)" batch_name options_desc)
+    QCheck2.Gen.(triple (int_range 0 25) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      check_engine_vs_flat ~options db (batch_of batch_name db))
+
+let default = Engine.default_options
+
+let all_options =
+  [
+    ("default", default);
+    ("no-share", { default with share = false });
+    ("single-root", { default with multi_root = false });
+    ("parallel", { default with parallel = true; chunk_threshold = 4 });
+    ( "no-share single-root",
+      { default with share = false; multi_root = false } );
+  ]
+
+let sharing_reduces_partials () =
+  let rng = Util.Prng.create 17 in
+  let db = random_star rng 40 4 in
+  let batch = Batch.covariance features in
+  let _, with_share = Engine.run ~options:default db batch in
+  let _, without = Engine.run ~options:{ default with share = false } db batch in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared %d < unshared %d partials" with_share.partials
+       without.partials)
+    true
+    (with_share.partials < without.partials);
+  Alcotest.(check bool) "some sharing happened" true (with_share.shared_away > 0)
+
+let unsupported_additive_filter () =
+  let rng = Util.Prng.create 3 in
+  let db = random_star rng 10 3 in
+  let spec =
+    Spec.make
+      ~filter:(Predicate.Additive_ineq ([ ("m1", 1.0); ("u", 1.0) ], 5.0))
+      ~id:"svm" ~terms:[] ~group_by:[] ()
+  in
+  let batch = { Batch.name = "svm"; aggregates = [ spec ] } in
+  match Engine.run db batch with
+  | exception Engine.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let empty_join_gives_zero () =
+  (* dims that never match the fact *)
+  let f =
+    Relation.of_list "F"
+      (Schema.make [ ("a", Value.TInt); ("m", Value.TFloat) ])
+      [ [| int 1; flt 5.0 |] ]
+  in
+  let d =
+    Relation.of_list "D"
+      (Schema.make [ ("a", Value.TInt); ("x", Value.TInt) ])
+      [ [| int 2; int 7 |] ]
+  in
+  let db = Database.create "empty" [ f; d ] in
+  let batch =
+    {
+      Batch.name = "b";
+      aggregates =
+        [
+          Spec.count ~id:"n";
+          Spec.make ~id:"sx" ~terms:[ ("m", 1) ] ~group_by:[ "x" ] ();
+        ];
+    }
+  in
+  let results, _ = Engine.run db batch in
+  Alcotest.(check (float 0.0)) "count 0" 0.0 (Spec.scalar_result (List.assoc "n" results));
+  Alcotest.(check int) "no groups" 0 (List.length (List.assoc "sx" results))
+
+(* the bucket rewriting must answer the ORIGINAL decision-node batch ids *)
+let bucketed_equals_flat =
+  QCheck2.Test.make ~count:20 ~name:"bucket rewriting = flat decision batch"
+    QCheck2.Gen.(triple (int_range 1 30) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      let thresholds =
+        List.map
+          (fun x -> (x, Batch.thresholds_for db x 4))
+          features.Feature.continuous
+      in
+      let batch = Batch.decision_node ~db { features with thresholds_per_feature = 4 } in
+      let flat = Batch.eval_flat (Database.materialise_join db) batch in
+      let bucketed = Lmfao.Bucketed.decision_node_results db features ~thresholds in
+      List.for_all
+        (fun (id, reference) ->
+          match List.assoc_opt id bucketed with
+          | None -> false
+          | Some mine ->
+              let norm r =
+                List.sort compare (List.filter (fun (_, v) -> Float.abs v > 1e-12) r)
+              in
+              norm mine = [] && norm reference = []
+              || Spec.result_equal (norm mine) (norm reference))
+        flat)
+
+let test_spec_to_sql () =
+  let spec =
+    Spec.make
+      ~filter:(Predicate.Ge ("prize", Value.Float 10.0))
+      ~id:"s" ~terms:[ ("maxtemp", 1); ("prize", 2) ] ~group_by:[ "category" ] ()
+  in
+  Alcotest.(check string) "sql"
+    "SELECT category, SUM(maxtemp * prize * prize) FROM Q WHERE prize >= 10 GROUP BY category;"
+    (Spec.to_sql spec);
+  Alcotest.(check string) "count sql" "SELECT SUM(1) FROM Q;"
+    (Spec.to_sql (Spec.count ~id:"n"))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "lmfao"
+    [
+      ( "vs-flat",
+        List.concat_map
+          (fun (desc, options) ->
+            List.map
+              (fun b -> qcheck (engine_matches_flat b desc options))
+              [ "covariance"; "decision"; "mutualinfo"; "kmeans" ])
+          all_options );
+      ("bucketed", [ qcheck bucketed_equals_flat ]);
+      ("sql", [ Alcotest.test_case "Spec.to_sql" `Quick test_spec_to_sql ]);
+      ( "sharing",
+        [ Alcotest.test_case "dedup reduces partials" `Quick sharing_reduces_partials ] );
+      ( "edges",
+        [
+          Alcotest.test_case "additive filter unsupported" `Quick
+            unsupported_additive_filter;
+          Alcotest.test_case "empty join" `Quick empty_join_gives_zero;
+        ] );
+    ]

@@ -1,0 +1,390 @@
+(* Tests for the relational substrate: operator semantics against naive
+   reference implementations on random relations, GYO acyclicity, and join
+   trees. *)
+
+open Relational
+
+let int n = Value.Int n
+
+let schema_ab = Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ]
+let schema_bc = Schema.make [ ("b", Value.TInt); ("c", Value.TInt) ]
+
+let rel_of name schema rows =
+  Relation.of_list name schema (List.map (fun r -> Array.map (fun x -> int x) (Array.of_list r)) rows)
+
+(* random relation over int attrs with small domain *)
+let random_rel rng name attrs card domain =
+  let schema = Schema.make (List.map (fun a -> (a, Value.TInt)) attrs) in
+  let rel = Relation.create name schema in
+  for _ = 1 to card do
+    Relation.append rel
+      (Array.of_list (List.map (fun _ -> int (Util.Prng.int rng domain)) attrs))
+  done;
+  rel
+
+let rows_as_sorted_lists rel =
+  List.sort compare
+    (List.map (fun t -> Array.to_list t) (Relation.to_list rel))
+
+(* --- schema --- *)
+
+let test_schema_positions () =
+  let s = Schema.make [ ("x", Value.TInt); ("y", Value.TFloat); ("z", Value.TStr) ] in
+  Alcotest.(check int) "x at 0" 0 (Schema.position s "x");
+  Alcotest.(check int) "z at 2" 2 (Schema.position s "z");
+  Alcotest.(check bool) "mem" true (Schema.mem s "y");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "w");
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Schema.of_list: duplicate attribute x") (fun () ->
+      ignore (Schema.make [ ("x", Value.TInt); ("x", Value.TInt) ]))
+
+let test_schema_join () =
+  let j = Schema.join schema_ab schema_bc in
+  Alcotest.(check (list string)) "join schema" [ "a"; "b"; "c" ] (Schema.names j);
+  Alcotest.(check (list string)) "common" [ "b" ] (Schema.common schema_ab schema_bc)
+
+(* --- value ordering --- *)
+
+let value_compare_total =
+  QCheck2.Test.make ~count:200 ~name:"value compare is a total order"
+    QCheck2.Gen.(
+      let value =
+        oneof
+          [
+            map (fun n -> Value.Int n) small_int;
+            map (fun x -> Value.Float x) (float_bound_inclusive 100.0);
+            map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 4));
+            return Value.Null;
+          ]
+      in
+      triple value value value)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      (* antisymmetry *)
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      (* transitivity of <= *)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+(* --- select / project --- *)
+
+let test_select () =
+  let r = rel_of "R" schema_ab [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  let got = Ops.select (Predicate.Ge ("a", int 3)) r in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality got)
+
+let test_additive_ineq_predicate () =
+  let r = rel_of "R" schema_ab [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  (* a + 2b > 10: (1,2)->5 no, (3,4)->11 yes, (5,6)->17 yes *)
+  let got = Ops.select (Predicate.Additive_ineq ([ ("a", 1.0); ("b", 2.0) ], 10.0)) r in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality got)
+
+let test_project_bag () =
+  let r = rel_of "R" schema_ab [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 2 ] ] in
+  let p = Ops.project r [ "a" ] in
+  Alcotest.(check int) "bag keeps dups" 3 (Relation.cardinality p);
+  let d = Ops.project_distinct r [ "a" ] in
+  Alcotest.(check int) "distinct" 1 (Relation.cardinality d)
+
+(* --- joins vs nested-loop reference --- *)
+
+let join_matches_reference =
+  QCheck2.Test.make ~count:60 ~name:"hash join = nested-loop join"
+    QCheck2.Gen.(triple (int_range 0 25) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let a = random_rel rng "A" [ "a"; "b" ] card domain in
+      let b = random_rel rng "B" [ "b"; "c" ] card domain in
+      let fast = Ops.natural_join a b in
+      (* reference *)
+      let refr = Relation.create "ref" (Schema.join (Relation.schema a) (Relation.schema b)) in
+      Relation.iter
+        (fun ta ->
+          Relation.iter
+            (fun tb ->
+              if Value.equal ta.(1) tb.(0) then
+                Relation.append refr [| ta.(0); ta.(1); tb.(1) |])
+            b)
+        a;
+      rows_as_sorted_lists fast = rows_as_sorted_lists refr)
+
+let test_join_cartesian_when_disjoint () =
+  let a = rel_of "A" (Schema.make [ ("a", Value.TInt) ]) [ [ 1 ]; [ 2 ] ] in
+  let b = rel_of "B" (Schema.make [ ("b", Value.TInt) ]) [ [ 10 ]; [ 20 ]; [ 30 ] ] in
+  Alcotest.(check int) "cartesian 2x3" 6 (Relation.cardinality (Ops.natural_join a b))
+
+let test_semijoin () =
+  let a = rel_of "A" schema_ab [ [ 1; 1 ]; [ 2; 2 ]; [ 3; 3 ] ] in
+  let b = rel_of "B" schema_bc [ [ 1; 9 ]; [ 3; 9 ] ] in
+  let s = Ops.semijoin a b in
+  Alcotest.(check int) "two survivors" 2 (Relation.cardinality s)
+
+(* --- group_by vs reference --- *)
+
+let groupby_matches_reference =
+  QCheck2.Test.make ~count:60 ~name:"group_by sums = manual fold"
+    QCheck2.Gen.(triple (int_range 0 40) (int_range 1 4) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let r = random_rel rng "R" [ "g"; "v" ] card domain in
+      let schema = Relation.schema r in
+      let got =
+        Ops.group_by r ~key:[ "g" ]
+          ~aggs:[ ("s", Ops.sum_of_attr schema "v"); ("n", Ops.Count) ]
+      in
+      (* reference via assoc list *)
+      let table = Hashtbl.create 8 in
+      Relation.iter
+        (fun t ->
+          let g = Value.to_int t.(0) and v = Value.to_float t.(1) in
+          let s0, n0 = Option.value ~default:(0.0, 0) (Hashtbl.find_opt table g) in
+          Hashtbl.replace table g (s0 +. v, n0 + 1))
+        r;
+      Relation.cardinality got = Hashtbl.length table
+      && Relation.fold
+           (fun ok t ->
+             let g = Value.to_int t.(0) in
+             let s = Value.to_float t.(1) and n = Value.to_float t.(2) in
+             match Hashtbl.find_opt table g with
+             | Some (s0, n0) ->
+                 ok && Float.abs (s -. s0) < 1e-9 && int_of_float n = n0
+             | None -> false)
+           true got)
+
+let test_aggregate_scalar () =
+  let r = rel_of "R" schema_ab [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ] in
+  let schema = Relation.schema r in
+  match
+    Ops.aggregate r
+      [
+        Ops.Count;
+        Ops.sum_of_attr schema "b";
+        Ops.Min (fun t -> Value.to_float t.(1));
+        Ops.Max (fun t -> Value.to_float t.(1));
+        Ops.Avg (fun t -> Value.to_float t.(1));
+      ]
+  with
+  | [ n; s; mn; mx; avg ] ->
+      Alcotest.(check (float 1e-9)) "count" 3.0 n;
+      Alcotest.(check (float 1e-9)) "sum" 60.0 s;
+      Alcotest.(check (float 1e-9)) "min" 10.0 mn;
+      Alcotest.(check (float 1e-9)) "max" 30.0 mx;
+      Alcotest.(check (float 1e-9)) "avg" 20.0 avg
+  | _ -> Alcotest.fail "wrong arity"
+
+(* --- hypergraph / GYO --- *)
+
+let test_gyo_acyclic_chain () =
+  let hg =
+    [
+      Hypergraph.edge "R1" [ "a"; "b" ];
+      Hypergraph.edge "R2" [ "b"; "c" ];
+      Hypergraph.edge "R3" [ "c"; "d" ];
+    ]
+  in
+  Alcotest.(check bool) "chain acyclic" true (Hypergraph.is_acyclic hg)
+
+let test_gyo_triangle_cyclic () =
+  let hg =
+    [
+      Hypergraph.edge "R1" [ "a"; "b" ];
+      Hypergraph.edge "R2" [ "b"; "c" ];
+      Hypergraph.edge "R3" [ "a"; "c" ];
+    ]
+  in
+  Alcotest.(check bool) "triangle cyclic" false (Hypergraph.is_acyclic hg)
+
+let test_gyo_star_acyclic () =
+  let hg =
+    [
+      Hypergraph.edge "F" [ "a"; "b"; "c" ];
+      Hypergraph.edge "D1" [ "a"; "x" ];
+      Hypergraph.edge "D2" [ "b"; "y" ];
+      Hypergraph.edge "D3" [ "c"; "z" ];
+    ]
+  in
+  Alcotest.(check bool) "star acyclic" true (Hypergraph.is_acyclic hg)
+
+(* Join tree: running-intersection property — for each attribute, the nodes
+   containing it form a connected subtree. *)
+let running_intersection jt root_name =
+  let node = Join_tree.tree ~root:root_name jt in
+  let attr_nodes = Hashtbl.create 16 in
+  let rec collect (n : Join_tree.node) =
+    List.iter
+      (fun a ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt attr_nodes a) in
+        Hashtbl.replace attr_nodes a (Relation.name n.rel :: cur))
+      (Schema.names (Relation.schema n.rel));
+    List.iter collect n.children
+  in
+  collect node;
+  (* for each attr, check connectivity by walking the tree and counting the
+     maximal connected runs containing the attr *)
+  let ok = ref true in
+  Hashtbl.iter
+    (fun attr _ ->
+      (* count connected components of nodes containing attr *)
+      let rec components (n : Join_tree.node) inside =
+        let here = Schema.mem (Relation.schema n.rel) attr in
+        let new_comp = if here && not inside then 1 else 0 in
+        List.fold_left
+          (fun acc c -> acc + components c here)
+          new_comp n.children
+      in
+      if components node false > 1 then ok := false)
+    attr_nodes;
+  !ok
+
+let test_join_tree_running_intersection () =
+  let rels =
+    [
+      rel_of "F" (Schema.make [ ("a", Value.TInt); ("b", Value.TInt); ("c", Value.TInt) ]) [];
+      rel_of "D1" (Schema.make [ ("a", Value.TInt); ("x", Value.TInt) ]) [];
+      rel_of "D2" (Schema.make [ ("b", Value.TInt); ("y", Value.TInt) ]) [];
+      rel_of "D3" (Schema.make [ ("c", Value.TInt); ("z", Value.TInt) ]) [];
+    ]
+  in
+  let jt = Join_tree.build rels in
+  List.iter
+    (fun root ->
+      Alcotest.(check bool)
+        (Printf.sprintf "running intersection from %s" root)
+        true
+        (running_intersection jt root))
+    (Join_tree.node_names jt)
+
+let test_join_tree_cyclic_raises () =
+  let rels =
+    [
+      rel_of "R1" schema_ab [];
+      rel_of "R2" schema_bc [];
+      rel_of "R3" (Schema.make [ ("a", Value.TInt); ("c", Value.TInt) ]) [];
+    ]
+  in
+  Alcotest.check_raises "cyclic" Join_tree.Cyclic (fun () ->
+      ignore (Join_tree.build rels))
+
+(* --- database --- *)
+
+let test_database_join () =
+  let f =
+    rel_of "F" (Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ])
+      [ [ 1; 10 ]; [ 2; 20 ] ]
+  in
+  let d =
+    rel_of "D" (Schema.make [ ("a", Value.TInt); ("x", Value.TInt) ])
+      [ [ 1; 100 ]; [ 1; 101 ]; [ 2; 200 ] ]
+  in
+  let db = Database.create "toy" [ f; d ] in
+  let join = Database.materialise_join db in
+  Alcotest.(check int) "join size" 3 (Relation.cardinality join);
+  Alcotest.(check int) "total card" 5 (Database.total_cardinality db)
+
+(* compiled predicates agree with interpreted evaluation *)
+let predicate_compile_matches_eval =
+  QCheck2.Test.make ~count:200 ~name:"Predicate.compile = Predicate.eval"
+    QCheck2.Gen.(
+      let leaf =
+        oneof
+          [
+            map (fun c -> Predicate.Ge ("a", Value.Int c)) (int_range 0 5);
+            map (fun c -> Predicate.Lt ("b", Value.Int c)) (int_range 0 5);
+            map (fun c -> Predicate.Eq ("a", Value.Int c)) (int_range 0 5);
+            map
+              (fun cs -> Predicate.In ("b", List.map (fun c -> Value.Int c) cs))
+              (list_size (int_range 0 3) (int_range 0 5));
+            return Predicate.True;
+          ]
+      in
+      let pred =
+        oneof
+          [
+            leaf;
+            map (fun p -> Predicate.Not p) leaf;
+            map2 (fun p q -> Predicate.And (p, q)) leaf leaf;
+            map2 (fun p q -> Predicate.Or (p, q)) leaf leaf;
+          ]
+      in
+      triple pred (int_range 0 5) (int_range 0 5))
+    (fun (p, x, y) ->
+      let t = [| int x; int y |] in
+      Predicate.eval schema_ab t p = Predicate.compile schema_ab p t)
+
+let test_sort_by () =
+  let r = rel_of "R" schema_ab [ [ 3; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] in
+  let sorted = Ops.sort_by r [ "a" ] in
+  Alcotest.(check (list int)) "ascending a" [ 1; 2; 3 ]
+    (List.map (fun t -> Value.to_int t.(0)) (Relation.to_list sorted))
+
+let test_union () =
+  let a = rel_of "A" schema_ab [ [ 1; 2 ] ] in
+  let b = rel_of "B" schema_ab [ [ 3; 4 ]; [ 1; 2 ] ] in
+  let u = Ops.union a b in
+  Alcotest.(check int) "bag union" 3 (Relation.cardinality u);
+  let c = rel_of "C" schema_bc [ [ 1; 2 ] ] in
+  Alcotest.check_raises "schema mismatch"
+    (Invalid_argument "Ops.union: schema mismatch") (fun () ->
+      ignore (Ops.union a c))
+
+let test_relation_value_accounting () =
+  let r = rel_of "R" schema_ab [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "value count" 4 (Relation.value_count r);
+  Alcotest.(check int) "distinct" 2 (Relation.distinct_count r);
+  Alcotest.(check bool) "csv bytes > 0" true (Relation.csv_size r > 0);
+  (* csv round trip *)
+  let rows = Relation.csv_rows r in
+  let back = Relation.of_csv_rows "R" schema_ab rows in
+  Alcotest.(check int) "round trip size" 2 (Relation.cardinality back);
+  Alcotest.(check bool) "round trip tuples" true
+    (List.for_all2 Tuple.equal (Relation.to_list r) (Relation.to_list back))
+
+let test_append_arity_mismatch () =
+  let r = Relation.create "R" schema_ab in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Relation.append: arity mismatch on R (3 vs 2)") (fun () ->
+      Relation.append r [| int 1; int 2; int 3 |])
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "positions" `Quick test_schema_positions;
+          Alcotest.test_case "join schema" `Quick test_schema_join;
+        ] );
+      ("value", [ qcheck value_compare_total ]);
+      ( "ops",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "additive inequality" `Quick test_additive_ineq_predicate;
+          Alcotest.test_case "bag projection" `Quick test_project_bag;
+          qcheck join_matches_reference;
+          Alcotest.test_case "disjoint join = cartesian" `Quick
+            test_join_cartesian_when_disjoint;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          qcheck groupby_matches_reference;
+          Alcotest.test_case "scalar aggregates" `Quick test_aggregate_scalar;
+          qcheck predicate_compile_matches_eval;
+          Alcotest.test_case "sort_by" `Quick test_sort_by;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "value accounting + csv" `Quick
+            test_relation_value_accounting;
+          Alcotest.test_case "append arity mismatch" `Quick test_append_arity_mismatch;
+        ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "chain acyclic" `Quick test_gyo_acyclic_chain;
+          Alcotest.test_case "triangle cyclic" `Quick test_gyo_triangle_cyclic;
+          Alcotest.test_case "star acyclic" `Quick test_gyo_star_acyclic;
+        ] );
+      ( "join-tree",
+        [
+          Alcotest.test_case "running intersection (all roots)" `Quick
+            test_join_tree_running_intersection;
+          Alcotest.test_case "cyclic raises" `Quick test_join_tree_cyclic_raises;
+        ] );
+      ("database", [ Alcotest.test_case "materialise join" `Quick test_database_join ]);
+    ]

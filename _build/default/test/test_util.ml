@@ -1,0 +1,193 @@
+(* Tests for the util substrate: PRNG, vectors/matrices (Cholesky), CSV,
+   interner, and the domain pool. *)
+
+open Util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_range rng 3 9 in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 9)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 1 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_zipf_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 500 do
+    let r = Prng.zipf rng ~n:50 ~s:1.2 in
+    Alcotest.(check bool) "rank bounds" true (r >= 1 && r <= 50)
+  done
+
+let test_gaussian_moments () =
+  let rng = Prng.create 5 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian rng ~mu:2.0 ~sigma:3.0 in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.0) < 0.15);
+  Alcotest.(check bool) "var near 9" true (Float.abs (var -. 9.0) < 0.8)
+
+(* --- vectors --- *)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (float 1e-12)) "dot" 32.0 (Vec.dot a b);
+  Alcotest.(check bool) "add" true (Vec.equal (Vec.add a b) [| 5.0; 7.0; 9.0 |]);
+  Alcotest.(check bool) "scale" true (Vec.equal (Vec.scale 2.0 a) [| 2.0; 4.0; 6.0 |]);
+  let y = Vec.copy b in
+  Vec.axpy ~alpha:2.0 a y;
+  Alcotest.(check bool) "axpy" true (Vec.equal y [| 6.0; 9.0; 12.0 |])
+
+(* --- matrices --- *)
+
+let random_spd rng n =
+  (* A = B^T B + n * I is SPD *)
+  let b = Mat.init n n (fun _ _ -> Prng.float_range rng (-1.0) 1.0) in
+  Mat.add (Mat.matmul (Mat.transpose b) b) (Mat.scale (float_of_int n) (Mat.identity n))
+
+let cholesky_prop =
+  QCheck2.Test.make ~count:50 ~name:"solve_spd solves random SPD systems"
+    QCheck2.Gen.(pair (int_range 1 8) int)
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let a = random_spd rng n in
+      let x_true = Array.init n (fun _ -> Prng.float_range rng (-5.0) 5.0) in
+      let b = Mat.matvec a x_true in
+      let x = Mat.solve_spd a b in
+      Vec.equal ~eps:1e-6 x x_true)
+
+let test_cholesky_rejects_non_pd () =
+  let m = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "not PD" Mat.Not_positive_definite (fun () ->
+      ignore (Mat.cholesky m))
+
+let test_matmul_identity () =
+  let rng = Prng.create 11 in
+  let a = Mat.init 4 4 (fun _ _ -> Prng.float_range rng (-1.0) 1.0) in
+  Alcotest.(check bool) "A*I = A" true (Mat.equal (Mat.matmul a (Mat.identity 4)) a);
+  Alcotest.(check bool) "I*A = A" true (Mat.equal (Mat.matmul (Mat.identity 4) a) a)
+
+let test_ger () =
+  let m = Mat.create 2 2 in
+  Mat.ger ~alpha:2.0 [| 1.0; 2.0 |] [| 3.0; 4.0 |] m;
+  Alcotest.(check (float 1e-12)) "m00" 6.0 (Mat.get m 0 0);
+  Alcotest.(check (float 1e-12)) "m01" 8.0 (Mat.get m 0 1);
+  Alcotest.(check (float 1e-12)) "m10" 12.0 (Mat.get m 1 0);
+  Alcotest.(check (float 1e-12)) "m11" 16.0 (Mat.get m 1 1)
+
+let test_power_iteration () =
+  (* diag(5, 2, 1): dominant eigenvalue 5 with e_0 *)
+  let m = Mat.init 3 3 (fun i j -> if i = j then [| 5.0; 2.0; 1.0 |].(i) else 0.0) in
+  let lambda, v = Mat.power_iteration m [| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check (float 1e-6)) "lambda" 5.0 lambda;
+  Alcotest.(check (float 1e-4)) "v aligned with e0" 1.0 (Float.abs v.(0))
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip () =
+  let rows = [ [ "a"; "b"; "c" ]; [ "1"; "2.5"; "xyz" ] ] in
+  Alcotest.(check bool)
+    "roundtrip" true
+    (Csvio.parse_string (Csvio.to_string rows) = rows)
+
+let csv_prop =
+  QCheck2.Test.make ~count:100 ~name:"csv roundtrip on random cells"
+    QCheck2.Gen.(
+      list_size (int_range 1 5)
+        (list_size (int_range 1 5) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
+    (fun rows -> Csvio.parse_string (Csvio.to_string rows) = rows)
+
+(* --- interner --- *)
+
+let test_interner () =
+  let i = Interner.create () in
+  let a = Interner.intern i "apple" in
+  let b = Interner.intern i "banana" in
+  let a' = Interner.intern i "apple" in
+  Alcotest.(check int) "stable id" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "name roundtrip" "banana" (Interner.name i b);
+  Alcotest.(check int) "size" 2 (Interner.size i)
+
+(* --- pool --- *)
+
+let test_ranges_cover () =
+  List.iter
+    (fun (n, k) ->
+      let rs = Pool.ranges n k in
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 rs in
+      Alcotest.(check int) (Printf.sprintf "cover %d/%d" n k) n total)
+    [ (10, 3); (0, 4); (7, 10); (100, 8) ]
+
+let test_parallel_sum () =
+  let n = 10000 in
+  let seq = n * (n - 1) / 2 in
+  let par =
+    Pool.parallel_chunks n
+      (fun lo len ->
+        let s = ref 0 in
+        for i = lo to lo + len - 1 do
+          s := !s + i
+        done;
+        !s)
+      ~combine:( + ) ~zero:0
+  in
+  Alcotest.(check int) "parallel sum" seq par
+
+let test_parallel_tasks_order () =
+  let results = Pool.parallel_tasks (List.init 20 (fun i () -> i * i)) in
+  Alcotest.(check (list int)) "ordered" (List.init 20 (fun i -> i * i)) results
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "int_range bounds" `Quick test_prng_range;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ("vec", [ Alcotest.test_case "basic ops" `Quick test_vec_ops ]);
+      ( "mat",
+        [
+          qcheck cholesky_prop;
+          Alcotest.test_case "cholesky rejects non-PD" `Quick
+            test_cholesky_rejects_non_pd;
+          Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+          Alcotest.test_case "ger rank-1 update" `Quick test_ger;
+          Alcotest.test_case "power iteration" `Quick test_power_iteration;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          qcheck csv_prop;
+        ] );
+      ("interner", [ Alcotest.test_case "basic" `Quick test_interner ]);
+      ( "pool",
+        [
+          Alcotest.test_case "ranges cover" `Quick test_ranges_cover;
+          Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
+          Alcotest.test_case "task order" `Quick test_parallel_tasks_order;
+        ] );
+    ]
