@@ -15,6 +15,14 @@ let scale =
   | Some s -> (try float_of_string s with _ -> 1.0)
   | None -> 1.0
 
+(* BORG_OBS=1 switches the observability layer on for the whole run; each
+   entry then prints its counter snapshot (timings stay span-free unless an
+   entry opts in, so the measured numbers are not perturbed by reporting). *)
+let obs_on =
+  match Sys.getenv_opt "BORG_OBS" with
+  | Some ("0" | "false" | "") | None -> false
+  | Some _ -> true
+
 let seed = 42
 
 let line = String.make 78 '-'
@@ -63,7 +71,7 @@ let fig3 () =
   let aware_rmse = Ml.Linreg.rmse_on aware.model join in
   (* sufficient statistics size: the aggregate payload *)
   let batch = Aggregates.Batch.covariance features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let stat_bytes =
     Hashtbl.fold (fun _ r acc -> acc + (List.length r * 16)) table 0
   in
@@ -177,7 +185,7 @@ let fig4left () =
             (pct (t_monet /. t_lmfao)))
         [
           (let batch = Aggregates.Batch.covariance d.features in
-           ("C", batch, fun () -> ignore (Lmfao.Engine.run d.db batch)));
+           ("C", batch, fun () -> ignore (Lmfao.Engine.eval d.db batch)));
           (let batch = Aggregates.Batch.decision_node ~db:d.db d.features in
            ( "R",
              batch,
@@ -320,8 +328,9 @@ let reuse () =
   let db = Datagen.Retailer.generate ~scale:(0.1 *. scale) ~seed () in
   let features = Datagen.Retailer.features in
   let batch = Aggregates.Batch.covariance features in
-  let (table, _), t_batch =
-    Util.Timing.time (fun () -> Lmfao.Engine.run_to_table db batch)
+  let table, t_batch =
+    Util.Timing.time (fun () ->
+        Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table)
   in
   let moment = Ml.Moment.of_batch features (Hashtbl.find table) in
   let (best, trail), t_select =
@@ -426,7 +435,7 @@ let micro () =
   let tests =
     [
       Test.make ~name:"fig3: lmfao covariance batch (retailer)"
-        (Staged.stage (fun () -> ignore (Lmfao.Engine.run db cov_batch)));
+        (Staged.stage (fun () -> ignore (Lmfao.Engine.eval db cov_batch)));
       Test.make ~name:"fig4l: one unshared aggregate scan"
         (let join = Relational.Database.materialise_join db in
          let spec = List.hd cov_batch.Aggregates.Batch.aggregates in
@@ -453,7 +462,7 @@ let micro () =
          let program = snd (List.nth (Ifaq.Gd_example.all_stages ()) 3) in
          Staged.stage (fun () -> ignore (Ifaq.Interp.run ~relations program)));
       Test.make ~name:"s1.5: model re-solve from moments"
-        (let table, _ = Lmfao.Engine.run_to_table db cov_batch in
+        (let table = Lazy.force (Lmfao.Engine.eval db cov_batch).Lmfao.Engine.table in
          let moment =
            Ml.Moment.of_batch Datagen.Retailer.features (Hashtbl.find table)
          in
@@ -503,9 +512,10 @@ let ablate () =
   let d = Lmfao.Engine.default_options in
   List.iter
     (fun (name, options) ->
-      let (_, stats), t =
-        Util.Timing.time (fun () -> Lmfao.Engine.run ~options db batch)
+      let r, t =
+        Util.Timing.time (fun () -> Lmfao.Engine.eval ~options db batch)
       in
+      let stats = r.Lmfao.Engine.stats in
       Printf.printf "  %-28s %10s  (%4d views, %6d partials, %6d shared away)\n%!"
         name (Util.Timing.to_string t) stats.Lmfao.Engine.views
         stats.Lmfao.Engine.partials stats.Lmfao.Engine.shared_away)
@@ -627,6 +637,33 @@ let wcoj () =
     (float_of_int n_updates /. t_maintain)
     (Fivm.Triangle.count g) (Fivm.Triangle.recompute g)
 
+(* -------------------------------------------------------------- engines *)
+
+(* The engine facade: every Engine_intf implementation on the same batch,
+   through the one entry point the CLI uses (borg agg --engine). *)
+let engines () =
+  header "Engine facade: one covariance batch through every Engine_intf engine" "";
+  let db = Datagen.Retailer.generate ~scale:(0.1 *. scale) ~seed () in
+  let batch = Aggregates.Batch.covariance Datagen.Retailer.features in
+  Printf.printf "batch: %d aggregates, %d input tuples\n"
+    (Aggregates.Batch.size batch)
+    (Relational.Database.total_cardinality db);
+  List.iter
+    (fun e ->
+      let results, t =
+        Util.Timing.time (fun () -> Aggregates.Engine_intf.eval e db batch)
+      in
+      Printf.printf "  %-10s %10s  (%d aggregates; %s)\n%!"
+        (Aggregates.Engine_intf.name e)
+        (Util.Timing.to_string t) (List.length results)
+        (Aggregates.Engine_intf.description e))
+    [
+      (module Lmfao.Engine : Aggregates.Engine_intf.S);
+      (module Baseline.Agnostic);
+      (module Baseline.Unshared.Dbx);
+      (module Baseline.Unshared.Monet);
+    ]
+
 (* ------------------------------------------------------------- dispatch *)
 
 let entries =
@@ -642,6 +679,7 @@ let entries =
     ("ineq", ineq);
     ("ablate", ablate);
     ("wcoj", wcoj);
+    ("engines", engines);
     ("micro", micro);
   ]
 
@@ -651,11 +689,23 @@ let () =
     | _ :: rest when rest <> [] -> rest
     | _ -> List.map fst entries
   in
-  Printf.printf "relational-data-borg benchmark harness (scale %.2f)\n" scale;
+  Printf.printf "relational-data-borg benchmark harness (scale %.2f%s)\n" scale
+    (if obs_on then ", observability on" else "");
+  Obs.set_enabled obs_on;
   List.iter
     (fun name ->
       match List.assoc_opt name entries with
-      | Some f -> f ()
+      | Some f ->
+          Obs.reset ();
+          f ();
+          if obs_on then begin
+            match Obs.counter_snapshot () with
+            | [] -> ()
+            | snapshot ->
+                Printf.printf "\n[%s] counters:\n" name;
+                List.iter (fun (c, v) -> Printf.printf "  %-36s %12d\n" c v) snapshot;
+                Printf.printf "%!"
+          end
       | None ->
           Printf.printf "unknown entry %s (available: %s)\n" name
             (String.concat ", " (List.map fst entries)))

@@ -58,13 +58,48 @@ let scale_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+(* ---- observability flags (shared by every workload command) ---- *)
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Enable observability and print the span/counter report to stderr.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable observability and write the metrics snapshot as JSON to $(docv).")
+
+(* Run a command body with observability switched on when either flag asks
+   for it; the report/export happens even if the body raises. *)
+let with_obs trace metrics_out f =
+  let enabled = trace || metrics_out <> None in
+  if not enabled then f ()
+  else begin
+    Obs.reset ();
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_enabled false;
+        if trace then Format.eprintf "%a@." Obs.pp_report ();
+        Option.iter
+          (fun path ->
+            try Obs.write_file path
+            with Sys_error msg ->
+              Printf.eprintf "borg: cannot write metrics: %s\n" msg;
+              exit 1)
+          metrics_out)
+      f
+  end
+
 (* ---- generate ---- *)
 
 let generate_cmd =
   let out_arg =
     Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run (name, spec) scale seed out =
+  let run (name, spec) scale seed out trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     List.iter
@@ -79,12 +114,14 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic dataset as CSV files.")
-    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ out_arg)
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ out_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* ---- train ---- *)
 
 let train_cmd =
-  let run (name, spec) scale seed =
+  let run (name, spec) scale seed trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     Printf.printf "training ridge linear regression over %s (scale %g)...\n" name scale;
     let r = Ml.Linreg.train_over_database db spec.features in
@@ -110,7 +147,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train linear regression via the aggregate batch.")
-    Term.(const run $ dataset_arg $ scale_arg $ seed_arg)
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- tree ---- *)
 
@@ -118,7 +155,8 @@ let tree_cmd =
   let depth_arg =
     Arg.(value & opt int 4 & info [ "depth" ] ~docv:"D" ~doc:"Maximum tree depth.")
   in
-  let run (name, spec) scale seed depth =
+  let run (name, spec) scale seed depth trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     Printf.printf "training a depth-%d regression tree over %s...\n" depth name;
     let tree, seconds =
@@ -133,7 +171,8 @@ let tree_cmd =
   in
   Cmd.v
     (Cmd.info "tree" ~doc:"Train a CART regression tree from aggregate batches.")
-    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ depth_arg)
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ depth_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* ---- batches ---- *)
 
@@ -179,20 +218,17 @@ let ivm_cmd =
   let limit_arg =
     Arg.(value & opt int max_int & info [ "limit" ] ~docv:"N" ~doc:"Insert at most N tuples.")
   in
-  let run (name, spec) scale seed strategy limit =
+  let run (name, spec) scale seed strategy limit trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     let stream = Datagen.Stream_gen.inserts_of_database db in
     let m = Fivm.Maintainer.create strategy db ~features:spec.ivm_features in
-    let n = ref 0 in
+    let batch =
+      List.filteri (fun i _ -> i < limit) stream
+    in
+    let n = ref (List.length batch) in
     let seconds =
-      Util.Timing.time_only (fun () ->
-          List.iter
-            (fun u ->
-              if !n < limit then begin
-                Fivm.Maintainer.apply m u;
-                incr n
-              end)
-            stream)
+      Util.Timing.time_only (fun () -> Fivm.Maintainer.apply_batch m batch)
     in
     Printf.printf "%s over %s: %d inserts in %s (%.0f tuples/s)\n"
       (Fivm.Maintainer.strategy_name strategy)
@@ -204,11 +240,158 @@ let ivm_cmd =
   in
   Cmd.v
     (Cmd.info "ivm" ~doc:"Maintain the covariance matrix under an insert stream.")
-    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg)
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg
+          $ trace_arg $ metrics_out_arg)
+
+(* ---- agg: run an aggregate batch through a selectable engine ---- *)
+
+let engines : Aggregates.Engine_intf.t list =
+  [
+    (module Lmfao.Engine);
+    (module Baseline.Agnostic);
+    (module Baseline.Unshared.Dbx);
+    (module Baseline.Unshared.Monet);
+  ]
+
+let agg_cmd =
+  let engine_arg =
+    let econv =
+      Arg.enum (List.map (fun e -> (Aggregates.Engine_intf.name e, e)) engines)
+    in
+    Arg.(value & opt econv (List.hd engines)
+         & info [ "engine" ] ~docv:"E"
+             ~doc:"Aggregate engine: lmfao | agnostic | dbx | monet.")
+  in
+  let batch_arg =
+    let bconv =
+      Arg.enum
+        [
+          ("covariance", `Covariance);
+          ("decision-node", `Decision_node);
+          ("mutual-info", `Mutual_info);
+          ("kmeans", `Kmeans);
+        ]
+    in
+    Arg.(value & opt bconv `Covariance
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Batch: covariance | decision-node | mutual-info | kmeans.")
+  in
+  let run (name, spec) scale seed engine batch_name trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let db = spec.generate ~scale ~seed () in
+    let mi =
+      match name with
+      | "retailer" -> Datagen.Retailer.mi_attrs
+      | "favorita" -> Datagen.Favorita.mi_attrs
+      | "yelp" -> Datagen.Yelp.mi_attrs
+      | _ -> Datagen.Tpcds.mi_attrs
+    in
+    let batch =
+      match batch_name with
+      | `Covariance -> Aggregates.Batch.covariance spec.features
+      | `Decision_node -> Aggregates.Batch.decision_node spec.features
+      | `Mutual_info -> Aggregates.Batch.mutual_information mi
+      | `Kmeans -> Aggregates.Batch.kmeans spec.features
+    in
+    Printf.printf "engine %s: %s\n"
+      (Aggregates.Engine_intf.name engine)
+      (Aggregates.Engine_intf.description engine);
+    let results, seconds =
+      Util.Timing.time (fun () -> Aggregates.Engine_intf.eval engine db batch)
+    in
+    Printf.printf "batch %s over %s (scale %g): %d aggregates in %s\n"
+      batch.Aggregates.Batch.name
+      name scale (List.length results) (Util.Timing.to_string seconds);
+    List.iter
+      (fun (id, rows) -> Printf.printf "  %-24s %6d group(s)\n" id (List.length rows))
+      results
+  in
+  Cmd.v
+    (Cmd.info "agg" ~doc:"Evaluate an aggregate batch with a selectable engine.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ engine_arg $ batch_arg
+          $ trace_arg $ metrics_out_arg)
+
+(* ---- check-metrics: validate an exported metrics snapshot ---- *)
+
+let check_metrics_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let require_span_arg =
+    Arg.(value & opt_all string []
+         & info [ "require-span" ] ~docv:"NAME"
+             ~doc:"Fail unless a span named $(docv) (or $(docv):...) was recorded. \
+                   Repeatable.")
+  in
+  let require_counter_arg =
+    Arg.(value & opt_all string []
+         & info [ "require-counter" ] ~docv:"NAME"
+             ~doc:"Fail unless counter $(docv) is present and non-zero. Repeatable.")
+  in
+  let run file req_spans req_counters =
+    let contents = In_channel.with_open_text file In_channel.input_all in
+    match Obs.Json.parse contents with
+    | Error msg ->
+        Printf.eprintf "check-metrics: %s: invalid JSON: %s\n" file msg;
+        exit 1
+    | Ok json ->
+        let failures = ref [] in
+        let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+        (* collect every span name in the tree *)
+        let span_names = ref [] in
+        let rec walk = function
+          | Obs.Json.Obj _ as o ->
+              (match Obs.Json.member "name" o with
+              | Some (Obs.Json.Str n) -> span_names := n :: !span_names
+              | _ -> ());
+              (match Obs.Json.member "children" o with
+              | Some (Obs.Json.Arr kids) -> List.iter walk kids
+              | _ -> ())
+          | _ -> ()
+        in
+        (match Obs.Json.member "spans" json with
+        | Some (Obs.Json.Arr spans) -> List.iter walk spans
+        | _ -> fail "no \"spans\" array");
+        List.iter
+          (fun req ->
+            let matches n = n = req || String.starts_with ~prefix:(req ^ ":") n in
+            if not (List.exists matches !span_names) then
+              fail "missing span %S" req)
+          req_spans;
+        (match Obs.Json.member "counters" json with
+        | Some (Obs.Json.Obj cs) ->
+            List.iter
+              (fun req ->
+                match List.assoc_opt req cs with
+                | Some (Obs.Json.Num v) when v > 0.0 -> ()
+                | Some _ -> fail "counter %S is zero" req
+                | None -> fail "missing counter %S" req)
+              req_counters
+        | _ -> if req_counters <> [] then fail "no \"counters\" object");
+        (match !failures with
+        | [] ->
+            Printf.printf "check-metrics: %s ok (%d spans, %d required counters)\n"
+              file (List.length !span_names) (List.length req_counters)
+        | fs ->
+            List.iter (fun f -> Printf.eprintf "check-metrics: %s\n" f) (List.rev fs);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:"Validate a --metrics-out JSON snapshot (used by the CI smoke test).")
+    Term.(const run $ file_arg $ require_span_arg $ require_counter_arg)
 
 let () =
   let doc = "machine learning over relational data, the structure-aware way" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "borg" ~version:"1.0.0" ~doc)
-          [ generate_cmd; train_cmd; tree_cmd; batches_cmd; ivm_cmd ]))
+          [
+            generate_cmd;
+            train_cmd;
+            tree_cmd;
+            batches_cmd;
+            ivm_cmd;
+            agg_cmd;
+            check_metrics_cmd;
+          ]))

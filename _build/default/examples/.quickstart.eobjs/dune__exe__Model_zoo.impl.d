@@ -1,1 +1,1 @@
-examples/model_zoo.ml: Aggregates Array Baseline Database Datagen Hashtbl List Lmfao Ml Printf Relation Relational String Value
+examples/model_zoo.ml: Aggregates Array Baseline Database Datagen Hashtbl Lazy List Lmfao Ml Printf Relation Relational String Value

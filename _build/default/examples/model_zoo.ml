@@ -84,7 +84,7 @@ let () =
 
   (* 8. model selection from one covariance matrix (Section 1.5) *)
   let batch = Aggregates.Batch.covariance features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let moment = Ml.Moment.of_batch features (Hashtbl.find table) in
   let best, trail = Ml.Model_selection.forward_selection ~max_features:5 moment in
   Printf.printf "[model selection]     %d greedy rounds -> {%s}\n"

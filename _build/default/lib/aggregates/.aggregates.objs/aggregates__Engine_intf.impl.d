@@ -1,0 +1,1 @@
+lib/aggregates/engine_intf.ml: Batch List Relational Spec

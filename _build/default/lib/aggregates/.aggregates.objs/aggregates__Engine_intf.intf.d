@@ -1,0 +1,1 @@
+lib/aggregates/engine_intf.mli: Batch Relational Spec

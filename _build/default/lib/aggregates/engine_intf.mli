@@ -1,0 +1,35 @@
+(** The common shape of a batch-of-aggregates engine (LMFAO, the unshared
+    DBX/MonetDB stand-ins, the structure-agnostic pipeline), so the CLI and
+    bench harness can select engines through one first-class-module list
+    instead of per-engine match arms. *)
+
+module type S = sig
+  val name : string
+  (** Short selector used by [borg agg --engine] and the bench harness. *)
+
+  val description : string
+  (** One-line description for listings. *)
+
+  type options
+
+  val default_options : options
+
+  val eval_batch :
+    ?options:options ->
+    Relational.Database.t ->
+    Batch.t ->
+    (string * Spec.result) list
+  (** Answer every aggregate of the batch, keyed by aggregate id. Engines
+      that need a materialised join build it internally (its cost is part of
+      the engine's answer time, as in the paper's comparisons). Cyclic
+      schemas are handled by each engine's own fallback rather than raised. *)
+end
+
+type t = (module S)
+(** A packed engine with its options type hidden: callers evaluate with the
+    engine's defaults. *)
+
+val name : t -> string
+val description : t -> string
+val find : t list -> string -> t option
+val eval : t -> Relational.Database.t -> Batch.t -> (string * Spec.result) list

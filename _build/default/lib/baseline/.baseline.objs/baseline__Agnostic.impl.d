@@ -1,1 +1,1 @@
-lib/baseline/agnostic.ml: Aggregates Database Filename One_hot Relation Relational Sgd Sys Util
+lib/baseline/agnostic.ml: Aggregates Database Filename Obs One_hot Relation Relational Sgd Sys Unshared Util

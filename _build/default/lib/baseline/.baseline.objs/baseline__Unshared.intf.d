@@ -1,1 +1,1 @@
-lib/baseline/unshared.mli: Aggregates Relation Relational
+lib/baseline/unshared.mli: Aggregates Database Relation Relational

@@ -15,8 +15,17 @@ open Relational
 module Spec = Aggregates.Spec
 module Batch = Aggregates.Batch
 
+(* Observability ([unshared.*]): one scan per aggregate is exactly what the
+   unshared baselines pay; the counter makes the batch-size factor visible. *)
+let c_scans = Obs.counter "unshared.scans"
+
 let dbx (join : Relation.t) (batch : Batch.t) : (string * Spec.result) list =
-  List.map (fun spec -> (spec.Spec.id, Spec.eval_flat join spec)) batch.Batch.aggregates
+  Obs.with_span "unshared.dbx" @@ fun () ->
+  List.map
+    (fun spec ->
+      Obs.incr c_scans;
+      (spec.Spec.id, Spec.eval_flat join spec))
+    batch.Batch.aggregates
 
 (* Columnar decode: every attribute becomes either a float column or a raw
    value column (for group-bys). *)
@@ -119,5 +128,38 @@ let eval_columnar (c : columns) (spec : Spec.t) : Spec.result =
         table []
 
 let monet (join : Relation.t) (batch : Batch.t) : (string * Spec.result) list =
+  Obs.with_span "unshared.monet" @@ fun () ->
   let c = decode join in
-  List.map (fun spec -> (spec.Spec.id, eval_columnar c spec)) batch.Batch.aggregates
+  List.map
+    (fun spec ->
+      Obs.incr c_scans;
+      (spec.Spec.id, eval_columnar c spec))
+    batch.Batch.aggregates
+
+(* Engine_intf implementations: both materialise the join themselves so
+   their answer time covers the whole pipeline, like the paper's baselines. *)
+module Dbx = struct
+  let name = "dbx"
+  let description = "tuple-at-a-time over the materialised join, one scan per aggregate"
+
+  type options = unit
+
+  let default_options = ()
+
+  let eval_batch ?options:_ db batch =
+    Obs.with_span "unshared.dbx_engine" @@ fun () ->
+    dbx (Database.materialise_join db) batch
+end
+
+module Monet = struct
+  let name = "monet"
+  let description = "column-at-a-time over the materialised join, one pass per aggregate"
+
+  type options = unit
+
+  let default_options = ()
+
+  let eval_batch ?options:_ db batch =
+    Obs.with_span "unshared.monet_engine" @@ fun () ->
+    monet (Database.materialise_join db) batch
+end

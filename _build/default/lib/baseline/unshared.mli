@@ -20,3 +20,33 @@ val eval_columnar : columns -> Spec.t -> Spec.result
 
 val monet : Relation.t -> Batch.t -> (string * Spec.result) list
 (** Column-at-a-time: decode once, then one pass per aggregate. *)
+
+(** {1 Engine interfaces}
+
+    Both baselines packaged as {!Aggregates.Engine_intf.S} engines; each
+    materialises the join itself so its answer time covers the whole
+    pipeline. Every per-aggregate pass bumps the [unshared.scans] counter. *)
+
+module Dbx : sig
+  val name : string
+  val description : string
+
+  type options = unit
+
+  val default_options : options
+
+  val eval_batch :
+    ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
+end
+
+module Monet : sig
+  val name : string
+  val description : string
+
+  type options = unit
+
+  val default_options : options
+
+  val eval_batch :
+    ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
+end

@@ -1,1 +1,1 @@
-lib/datagen/gen_util.ml: Relation Relational Schema Stdlib Value
+lib/datagen/gen_util.ml: Obs Relation Relational Schema Stdlib Value

@@ -1,1 +1,1 @@
-lib/factorized/fjoin.ml: Array Frep Hashtbl List Relation Relational Rings Schema Tuple Value Var_order
+lib/factorized/fjoin.ml: Array Frep Hashtbl List Obs Relation Relational Rings Schema Tuple Value Var_order

@@ -27,6 +27,12 @@ end)
 
 type trie = Leaf of int | Node of trie VTbl.t
 
+(* Observability ([factorized.*]): the work and output-size measures of the
+   factorised engine — iterator advances during the multiway intersection
+   and the d-representation size of built factorisations. *)
+let c_advances = Obs.counter "factorized.iterator_advances"
+let c_drep_values = Obs.counter "factorized.drep_values"
+
 (* Build a relation's trie following [attr_order] (its attributes sorted by
    depth in the variable order). Leaves count bag multiplicities. *)
 let build_trie rel attr_order =
@@ -208,6 +214,7 @@ let fold (type a) ?(cache = true) (alg : a algebra) rels (order : Var_order.t) :
             List.map (fun (c, t) -> (c, VTbl.find_opt t v)) rest
           in
           if List.for_all (fun (_, m) -> m <> None) matches then begin
+            Obs.incr c_advances;
             (* advance all involved cursors on v *)
             let advanced =
               ({ first_c with trie = sub_first; remaining = List.tl first_c.remaining }
@@ -274,13 +281,18 @@ let fold (type a) ?(cache = true) (alg : a algebra) rels (order : Var_order.t) :
   in
   visit root cursors
 
-let factorize ?cache rels order = fold ?cache frep_algebra rels order
+let factorize ?cache rels order =
+  Obs.with_span "factorized.factorize" @@ fun () ->
+  let f = fold ?cache frep_algebra rels order in
+  if Obs.is_enabled () then Obs.add c_drep_values (Frep.value_count f);
+  f
 
 (* Fused join-aggregate: evaluate the query in a semiring without building
    the f-rep. [lift] defaults to the constant [one] (pure counting shape). *)
 let eval_semiring (type a) ?cache (module S : Rings.Sig.SEMIRING with type t = a)
     ?lift rels order : a =
   let lift = match lift with Some f -> f | None -> fun _ _ -> S.one in
+  Obs.with_span "factorized.eval_semiring" @@ fun () ->
   fold ?cache (semiring_algebra (module S) ~lift) rels order
 
 (* Convenience: COUNT of the join. *)

@@ -18,6 +18,12 @@ and node = Leaf of int (* multiplicity *) | Sub of strie
 
 let empty_strie = { values = [||]; children = [||] }
 
+(* Observability ([wcoj.*]): intersection work (binary-probe seeks, value
+   advances on the iterated branch set) and materialised output size. *)
+let c_seeks = Obs.counter "wcoj.seeks"
+let c_advances = Obs.counter "wcoj.advances"
+let c_materialised = Obs.counter "wcoj.materialised_tuples"
+
 (* Build a sorted trie of [rel] nested by [attrs] (projection order). *)
 let build (rel : Relation.t) (attrs : string list) : strie =
   let schema = Relation.schema rel in
@@ -64,6 +70,7 @@ let seek (values : Value.t array) (v : Value.t) =
   !lo
 
 let find (values : Value.t array) (v : Value.t) =
+  Obs.incr c_seeks;
   let i = seek values v in
   if i < Array.length values && Value.equal values.(i) v then Some i else None
 
@@ -142,6 +149,7 @@ let fold (type a) (alg : a Fjoin.algebra) ?order (rels : Relation.t list) : a =
                 List.map (fun (rest, t) -> (rest, t, find t.values v)) others
               in
               if List.for_all (fun (_, _, hit) -> hit <> None) probes then begin
+                Obs.incr c_advances;
                 let advanced =
                   (first_rest, first_t.children.(i))
                   :: List.map
@@ -177,6 +185,7 @@ let eval_semiring (type a) ?order (module S : Rings.Sig.SEMIRING with type t = a
    covered variables — the paper's footnote-4 bag materialisation that turns
    a cyclic query acyclic. *)
 let materialise ?(name = "wcoj") ?order (rels : Relation.t list) : Relation.t =
+  Obs.with_span "wcoj.materialise" @@ fun () ->
   let order = match order with Some o -> o | None -> default_order rels in
   let covered =
     List.filter
@@ -199,4 +208,5 @@ let materialise ?(name = "wcoj") ?order (rels : Relation.t list) : Relation.t =
                 match List.assoc_opt v env with Some x -> x | None -> Value.Null)
               covered)))
     (Frep.enumerate frep);
+  Obs.add c_materialised (Relation.cardinality out);
   out

@@ -1,1 +1,1 @@
-lib/fivm/maintainer.ml: Array Cov_task Database Delta List Payload Relational Rings Storage View_tree
+lib/fivm/maintainer.ml: Array Cov_task Database Delta List Obs Payload Relational Rings Storage View_tree

@@ -19,6 +19,14 @@ module Float_tree = View_tree.Make (Payload.Float)
 
 type strategy = F_ivm | Higher_order | First_order
 
+(* Observability ([fivm.*]): update/delta volumes plus view/storage sizes,
+   the quantities behind Figure 4 (right)'s throughput differences. *)
+let c_updates = Obs.counter "fivm.updates"
+let c_delta_tuples = Obs.counter "fivm.delta_tuples"
+let c_batches = Obs.counter "fivm.batches"
+let g_view_rows = Obs.gauge "fivm.view_rows"
+let g_storage_tuples = Obs.gauge "fivm.storage_tuples"
+
 let strategy_name = function
   | F_ivm -> "F-IVM"
   | Higher_order -> "higher-order IVM"
@@ -90,6 +98,8 @@ let delta_join_sum storage task pair (u : Delta.update) =
   float_of_int u.multiplicity *. expand u.relation u.tuple []
 
 let apply t (u : Delta.update) =
+  Obs.incr c_updates;
+  Obs.add c_delta_tuples (abs u.multiplicity);
   match t with
   | Fivm { storage; tree; _ } ->
       Cov_tree.delta tree u;
@@ -116,6 +126,29 @@ let covariance t : Cov.t =
 
 let storage = function
   | Fivm { storage; _ } | Higher { storage; _ } | First { storage; _ } -> storage
+
+let view_rows t =
+  let sum sizes = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
+  match t with
+  | Fivm { tree; _ } -> sum (Cov_tree.view_sizes tree)
+  | Higher { trees; _ } ->
+      Array.fold_left (fun acc tree -> acc + sum (Float_tree.view_sizes tree)) 0 trees
+  | First _ -> 0
+
+(* One delta batch inside a span, with the view/storage size gauges
+   refreshed once at the end (refreshing them per update would cost more
+   than the updates themselves for the higher-order strategy). *)
+let apply_batch t (us : Delta.update list) =
+  let strategy =
+    match t with Fivm _ -> F_ivm | Higher _ -> Higher_order | First _ -> First_order
+  in
+  Obs.with_span ("fivm.batch:" ^ strategy_name strategy) @@ fun () ->
+  Obs.incr c_batches;
+  List.iter (apply t) us;
+  if Obs.is_enabled () then begin
+    Obs.set_gauge g_view_rows (float_of_int (view_rows t));
+    Obs.set_gauge g_storage_tuples (float_of_int (Storage.total_tuples (storage t)))
+  end
 
 (* Reference: recompute the covariance triple from scratch over the current
    storage contents (used by tests and drift checks). *)

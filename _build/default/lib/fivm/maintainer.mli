@@ -20,7 +20,16 @@ val create : strategy -> Database.t -> features:string list -> t
     schemas; [features] are the numeric attributes of the covariance task. *)
 
 val apply : t -> Delta.update -> unit
-(** Process one update (views first, then base storage). *)
+(** Process one update (views first, then base storage). Maintains the
+    [fivm.updates] / [fivm.delta_tuples] counters when {!Obs} is enabled. *)
+
+val apply_batch : t -> Delta.update list -> unit
+(** Process a delta batch inside an [fivm.batch:<strategy>] span, then
+    refresh the [fivm.view_rows] / [fivm.storage_tuples] gauges once. *)
+
+val view_rows : t -> int
+(** Total rows across all maintained views (0 for first-order, which keeps
+    none). *)
 
 val covariance : t -> Rings.Covariance.t
 (** The maintained covariance triple. *)

@@ -1,1 +1,1 @@
-lib/lmfao/bucketed.ml: Aggregates Database Derived Engine Hashtbl List Option Printf Relational Value
+lib/lmfao/bucketed.ml: Aggregates Database Derived Engine Hashtbl Lazy List Option Printf Relational Value

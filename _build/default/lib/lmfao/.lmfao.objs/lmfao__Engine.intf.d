@@ -1,1 +1,1 @@
-lib/lmfao/engine.mli: Aggregates Database Hashtbl Join_tree Relational
+lib/lmfao/engine.mli: Aggregates Database Hashtbl Join_tree Lazy Relational

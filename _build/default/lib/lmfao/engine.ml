@@ -91,6 +91,15 @@ type node_plan = {
 
 type stats = { mutable views : int; mutable partials : int; mutable shared_away : int }
 
+(* Observability: the per-layer work the paper counts (Sections 1.4 and 4),
+   exported under the [lmfao.*] namespace. Handles are created once at
+   module initialisation; updates are a branch when disabled. *)
+let c_views = Obs.counter "lmfao.views"
+let c_partials = Obs.counter "lmfao.partials"
+let c_shared_away = Obs.counter "lmfao.shared_away"
+let c_tuples_scanned = Obs.counter "lmfao.tuples_scanned"
+let c_roots = Obs.counter "lmfao.roots"
+
 (* Restrict a spec to the attributes satisfying [keep]. *)
 let restrict keep (s : Spec.t) : Spec.t =
   let filter =
@@ -120,11 +129,16 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
         Hashtbl.add tbl key (List.length !distinct);
         distinct := s :: !distinct
       end
-      else stats.shared_away <- stats.shared_away + 1)
+      else begin
+        stats.shared_away <- stats.shared_away + 1;
+        Obs.incr c_shared_away
+      end)
     specs;
   let distinct = Array.of_list (List.rev !distinct) in
   stats.partials <- stats.partials + Array.length distinct;
   stats.views <- stats.views + 1;
+  Obs.add c_partials (Array.length distinct);
+  Obs.incr c_views;
   (* subtree ownership predicates *)
   let subtree_names =
     Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] node
@@ -281,6 +295,10 @@ let grouped_contribution (slot : slot_plan) (tuple : Tuple.t) local
   !m
 
 let rec compute ~options (plan : node_plan) : view =
+  Obs.with_span ("lmfao.view:" ^ Relation.name plan.rel) (fun () ->
+      compute_node ~options plan)
+
+and compute_node ~options (plan : node_plan) : view =
   let child_views =
     if options.parallel && List.length plan.children > 1 then
       Util.Pool.parallel_tasks
@@ -291,6 +309,7 @@ let rec compute ~options (plan : node_plan) : view =
   let n = Relation.cardinality plan.rel in
   let n_children = Array.length child_views in
   let scan lo len =
+    Obs.add c_tuples_scanned len;
     let view : view = Tuple.Tbl.create 256 in
     let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
     for i = lo to lo + len - 1 do
@@ -383,7 +402,9 @@ let compute_owners (root : Join_tree.node) =
 let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
     (string * Spec.result) list =
   if specs = [] then []
-  else begin
+  else
+    Obs.with_span ("lmfao.root:" ^ root) @@ fun () ->
+    Obs.incr c_roots;
     let tree = Join_tree.tree ~root jt in
     let owner = compute_owners tree in
     let plan = build_plan ~options ~owner ~stats tree specs in
@@ -414,7 +435,6 @@ let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
         in
         (s.id, result))
       specs
-  end
 
 (* Root choice per aggregate (the heart of LMFAO's multi-root design):
    group-by aggregates root at the relation owning their first group-by
@@ -445,7 +465,9 @@ let choose_root (jt : Join_tree.t) ~default_root (s : Spec.t) =
       | smallest :: _ -> Relation.name smallest
       | [] -> default_root)
 
-let run ?(options = default_options) (db : Database.t) (batch : Batch.t) :
+(* Evaluate the batch over an acyclic schema: group the aggregates by their
+   chosen root, then one rooted decomposition pass per group. *)
+let eval_acyclic ~options (db : Database.t) (batch : Batch.t) :
     (string * Spec.result) list * stats =
   let jt = Database.join_tree db in
   let stats = { views = 0; partials = 0; shared_away = 0 } in
@@ -487,23 +509,57 @@ let run ?(options = default_options) (db : Database.t) (batch : Batch.t) :
   in
   (results, stats)
 
+(* ---------- the facade ---------- *)
+
+type result = {
+  keyed : (string * Spec.result) list;
+  table : (string, Spec.result) Hashtbl.t Lazy.t;
+  stats : stats;
+}
+
+let table_of keyed =
+  let tbl = Hashtbl.create (List.length keyed) in
+  List.iter (fun (id, r) -> Hashtbl.replace tbl id r) keyed;
+  tbl
+
 (* Cyclic fallback (the paper's Section 4 footnote: cyclic queries are
    partially evaluated to acyclic ones by materialising decomposition bags):
-   when the schema is cyclic, materialise the full join with the worst-case
-   optimal engine and answer the batch by flat evaluation over it. *)
-let run_any ?options (db : Database.t) (batch : Batch.t) :
-    (string * Spec.result) list =
-  match run ?options db batch with
-  | results, _ -> results
-  | exception Join_tree.Cyclic ->
-      let join = Factorized.Wcoj.materialise (Database.relations db) in
-      List.map
-        (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s))
-        batch.Batch.aggregates
+   materialise the full join with the worst-case optimal engine and answer
+   the batch by flat evaluation over it. *)
+let eval_cyclic (db : Database.t) (batch : Batch.t) =
+  Obs.with_span "lmfao.cyclic_fallback" @@ fun () ->
+  let join = Factorized.Wcoj.materialise (Database.relations db) in
+  List.map (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s)) batch.Batch.aggregates
 
-(* Convenience: results as a lookup table. *)
+let eval ?(options = default_options) ?(on_cyclic = `Raise) (db : Database.t)
+    (batch : Batch.t) : result =
+  Obs.with_span "lmfao.eval" @@ fun () ->
+  let keyed, stats =
+    match eval_acyclic ~options db batch with
+    | r -> r
+    | exception Join_tree.Cyclic when on_cyclic = `Materialize ->
+        (eval_cyclic db batch, { views = 0; partials = 0; shared_away = 0 })
+  in
+  { keyed; table = lazy (table_of keyed); stats }
+
+(* ---------- deprecated pre-facade entrypoints ---------- *)
+
+let run ?options db batch =
+  let r = eval ?options db batch in
+  (r.keyed, r.stats)
+
+let run_any ?options db batch =
+  (eval ?options ~on_cyclic:`Materialize db batch).keyed
+
 let run_to_table ?options db batch =
-  let results, stats = run ?options db batch in
-  let tbl = Hashtbl.create (List.length results) in
-  List.iter (fun (id, r) -> Hashtbl.replace tbl id r) results;
-  (tbl, stats)
+  let r = eval ?options db batch in
+  (Lazy.force r.table, r.stats)
+
+(* ---------- Engine_intf ---------- *)
+
+let name = "lmfao"
+
+let description =
+  "shared multi-root decomposition over the join tree (cyclic: WCOJ fallback)"
+
+let eval_batch ?options db batch = (eval ?options ~on_cyclic:`Materialize db batch).keyed

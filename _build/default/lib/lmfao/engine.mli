@@ -3,7 +3,12 @@
     over the natural join of a database without materialising the join:
     multi-root decomposition over the join tree, per-node deduplication of
     identical partial aggregates (sharing), one shared scan per node, and
-    optional domain parallelism. *)
+    optional domain parallelism.
+
+    The single entry point is {!eval}. When observability is on ({!Obs}),
+    every root and view computation runs inside a span and the engine
+    maintains the [lmfao.views] / [lmfao.partials] / [lmfao.shared_away] /
+    [lmfao.tuples_scanned] / [lmfao.roots] counters. *)
 
 open Relational
 module Spec = Aggregates.Spec
@@ -33,18 +38,52 @@ val choose_root : Join_tree.t -> default_root:string -> Spec.t -> string
     relation; products at their first term's owner; counts at the smallest
     relation. *)
 
+type result = {
+  keyed : (string * Spec.result) list;  (** results keyed by aggregate id *)
+  table : (string, Spec.result) Hashtbl.t Lazy.t;
+      (** the same results as a lookup table, built on first force *)
+  stats : stats;
+}
+
+val eval :
+  ?options:options ->
+  ?on_cyclic:[ `Raise | `Materialize ] ->
+  Database.t ->
+  Batch.t ->
+  result
+(** Evaluate the whole batch. [on_cyclic] selects the behaviour on cyclic
+    schemas: [`Raise] (default) propagates [Join_tree.Cyclic];
+    [`Materialize] falls back to materialising the join with
+    {!Factorized.Wcoj} and evaluating the batch flat (the paper's footnote-4
+    bag materialisation — [result.stats] is all zeroes on that path).
+    @raise Unsupported on non-decomposable filters
+    @raise Join_tree.Cyclic on cyclic schemas with [on_cyclic = `Raise] *)
+
+(** {1 Engine_intf}
+
+    [Engine] satisfies {!Aggregates.Engine_intf.S}, so it can be packed into
+    a first-class-module engine list. *)
+
+val name : string
+val description : string
+
+val eval_batch :
+  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
+(** [(eval ~on_cyclic:`Materialize db batch).keyed]. *)
+
+(** {1 Deprecated pre-facade entrypoints} *)
+
 val run :
   ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list * stats
-(** Evaluate the whole batch; results are keyed by aggregate id.
-    @raise Unsupported on non-decomposable filters
-    @raise Join_tree.Cyclic on cyclic schemas *)
+[@@deprecated "use Engine.eval"]
+(** @deprecated Use {!eval}; this is [(r.keyed, r.stats)]. *)
 
 val run_any :
   ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
-(** Like {!run}, but cyclic schemas fall back to materialising the join
-    with {!Factorized.Wcoj} and evaluating the batch flat (the paper's
-    footnote-4 bag materialisation). *)
+[@@deprecated "use Engine.eval with ~on_cyclic:`Materialize"]
+(** @deprecated Use {!eval} with [~on_cyclic:`Materialize]. *)
 
 val run_to_table :
   ?options:options -> Database.t -> Batch.t -> (string, Spec.result) Hashtbl.t * stats
-(** Like {!run}, as a lookup table. *)
+[@@deprecated "use Engine.eval and force result.table"]
+(** @deprecated Use {!eval} and force [result.table]. *)

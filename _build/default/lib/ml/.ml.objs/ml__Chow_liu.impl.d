@@ -1,1 +1,1 @@
-lib/ml/chow_liu.ml: Aggregates Database Hashtbl List Lmfao Printf Relational
+lib/ml/chow_liu.ml: Aggregates Database Hashtbl Lazy List Lmfao Printf Relational

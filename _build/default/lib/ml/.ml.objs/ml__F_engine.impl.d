@@ -1,1 +1,1 @@
-lib/ml/f_engine.ml: Array Database Factorized Fivm Fun Hashtbl List Relational Rings Stdlib Util Value
+lib/ml/f_engine.ml: Array Database Factorized Fivm Fun Hashtbl List Obs Relational Rings Stdlib Util Value

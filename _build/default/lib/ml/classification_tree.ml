@@ -220,7 +220,7 @@ let train ?(params = default_params) ?(engine_options = Lmfao.Engine.default_opt
   let thresholds = Decision_tree.thresholds_of_db db f in
   let evaluate specs =
     let batch = { Aggregates.Batch.name = "class-node"; aggregates = specs } in
-    let table, _ = Lmfao.Engine.run_to_table ~options:engine_options db batch in
+    let table = Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table in
     fun id ->
       match Hashtbl.find_opt table id with
       | Some r -> r

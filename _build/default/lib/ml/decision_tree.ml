@@ -169,7 +169,7 @@ let train ?(params = default_params) ?(engine_options = Lmfao.Engine.default_opt
   let thresholds = thresholds_of_db db f in
   let evaluate specs =
     let batch = { Aggregates.Batch.name = "tree-node"; aggregates = specs } in
-    let table, _ = Lmfao.Engine.run_to_table ~options:engine_options db batch in
+    let table = Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table in
     fun id ->
       match Hashtbl.find_opt table id with
       | Some r -> r

@@ -14,14 +14,20 @@ open Relational
 module Cov = Rings.Covariance
 module P = Fivm.Payload.Cov_dyn
 
+(* Observability ([f.*]): how many value lifts the single factorised pass
+   performs — the per-value work of Figure 9's re-mapping. *)
+let c_lift_ops = Obs.counter "f.lift_ops"
+
 (* The covariance triple of the numeric [features] over the natural join. *)
 let covariance ?(cache = true) (db : Database.t) ~(features : string list) : Cov.t =
+  Obs.with_span "f.covariance" @@ fun () ->
   let rels = Database.relations db in
   let order = Factorized.Var_order.of_relations rels in
   let dim = List.length features in
   let index = Hashtbl.create 16 in
   List.iteri (fun i f -> Hashtbl.replace index f i) features;
   let lift var v : P.t =
+    Obs.incr c_lift_ops;
     match Hashtbl.find_opt index var with
     | Some i -> `Elem (Cov.lift dim i (Value.to_float v))
     | None -> `One

@@ -199,9 +199,10 @@ let coreset ?(engine_options = Lmfao.Engine.default_options) (db : Database.t)
       ~group_by:(Array.to_list (Array.map bucket_attr g.dims))
       ()
   in
-  let results, _ =
-    Lmfao.Engine.run ~options:engine_options db'
-      { Aggregates.Batch.name = "kmeans-grid"; aggregates = [ spec ] }
+  let results =
+    (Lmfao.Engine.eval ~options:engine_options db'
+       { Aggregates.Batch.name = "kmeans-grid"; aggregates = [ spec ] })
+      .keyed
   in
   let cells = List.assoc "cells" results in
   Array.of_list

@@ -25,6 +25,12 @@ let default_gd = { learning_rate = 0.1; iterations = 5_000; tolerance = 1e-9 }
 
 let default_cg = { cg_iterations = 1_000; cg_tolerance = 1e-12 }
 
+(* Observability ([ml.*]): convergence effort of the in-moment-space
+   optimisers — total iterations across trainings, and the last gradient
+   norm (GD: max-norm; CG: residual 2-norm). *)
+let c_iterations = Obs.counter "ml.iterations"
+let g_grad_norm = Obs.gauge "ml.gradient_norm"
+
 type model = {
   feature_columns : string array; (* columns of the weight vector *)
   weights : Vec.t;
@@ -144,10 +150,12 @@ let train ?(ridge = 1e-3) ?(method_ = Gradient_descent default_gd) ?warm_start
       (try
          for it = 1 to p.iterations do
            iterations := it;
+           Obs.incr c_iterations;
            let at = Mat.matvec a' theta in
            let grad =
              Array.init dim (fun i -> ((at.(i) -. b'.(i)) /. n) +. (ridge *. theta.(i)))
            in
+           if Obs.is_enabled () then Obs.set_gauge g_grad_norm (Vec.norm_inf grad);
            if Vec.norm_inf grad < p.tolerance then raise Exit;
            let hg = Mat.matvec a' grad in
            let gg = Vec.dot grad grad in
@@ -186,6 +194,8 @@ let train ?(ridge = 1e-3) ?(method_ = Gradient_descent default_gd) ?warm_start
       (try
          for it = 1 to Stdlib.min p.cg_iterations (4 * dim) do
            iterations := it;
+           Obs.incr c_iterations;
+           if Obs.is_enabled () then Obs.set_gauge g_grad_norm (sqrt !rs);
            if !rs < p.cg_tolerance then raise Exit;
            let hp = apply_h p_dir in
            let php = Vec.dot p_dir hp in
@@ -266,8 +276,9 @@ let train_over_database ?(ridge = 1e-3) ?(method_ = Conjugate_gradient default_c
     ?(engine_options = Lmfao.Engine.default_options) (db : Database.t)
     (features : Feature.t) : timed_run =
   let batch = Aggregates.Batch.covariance features in
-  let (table, _stats), batch_seconds =
-    Timing.time (fun () -> Lmfao.Engine.run_to_table ~options:engine_options db batch)
+  let table, batch_seconds =
+    Timing.time (fun () ->
+        Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table)
   in
   let lookup id =
     match Hashtbl.find_opt table id with

@@ -71,7 +71,7 @@ type model = {
 let train ?(ridge = 1e-2) ?(engine_options = Lmfao.Engine.default_options)
     (db : Database.t) ~(features : string list) ~(response : string) : model =
   let batch, b = batch_for features ~response in
-  let table, _ = Lmfao.Engine.run_to_table ~options:engine_options db batch in
+  let table = Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table in
   let scalar terms =
     match Hashtbl.find_opt table (monomial_name terms) with
     | Some r -> Spec.scalar_result r

@@ -1,0 +1,1 @@
+lib/obs/obs.ml: Atomic Clock Domain Format Fun Gc Hashtbl Json List Mutex

@@ -1,0 +1,24 @@
+(** Minimal dependency-free JSON — enough to export metrics snapshots and
+    validate them back in the CLI smoke test. Numbers carry one float type
+    (as in JSON itself); integral values print without a fractional part. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+(** [num_int n] is [Num (float_of_int n)]. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering; strings are escaped per RFC 8259. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    offending offset. Inverse of {!to_string} on finite numbers. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up a field; [None] on other shapes. *)

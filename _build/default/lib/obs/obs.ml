@@ -1,0 +1,326 @@
+(* Engine-wide observability: hierarchical spans, a process-global registry
+   of named counters / gauges / histograms, a pluggable sink interface, a
+   tree reporter and a JSON exporter.
+
+   Everything is gated on one [enabled] flag checked first in every hot-path
+   operation, so an instrumented engine pays a single load-and-branch per
+   event when observability is off (the "null sink fast path"). Counters use
+   [Atomic] and spans keep one stack per domain, so instrumented code inside
+   [Util.Pool] workers stays safe; spans started on a worker domain with an
+   empty stack attach to the report root. *)
+
+module Clock = Clock
+module Json = Json
+
+(* ---------- enablement ---------- *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let with_enabled b f =
+  let saved = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+(* ---------- registry plumbing ---------- *)
+
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* ---------- counters ---------- *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
+
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let counter_value c = Atomic.get c.cell
+
+let counter_value_by_name name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> counter_value c
+      | None -> 0)
+
+(* ---------- gauges ---------- *)
+
+type gauge = { g_name : string; mutable g : float }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g = 0.0 } in
+          Hashtbl.add gauges name g;
+          g)
+
+let set_gauge g v = if !enabled then g.g <- v
+let gauge_value g = g.g
+
+(* ---------- histograms ---------- *)
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
+          in
+          Hashtbl.add histograms name h;
+          h)
+
+let observe h v =
+  if !enabled then
+    locked (fun () ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* ---------- spans ---------- *)
+
+type span = {
+  span_name : string;
+  start_s : float;
+  mutable stop_s : float;
+  start_words : float;
+  mutable stop_words : float;
+  mutable children : span list; (* newest first while open; oldest first once reported *)
+}
+
+let span_name s = s.span_name
+let span_seconds s = s.stop_s -. s.start_s
+let span_minor_words s = s.stop_words -. s.start_words
+let span_children s = List.rev s.children
+
+(* ---------- sinks ---------- *)
+
+type sink = {
+  on_span_start : span -> unit;
+  on_span_end : span -> unit; (* timings/allocations are final here *)
+}
+
+let null_sink = { on_span_start = (fun _ -> ()); on_span_end = (fun _ -> ()) }
+let sink = ref null_sink
+let set_sink s = sink := s
+
+(* ---------- span collection ---------- *)
+
+(* finished top-level spans, oldest first once snapshotted *)
+let top_spans : span list ref = ref []
+
+(* one span stack per domain: nesting is a per-domain notion, and workers
+   spawned by [Util.Pool] must not interleave with the spawning domain *)
+let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 8
+
+let domain_stack () =
+  let id = (Domain.self () :> int) in
+  locked (fun () ->
+      match Hashtbl.find_opt stacks id with
+      | Some st -> st
+      | None ->
+          let st = ref [] in
+          Hashtbl.add stacks id st;
+          st)
+
+let with_span name f =
+  if not !enabled then f ()
+  else begin
+    let sp =
+      {
+        span_name = name;
+        start_s = Clock.now ();
+        stop_s = 0.0;
+        start_words = Gc.minor_words ();
+        stop_words = 0.0;
+        children = [];
+      }
+    in
+    !sink.on_span_start sp;
+    let stack = domain_stack () in
+    stack := sp :: !stack;
+    let finish () =
+      sp.stop_s <- Clock.now ();
+      sp.stop_words <- Gc.minor_words ();
+      (match !stack with
+      | top :: rest when top == sp -> stack := rest
+      | _ -> (* unbalanced exit; drop everything above us *)
+          stack := (match List.find_opt (fun s -> s == sp) !stack with
+                    | Some _ ->
+                        let rec drop = function
+                          | s :: rest -> if s == sp then rest else drop rest
+                          | [] -> []
+                        in
+                        drop !stack
+                    | None -> !stack));
+      (match !stack with
+      | parent :: _ -> parent.children <- sp :: parent.children
+      | [] -> locked (fun () -> top_spans := sp :: !top_spans));
+      !sink.on_span_end sp
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let spans () = locked (fun () -> List.rev !top_spans)
+
+(* ---------- reset ---------- *)
+
+(* Zero the VALUES but keep the registered objects: instrumented modules
+   hold counter handles created at module initialisation. *)
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ g -> g.g <- 0.0) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+        histograms;
+      top_spans := [];
+      Hashtbl.iter (fun _ st -> st := []) stacks)
+
+(* ---------- snapshots ---------- *)
+
+let sorted_bindings tbl =
+  let items = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  List.sort (fun (a, _) (b, _) -> compare a b) items
+
+let counter_snapshot () =
+  List.filter_map
+    (fun (name, c) ->
+      let v = counter_value c in
+      if v = 0 then None else Some (name, v))
+    (sorted_bindings counters)
+
+(* ---------- reporters ---------- *)
+
+let pp_words ppf w =
+  if w >= 1e6 then Format.fprintf ppf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Format.fprintf ppf "%.1fkw" (w /. 1e3)
+  else Format.fprintf ppf "%.0fw" w
+
+let pp_seconds ppf s =
+  if s < 1e-6 then Format.fprintf ppf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Format.fprintf ppf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.2fms" (s *. 1e3)
+  else Format.fprintf ppf "%.2fs" s
+
+let rec pp_span_tree indent ppf sp =
+  Format.fprintf ppf "%s%s  %a  (%a minor)@," indent sp.span_name pp_seconds
+    (span_seconds sp) pp_words (span_minor_words sp);
+  List.iter (pp_span_tree (indent ^ "  ") ppf) (span_children sp)
+
+let pp_report ppf () =
+  Format.fprintf ppf "@[<v>";
+  (match spans () with
+  | [] -> ()
+  | roots ->
+      Format.fprintf ppf "spans:@,";
+      List.iter (pp_span_tree "  " ppf) roots);
+  (match counter_snapshot () with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "counters:@,";
+      List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@," name v) cs);
+  let gs =
+    List.filter (fun (_, g) -> g.g <> 0.0) (sorted_bindings gauges)
+  in
+  if gs <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter (fun (name, g) -> Format.fprintf ppf "  %-36s %12g@," name g.g) gs
+  end;
+  let hs =
+    List.filter (fun (_, h) -> h.h_count > 0) (sorted_bindings histograms)
+  in
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-36s n=%d sum=%g min=%g max=%g@," name h.h_count
+          h.h_sum h.h_min h.h_max)
+      hs
+  end;
+  Format.fprintf ppf "@]"
+
+(* ---------- JSON export ---------- *)
+
+let rec span_to_json sp =
+  Json.Obj
+    [
+      ("name", Json.Str sp.span_name);
+      ("seconds", Json.Num (span_seconds sp));
+      ("minor_words", Json.Num (span_minor_words sp));
+      ("children", Json.Arr (List.map span_to_json (span_children sp)));
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("spans", Json.Arr (List.map span_to_json (spans ())));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.num_int v)) (counter_snapshot ())) );
+      ( "gauges",
+        Json.Obj
+          (List.filter_map
+             (fun (k, g) -> if g.g = 0.0 then None else Some (k, Json.Num g.g))
+             (sorted_bindings gauges)) );
+      ( "histograms",
+        Json.Obj
+          (List.filter_map
+             (fun (k, h) ->
+               if h.h_count = 0 then None
+               else
+                 Some
+                   ( k,
+                     Json.Obj
+                       [
+                         ("count", Json.num_int h.h_count);
+                         ("sum", Json.Num h.h_sum);
+                         ("min", Json.Num h.h_min);
+                         ("max", Json.Num h.h_max);
+                       ] ))
+             (sorted_bindings histograms)) );
+    ]
+
+let json_string () = Json.to_string (to_json ())
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json_string ());
+      output_char oc '\n')

@@ -1,0 +1,110 @@
+(** Engine-wide observability: hierarchical spans (wall clock + minor-heap
+    allocation), a process-global registry of named counters / gauges /
+    histograms, a pluggable sink, a tree reporter and a JSON exporter.
+
+    Everything is gated on one {!set_enabled} flag checked first in every
+    operation, so instrumented engines pay a single load-and-branch per event
+    when observability is off. Counter updates are atomic and span nesting is
+    tracked per domain, so instrumentation inside [Util.Pool] workers is
+    safe.
+
+    Naming convention: [<engine>.<quantity>], e.g. [lmfao.views],
+    [fivm.delta_tuples], [wcoj.seeks] (see README "Observability"). *)
+
+module Clock : module type of Clock
+module Json : module type of Json
+
+(** {1 Enablement} *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with observability forced on/off, restoring the previous state. *)
+
+(** {1 Counters}
+
+    Monotone event counts. Handles are interned by name: the registry lookup
+    happens once at handle creation (typically module initialisation), and
+    {!add} on the hot path is a branch plus an atomic add. *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter registered under [name]. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+
+val counter_value_by_name : string -> int
+(** 0 for unregistered names (tests and reporters). *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Streaming summaries (count / sum / min / max) of observed values. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Spans} *)
+
+type span
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span: wall-clock seconds via {!Clock} and
+    allocation via [Gc.minor_words] are recorded on both edges, and the span
+    nests under the innermost open span of the current domain (or becomes a
+    report root). When disabled this is exactly [f ()]. Exceptions still
+    close the span. *)
+
+val span_name : span -> string
+val span_seconds : span -> float
+val span_minor_words : span -> float
+val span_children : span -> span list
+val spans : unit -> span list
+(** Finished top-level spans, oldest first. *)
+
+(** {1 Sinks}
+
+    Streaming notification of span edges, e.g. for live tracing. The
+    default {!null_sink} does nothing; accumulation into the registry for
+    {!pp_report} / {!to_json} happens regardless of the sink. *)
+
+type sink = {
+  on_span_start : span -> unit;
+  on_span_end : span -> unit;  (** timings and allocations are final here *)
+}
+
+val null_sink : sink
+val set_sink : sink -> unit
+
+(** {1 Snapshot, report, export} *)
+
+val reset : unit -> unit
+(** Zero all counter/gauge/histogram values and drop recorded spans; the
+    registered handles stay valid. *)
+
+val counter_snapshot : unit -> (string * int) list
+(** Non-zero counters, sorted by name. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable span tree plus non-zero counters/gauges/histograms. *)
+
+val to_json : unit -> Json.t
+val json_string : unit -> string
+
+val write_file : string -> unit
+(** Write {!json_string} (newline-terminated) to a file. *)

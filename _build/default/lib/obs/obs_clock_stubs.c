@@ -1,0 +1,24 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC when the platform has it (Linux/macOS/BSD), otherwise
+   gettimeofday — callers only ever subtract two readings, so a non-epoch
+   origin is fine and preferred (immune to NTP steps). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value obs_monotonic_s(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -1,0 +1,1 @@
+lib/rings/instances.mli: Sig

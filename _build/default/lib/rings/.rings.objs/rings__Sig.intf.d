@@ -1,0 +1,1 @@
+lib/rings/sig.mli:

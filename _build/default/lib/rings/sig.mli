@@ -1,0 +1,33 @@
+(** (Semi)ring signatures (paper Section 3.1, footnote 3).
+
+    Factorised computation is parameterised by a commutative semiring: the
+    same one-pass evaluation over a factorised join computes counts, sums,
+    boolean satisfiability, or whole covariance matrices depending only on
+    the carrier. Rings additionally have additive inverses, which is what
+    makes inserts and deletes uniform in the IVM layer. *)
+
+module type SEMIRING = sig
+  type t
+
+  val zero : t
+  (** Additive identity; also absorbing for [mul]. *)
+
+  val one : t
+  (** Multiplicative identity. *)
+
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module type RING = sig
+  include SEMIRING
+
+  val neg : t -> t
+  (** Additive inverse: [add x (neg x) = zero]. *)
+end
+
+module Pair (A : SEMIRING) (B : SEMIRING) : SEMIRING with type t = A.t * B.t
+(** Product of two semirings, pointwise. Used to evaluate several
+    independent aggregates in one pass. *)

@@ -1,1 +1,1 @@
-lib/util/timing.ml: Format List Unix
+lib/util/timing.ml: Array Format List Obs Stdlib

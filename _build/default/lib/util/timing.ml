@@ -1,6 +1,10 @@
-(* Wall-clock timing helpers used by the benchmark harness. *)
+(* Wall-clock timing helpers used by the benchmark harness.
 
-let now () = Unix.gettimeofday ()
+   Readings come from the observability layer's monotonic clock
+   (clock_gettime(CLOCK_MONOTONIC) where available, gettimeofday fallback),
+   so intervals are immune to NTP steps and agree with [Obs] span timings. *)
+
+let now () = Obs.Clock.now ()
 
 let time f =
   let t0 = now () in
@@ -11,12 +15,16 @@ let time f =
 let time_only f = snd (time f)
 
 (* Median-of-[repeats] timing with one warm-up run; used by the macro
-   benchmarks where a full Bechamel run would be too slow. *)
+   benchmarks where a full Bechamel run would be too slow. Even [repeats]
+   average the two middle samples. *)
 let measure ?(repeats = 3) ?(warmup = true) f =
   if warmup then ignore (f ());
+  let repeats = Stdlib.max 1 repeats in
   let samples = List.init repeats (fun _ -> time_only f) in
-  let sorted = List.sort compare samples in
-  List.nth sorted (repeats / 2)
+  let sorted = Array.of_list (List.sort compare samples) in
+  let n = Array.length sorted in
+  if n land 1 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
 
 let pp_duration ppf secs =
   if secs < 1e-6 then Format.fprintf ppf "%.0fns" (secs *. 1e9)

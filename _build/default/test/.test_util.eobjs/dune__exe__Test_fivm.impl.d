@@ -1,1 +1,1 @@
-test/test_fivm.ml: Aggregates Alcotest Array Database Datagen Fivm Hashtbl List Lmfao Option Printf QCheck2 QCheck_alcotest Relation Relational Rings Schema Stdlib Util Value
+test/test_fivm.ml: Aggregates Alcotest Array Database Datagen Fivm Hashtbl List Lmfao Obs Option Printf QCheck2 QCheck_alcotest Relation Relational Rings Schema Stdlib Util Value

@@ -1,1 +1,1 @@
-test/test_lmfao.ml: Aggregates Alcotest Database Float Format List Lmfao Predicate Printf QCheck2 QCheck_alcotest Relation Relational Schema String Util Value
+test/test_lmfao.ml: Aggregates Alcotest Database Float Format List Lmfao Obs Predicate Printf QCheck2 QCheck_alcotest Relation Relational Schema String Util Value

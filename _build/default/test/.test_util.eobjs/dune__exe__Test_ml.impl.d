@@ -1,1 +1,1 @@
-test/test_ml.ml: Aggregates Alcotest Array Baseline Database Float Hashtbl List Lmfao Ml Printf QCheck2 QCheck_alcotest Relation Relational Rings Schema Util Value
+test/test_ml.ml: Aggregates Alcotest Array Baseline Database Float Hashtbl Lazy List Lmfao Ml Printf QCheck2 QCheck_alcotest Relation Relational Rings Schema Util Value

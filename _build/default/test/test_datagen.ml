@@ -105,7 +105,8 @@ let test_lmfao_runs d () =
   (* the covariance batch must run end to end on each dataset *)
   let db = d.generate ~scale:0.01 ~seed:11 () in
   let batch = Aggregates.Batch.covariance d.features in
-  let results, stats = Lmfao.Engine.run db batch in
+  let r = Lmfao.Engine.eval db batch in
+  let results = r.Lmfao.Engine.keyed and stats = r.Lmfao.Engine.stats in
   Alcotest.(check int) "all aggregates answered"
     (Aggregates.Batch.size batch) (List.length results);
   Alcotest.(check bool) "sharing found" true (stats.shared_away >= 0)

@@ -114,7 +114,7 @@ let engines_agree =
       in
       let join = Database.materialise_join db in
       let reference = Batch.eval_flat join batch in
-      let lmfao, _ = Lmfao.Engine.run db batch in
+      let lmfao = (Lmfao.Engine.eval db batch).Lmfao.Engine.keyed in
       let dbx = Baseline.Unshared.dbx join batch in
       let monet = Baseline.Unshared.monet join batch in
       let wcoj_join =

@@ -192,6 +192,32 @@ let test_view_sizes_reported () =
       let s = M.storage m in
       Alcotest.(check int) "one stored tuple" 1 (Fivm.Storage.total_tuples s)
 
+let test_obs_counters_track_batch () =
+  let m = M.create M.F_ivm (empty_db ()) ~features in
+  let batch =
+    [
+      Delta.insert "F" [| int 1; int 2; flt 3.0 |];
+      Delta.insert "D1" [| int 1; flt 1.0 |];
+      Delta.insert "D2" [| int 2; flt 1.0 |];
+      { Delta.relation = "F"; tuple = [| int 1; int 2; flt 5.0 |]; multiplicity = 2 };
+    ]
+  in
+  Obs.reset ();
+  Obs.with_enabled true (fun () -> M.apply_batch m batch);
+  Alcotest.(check int) "fivm.updates = batch length" (List.length batch)
+    (Obs.counter_value_by_name "fivm.updates");
+  Alcotest.(check int) "fivm.delta_tuples sums multiplicities" 5
+    (Obs.counter_value_by_name "fivm.delta_tuples");
+  Alcotest.(check int) "fivm.batches" 1 (Obs.counter_value_by_name "fivm.batches");
+  (* the end-of-batch gauges reflect the maintainer's own accessors *)
+  Alcotest.(check (float 0.0)) "fivm.view_rows gauge"
+    (float_of_int (M.view_rows m))
+    (Obs.gauge_value (Obs.gauge "fivm.view_rows"));
+  Alcotest.(check (float 0.0)) "fivm.storage_tuples gauge"
+    (float_of_int (Fivm.Storage.total_tuples (M.storage m)))
+    (Obs.gauge_value (Obs.gauge "fivm.storage_tuples"));
+  Obs.reset ()
+
 (* ---- triangle maintenance (cyclic IVM) ---- *)
 module Tri = Fivm.Triangle
 
@@ -229,7 +255,7 @@ let test_triangle_basics () =
   Alcotest.(check int) "deleted" 0 (Tri.count g)
 
 (* ---- cyclic fallback in the LMFAO front end ---- ,*)
-let test_run_any_on_cyclic () =
+let test_eval_on_cyclic () =
   let mk name (a1, a2) rows =
     Relation.of_list name
       (Schema.make [ (a1, Value.TInt); (a2, Value.TInt) ])
@@ -254,7 +280,9 @@ let test_run_any_on_cyclic () =
     }
   in
   (* triangles: (a=0,b=1,c=2) and (a=1,b=2,c=0) *)
-  let results = Lmfao.Engine.run_any db batch in
+  let results =
+    (Lmfao.Engine.eval ~on_cyclic:`Materialize db batch).Lmfao.Engine.keyed
+  in
   Alcotest.(check (float 1e-9)) "two triangles" 2.0
     (Aggregates.Spec.scalar_result (List.assoc "n" results));
   Alcotest.(check (float 1e-9)) "sum a over join" 1.0
@@ -355,13 +383,15 @@ let () =
         [
           qcheck triangle_maintained_equals_recomputed;
           Alcotest.test_case "insert/delete basics" `Quick test_triangle_basics;
-          Alcotest.test_case "cyclic fallback (run_any)" `Quick test_run_any_on_cyclic;
+          Alcotest.test_case "cyclic fallback (eval)" `Quick test_eval_on_cyclic;
         ] );
       ( "streams",
         [
           Alcotest.test_case "dimensions before facts" `Quick test_stream_dimensions_first;
           Alcotest.test_case "churn nets to database" `Quick test_churn_nets_to_database;
           Alcotest.test_case "storage tracks tuples" `Quick test_view_sizes_reported;
+          Alcotest.test_case "obs counters track batch" `Quick
+            test_obs_counters_track_batch;
         ] );
       ( "semantics",
         [

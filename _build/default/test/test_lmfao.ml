@@ -53,7 +53,7 @@ let features =
 
 let check_engine_vs_flat ~options db batch =
   let flat = Batch.eval_flat (Database.materialise_join db) batch in
-  let got, _stats = Engine.run ~options db batch in
+  let got = (Engine.eval ~options db batch).Engine.keyed in
   List.for_all
     (fun (id, reference) ->
       let mine = List.assoc id got in
@@ -114,14 +114,40 @@ let sharing_reduces_partials () =
   let rng = Util.Prng.create 17 in
   let db = random_star rng 40 4 in
   let batch = Batch.covariance features in
-  let _, with_share = Engine.run ~options:default db batch in
-  let _, without = Engine.run ~options:{ default with share = false } db batch in
+  let with_share = (Engine.eval ~options:default db batch).Engine.stats in
+  let without =
+    (Engine.eval ~options:{ default with share = false } db batch).Engine.stats
+  in
   Alcotest.(check bool)
     (Printf.sprintf "shared %d < unshared %d partials" with_share.partials
        without.partials)
     true
     (with_share.partials < without.partials);
   Alcotest.(check bool) "some sharing happened" true (with_share.shared_away > 0)
+
+let counters_mirror_stats () =
+  let rng = Util.Prng.create 17 in
+  let db = random_star rng 40 4 in
+  let batch = Batch.covariance features in
+  Obs.reset ();
+  let stats =
+    Obs.with_enabled true (fun () -> (Engine.eval db batch).Engine.stats)
+  in
+  Alcotest.(check int) "lmfao.views = stats.views" stats.views
+    (Obs.counter_value_by_name "lmfao.views");
+  Alcotest.(check int) "lmfao.partials = stats.partials" stats.partials
+    (Obs.counter_value_by_name "lmfao.partials");
+  Alcotest.(check int) "lmfao.shared_away = stats.shared_away" stats.shared_away
+    (Obs.counter_value_by_name "lmfao.shared_away");
+  Alcotest.(check bool) "sharing counted" true
+    (Obs.counter_value_by_name "lmfao.shared_away" > 0);
+  Alcotest.(check bool) "scans counted" true
+    (Obs.counter_value_by_name "lmfao.tuples_scanned" > 0);
+  Obs.reset ();
+  (* disabled run leaves everything at zero *)
+  ignore (Engine.eval db batch);
+  Alcotest.(check int) "disabled leaves counters at zero" 0
+    (Obs.counter_value_by_name "lmfao.views")
 
 let unsupported_additive_filter () =
   let rng = Util.Prng.create 3 in
@@ -132,7 +158,7 @@ let unsupported_additive_filter () =
       ~id:"svm" ~terms:[] ~group_by:[] ()
   in
   let batch = { Batch.name = "svm"; aggregates = [ spec ] } in
-  match Engine.run db batch with
+  match Engine.eval db batch with
   | exception Engine.Unsupported _ -> ()
   | _ -> Alcotest.fail "expected Unsupported"
 
@@ -159,7 +185,7 @@ let empty_join_gives_zero () =
         ];
     }
   in
-  let results, _ = Engine.run db batch in
+  let results = (Engine.eval db batch).Engine.keyed in
   Alcotest.(check (float 0.0)) "count 0" 0.0 (Spec.scalar_result (List.assoc "n" results));
   Alcotest.(check int) "no groups" 0 (List.length (List.assoc "sx" results))
 
@@ -217,7 +243,10 @@ let () =
       ("bucketed", [ qcheck bucketed_equals_flat ]);
       ("sql", [ Alcotest.test_case "Spec.to_sql" `Quick test_spec_to_sql ]);
       ( "sharing",
-        [ Alcotest.test_case "dedup reduces partials" `Quick sharing_reduces_partials ] );
+        [
+          Alcotest.test_case "dedup reduces partials" `Quick sharing_reduces_partials;
+          Alcotest.test_case "obs counters mirror stats" `Quick counters_mirror_stats;
+        ] );
       ( "edges",
         [
           Alcotest.test_case "additive filter unsupported" `Quick

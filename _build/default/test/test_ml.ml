@@ -57,7 +57,7 @@ let test_moment_matches_data_matrix () =
   let run = Ml.Linreg.train_over_database db features in
   ignore run;
   let batch = Aggregates.Batch.covariance features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let lookup id = Hashtbl.find table id in
   let from_batch = Ml.Moment.of_batch features lookup in
   let join = Database.materialise_join db in
@@ -335,7 +335,7 @@ let test_fd_reduces_batch () =
 let test_forward_selection_finds_signal () =
   let db = planted_db ~seed:13 ~noise:0.2 () in
   let batch = Aggregates.Batch.covariance planted_features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let moment = Ml.Moment.of_batch planted_features (Hashtbl.find table) in
   let best, trail = Ml.Model_selection.forward_selection ~max_features:4 moment in
   Alcotest.(check bool) "m selected" true (List.mem "m" best.columns);
@@ -517,7 +517,7 @@ let test_qr_q_rows_orthonormal () =
 let test_qr_from_moment () =
   let db = planted_db ~seed:24 ~noise:0.3 () in
   let batch = Aggregates.Batch.covariance planted_features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let moment = Ml.Moment.of_batch planted_features (Hashtbl.find table) in
   let r, cols = Ml.Qr.r_of_moment moment in
   Alcotest.(check bool) "upper triangular" true (Ml.Qr.is_upper_triangular r);
@@ -529,7 +529,7 @@ let test_qr_from_moment () =
 let test_warm_start_fewer_iterations () =
   let db = planted_db ~seed:25 ~noise:0.5 () in
   let batch = Aggregates.Batch.covariance planted_features in
-  let table, _ = Lmfao.Engine.run_to_table db batch in
+  let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
   let moment = Ml.Moment.of_batch planted_features (Hashtbl.find table) in
   let gd = Ml.Linreg.Gradient_descent { learning_rate = 0.1; iterations = 50_000; tolerance = 1e-8 } in
   let cold = Ml.Linreg.train ~method_:gd planted_features moment in

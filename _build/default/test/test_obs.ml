@@ -1,0 +1,164 @@
+(* The observability layer: span nesting, counter semantics across
+   enable/disable/reset, and the JSON export/parse round-trip that the CLI
+   smoke test (borg check-metrics) relies on. *)
+
+let with_clean_obs f =
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.reset (); Obs.set_enabled false) f
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span "inner_a" (fun () -> ());
+        Obs.with_span "inner_b" (fun () -> 41 + 1))
+  in
+  Alcotest.(check int) "body result" 42 r;
+  match Obs.spans () with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" (Obs.span_name outer);
+      Alcotest.(check (list string)) "children in order" [ "inner_a"; "inner_b" ]
+        (List.map Obs.span_name (Obs.span_children outer));
+      Alcotest.(check bool) "non-negative time" true (Obs.span_seconds outer >= 0.0)
+  | spans ->
+      Alcotest.failf "expected one root span, got %d" (List.length spans)
+
+let test_span_closes_on_exception () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  (try Obs.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  (* the span must be closed and recorded, and the stack popped: a sibling
+     span recorded afterwards is a root, not a child of "boom" *)
+  Obs.with_span "after" (fun () -> ());
+  Alcotest.(check (list string)) "both roots" [ "boom"; "after" ]
+    (List.map Obs.span_name (Obs.spans ()))
+
+(* ---- counters ---- *)
+
+let test_counter_add_and_reset () =
+  with_clean_obs @@ fun () ->
+  let c = Obs.counter "test.events" in
+  Obs.set_enabled true;
+  Obs.incr c;
+  Obs.add c 9;
+  Alcotest.(check int) "accumulated" 10 (Obs.counter_value c);
+  Alcotest.(check int) "by name" 10 (Obs.counter_value_by_name "test.events");
+  Obs.reset ();
+  Alcotest.(check int) "reset to zero" 0 (Obs.counter_value c);
+  Obs.set_enabled true;
+  Obs.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Obs.counter_value c)
+
+let test_counter_interning () =
+  with_clean_obs @@ fun () ->
+  let a = Obs.counter "test.same" and b = Obs.counter "test.same" in
+  Obs.set_enabled true;
+  Obs.incr a;
+  Obs.incr b;
+  Alcotest.(check int) "one cell behind both handles" 2 (Obs.counter_value a)
+
+(* ---- disabled fast path ---- *)
+
+let test_disabled_is_noop () =
+  with_clean_obs @@ fun () ->
+  Alcotest.(check bool) "disabled by default" false (Obs.is_enabled ());
+  let c = Obs.counter "test.off" in
+  Obs.incr c;
+  Obs.add c 100;
+  let g = Obs.gauge "test.off_gauge" in
+  Obs.set_gauge g 3.0;
+  let h = Obs.histogram "test.off_hist" in
+  Obs.observe h 1.0;
+  let r = Obs.with_span "invisible" (fun () -> "through") in
+  Alcotest.(check string) "with_span is identity" "through" r;
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Obs.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.histogram_count h);
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.spans ()));
+  Alcotest.(check (list (pair string int))) "empty snapshot" []
+    (Obs.counter_snapshot ())
+
+let test_with_enabled_restores () =
+  with_clean_obs @@ fun () ->
+  Obs.with_enabled true (fun () ->
+      Alcotest.(check bool) "forced on" true (Obs.is_enabled ()));
+  Alcotest.(check bool) "restored off" false (Obs.is_enabled ())
+
+(* ---- JSON ---- *)
+
+let test_json_round_trip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("name", Str "lmfao.view:Sales \"quoted\"\n");
+        ("seconds", Num 0.25);
+        ("count", num_int 42);
+        ("flags", Arr [ Bool true; Bool false; Null ]);
+        ("nested", Obj [ ("neg", Num (-1.5)) ]);
+      ]
+  in
+  match parse (to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round-trip" true (doc = doc')
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+
+let test_json_parse_errors () =
+  let open Obs.Json in
+  List.iter
+    (fun s ->
+      match parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error on %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_export_shape () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.counter "test.export" in
+  Obs.with_span "root" (fun () -> Obs.add c 7);
+  let json =
+    match Obs.Json.parse (Obs.json_string ()) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "export is not valid JSON: %s" e
+  in
+  (match Obs.Json.member "spans" json with
+  | Some (Obs.Json.Arr [ span ]) ->
+      Alcotest.(check bool) "span name exported" true
+        (Obs.Json.member "name" span = Some (Obs.Json.Str "root"))
+  | _ -> Alcotest.fail "expected one exported span");
+  match Obs.Json.member "counters" json with
+  | Some (Obs.Json.Obj cs) ->
+      Alcotest.(check bool) "counter exported" true
+        (List.assoc_opt "test.export" cs = Some (Obs.Json.Num 7.0))
+  | _ -> Alcotest.fail "expected a counters object"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "closes on exception" `Quick
+            test_span_closes_on_exception;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "add and reset" `Quick test_counter_add_and_reset;
+          Alcotest.test_case "interning" `Quick test_counter_interning;
+        ] );
+      ( "enablement",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "with_enabled restores" `Quick
+            test_with_enabled_restores;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "export shape" `Quick test_export_shape;
+        ] );
+    ]

@@ -56,8 +56,10 @@ let () =
         ];
     }
   in
-  let results = Lmfao.Engine.run_any db batch in
-  Printf.printf "run_any (cyclic fallback): COUNT = %g; %d distinct 'a' groups\n"
+  let results =
+    (Lmfao.Engine.eval ~on_cyclic:`Materialize db batch).Lmfao.Engine.keyed
+  in
+  Printf.printf "eval (cyclic fallback): COUNT = %g; %d distinct 'a' groups\n"
     (Aggregates.Spec.scalar_result (List.assoc "count" results))
     (List.length (List.assoc "per_a" results));
 

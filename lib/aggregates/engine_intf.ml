@@ -1,0 +1,37 @@
+(* The common shape of a batch-of-aggregates engine (LMFAO, the unshared
+   DBX/MonetDB stand-ins, the structure-agnostic pipeline): a name for
+   selection, engine-specific options with a default, and one entry point
+   answering a whole batch over a database. Having one module type lets the
+   CLI and the bench harness hold engines as a first-class-module list
+   instead of per-engine match arms. *)
+
+module type S = sig
+  val name : string
+  (** Short selector used by [borg agg --engine] and the bench harness. *)
+
+  val description : string
+  (** One-line description for listings. *)
+
+  type options
+
+  val default_options : options
+
+  val eval_batch :
+    ?options:options ->
+    Relational.Database.t ->
+    Batch.t ->
+    (string * Spec.result) list
+  (** Answer every aggregate of the batch, keyed by aggregate id. Engines
+      that need a materialised join build it internally (its cost is part of
+      the engine's answer time, as in the paper's comparisons). Cyclic
+      schemas are handled by each engine's own fallback rather than raised. *)
+end
+
+type t = (module S)
+
+let name (module E : S) = E.name
+let description (module E : S) = E.description
+
+let find engines n = List.find_opt (fun e -> name e = n) engines
+
+let eval (module E : S) db batch = E.eval_batch db batch

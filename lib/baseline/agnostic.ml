@@ -6,6 +6,10 @@
 
 open Relational
 
+(* Observability ([agnostic.*]): the materialised-join size that dominates
+   the pipeline, tracked alongside one span per stage. *)
+let c_join_rows = Obs.counter "agnostic.join_rows"
+
 type report = {
   join_seconds : float;
   export_seconds : float; (* CSV write + read back (the data move) *)
@@ -22,11 +26,16 @@ let run ?(sgd_params = Sgd.default_params) ?(test_fraction = 0.02)
     ?(tmp_dir = Filename.get_temp_dir_name ()) (db : Database.t)
     (features : Aggregates.Feature.t) : report =
   (* 1. materialise the join (the "PostgreSQL" step) *)
-  let join, join_seconds = Util.Timing.time (fun () -> Database.materialise_join db) in
+  let join, join_seconds =
+    Obs.with_span "agnostic.join" @@ fun () ->
+    Util.Timing.time (fun () -> Database.materialise_join db)
+  in
+  Obs.add c_join_rows (Relation.cardinality join);
   let join_csv_bytes = Relation.csv_size join in
   (* 2. export to CSV and re-import (the data move between the systems) *)
   let path = Filename.temp_file ~temp_dir:tmp_dir "borg_export" ".csv" in
   let reimported, export_seconds =
+    Obs.with_span "agnostic.export" @@ fun () ->
     Util.Timing.time (fun () ->
         Util.Csvio.write_file path (Relation.csv_rows join);
         let rows = Util.Csvio.read_file path in
@@ -35,6 +44,7 @@ let run ?(sgd_params = Sgd.default_params) ?(test_fraction = 0.02)
   Sys.remove path;
   (* 3. one-hot encode and shuffle (learner-side preprocessing) *)
   let (train, test, matrix_bytes), shuffle_seconds =
+    Obs.with_span "agnostic.shuffle" @@ fun () ->
     Util.Timing.time (fun () ->
         let m = One_hot.encode reimported features in
         let m = One_hot.shuffle m in
@@ -43,6 +53,7 @@ let run ?(sgd_params = Sgd.default_params) ?(test_fraction = 0.02)
   in
   (* 4. one epoch of SGD (the "TensorFlow" step) *)
   let model, learn_seconds =
+    Obs.with_span "agnostic.learn" @@ fun () ->
     Util.Timing.time (fun () -> Sgd.train ~params:sgd_params train)
   in
   let rmse = Sgd.rmse model (if One_hot.rows test > 0 then test else train) in
@@ -60,3 +71,24 @@ let run ?(sgd_params = Sgd.default_params) ?(test_fraction = 0.02)
 
 let total_seconds r =
   r.join_seconds +. r.export_seconds +. r.shuffle_seconds +. r.learn_seconds
+
+(* Engine_intf implementation: the structure-agnostic way to answer an
+   aggregate batch — materialise the join, then evaluate every aggregate
+   independently over it (tuple-at-a-time, as a database client would). *)
+let name = "agnostic"
+
+let description =
+  "materialise the join, then evaluate each aggregate over it independently"
+
+type options = unit
+
+let default_options = ()
+
+let eval_batch ?options:_ (db : Database.t) (batch : Aggregates.Batch.t) :
+    (string * Aggregates.Spec.result) list =
+  Obs.with_span "agnostic.eval" @@ fun () ->
+  let join =
+    Obs.with_span "agnostic.join" @@ fun () -> Database.materialise_join db
+  in
+  Obs.add c_join_rows (Relation.cardinality join);
+  Unshared.dbx join batch

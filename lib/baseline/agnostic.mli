@@ -24,5 +24,28 @@ val run :
   Database.t ->
   Aggregates.Feature.t ->
   report
+(** Runs the four stages under [agnostic.join] / [agnostic.export] /
+    [agnostic.shuffle] / [agnostic.learn] spans and bumps the
+    [agnostic.join_rows] counter when {!Obs} is enabled. *)
 
 val total_seconds : report -> float
+
+(** {1 Engine interface}
+
+    [Agnostic] also satisfies {!Aggregates.Engine_intf.S}: answer an
+    aggregate batch the structure-agnostic way — materialise the join, then
+    evaluate every aggregate over it independently. *)
+
+val name : string
+
+val description : string
+
+type options = unit
+
+val default_options : options
+
+val eval_batch :
+  ?options:options ->
+  Database.t ->
+  Aggregates.Batch.t ->
+  (string * Aggregates.Spec.result) list

@@ -9,12 +9,18 @@ let flt x = Value.Float x
 let scaled ?(floor = 3) base scale =
   Stdlib.max floor (int_of_float (float_of_int base *. scale))
 
+(* Observability: tuple volume across all generators, plus one
+   [datagen.<relation>] span per built relation. *)
+let c_tuples = Obs.counter "datagen.tuples"
+
 let build name attrs count gen =
+  Obs.with_span ("datagen." ^ name) @@ fun () ->
   let schema = Schema.make attrs in
   let rel = Relation.create ~capacity:(Stdlib.max 1 count) name schema in
   for i = 0 to count - 1 do
     Relation.append rel (gen i)
   done;
+  Obs.add c_tuples count;
   rel
 
 (* Clamp to keep generated measures in sane ranges. *)

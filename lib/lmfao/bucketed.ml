@@ -72,7 +72,7 @@ let decision_node_results ?(options = Engine.default_options) (db : Database.t)
          sorted_thresholds)
   in
   let batch = rewritten_batch f sorted_thresholds in
-  let table, _ = Engine.run_to_table ~options db' batch in
+  let table = Lazy.force (Engine.eval ~options db' batch).table in
   let lookup id =
     match Hashtbl.find_opt table id with
     | Some r -> r

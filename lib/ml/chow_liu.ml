@@ -73,7 +73,7 @@ let maximum_spanning_tree (attrs : string list) (edges : edge list) : edge list 
 let tree_over_database ?(engine_options = Lmfao.Engine.default_options)
     (db : Database.t) (attrs : string list) : edge list =
   let batch = Aggregates.Batch.mutual_information attrs in
-  let table, _ = Lmfao.Engine.run_to_table ~options:engine_options db batch in
+  let table = Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table in
   let lookup id =
     match Hashtbl.find_opt table id with
     | Some r -> r

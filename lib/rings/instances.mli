@@ -1,0 +1,22 @@
+(** Standard (semi)ring instances for the factorised and incremental
+    engines (paper Section 3.1 / Figure 9). *)
+
+module Bool : Sig.SEMIRING with type t = bool
+(** Boolean semiring: query satisfiability. *)
+
+module Nat : Sig.SEMIRING with type t = int
+(** Natural-number semiring: counting (Figure 9 left). *)
+
+module Z : Sig.RING with type t = int
+(** Ring of integers: tuple multiplicities with additive inverse — the
+    uniform treatment of inserts (+1) and deletes (-1) in IVM. *)
+
+module R : Sig.RING with type t = float
+(** Field of reals (as floats): SUM-PRODUCT aggregates (Figure 9 right).
+    [equal] is a relative-tolerance comparison, not bitwise equality. *)
+
+module Min_plus : Sig.SEMIRING with type t = float
+(** Tropical (min, +) semiring: shortest-path-style aggregates. *)
+
+module Max_plus : Sig.SEMIRING with type t = float
+(** (max, +) semiring. *)

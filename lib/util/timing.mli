@@ -1,7 +1,8 @@
 (** Wall-clock timing for the experiment harness. *)
 
 val now : unit -> float
-(** Seconds since the epoch (monotonic enough for our interval measurements). *)
+(** Monotonic seconds from an unspecified origin ({!Obs.Clock.now}); only
+    differences between readings are meaningful. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] once, returning its result and elapsed seconds. *)
@@ -11,7 +12,7 @@ val time_only : (unit -> 'a) -> float
 
 val measure : ?repeats:int -> ?warmup:bool -> (unit -> 'a) -> float
 (** Median elapsed seconds over [repeats] runs (default 3) after an optional
-    warm-up run. *)
+    warm-up run; even [repeats] average the two middle samples. *)
 
 val pp_duration : Format.formatter -> float -> unit
 (** Human-readable duration (ns/us/ms/s). *)

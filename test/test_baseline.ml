@@ -40,7 +40,7 @@ let test_dbx_monet_lmfao_agree () =
   let join = Database.materialise_join db in
   let dbx = Baseline.Unshared.dbx join batch in
   let monet = Baseline.Unshared.monet join batch in
-  let lmfao, _ = Lmfao.Engine.run db batch in
+  let lmfao = (Lmfao.Engine.eval db batch).Lmfao.Engine.keyed in
   Alcotest.(check bool) "dbx = monet" true (results_agree dbx monet);
   Alcotest.(check bool) "dbx = lmfao" true (results_agree dbx lmfao)
 
@@ -54,7 +54,7 @@ let test_decision_batch_agree () =
   let join = Database.materialise_join db in
   let dbx = Baseline.Unshared.dbx join batch in
   let monet = Baseline.Unshared.monet join batch in
-  let lmfao, _ = Lmfao.Engine.run db batch in
+  let lmfao = (Lmfao.Engine.eval db batch).Lmfao.Engine.keyed in
   Alcotest.(check bool) "dbx = monet (filters)" true (results_agree dbx monet);
   Alcotest.(check bool) "dbx = lmfao (filters)" true (results_agree dbx lmfao)
 
