@@ -25,6 +25,23 @@ let obs_on =
 
 let seed = 42
 
+(* --json FILE: machine-readable per-entry timings (plus the per-entry
+   counter snapshot when BORG_OBS is on), for tracking the perf trajectory
+   across PRs. Populated by [record] calls at the measurement points and
+   written once after the run. *)
+let json_out = ref None
+let timings : Obs.Json.t list ref = ref []
+
+let record ~entry ~engine seconds =
+  timings :=
+    Obs.Json.Obj
+      [
+        ("entry", Obs.Json.Str entry);
+        ("engine", Obs.Json.Str engine);
+        ("seconds", Obs.Json.Num seconds);
+      ]
+    :: !timings
+
 let line = String.make 78 '-'
 
 let header title paper =
@@ -94,7 +111,11 @@ let fig3 () =
     (human_bytes report.join_csv_bytes) (human_bytes stat_bytes);
   Printf.printf "%-24s %14.3f %14.3f\n" "RMSE (train)" report.rmse aware_rmse;
   Printf.printf "\nspeedup (total): %s   (paper: 2,160x on 84M rows)\n%!"
-    (pct (Baseline.Agnostic.total_seconds report /. aware_total))
+    (pct (Baseline.Agnostic.total_seconds report /. aware_total));
+  record ~entry:"fig3" ~engine:"lmfao-batch" aware.batch_seconds;
+  record ~entry:"fig3" ~engine:"lmfao-total" aware_total;
+  record ~entry:"fig3" ~engine:"agnostic-total"
+    (Baseline.Agnostic.total_seconds report)
 
 (* ------------------------------------------------------------ fig4left *)
 
@@ -182,7 +203,11 @@ let fig4left () =
             (Util.Timing.to_string t_dbx)
             (Util.Timing.to_string t_monet)
             (pct (t_dbx /. t_lmfao))
-            (pct (t_monet /. t_lmfao)))
+            (pct (t_monet /. t_lmfao));
+          let tag engine = Printf.sprintf "%s-%s-%s" engine d.dname bname in
+          record ~entry:"fig4left" ~engine:(tag "lmfao") t_lmfao;
+          record ~entry:"fig4left" ~engine:(tag "dbx") t_dbx;
+          record ~entry:"fig4left" ~engine:(tag "monet") t_monet)
         [
           (let batch = Aggregates.Batch.covariance d.features in
            ("C", batch, fun () -> ignore (Lmfao.Engine.eval d.db batch)));
@@ -291,7 +316,10 @@ let fig6 () =
             | Some b -> b
           in
           Printf.printf "%-10s | %-38s %12s %9s\n%!" d.dname stage_name
-            (Util.Timing.to_string t) (pct (base /. t)))
+            (Util.Timing.to_string t) (pct (base /. t));
+          record ~entry:"fig6"
+            ~engine:(Printf.sprintf "%s-%s" d.dname stage_name)
+            t)
         Baseline.Acdc.stages;
       Printf.printf "\n%!")
     (datasets ~s:(4.0 *. scale) ())
@@ -610,7 +638,9 @@ let wcoj () =
         (Util.Timing.to_string t_wcoj)
         (Util.Timing.to_string t_binary)
         (pct (t_binary /. t_wcoj))
-        !intermediate)
+        !intermediate;
+      record ~entry:"wcoj" ~engine:(Printf.sprintf "wcoj-%d" m) t_wcoj;
+      record ~entry:"wcoj" ~engine:(Printf.sprintf "binary-join-%d" m) t_binary)
     [ 2_000; 8_000; 32_000 ];
   (* maintenance under updates *)
   let g = Fivm.Triangle.create () in
@@ -656,7 +686,8 @@ let engines () =
       Printf.printf "  %-10s %10s  (%d aggregates; %s)\n%!"
         (Aggregates.Engine_intf.name e)
         (Util.Timing.to_string t) (List.length results)
-        (Aggregates.Engine_intf.description e))
+        (Aggregates.Engine_intf.description e);
+      record ~entry:"engines" ~engine:(Aggregates.Engine_intf.name e) t)
     [
       (module Lmfao.Engine : Aggregates.Engine_intf.S);
       (module Baseline.Agnostic);
@@ -684,10 +715,18 @@ let entries =
   ]
 
 let () =
+  let rec parse_args acc = function
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse_args acc rest
+    | "--json" :: [] -> failwith "--json needs a file argument"
+    | x :: rest -> parse_args (x :: acc) rest
+    | [] -> List.rev acc
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: rest when rest <> [] -> rest
-    | _ -> List.map fst entries
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst entries
+    | rest -> rest
   in
   Printf.printf "relational-data-borg benchmark harness (scale %.2f%s)\n" scale
     (if obs_on then ", observability on" else "");
@@ -697,16 +736,44 @@ let () =
       match List.assoc_opt name entries with
       | Some f ->
           Obs.reset ();
-          f ();
+          let (), wall = Util.Timing.time f in
+          record ~entry:name ~engine:"wall" wall;
           if obs_on then begin
             match Obs.counter_snapshot () with
             | [] -> ()
             | snapshot ->
                 Printf.printf "\n[%s] counters:\n" name;
                 List.iter (fun (c, v) -> Printf.printf "  %-36s %12d\n" c v) snapshot;
-                Printf.printf "%!"
+                Printf.printf "%!";
+                timings :=
+                  Obs.Json.Obj
+                    [
+                      ("entry", Obs.Json.Str name);
+                      ( "counters",
+                        Obs.Json.Obj
+                          (List.map
+                             (fun (c, v) -> (c, Obs.Json.num_int v))
+                             snapshot) );
+                    ]
+                  :: !timings
           end
       | None ->
           Printf.printf "unknown entry %s (available: %s)\n" name
             (String.concat ", " (List.map fst entries)))
-    requested
+    requested;
+  match !json_out with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("scale", Obs.Json.Num scale);
+            ("seed", Obs.Json.num_int seed);
+            ("timings", Obs.Json.Arr (List.rev !timings));
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Obs.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n%!" file

@@ -1,1 +1,1 @@
-lib/aggregates/spec.ml: Array Buffer Float Format List Predicate Printf Relation Relational Schema String Tuple Value
+lib/aggregates/spec.ml: Array Buffer Column Float Format Keypack List Predicate Printf Relation Relational Schema String Value

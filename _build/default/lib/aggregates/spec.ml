@@ -37,7 +37,13 @@ let attrs t =
 let canonical t =
   let terms = String.concat "*" (List.map (fun (a, p) -> Printf.sprintf "%s^%d" a p) t.terms) in
   let groups = String.concat "," t.group_by in
-  let filter = Format.asprintf "%a" Predicate.pp t.filter in
+  (* the trivial filter skips the Format machinery: [canonical] runs once
+     per spec per node per root during LMFAO planning *)
+  let filter =
+    match t.filter with
+    | Predicate.True -> "true"
+    | f -> Format.asprintf "%a" Predicate.pp f
+  in
   Printf.sprintf "S[%s|%s|%s]" terms groups filter
 
 let is_scalar t = t.group_by = []
@@ -58,39 +64,44 @@ let lookup (r : result) key =
   | Some (_, v) -> v
   | None -> 0.0
 
-(* Reference evaluation over a materialised data matrix: one scan, hash
-   group-by. This is also what the per-aggregate baselines use. *)
+(* Reference evaluation over a materialised data matrix: one columnar scan,
+   hash group-by on packed keys. This is also what the per-aggregate
+   baselines use. *)
 let eval_flat rel t : result =
   let schema = Relation.schema rel in
-  let keep = Predicate.compile schema t.filter in
+  let cols = Relation.columns rel in
+  let keep = Predicate.compile_cols schema cols t.filter in
   let term_positions =
     List.map (fun (a, p) -> (Schema.position schema a, p)) t.terms
   in
   let group_positions = List.map (fun a -> (a, Schema.position schema a)) t.group_by in
-  let table : float ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
-  let key_buf = Array.of_list (List.map snd group_positions) in
-  Relation.iter
-    (fun tup ->
-      if keep tup then begin
-        let v =
-          List.fold_left
-            (fun acc (i, p) ->
-              let x = Value.to_float tup.(i) in
-              let rec pow acc k = if k = 0 then acc else pow (acc *. x) (k - 1) in
-              pow acc p)
-            1.0 term_positions
-        in
-        let key = Tuple.project tup key_buf in
-        match Tuple.Tbl.find_opt table key with
-        | Some r -> r := !r +. v
-        | None -> Tuple.Tbl.add table key (ref v)
-      end)
-    rel;
+  let key_positions = Array.of_list (List.map snd group_positions) in
+  let key_of = Relation.extractor rel key_positions in
+  let key_arity = Array.length key_positions in
+  let table : float ref Keypack.Hybrid.t = Keypack.Hybrid.create 64 in
+  ignore (Relation.scan rel);
+  for i = 0 to Relation.cardinality rel - 1 do
+    if keep i then begin
+      let v =
+        List.fold_left
+          (fun acc (pos, p) ->
+            let x = Column.float_at cols.(pos) i in
+            let rec pow acc k = if k = 0 then acc else pow (acc *. x) (k - 1) in
+            pow acc p)
+          1.0 term_positions
+      in
+      let key = key_of i in
+      match Keypack.Hybrid.find_opt table key with
+      | Some r -> r := !r +. v
+      | None -> Keypack.Hybrid.add table key (ref v)
+    end
+  done;
   let names = List.map fst group_positions in
-  Tuple.Tbl.fold
+  Keypack.Hybrid.fold
     (fun key v acc ->
+      let tup = Keypack.key_tuple key_arity key in
       let assignment =
-        List.sort compare (List.map2 (fun n x -> (n, x)) names (Array.to_list key))
+        List.sort compare (List.map2 (fun n x -> (n, x)) names (Array.to_list tup))
       in
       (assignment, !v) :: acc)
     table []

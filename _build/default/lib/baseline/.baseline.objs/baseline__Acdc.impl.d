@@ -1,1 +1,1 @@
-lib/baseline/acdc.ml: Array Database Fivm Hashtbl Join_tree List Option Relation Relational Rings Schema Tuple Util Value
+lib/baseline/acdc.ml: Array Database Fivm Hashtbl Join_tree Keypack List Option Relation Relational Rings Schema Tuple Util Value

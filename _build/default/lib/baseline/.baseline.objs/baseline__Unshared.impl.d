@@ -1,1 +1,1 @@
-lib/baseline/unshared.ml: Aggregates Array Database Hashtbl List Obs Predicate Relation Relational Schema Tuple Value
+lib/baseline/unshared.ml: Aggregates Array Column Database Hashtbl List Obs Predicate Relation Relational Schema Tuple Value

@@ -42,14 +42,19 @@ let decode (join : Relation.t) : columns =
   List.iter
     (fun (a : Schema.attr) ->
       let pos = Schema.position schema a.name in
+      let src = Relation.column join pos in
       (match a.ty with
       | Value.TFloat | Value.TInt ->
           let col = Array.make n 0.0 in
-          Relation.iteri (fun i t -> col.(i) <- Value.to_float t.(pos)) join;
+          for i = 0 to n - 1 do
+            col.(i) <- Column.float_at src i
+          done;
           Hashtbl.replace floats a.name col
       | Value.TStr -> ());
       let col = Array.make n Value.Null in
-      Relation.iteri (fun i t -> col.(i) <- t.(pos)) join;
+      for i = 0 to n - 1 do
+        col.(i) <- Column.get src i
+      done;
       Hashtbl.replace values a.name col)
     (Schema.attrs schema);
   { n; floats; values }

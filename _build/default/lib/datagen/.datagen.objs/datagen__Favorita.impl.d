@@ -1,1 +1,1 @@
-lib/datagen/favorita.ml: Aggregates Array Database Gen_util Relation Relational Util Value
+lib/datagen/favorita.ml: Aggregates Array Column Database Gen_util Relation Relational Util Value

@@ -1,1 +1,1 @@
-lib/datagen/tpcds.ml: Aggregates Array Database Gen_util List Relation Relational Stdlib Util Value
+lib/datagen/tpcds.ml: Aggregates Array Column Database Gen_util List Relation Relational Stdlib Util Value

@@ -1,1 +1,1 @@
-lib/datagen/yelp.ml: Aggregates Array Database Gen_util List Relation Relational Util Value
+lib/datagen/yelp.ml: Aggregates Array Column Database Gen_util List Relation Relational Util Value

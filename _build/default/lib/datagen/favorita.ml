@@ -79,7 +79,8 @@ let generate ?(scale = 1.0) ~seed () =
            int (if Util.Prng.float rng 1.0 < 0.1 then 1 else 0) |])
   in
   let perishable =
-    Array.init s.n_items (fun i -> Value.to_int (Relation.get items i).(3))
+    let c = Relation.column items 3 in
+    Array.init s.n_items (fun i -> Column.int_at c i)
   in
   let sales =
     build "Sales"

@@ -90,10 +90,12 @@ let generate ?(scale = 1.0) ~seed () =
           (Array.init 12 (fun k -> int (Util.Prng.int rng (2 + (k mod 4))))))
   in
   let b_stars =
-    Array.init s.n_business (fun b -> Value.to_float (Relation.get business b).(3))
+    let c = Relation.column business 3 in
+    Array.init s.n_business (fun b -> Column.float_at c b)
   in
   let u_stars =
-    Array.init s.n_users (fun u -> Value.to_float (Relation.get users u).(2))
+    let c = Relation.column users 2 in
+    Array.init s.n_users (fun u -> Column.float_at c u)
   in
   let reviews =
     build "Review"

@@ -1,1 +1,1 @@
-lib/factorized/fjoin.ml: Array Frep Hashtbl List Obs Relation Relational Rings Schema Tuple Value Var_order
+lib/factorized/fjoin.ml: Array Column Frep Fun Hashtbl Keypack List Obs Relation Relational Rings Schema Value Var_order

@@ -1,1 +1,1 @@
-lib/factorized/fjoin.mli: Frep Hashtbl Relation Relational Rings Value Var_order
+lib/factorized/fjoin.mli: Frep Hashtbl Keypack Relation Relational Rings Value Var_order

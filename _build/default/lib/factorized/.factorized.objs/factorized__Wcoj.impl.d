@@ -1,1 +1,1 @@
-lib/factorized/wcoj.ml: Array Fjoin Frep List Obs Option Relation Relational Rings Schema Tuple Value
+lib/factorized/wcoj.ml: Array Column Fjoin Frep Fun List Obs Relation Relational Rings Schema Stdlib Value

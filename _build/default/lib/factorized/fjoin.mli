@@ -9,11 +9,14 @@ open Relational
 
 module VTbl : Hashtbl.S with type key = Value.t
 
-type trie = Leaf of int | Node of trie VTbl.t
-(** Relation tries following the variable order; leaves carry bag
-    multiplicities. *)
+type trie = Leaf of int | Node of vtbl
 
-val build_trie : Relation.t -> string list -> trie VTbl.t
+and vtbl = { ints : trie Keypack.Itbl.t; others : trie VTbl.t }
+(** Relation tries following the variable order; leaves carry bag
+    multiplicities. Each level is a hybrid table: int values (read unboxed
+    from the typed columns) hash as ints, other values as boxed [Value.t]. *)
+
+val build_trie : Relation.t -> string list -> vtbl
 (** [build_trie rel attrs] nests [rel] by [attrs] (ordered root-first). *)
 
 (** The algebra a traversal folds with. *)

@@ -8,15 +8,29 @@
    asymptotics on our array tries). Unlike [Fjoin], no acyclicity is
    required: triangles and other cyclic patterns run within their AGM
    bound. Results fold with the same semiring algebra, so COUNT /
-   SUM-PRODUCT / enumeration come for free. *)
+   SUM-PRODUCT / enumeration come for free.
+
+   Trie levels are typed: levels over int columns keep their sorted values
+   as a raw [int array] — built straight from the typed columns, intersected
+   with unboxed int binary searches, boxed only when a branch actually
+   matches — while float/string/promoted levels fall back to sorted
+   [Value.t] arrays with the usual [Value.compare] probes. *)
 
 open Relational
 
 (* sorted trie: values in ascending order, one child per value *)
-type strie = { values : Value.t array; children : node array }
+type vals =
+  | VI of int array  (* int level, unboxed *)
+  | VV of Value.t array  (* fallback level *)
+
+type strie = { values : vals; children : node array }
 and node = Leaf of int (* multiplicity *) | Sub of strie
 
-let empty_strie = { values = [||]; children = [||] }
+let empty_strie = { values = VV [||]; children = [||] }
+let vals_length = function VI a -> Array.length a | VV a -> Array.length a
+
+let vals_get vals i =
+  match vals with VI a -> Value.Int a.(i) | VV a -> a.(i)
 
 (* Observability ([wcoj.*]): intersection work (binary-probe seeks, value
    advances on the iterated branch set) and materialised output size. *)
@@ -24,41 +38,72 @@ let c_seeks = Obs.counter "wcoj.seeks"
 let c_advances = Obs.counter "wcoj.advances"
 let c_materialised = Obs.counter "wcoj.materialised_tuples"
 
-(* Build a sorted trie of [rel] nested by [attrs] (projection order). *)
+(* Build a sorted trie of [rel] nested by [attrs] (projection order): sort
+   row indexes with a column-reading comparator, then group runs level by
+   level. No tuples are materialised; int levels stay unboxed. *)
 let build (rel : Relation.t) (attrs : string list) : strie =
   let schema = Relation.schema rel in
   let positions = Array.of_list (List.map (Schema.position schema) attrs) in
   let depth = Array.length positions in
-  let rows =
-    Array.init (Relation.cardinality rel) (fun i ->
-        Tuple.project (Relation.get rel i) positions)
-  in
-  Array.sort Tuple.compare rows;
-  (* recursively group rows.(lo..hi) at level d *)
-  let rec group lo hi d : strie =
-    if d >= depth then empty_strie
-    else begin
-      let values = ref [] and children = ref [] in
-      let i = ref lo in
-      while !i < hi do
-        let v = rows.(!i).(d) in
-        let j = ref !i in
-        while !j < hi && Value.equal rows.(!j).(d) v do
-          incr j
+  if depth = 0 then empty_strie
+  else begin
+    let n = Relation.cardinality rel in
+    let all = Relation.scan rel in
+    let datas = Array.map (fun p -> all.(p)) positions in
+    let idx = Array.init n Fun.id in
+    let cmp i1 i2 =
+      let rec go d =
+        if d = depth then 0
+        else
+          let c =
+            match datas.(d) with
+            | Column.Ints a -> Stdlib.compare (a.(i1) : int) a.(i2)
+            | Column.Floats a -> Stdlib.compare (a.(i1) : float) a.(i2)
+            | Column.Boxed a -> Value.compare a.(i1) a.(i2)
+          in
+          if c <> 0 then c else go (d + 1)
+      in
+      go 0
+    in
+    Array.sort cmp idx;
+    let eq_at d i1 i2 =
+      match datas.(d) with
+      | Column.Ints a -> a.(i1) = a.(i2)
+      | Column.Floats a -> a.(i1) = a.(i2)
+      | Column.Boxed a -> Value.compare a.(i1) a.(i2) = 0
+    in
+    (* recursively group idx.(lo..hi) at level d *)
+    let rec group lo hi d : strie =
+      if d >= depth then empty_strie
+      else begin
+        let bounds = ref [] and i = ref lo in
+        while !i < hi do
+          let j = ref (!i + 1) in
+          while !j < hi && eq_at d idx.(!i) idx.(!j) do
+            incr j
+          done;
+          bounds := (!i, !j) :: !bounds;
+          i := !j
         done;
-        values := v :: !values;
-        children :=
-          (if d = depth - 1 then Leaf (!j - !i) else Sub (group !i !j (d + 1)))
-          :: !children;
-        i := !j
-      done;
-      {
-        values = Array.of_list (List.rev !values);
-        children = Array.of_list (List.rev !children);
-      }
-    end
-  in
-  if depth = 0 then empty_strie else group 0 (Array.length rows) 0
+        let bounds = Array.of_list (List.rev !bounds) in
+        let children =
+          Array.map
+            (fun (lo', hi') ->
+              if d = depth - 1 then Leaf (hi' - lo') else Sub (group lo' hi' (d + 1)))
+            bounds
+        in
+        let values =
+          match datas.(d) with
+          | Column.Ints a -> VI (Array.map (fun (lo', _) -> a.(idx.(lo'))) bounds)
+          | Column.Floats a ->
+              VV (Array.map (fun (lo', _) -> Value.Float a.(idx.(lo'))) bounds)
+          | Column.Boxed a -> VV (Array.map (fun (lo', _) -> a.(idx.(lo'))) bounds)
+        in
+        { values; children }
+      end
+    in
+    group 0 n 0
+  end
 
 (* first index in the sorted array with value >= v, or length *)
 let seek (values : Value.t array) (v : Value.t) =
@@ -69,10 +114,40 @@ let seek (values : Value.t array) (v : Value.t) =
   done;
   !lo
 
-let find (values : Value.t array) (v : Value.t) =
+let seek_int (values : int array) (x : int) =
+  let lo = ref 0 and hi = ref (Array.length values) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if values.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Probe a level for a value (the all-int fast path boxes nothing). Both
+   probes return the matching index or -1, so the leapfrog inner loop
+   allocates no options. *)
+let find_int_idx (vals : vals) (x : int) =
   Obs.incr c_seeks;
-  let i = seek values v in
-  if i < Array.length values && Value.equal values.(i) v then Some i else None
+  match vals with
+  | VI a ->
+      let i = seek_int a x in
+      if i < Array.length a && a.(i) = x then i else -1
+  | VV a ->
+      let v = Value.Int x in
+      let i = seek a v in
+      if i < Array.length a && Value.equal a.(i) v then i else -1
+
+let find_value_idx (vals : vals) (v : Value.t) =
+  Obs.incr c_seeks;
+  match vals with
+  | VI a -> (
+      match v with
+      | Value.Int x ->
+          let i = seek_int a x in
+          if i < Array.length a && a.(i) = x then i else -1
+      | _ -> -1 (* int levels hold only ints; cross-type never equal *))
+  | VV a ->
+      let i = seek a v in
+      if i < Array.length a && Value.equal a.(i) v then i else -1
 
 (* Default global variable order: most-shared variables first (a common
    WCOJ heuristic; any order is correct). *)
@@ -136,31 +211,67 @@ let fold (type a) (alg : a Fjoin.algebra) ?order (rels : Relation.t list) : a =
             match
               List.sort
                 (fun (_, t1) (_, t2) ->
-                  compare (Array.length t1.values) (Array.length t2.values))
+                  compare (vals_length t1.values) (vals_length t2.values))
                 tries_at
             with
-            | smallest :: others -> (smallest, others)
+            | smallest :: others -> (smallest, Array.of_list others)
             | [] -> assert false
           in
+          let no = Array.length others in
+          (* probe results for the current candidate; early exit on the
+             first miss means the remaining branch sets are not probed *)
+          let hits = Array.make no (-1) in
           let branches = ref [] in
-          Array.iteri
-            (fun i v ->
-              let probes =
-                List.map (fun (rest, t) -> (rest, t, find t.values v)) others
-              in
-              if List.for_all (fun (_, _, hit) -> hit <> None) probes then begin
-                Obs.incr c_advances;
-                let advanced =
-                  (first_rest, first_t.children.(i))
-                  :: List.map
-                       (fun (rest, t, hit) ->
-                         (rest, t.children.(Option.get hit)))
-                       probes
-                in
-                let sub = visit rest_vars (advanced @ waiting) in
-                branches := (v, sub) :: !branches
-              end)
-            first_t.values;
+          let emit v i =
+            Obs.incr c_advances;
+            let advanced = ref waiting in
+            for j = no - 1 downto 0 do
+              let rest, t = others.(j) in
+              advanced := (rest, t.children.(hits.(j))) :: !advanced
+            done;
+            let sub =
+              visit rest_vars
+                ((first_rest, first_t.children.(i)) :: !advanced)
+            in
+            branches := (v, sub) :: !branches
+          in
+          let probe_all_int x =
+            let ok = ref true and j = ref 0 in
+            while !ok && !j < no do
+              let _, t = others.(!j) in
+              let h = find_int_idx t.values x in
+              if h < 0 then ok := false
+              else begin
+                hits.(!j) <- h;
+                incr j
+              end
+            done;
+            !ok
+          in
+          let probe_all_value v =
+            let ok = ref true and j = ref 0 in
+            while !ok && !j < no do
+              let _, t = others.(!j) in
+              let h = find_value_idx t.values v in
+              if h < 0 then ok := false
+              else begin
+                hits.(!j) <- h;
+                incr j
+              end
+            done;
+            !ok
+          in
+          (match first_t.values with
+          | VI a ->
+              (* all-int leapfrog: probe with raw ints, box on match only *)
+              for i = 0 to Array.length a - 1 do
+                let x = a.(i) in
+                if probe_all_int x then emit (Value.Int x) i
+              done
+          | VV a ->
+              for i = 0 to Array.length a - 1 do
+                if probe_all_value a.(i) then emit a.(i) i
+              done);
           alg.union var (List.rev !branches)
         end
   in

@@ -5,14 +5,21 @@
 
 open Relational
 
-type strie = { values : Value.t array; children : node array }
+(** Sorted branch values of one trie level: int levels stay unboxed. *)
+type vals = VI of int array | VV of Value.t array
+
+type strie = { values : vals; children : node array }
 and node = Leaf of int | Sub of strie
 
 val build : Relation.t -> string list -> strie
-(** Sorted trie of the relation nested by the given attribute order. *)
+(** Sorted trie of the relation nested by the given attribute order, built
+    from the typed columns without materialising tuples. *)
 
 val seek : Value.t array -> Value.t -> int
 (** First index with value >= v (binary search), or the array length. *)
+
+val seek_int : int array -> int -> int
+(** Unboxed variant of {!seek} for int levels. *)
 
 val default_order : Relation.t list -> string list
 (** Most-shared variables first (any order is correct). *)

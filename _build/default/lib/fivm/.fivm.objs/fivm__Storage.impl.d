@@ -1,1 +1,1 @@
-lib/fivm/storage.ml: Array Database Delta Hashtbl Join_tree List Printf Relation Relational Schema Tuple
+lib/fivm/storage.ml: Array Database Delta Fun Hashtbl Join_tree Keypack List Printf Relation Relational Schema Tuple

@@ -1,1 +1,1 @@
-lib/fivm/storage.mli: Database Delta Join_tree Relational Schema Tuple
+lib/fivm/storage.mli: Database Delta Join_tree Keypack Relational Schema Tuple

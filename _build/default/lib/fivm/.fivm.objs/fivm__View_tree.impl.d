@@ -1,1 +1,1 @@
-lib/fivm/view_tree.ml: Array Delta Join_tree List Payload Relation Relational Schema Storage Tuple
+lib/fivm/view_tree.ml: Array Delta Join_tree Keypack List Payload Relation Relational Schema Storage Tuple

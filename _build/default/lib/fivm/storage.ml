@@ -2,15 +2,22 @@
    tuples plus hash indexes on every join key shared with a join-tree
    neighbour. All three maintenance strategies read this storage; updates are
    applied once per delta, after the strategies have computed their view
-   deltas against the pre-update state. *)
+   deltas against the pre-update state.
+
+   Updates arrive as boxed tuples (the streaming edge), but both the
+   multiset and the indexes hash [Keypack] keys: join keys over in-range
+   int attributes pack into immediate ints, so the per-update probes hash
+   ints rather than boxed tuple arrays. *)
 
 open Relational
+module Hybrid = Keypack.Hybrid
 
 type node = {
   name : string;
   schema : Schema.t;
-  tuples : int ref Tuple.Tbl.t; (* tuple -> multiplicity (never 0) *)
-  indexes : (string * int array * Tuple.t list ref Tuple.Tbl.t) list;
+  all_positions : int array; (* identity; whole-tuple key for [tuples] *)
+  tuples : int ref Hybrid.t; (* whole-tuple key -> multiplicity (never 0) *)
+  indexes : (string * int array * Tuple.t list ref Hybrid.t) list;
       (* (neighbour, key positions in this schema, key -> distinct tuples) *)
 }
 
@@ -51,10 +58,17 @@ let create (db : Database.t) =
               Some
                 ( b,
                   Array.of_list (List.map (Schema.position schema) key),
-                  Tuple.Tbl.create 64 ))
+                  Hybrid.create 64 ))
           edges
       in
-      Hashtbl.replace nodes name { name; schema; tuples = Tuple.Tbl.create 256; indexes })
+      Hashtbl.replace nodes name
+        {
+          name;
+          schema;
+          all_positions = Array.init (Schema.arity schema) Fun.id;
+          tuples = Hybrid.create 256;
+          indexes;
+        })
     (Database.relations db);
   { nodes; jt }
 
@@ -63,58 +77,68 @@ let node t name =
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Storage.node: unknown relation %s" name)
 
+let tuple_key (n : node) tuple = Keypack.key_of_tuple n.all_positions tuple
+
 let multiplicity (n : node) tuple =
-  match Tuple.Tbl.find_opt n.tuples tuple with Some m -> !m | None -> 0
+  match Hybrid.find_opt n.tuples (tuple_key n tuple) with
+  | Some m -> !m
+  | None -> 0
 
 (* Distinct tuples of [n] joining with key [key] of neighbour [neighbour]. *)
-let matching (n : node) ~neighbour key =
+let matching (n : node) ~neighbour (key : Keypack.key) =
   match List.find_opt (fun (b, _, _) -> b = neighbour) n.indexes with
   | None -> invalid_arg "Storage.matching: not a neighbour"
   | Some (_, _, idx) -> (
-      match Tuple.Tbl.find_opt idx key with Some l -> !l | None -> [])
+      match Hybrid.find_opt idx key with Some l -> !l | None -> [])
 
-let key_for (n : node) ~neighbour tuple =
+let key_for (n : node) ~neighbour tuple : Keypack.key =
   match List.find_opt (fun (b, _, _) -> b = neighbour) n.indexes with
   | None -> invalid_arg "Storage.key_for: not a neighbour"
-  | Some (_, positions, _) -> Tuple.project tuple positions
+  | Some (_, positions, _) -> Keypack.key_of_tuple positions tuple
 
 let apply t (u : Delta.update) =
   let n = node t u.relation in
-  let old_m = multiplicity n u.tuple in
+  let tk = tuple_key n u.tuple in
+  let old_m =
+    match Hybrid.find_opt n.tuples tk with Some m -> !m | None -> 0
+  in
   let new_m = old_m + u.multiplicity in
   if old_m = 0 && new_m <> 0 then begin
-    Tuple.Tbl.replace n.tuples u.tuple (ref new_m);
+    Hybrid.replace n.tuples tk (ref new_m);
     List.iter
       (fun (_, positions, idx) ->
-        let key = Tuple.project u.tuple positions in
-        match Tuple.Tbl.find_opt idx key with
+        let key = Keypack.key_of_tuple positions u.tuple in
+        match Hybrid.find_opt idx key with
         | Some l -> l := u.tuple :: !l
-        | None -> Tuple.Tbl.add idx key (ref [ u.tuple ]))
+        | None -> Hybrid.add idx key (ref [ u.tuple ]))
       n.indexes
   end
   else if new_m = 0 then begin
-    Tuple.Tbl.remove n.tuples u.tuple;
+    Hybrid.remove n.tuples tk;
     List.iter
       (fun (_, positions, idx) ->
-        let key = Tuple.project u.tuple positions in
-        match Tuple.Tbl.find_opt idx key with
+        let key = Keypack.key_of_tuple positions u.tuple in
+        match Hybrid.find_opt idx key with
         | Some l ->
             l := List.filter (fun t -> not (Tuple.equal t u.tuple)) !l;
-            if !l = [] then Tuple.Tbl.remove idx key
+            if !l = [] then Hybrid.remove idx key
         | None -> ())
       n.indexes
   end
   else
-    match Tuple.Tbl.find_opt n.tuples u.tuple with
+    match Hybrid.find_opt n.tuples tk with
     | Some m -> m := new_m
     | None -> assert false
 
 let total_tuples t =
   Hashtbl.fold
-    (fun _ n acc -> Tuple.Tbl.fold (fun _ m acc -> acc + abs !m) n.tuples acc)
+    (fun _ n acc -> Hybrid.fold (fun _ m acc -> acc + abs !m) n.tuples acc)
     t.nodes 0
 
 let join_tree t = t.jt
 
-(* Iterate distinct tuples with multiplicities. *)
-let iter_tuples (n : node) f = Tuple.Tbl.iter (fun tuple m -> f tuple !m) n.tuples
+(* Iterate distinct tuples with multiplicities; tuples are reconstructed
+   from their whole-tuple keys (packed keys unpack value-faithfully). *)
+let iter_tuples (n : node) f =
+  let arity = Array.length n.all_positions in
+  Hybrid.iter (fun k m -> f (Keypack.key_tuple arity k) !m) n.tuples

@@ -1,15 +1,18 @@
 (** Mutable base-relation storage for IVM: Z-multisets of tuples plus hash
     indexes on every join key shared with a join-tree neighbour. Strategies
     compute their view deltas against the pre-update state, then the driver
-    calls {!apply} once. *)
+    calls {!apply} once. Multiset and indexes hash {!Keypack} keys, so
+    in-range int join keys probe as immediate ints. *)
 
 open Relational
 
 type node = {
   name : string;
   schema : Schema.t;
-  tuples : int ref Tuple.Tbl.t;  (** tuple -> multiplicity (never 0) *)
-  indexes : (string * int array * Tuple.t list ref Tuple.Tbl.t) list;
+  all_positions : int array;  (** identity positions (whole-tuple key) *)
+  tuples : int ref Keypack.Hybrid.t;
+      (** whole-tuple key -> multiplicity (never 0) *)
+  indexes : (string * int array * Tuple.t list ref Keypack.Hybrid.t) list;
       (** (neighbour, key positions in this schema, key -> distinct tuples) *)
 }
 
@@ -21,10 +24,10 @@ val create : Database.t -> t
 val node : t -> string -> node
 val multiplicity : node -> Tuple.t -> int
 
-val matching : node -> neighbour:string -> Tuple.t -> Tuple.t list
+val matching : node -> neighbour:string -> Keypack.key -> Tuple.t list
 (** Distinct tuples of the node joining with the given neighbour-edge key. *)
 
-val key_for : node -> neighbour:string -> Tuple.t -> Tuple.t
+val key_for : node -> neighbour:string -> Tuple.t -> Keypack.key
 (** A tuple's join key towards the given neighbour (sorted attribute
     order — both edge endpoints agree on it). *)
 

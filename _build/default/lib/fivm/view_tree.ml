@@ -21,7 +21,7 @@ module Make (P : Payload.S) = struct
     name : string;
     key_positions : int array; (* join key with parent, in storage schema *)
     lift : Tuple.t -> P.t;
-    view : P.t ref Tuple.Tbl.t;
+    view : P.t ref Keypack.Hybrid.t;
     children : vnode array;
     child_names : string list array; (* subtree relation names per child *)
   }
@@ -43,7 +43,7 @@ module Make (P : Payload.S) = struct
           Array.of_list
             (List.map (Schema.position schema) (List.sort compare n.key));
         lift = lift name;
-        view = Tuple.Tbl.create 256;
+        view = Keypack.Hybrid.create 256;
         children;
         child_names =
           Array.map
@@ -57,13 +57,15 @@ module Make (P : Payload.S) = struct
     in
     { root = build (Join_tree.tree jt); storage }
 
-  let view_get (v : vnode) key =
-    match Tuple.Tbl.find_opt v.view key with Some r -> Some !r | None -> None
+  let view_get (v : vnode) (key : Keypack.key) =
+    match Keypack.Hybrid.find_opt v.view key with
+    | Some r -> Some !r
+    | None -> None
 
-  let view_add (v : vnode) key delta =
-    match Tuple.Tbl.find_opt v.view key with
+  let view_add (v : vnode) (key : Keypack.key) delta =
+    match Keypack.Hybrid.find_opt v.view key with
     | Some r -> r := P.add !r delta
-    | None -> Tuple.Tbl.add v.view key (ref delta)
+    | None -> Keypack.Hybrid.add v.view key (ref delta)
 
   (* Product of the children's views for a tuple of [v]'s relation, skipping
      child [except]. [None] if some child has no matching key (no join
@@ -87,14 +89,14 @@ module Make (P : Payload.S) = struct
      unit; the root view is updated in place. *)
   let delta (t : t) (u : Delta.update) =
     (* propagate: returns the per-key view deltas produced at [v] *)
-    let rec propagate (v : vnode) : (Tuple.t * P.t) list =
+    let rec propagate (v : vnode) : (Keypack.key * P.t) list =
       if v.name = u.relation then begin
         let d0 = P.smul u.multiplicity (v.lift u.tuple) in
         match children_product v t.storage u.tuple ~except:(-1) with
         | None -> []
         | Some prod ->
             let delta = P.mul d0 prod in
-            let key = Tuple.project u.tuple v.key_positions in
+            let key = Keypack.key_of_tuple v.key_positions u.tuple in
             view_add v key delta;
             [ (key, delta) ]
       end
@@ -110,7 +112,7 @@ module Make (P : Payload.S) = struct
           let child = v.children.(c) in
           let child_deltas = propagate child in
           let n = Storage.node t.storage v.name in
-          let my_deltas : P.t ref Tuple.Tbl.t = Tuple.Tbl.create 8 in
+          let my_deltas : P.t ref Keypack.Hybrid.t = Keypack.Hybrid.create 8 in
           List.iter
             (fun (ck, d) ->
               List.iter
@@ -123,13 +125,13 @@ module Make (P : Payload.S) = struct
                         let contrib =
                           P.mul (P.smul m (v.lift tuple)) (P.mul d others)
                         in
-                        let key = Tuple.project tuple v.key_positions in
-                        (match Tuple.Tbl.find_opt my_deltas key with
+                        let key = Keypack.key_of_tuple v.key_positions tuple in
+                        (match Keypack.Hybrid.find_opt my_deltas key with
                         | Some r -> r := P.add !r contrib
-                        | None -> Tuple.Tbl.add my_deltas key (ref contrib)))
+                        | None -> Keypack.Hybrid.add my_deltas key (ref contrib)))
                 (Storage.matching n ~neighbour:child.name ck))
             child_deltas;
-          Tuple.Tbl.fold
+          Keypack.Hybrid.fold
             (fun key r acc ->
               view_add v key !r;
               (key, !r) :: acc)
@@ -139,43 +141,46 @@ module Make (P : Payload.S) = struct
     in
     ignore (propagate t.root)
 
-  (* The maintained result: the root view at the empty key. *)
+  (* The maintained result: the root view at the empty key ([P 0]). *)
   let result (t : t) =
-    match view_get t.root [||] with Some p -> p | None -> P.zero
+    match view_get t.root (Keypack.P 0) with Some p -> p | None -> P.zero
 
   (* From-scratch recomputation over the current storage (reference for
      tests): enumerate the join recursively through the view-tree shape. *)
   let recompute (t : t) =
     let storage = t.storage in
-    let rec eval (v : vnode) : P.t ref Tuple.Tbl.t =
+    let rec eval (v : vnode) : P.t ref Keypack.Hybrid.t =
       let child_views = Array.map eval v.children in
-      let out = Tuple.Tbl.create 64 in
+      let out = Keypack.Hybrid.create 64 in
       let n = Storage.node storage v.name in
       Storage.iter_tuples n (fun tuple m ->
           let rec go i acc =
             if i = Array.length v.children then Some acc
             else
               let key = Storage.key_for n ~neighbour:v.children.(i).name tuple in
-              match Tuple.Tbl.find_opt child_views.(i) key with
+              match Keypack.Hybrid.find_opt child_views.(i) key with
               | Some p -> go (i + 1) (P.mul acc !p)
               | None -> None
           in
           match go 0 (P.smul m (v.lift tuple)) with
           | None -> ()
           | Some p -> (
-              let key = Tuple.project tuple v.key_positions in
-              match Tuple.Tbl.find_opt out key with
+              let key = Keypack.key_of_tuple v.key_positions tuple in
+              match Keypack.Hybrid.find_opt out key with
               | Some r -> r := P.add !r p
-              | None -> Tuple.Tbl.add out key (ref p)));
+              | None -> Keypack.Hybrid.add out key (ref p)));
       out
     in
-    match Tuple.Tbl.find_opt (eval t.root) [||] with
+    match Keypack.Hybrid.find_opt (eval t.root) (Keypack.P 0) with
     | Some p -> !p
     | None -> P.zero
 
   let view_sizes (t : t) =
     let rec go (v : vnode) acc =
-      Array.fold_left (fun acc c -> go c acc) ((v.name, Tuple.Tbl.length v.view) :: acc) v.children
+      Array.fold_left
+        (fun acc c -> go c acc)
+        ((v.name, Keypack.Hybrid.length v.view) :: acc)
+        v.children
     in
     go t.root []
 end

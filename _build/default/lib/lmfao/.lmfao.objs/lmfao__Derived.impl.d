@@ -1,1 +1,1 @@
-lib/lmfao/derived.ml: Array Database Hashtbl List Option Printf Relation Relational Schema Value
+lib/lmfao/derived.ml: Array Column Database Hashtbl List Option Printf Relation Relational Schema Value

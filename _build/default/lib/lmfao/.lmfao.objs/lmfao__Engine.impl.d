@@ -1,1 +1,1 @@
-lib/lmfao/engine.ml: Aggregates Array Database Factorized Format Hashtbl Join_tree Lazy List Obs Option Predicate Queue Relation Relational Schema Tuple Util Value
+lib/lmfao/engine.ml: Aggregates Array Column Database Factorized Format Hashtbl Join_tree Keypack Lazy List Obs Option Predicate Queue Relation Relational Schema Util

@@ -72,7 +72,7 @@ type slot_plan = {
   canonical : string;
   local_terms : (int * int) array; (* (position, power) over owned attrs *)
   local_groups : (string * int) array; (* owned group-by attrs *)
-  local_filter : Tuple.t -> bool; (* owned filter conjuncts *)
+  local_filter : int -> bool; (* owned filter conjuncts, over row indexes *)
   child_slots : int array; (* per child: slot in the child's plan *)
   child_refs : (int * bool) array; (* per child: (payload index, is_scalar) *)
   scalar : bool; (* no group-by anywhere in the subtree *)
@@ -84,6 +84,7 @@ type node_plan = {
   key_positions : int array; (* this node's join key with its parent *)
   child_keys : int array array; (* per child: child-key positions in OUR schema *)
   slots : slot_plan array;
+  slot_index : (string, int) Hashtbl.t; (* canonical -> index into [slots] *)
   n_scalar : int;
   n_grouped : int;
   children : node_plan list;
@@ -170,14 +171,9 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
       (fun (_, restricted) (plan : node_plan) ->
         Array.map
           (fun (r : Spec.t) ->
-            let key = canonical r in
-            let rec find i =
-              if i >= Array.length plan.slots then
-                failwith "Engine.build_plan: missing child slot"
-              else if plan.slots.(i).canonical = key then i
-              else find (i + 1)
-            in
-            find 0)
+            match Hashtbl.find_opt plan.slot_index (canonical r) with
+            | Some i -> i
+            | None -> failwith "Engine.build_plan: missing child slot")
           restricted)
       children_with_specs child_plans
   in
@@ -207,8 +203,9 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
           match mine with
           | [] -> fun _ -> true
           | cs ->
-              let compiled = List.map (Predicate.compile schema) cs in
-              fun t -> List.for_all (fun f -> f t) compiled
+              let cols = Relation.columns node.rel in
+              let compiled = List.map (Predicate.compile_cols schema cols) cs in
+              fun i -> List.for_all (fun f -> f i) compiled
         in
         let child_slots =
           Array.of_list (List.map (fun arr -> arr.(i)) child_slot_of)
@@ -243,6 +240,8 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
         })
       distinct
   in
+  let slot_index = Hashtbl.create (2 * Array.length slots) in
+  Array.iteri (fun i (s : slot_plan) -> Hashtbl.replace slot_index s.canonical i) slots;
   {
     rel = node.rel;
     key_positions = Array.of_list (List.map (Schema.position schema) node.key);
@@ -253,6 +252,7 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
              Array.of_list (List.map (Schema.position schema) child.key))
            children_with_specs);
     slots;
+    slot_index;
     n_scalar = !n_scalar;
     n_grouped = !n_grouped;
     children = child_plans;
@@ -260,7 +260,7 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
 
 (* ---------- evaluation ---------- *)
 
-type view = row Tuple.Tbl.t
+type view = row Keypack.Hybrid.t
 
 let fresh_row plan =
   { sc = Array.make plan.n_scalar 0.0; gr = Array.make plan.n_grouped GF.zero }
@@ -270,29 +270,48 @@ let merge_rows (a : row) (b : row) =
   Array.iteri (fun i v -> a.gr.(i) <- GF.add a.gr.(i) v) b.gr
 
 let merge_views (a : view) (b : view) : view =
-  Tuple.Tbl.iter
+  Keypack.Hybrid.iter
     (fun key row_b ->
-      match Tuple.Tbl.find_opt a key with
+      match Keypack.Hybrid.find_opt a key with
       | Some row_a -> merge_rows row_a row_b
-      | None -> Tuple.Tbl.add a key row_b)
+      | None -> Keypack.Hybrid.add a key row_b)
     b;
   a
 
-(* Grouped contribution of one tuple to one slot. *)
-let grouped_contribution (slot : slot_plan) (tuple : Tuple.t) local
-    (child_rows : row array) : GF.t =
-  let assignment =
-    List.sort compare
-      (Array.to_list (Array.map (fun (a, pos) -> (a, tuple.(pos))) slot.local_groups))
-  in
-  let m = ref (GF.KMap.singleton assignment local) in
+(* Grouped contribution of row [i] to one slot, accumulated into [acc] with
+   per-key [KMap.update]s (an O(log) path copy per row) rather than a whole-
+   map union. Group values are boxed one cell at a time from the columns;
+   scalar children fold straight into the float coefficient — only genuinely
+   grouped children pay for a map product. *)
+let accumulate_grouped (slot : slot_plan) (cols : Column.t array) i local
+    (child_rows : row array) (acc : GF.t) : GF.t =
+  let coeff = ref local in
+  let grouped = ref [] in
   Array.iteri
     (fun c r ->
       let idx, is_scalar = slot.child_refs.(c) in
-      if is_scalar then m := GF.mul !m (GF.KMap.singleton [] r.sc.(idx))
-      else m := GF.mul !m r.gr.(idx))
+      if is_scalar then coeff := !coeff *. r.sc.(idx)
+      else grouped := r.gr.(idx) :: !grouped)
     child_rows;
-  !m
+  let assignment =
+    match slot.local_groups with
+    | [| (a, pos) |] -> [ (a, Column.get cols.(pos) i) ]
+    | groups ->
+        List.sort compare
+          (Array.to_list
+             (Array.map (fun (a, pos) -> (a, Column.get cols.(pos) i)) groups))
+  in
+  let bump k v acc =
+    GF.KMap.update k
+      (function None -> Some v | Some v0 -> Some (v0 +. v))
+      acc
+  in
+  match !grouped with
+  | [] -> bump assignment !coeff acc
+  | gs ->
+      let m = ref (GF.KMap.singleton assignment !coeff) in
+      List.iter (fun g -> m := GF.mul !m g) gs;
+      GF.KMap.fold bump !m acc
 
 let rec compute ~options (plan : node_plan) : view =
   Obs.with_span ("lmfao.view:" ^ Relation.name plan.rel) (fun () ->
@@ -308,41 +327,45 @@ and compute_node ~options (plan : node_plan) : view =
   let child_views = Array.of_list child_views in
   let n = Relation.cardinality plan.rel in
   let n_children = Array.length child_views in
+  (* compiled key extractors: this node's own join key and one per child,
+     packing straight out of the typed columns *)
+  ignore (Relation.scan plan.rel);
+  let cols = Relation.columns plan.rel in
+  let own_key = Relation.extractor plan.rel plan.key_positions in
+  let child_key = Array.map (Relation.extractor plan.rel) plan.child_keys in
   let scan lo len =
     Obs.add c_tuples_scanned len;
-    let view : view = Tuple.Tbl.create 256 in
+    let view : view = Keypack.Hybrid.create 256 in
     let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
     for i = lo to lo + len - 1 do
-      let tuple = Relation.get plan.rel i in
-      (* probe all children; a missing partner voids the tuple entirely *)
+      (* probe all children; a missing partner voids the row entirely *)
       let rec probe c =
         if c = n_children then true
         else
-          let key = Tuple.project tuple plan.child_keys.(c) in
-          match Tuple.Tbl.find_opt child_views.(c) key with
+          match Keypack.Hybrid.find_opt child_views.(c) (child_key.(c) i) with
           | Some r ->
               child_rows.(c) <- r;
               probe (c + 1)
           | None -> false
       in
       if probe 0 then begin
-        let key = Tuple.project tuple plan.key_positions in
+        let key = own_key i in
         let acc_row =
-          match Tuple.Tbl.find_opt view key with
+          match Keypack.Hybrid.find_opt view key with
           | Some r -> r
           | None ->
               let r = fresh_row plan in
-              Tuple.Tbl.add view key r;
+              Keypack.Hybrid.add view key r;
               r
         in
         Array.iter
           (fun slot ->
-            if slot.local_filter tuple then begin
-              (* product of the owned attribute powers *)
+            if slot.local_filter i then begin
+              (* product of the owned attribute powers, read unboxed *)
               let local = ref 1.0 in
               Array.iter
                 (fun (pos, power) ->
-                  let x = Value.to_float tuple.(pos) in
+                  let x = Column.float_at cols.(pos) i in
                   for _ = 1 to power do
                     local := !local *. x
                   done)
@@ -358,9 +381,8 @@ and compute_node ~options (plan : node_plan) : view =
               end
               else
                 acc_row.gr.(slot.payload_idx) <-
-                  GF.add
+                  accumulate_grouped slot cols i !local child_rows
                     acc_row.gr.(slot.payload_idx)
-                    (grouped_contribution slot tuple !local child_rows)
             end)
           plan.slots
       end
@@ -372,7 +394,7 @@ and compute_node ~options (plan : node_plan) : view =
       ~combine:(fun acc v ->
         match acc with None -> Some v | Some a -> Some (merge_views a v))
       ~zero:None
-    |> Option.value ~default:(Tuple.Tbl.create 1)
+    |> Option.value ~default:(Keypack.Hybrid.create 1)
   else scan 0 n
 
 (* ---------- top level ---------- *)
@@ -409,27 +431,21 @@ let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
     let owner = compute_owners tree in
     let plan = build_plan ~options ~owner ~stats tree specs in
     let view = compute ~options plan in
-    (* the root view has the single empty key *)
-    let row =
-      match Tuple.Tbl.find_opt view [||] with
-      | Some r -> Some r
-      | None -> None (* empty join *)
-    in
+    (* the root view has the single empty key, which packs as [P 0] *)
+    let row = Keypack.Hybrid.find_opt view (Keypack.P 0) in
     (* map each requested spec to its (possibly shared) slot *)
     List.map
       (fun (s : Spec.t) ->
         let key = if options.share then Spec.canonical s else s.Spec.id in
-        let rec find i =
-          if i >= Array.length plan.slots then
-            failwith "Engine.run_rooted: lost slot"
-          else if plan.slots.(i).canonical = key then i
-          else find (i + 1)
-        in
         let result =
           match row with
           | None -> if s.group_by = [] then [ ([], 0.0) ] else []
           | Some r ->
-              let slot = plan.slots.(find 0) in
+              let slot =
+                match Hashtbl.find_opt plan.slot_index key with
+                | Some i -> plan.slots.(i)
+                | None -> failwith "Engine.run_rooted: lost slot"
+              in
               if slot.scalar then [ ([], r.sc.(slot.payload_idx)) ]
               else GF.bindings r.gr.(slot.payload_idx)
         in
@@ -541,19 +557,6 @@ let eval ?(options = default_options) ?(on_cyclic = `Raise) (db : Database.t)
         (eval_cyclic db batch, { views = 0; partials = 0; shared_away = 0 })
   in
   { keyed; table = lazy (table_of keyed); stats }
-
-(* ---------- deprecated pre-facade entrypoints ---------- *)
-
-let run ?options db batch =
-  let r = eval ?options db batch in
-  (r.keyed, r.stats)
-
-let run_any ?options db batch =
-  (eval ?options ~on_cyclic:`Materialize db batch).keyed
-
-let run_to_table ?options db batch =
-  let r = eval ?options db batch in
-  (Lazy.force r.table, r.stats)
 
 (* ---------- Engine_intf ---------- *)
 

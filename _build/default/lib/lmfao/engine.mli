@@ -70,20 +70,3 @@ val description : string
 val eval_batch :
   ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
 (** [(eval ~on_cyclic:`Materialize db batch).keyed]. *)
-
-(** {1 Deprecated pre-facade entrypoints} *)
-
-val run :
-  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list * stats
-[@@deprecated "use Engine.eval"]
-(** @deprecated Use {!eval}; this is [(r.keyed, r.stats)]. *)
-
-val run_any :
-  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list
-[@@deprecated "use Engine.eval with ~on_cyclic:`Materialize"]
-(** @deprecated Use {!eval} with [~on_cyclic:`Materialize]. *)
-
-val run_to_table :
-  ?options:options -> Database.t -> Batch.t -> (string, Spec.result) Hashtbl.t * stats
-[@@deprecated "use Engine.eval and force result.table"]
-(** @deprecated Use {!eval} and force [result.table]. *)

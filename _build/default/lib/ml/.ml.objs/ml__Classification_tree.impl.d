@@ -1,1 +1,1 @@
-lib/ml/classification_tree.ml: Aggregates Array Database Decision_tree Hashtbl Lazy List Lmfao Option Predicate Printf Relation Relational Schema Value
+lib/ml/classification_tree.ml: Aggregates Column Database Decision_tree Hashtbl Lazy List Lmfao Option Predicate Printf Relation Relational Schema Value

@@ -1,1 +1,1 @@
-lib/ml/decision_tree.ml: Aggregates Array Database Format Hashtbl Lazy List Lmfao Option Predicate Printf Relation Relational Schema Stdlib String Value
+lib/ml/decision_tree.ml: Aggregates Column Database Format Hashtbl Lazy List Lmfao Option Predicate Printf Relation Relational Schema Stdlib String Value

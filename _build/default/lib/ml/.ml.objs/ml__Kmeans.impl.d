@@ -1,1 +1,1 @@
-lib/ml/kmeans.ml: Aggregates Array Database Hashtbl List Lmfao Option Relation Relational Schema Stdlib Util Value
+lib/ml/kmeans.ml: Aggregates Array Column Database Hashtbl List Lmfao Option Relation Relational Schema Stdlib Util Value

@@ -1,1 +1,1 @@
-lib/ml/linreg.ml: Aggregates Array Database Fun Hashtbl Lazy List Lmfao Mat Moment Obs Printf Relation Relational Schema Stdlib String Timing Util Value Vec
+lib/ml/linreg.ml: Aggregates Array Column Database Fun Hashtbl Lazy List Lmfao Mat Moment Obs Printf Relation Relational Schema Stdlib String Timing Util Value Vec

@@ -1,1 +1,1 @@
-lib/ml/polyreg.ml: Aggregates Array Database Hashtbl Lazy List Lmfao Mat Option Printf Relation Relational Schema Stdlib String Util Value Vec
+lib/ml/polyreg.ml: Aggregates Array Column Database Hashtbl Lazy List Lmfao Mat Option Printf Relation Relational Schema Stdlib String Util Vec

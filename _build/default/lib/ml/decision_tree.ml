@@ -208,13 +208,20 @@ let rmse_on tree (rel : Relation.t) ~response =
   let n = Relation.cardinality rel in
   if n = 0 then 0.0
   else begin
+    let col_of = Hashtbl.create 16 in
+    List.iter
+      (fun (a : Schema.attr) ->
+        Hashtbl.replace col_of a.name
+          (Relation.column rel (Schema.position schema a.name)))
+      (Schema.attrs schema);
+    let row = ref 0 in
+    let get a = Column.get (Hashtbl.find col_of a) !row in
     let se = ref 0.0 in
-    Relation.iter
-      (fun t ->
-        let get a = t.(Schema.position schema a) in
-        let err = predict tree get -. Value.to_float (get response) in
-        se := !se +. (err *. err))
-      rel;
+    for i = 0 to n - 1 do
+      row := i;
+      let err = predict tree get -. Value.to_float (get response) in
+      se := !se +. (err *. err)
+    done;
     sqrt (!se /. float_of_int n)
   end
 

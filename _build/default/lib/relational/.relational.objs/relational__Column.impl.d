@@ -1,0 +1,1 @@
+lib/relational/column.ml: Array Stdlib Value

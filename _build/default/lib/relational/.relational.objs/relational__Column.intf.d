@@ -1,0 +1,1 @@
+lib/relational/column.mli: Value

@@ -1,0 +1,1 @@
+lib/relational/keypack.ml: Array Column Hashtbl Obs Stdlib Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/keypack.mli: Column Hashtbl Tuple

@@ -1,1 +1,1 @@
-lib/relational/ops.ml: Array Float List Predicate Relation Schema Stdlib Tuple Value
+lib/relational/ops.ml: Array Float Fun Keypack List Predicate Relation Schema Stdlib Tuple Value

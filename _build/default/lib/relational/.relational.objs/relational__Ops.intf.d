@@ -1,1 +1,1 @@
-lib/relational/ops.mli: Predicate Relation Schema Tuple
+lib/relational/ops.mli: Keypack Predicate Relation Schema Tuple

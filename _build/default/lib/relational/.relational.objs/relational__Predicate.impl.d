@@ -1,1 +1,1 @@
-lib/relational/predicate.ml: Array Format List Printf Schema String Tuple Value
+lib/relational/predicate.ml: Array Column Format List Printf Schema String Tuple Value

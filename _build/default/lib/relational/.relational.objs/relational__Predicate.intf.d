@@ -1,1 +1,1 @@
-lib/relational/predicate.mli: Format Schema Tuple Value
+lib/relational/predicate.mli: Column Format Schema Tuple Value

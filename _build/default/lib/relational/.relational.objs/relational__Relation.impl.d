@@ -1,1 +1,1 @@
-lib/relational/relation.ml: Array Format List Printf Schema Stdlib String Tuple Value
+lib/relational/relation.ml: Array Column Format Fun Keypack List Obs Printf Schema Stdlib String Tuple Value

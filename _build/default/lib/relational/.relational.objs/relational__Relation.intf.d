@@ -1,1 +1,1 @@
-lib/relational/relation.mli: Format Schema Tuple Value
+lib/relational/relation.mli: Column Format Keypack Schema Tuple Value

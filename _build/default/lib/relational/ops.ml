@@ -1,39 +1,48 @@
 (* Physical relational operators: selection, projection, hash joins, group-by
-   aggregation, set operations. These implement the classical
-   tuple-at-a-time query processing that the structure-agnostic baselines use
-   and against which the factorised engines are compared. *)
+   aggregation, set operations. These implement the classical query
+   processing that the structure-agnostic baselines use and against which
+   the factorised engines are compared — now over the typed columnar layer:
+   predicates compile against columns, rows move column-to-column without
+   boxed intermediates, and join/group-by keys hash as packed ints via
+   [Keypack] instead of boxed tuple arrays. *)
+
+module Hybrid = Keypack.Hybrid
 
 let select ?(name = "sigma") pred rel =
   let schema = Relation.schema rel in
-  let keep = Predicate.compile schema pred in
+  let keep = Predicate.compile_cols schema (Relation.columns rel) pred in
   let out = Relation.create name schema in
-  Relation.iter (fun t -> if keep t then Relation.append out t) rel;
+  ignore (Relation.scan rel);
+  for i = 0 to Relation.cardinality rel - 1 do
+    if keep i then Relation.append_from out rel i
+  done;
   out
 
 let select_fn ?(name = "sigma") f rel =
   let out = Relation.create name (Relation.schema rel) in
-  Relation.iter (fun t -> if f t then Relation.append out t) rel;
+  Relation.iteri (fun i t -> if f t then Relation.append_from out rel i) rel;
   out
 
-(* Bag projection. *)
+(* Bag projection: whole-column copies, no per-row work. *)
 let project ?(name = "pi") rel attr_names =
   let schema = Relation.schema rel in
   let positions = Array.of_list (Schema.positions schema attr_names) in
   let out_schema = Schema.project schema attr_names in
-  let out = Relation.create ~capacity:(Relation.cardinality rel) name out_schema in
-  Relation.iter (fun t -> Relation.append out (Tuple.project t positions)) rel;
-  out
+  Relation.of_projection name rel positions out_schema
 
 let distinct ?(name = "delta") rel =
   let out = Relation.create name (Relation.schema rel) in
-  let seen = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality rel)) in
-  Relation.iter
-    (fun t ->
-      if not (Tuple.Tbl.mem seen t) then begin
-        Tuple.Tbl.add seen t ();
-        Relation.append out t
-      end)
-    rel;
+  let n = Relation.cardinality rel in
+  let all = Array.init (Schema.arity (Relation.schema rel)) Fun.id in
+  let key = Relation.extractor rel all in
+  let seen = Hybrid.create (Stdlib.max 16 n) in
+  for i = 0 to n - 1 do
+    let k = key i in
+    if not (Hybrid.mem seen k) then begin
+      Hybrid.add seen k ();
+      Relation.append_from out rel i
+    end
+  done;
   out
 
 let project_distinct ?name rel attr_names = distinct ?name (project rel attr_names)
@@ -42,20 +51,25 @@ let union ?(name = "union") a b =
   if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
     invalid_arg "Ops.union: schema mismatch";
   let out = Relation.create name (Relation.schema a) in
-  Relation.iter (Relation.append out) a;
-  Relation.iter (Relation.append out) b;
+  for i = 0 to Relation.cardinality a - 1 do
+    Relation.append_from out a i
+  done;
+  for i = 0 to Relation.cardinality b - 1 do
+    Relation.append_from out b i
+  done;
   out
 
-(* Index a relation by a key: map from key tuple to the list of row indexes. *)
+(* Index a relation by a key: packed key to the list of row indexes (most
+   recently appended first). *)
 let build_index rel key_positions =
-  let idx = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality rel)) in
-  Relation.iteri
-    (fun i t ->
-      let key = Tuple.project t key_positions in
-      match Tuple.Tbl.find_opt idx key with
-      | Some l -> l := i :: !l
-      | None -> Tuple.Tbl.add idx key (ref [ i ]))
-    rel;
+  let key = Relation.extractor rel key_positions in
+  let idx = Hybrid.create (Stdlib.max 16 (Relation.cardinality rel)) in
+  for i = 0 to Relation.cardinality rel - 1 do
+    let k = key i in
+    match Hybrid.find_opt idx k with
+    | Some l -> l := i :: !l
+    | None -> Hybrid.add idx k (ref [ i ])
+  done;
   idx
 
 (* Natural hash join on the attributes common to both schemas. The output
@@ -82,20 +96,18 @@ let natural_join ?(name = "join") a b =
     else (b, a, kb, ka, false)
   in
   let idx = build_index build_rel build_key in
-  Relation.iter
-    (fun probe_t ->
-      let key = Tuple.project probe_t probe_key in
-      match Tuple.Tbl.find_opt idx key with
-      | None -> ()
-      | Some rows ->
-          List.iter
-            (fun i ->
-              let build_t = Relation.get build_rel i in
-              let ta, tb = if build_is_a then (build_t, probe_t) else (probe_t, build_t) in
-              Relation.append out
-                (Tuple.concat ta (Tuple.project tb b_extra)))
-            !rows)
-    probe_rel;
+  let probe = Relation.extractor probe_rel probe_key in
+  ignore (Relation.scan probe_rel);
+  for j = 0 to Relation.cardinality probe_rel - 1 do
+    match Hybrid.find_opt idx (probe j) with
+    | None -> ()
+    | Some rows ->
+        List.iter
+          (fun i ->
+            if build_is_a then Relation.append_concat out a i b b_extra j
+            else Relation.append_concat out a j b b_extra i)
+          !rows
+  done;
   out
 
 let natural_join_all ?(name = "join") = function
@@ -108,16 +120,17 @@ let semijoin ?(name = "semijoin") a b =
   let key_names = Schema.common sa sb in
   let ka = Array.of_list (Schema.positions sa key_names) in
   let kb = Array.of_list (Schema.positions sb key_names) in
-  let keys = Tuple.Tbl.create (Stdlib.max 16 (Relation.cardinality b)) in
-  Relation.iter
-    (fun t ->
-      let k = Tuple.project t kb in
-      if not (Tuple.Tbl.mem keys k) then Tuple.Tbl.add keys k ())
-    b;
+  let keys = Hybrid.create (Stdlib.max 16 (Relation.cardinality b)) in
+  let kb_of = Relation.extractor b kb in
+  for j = 0 to Relation.cardinality b - 1 do
+    let k = kb_of j in
+    if not (Hybrid.mem keys k) then Hybrid.add keys k ()
+  done;
   let out = Relation.create name sa in
-  Relation.iter
-    (fun t -> if Tuple.Tbl.mem keys (Tuple.project t ka) then Relation.append out t)
-    a;
+  let ka_of = Relation.extractor a ka in
+  for i = 0 to Relation.cardinality a - 1 do
+    if Hybrid.mem keys (ka_of i) then Relation.append_from out a i
+  done;
   out
 
 (* Aggregation functions for [group_by]. Each aggregate reads a float from a
@@ -134,10 +147,13 @@ let sum_of_attr schema attr =
   Sum (fun t -> Value.to_float t.(i))
 
 (* Group-by aggregation: the output schema is the key attributes followed by
-   one float column per aggregate, named as given. *)
+   one float column per aggregate, named as given. Grouping hashes packed
+   keys; the boxed tuple is materialised per row only when an aggregate
+   closure needs it. *)
 let group_by ?(name = "gamma") rel ~key ~aggs =
   let schema = Relation.schema rel in
   let key_positions = Array.of_list (Schema.positions schema key) in
+  let key_arity = Array.length key_positions in
   let out_schema =
     Schema.of_list
       (List.map (fun n -> Schema.attr_at schema (Schema.position schema n)) key
@@ -145,21 +161,24 @@ let group_by ?(name = "gamma") rel ~key ~aggs =
   in
   let aggs = Array.of_list (List.map snd aggs) in
   let n_aggs = Array.length aggs in
+  let needs_tuple = Array.exists (function Count -> false | _ -> true) aggs in
+  let key_of = Relation.extractor rel key_positions in
   (* per-group accumulators: sums plus a count (avg and count need it) *)
-  let groups = Tuple.Tbl.create 64 in
-  Relation.iter
-    (fun t ->
-      let k = Tuple.project t key_positions in
-      let acc =
-        match Tuple.Tbl.find_opt groups k with
-        | Some acc -> acc
-        | None ->
-            let acc = (Array.make n_aggs 0.0, ref 0, Array.make n_aggs nan) in
-            Tuple.Tbl.add groups k acc;
-            acc
-      in
-      let sums, count, extremes = acc in
-      incr count;
+  let groups = Hybrid.create 64 in
+  for i = 0 to Relation.cardinality rel - 1 do
+    let k = key_of i in
+    let acc =
+      match Hybrid.find_opt groups k with
+      | Some acc -> acc
+      | None ->
+          let acc = (Array.make n_aggs 0.0, ref 0, Array.make n_aggs nan) in
+          Hybrid.add groups k acc;
+          acc
+    in
+    let sums, count, extremes = acc in
+    incr count;
+    if needs_tuple then begin
+      let t = Relation.get rel i in
       Array.iteri
         (fun j agg ->
           match agg with
@@ -171,10 +190,11 @@ let group_by ?(name = "gamma") rel ~key ~aggs =
           | Max f ->
               let v = f t in
               if Float.is_nan extremes.(j) || v > extremes.(j) then extremes.(j) <- v)
-        aggs)
-    rel;
-  let out = Relation.create ~capacity:(Tuple.Tbl.length groups) name out_schema in
-  Tuple.Tbl.iter
+        aggs
+    end
+  done;
+  let out = Relation.create ~capacity:(Hybrid.length groups) name out_schema in
+  Hybrid.iter
     (fun k (sums, count, extremes) ->
       let agg_values =
         Array.mapi
@@ -189,7 +209,7 @@ let group_by ?(name = "gamma") rel ~key ~aggs =
             Value.Float x)
           aggs
       in
-      Relation.append out (Array.append k agg_values))
+      Relation.append out (Array.append (Keypack.key_tuple key_arity k) agg_values))
     groups;
   out
 

@@ -12,8 +12,9 @@ val distinct : ?name:string -> Relation.t -> Relation.t
 val project_distinct : ?name:string -> Relation.t -> string list -> Relation.t
 val union : ?name:string -> Relation.t -> Relation.t -> Relation.t
 
-val build_index : Relation.t -> int array -> int list ref Tuple.Tbl.t
-(** Hash index: key tuple (projection on the given positions) to row ids. *)
+val build_index : Relation.t -> int array -> int list ref Keypack.Hybrid.t
+(** Hash index: packed key (projection on the given positions) to row ids,
+    most recently appended first. *)
 
 val natural_join : ?name:string -> Relation.t -> Relation.t -> Relation.t
 (** Hash join on common attributes; Cartesian product when none. Output

@@ -25,6 +25,11 @@ val compile : Schema.t -> t -> Tuple.t -> bool
 (** Resolve attribute positions once; the returned closure is used on hot
     per-tuple paths. *)
 
+val compile_cols : Schema.t -> Column.t array -> t -> int -> bool
+(** Columnar variant of {!compile}: the closure tests a row INDEX against
+    the given columns (positionally aligned with the schema), with typed
+    fast paths and no tuple materialisation. *)
+
 val to_sql : t -> string
 (** SQL rendering (paper Section 2 presents the aggregate forms as SQL). *)
 

@@ -1,88 +1,221 @@
-(* In-memory relations: a schema plus a growable array of tuples.
+(* In-memory relations: a schema plus typed columns (see [Column]).
 
    Relations are bags (duplicates allowed); set semantics is available via
    [distinct]. Mutation is append-only — the IVM layer models deletions with
-   Z-multiplicities instead (see [Fivm.Delta]). *)
+   Z-multiplicities instead (see [Fivm.Delta]).
+
+   The physical layout is columnar: one typed column per attribute, unboxed
+   [int array] / [float array] where the schema allows, promoted to boxed
+   values only when a stored value demands it. Boxed [Tuple.t]s remain the
+   interchange format at the edges ([append], [get], [iter], CSV); hot paths
+   scan columns via {!scan} and pack keys via {!extractor} instead. *)
 
 type t = {
   name : string;
   schema : Schema.t;
-  mutable data : Tuple.t array;
+  cols : Column.t array;
   mutable size : int;
+  mutable capacity : int;
 }
 
+(* Observability: columnar scans vs. boxed-tuple materialisations, so the
+   migration away from row-at-a-time access is visible in metrics. *)
+let c_column_scans = Obs.counter "relational.column_scans"
+let c_boxed_tuples = Obs.counter "relational.boxed_tuples"
+
 let create ?(capacity = 16) name schema =
-  { name; schema; data = Array.make (Stdlib.max 1 capacity) [||]; size = 0 }
+  let capacity = Stdlib.max 1 capacity in
+  {
+    name;
+    schema;
+    cols =
+      Array.map
+        (fun (a : Schema.attr) -> Column.create a.ty capacity)
+        (Array.of_list (Schema.attrs schema));
+    size = 0;
+    capacity;
+  }
 
 let name t = t.name
 let schema t = t.schema
 let cardinality t = t.size
+
+let reserve t =
+  if t.size = t.capacity then begin
+    let bigger = 2 * t.capacity in
+    Array.iter (fun c -> Column.grow c bigger) t.cols;
+    t.capacity <- bigger
+  end
 
 let append t tuple =
   if Array.length tuple <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Relation.append: arity mismatch on %s (%d vs %d)" t.name
          (Array.length tuple) (Schema.arity t.schema));
-  if t.size = Array.length t.data then begin
-    let bigger = Array.make (2 * t.size) [||] in
-    Array.blit t.data 0 bigger 0 t.size;
-    t.data <- bigger
-  end;
-  t.data.(t.size) <- tuple;
-  t.size <- t.size + 1
+  reserve t;
+  let i = t.size in
+  Array.iteri (fun j c -> Column.set c i tuple.(j)) t.cols;
+  t.size <- i + 1
 
 let of_list name schema tuples =
   let t = create ~capacity:(Stdlib.max 1 (List.length tuples)) name schema in
   List.iter (append t) tuples;
   t
 
+(* ---- columnar access (hot paths) ---- *)
+
+let columns t = t.cols
+let column t j = t.cols.(j)
+
+let scan t =
+  Obs.incr c_column_scans;
+  Array.map Column.data t.cols
+
+let extractor t positions =
+  Keypack.extractor (Array.map (fun p -> t.cols.(p)) positions)
+
+let float_at t i pos = Column.float_at t.cols.(pos) i
+let int_at t i pos = Column.int_at t.cols.(pos) i
+
+(* Row cursor: attribute reads on row [i] without materialising a tuple. *)
+module Row = struct
+  type nonrec t = { rel : t; mutable i : int }
+
+  let value r pos = Column.get r.rel.cols.(pos) r.i
+  let float r pos = Column.float_at r.rel.cols.(pos) r.i
+  let int r pos = Column.int_at r.rel.cols.(pos) r.i
+end
+
+let row t i = { Row.rel = t; i }
+
+(* ---- append fast paths (no intermediate boxed tuple) ---- *)
+
+(* Append row [i] of [src]; the caller guarantees compatible schemas. *)
+let append_from t src i =
+  reserve t;
+  let d = t.size in
+  for j = 0 to Array.length t.cols - 1 do
+    Column.copy_cell ~src:src.cols.(j) ~src_i:i ~dst:t.cols.(j) ~dst_i:d
+  done;
+  t.size <- d + 1
+
+(* Append the projection of row [i] of [src] onto [positions]. *)
+let append_project t src positions i =
+  reserve t;
+  let d = t.size in
+  for j = 0 to Array.length positions - 1 do
+    Column.copy_cell ~src:src.cols.(positions.(j)) ~src_i:i ~dst:t.cols.(j) ~dst_i:d
+  done;
+  t.size <- d + 1
+
+(* Append row [i] of [a] followed by [b]'s [b_positions] of row [j] — the
+   natural-join output row, built column-to-column. *)
+let append_concat t a i b b_positions j =
+  reserve t;
+  let d = t.size in
+  let na = Array.length a.cols in
+  for p = 0 to na - 1 do
+    Column.copy_cell ~src:a.cols.(p) ~src_i:i ~dst:t.cols.(p) ~dst_i:d
+  done;
+  for q = 0 to Array.length b_positions - 1 do
+    Column.copy_cell ~src:b.cols.(b_positions.(q)) ~src_i:j ~dst:t.cols.(na + q) ~dst_i:d
+  done;
+  t.size <- d + 1
+
+(* Wrap freshly built columns as a relation; the caller transfers ownership
+   and guarantees every column holds at least [size] cells. *)
+let of_columns name schema cols size =
+  let capacity =
+    Array.fold_left
+      (fun acc c -> Stdlib.min acc (Column.capacity c))
+      (Stdlib.max 1 size) cols
+  in
+  { name; schema; cols; size; capacity }
+
+(* Whole-column projection: the output columns are copies of the selected
+   input columns, no per-row work at all. *)
+let of_projection name src positions out_schema =
+  {
+    name;
+    schema = out_schema;
+    cols = Array.map (fun p -> Column.sub src.cols.(p) src.size) positions;
+    size = src.size;
+    capacity = Stdlib.max 1 src.size;
+  }
+
+(* ---- boxed access (edges and compatibility) ---- *)
+
+let box_row t i = Array.map (fun c -> Column.get c i) t.cols
+
 let get t i =
   if i < 0 || i >= t.size then invalid_arg "Relation.get: out of bounds";
-  t.data.(i)
+  Obs.incr c_boxed_tuples;
+  box_row t i
 
 let iter f t =
+  Obs.add c_boxed_tuples t.size;
   for i = 0 to t.size - 1 do
-    f t.data.(i)
+    f (box_row t i)
   done
 
 let iteri f t =
+  Obs.add c_boxed_tuples t.size;
   for i = 0 to t.size - 1 do
-    f i t.data.(i)
+    f i (box_row t i)
   done
 
 let fold f init t =
+  Obs.add c_boxed_tuples t.size;
   let acc = ref init in
   for i = 0 to t.size - 1 do
-    acc := f !acc t.data.(i)
+    acc := f !acc (box_row t i)
   done;
   !acc
 
-let to_list t = List.init t.size (fun i -> t.data.(i))
+let to_list t =
+  Obs.add c_boxed_tuples t.size;
+  List.init t.size (fun i -> box_row t i)
 
-let copy t = { t with data = Array.sub t.data 0 t.size; size = t.size }
+let copy t =
+  {
+    t with
+    cols = Array.map (fun c -> Column.sub c t.size) t.cols;
+    capacity = Stdlib.max 1 t.size;
+  }
 
-let value_at t i attr = t.data.(i).(Schema.position t.schema attr)
+let value_at t i attr =
+  if i < 0 || i >= t.size then invalid_arg "Relation.value_at: out of bounds";
+  Column.get t.cols.(Schema.position t.schema attr) i
 
 (* Number of values = cardinality x arity; the paper's factorisation-size
    metric counts values, not tuples. *)
 let value_count t = t.size * Schema.arity t.schema
 
-(* Approximate CSV byte size: what [csv_string] would produce. Computed
-   without materialising the string. *)
+(* Approximate CSV byte size: what the CSV serialisation would produce.
+   Computed column-wise without materialising tuples or the string. *)
 let csv_size t =
   let bytes = ref 0 in
-  iter
-    (fun tup ->
-      Array.iter
-        (fun v -> bytes := !bytes + String.length (Value.to_string v) + 1)
-        tup)
-    t;
+  Array.iter
+    (fun c ->
+      match Column.data c with
+      | Column.Ints a ->
+          for i = 0 to t.size - 1 do
+            bytes := !bytes + String.length (string_of_int a.(i)) + 1
+          done
+      | Column.Floats a ->
+          for i = 0 to t.size - 1 do
+            bytes := !bytes + String.length (Value.to_string (Value.Float a.(i))) + 1
+          done
+      | Column.Boxed a ->
+          for i = 0 to t.size - 1 do
+            bytes := !bytes + String.length (Value.to_string a.(i)) + 1
+          done)
+    t.cols;
   !bytes
 
 let csv_rows t =
-  List.map
-    (fun tup -> Array.to_list (Array.map Value.to_string tup))
-    (to_list t)
+  List.init t.size (fun i ->
+      Array.to_list (Array.map (fun c -> Value.to_string (Column.get c i)) t.cols))
 
 let of_csv_rows name schema rows =
   let tys = Array.of_list (List.map (fun (a : Schema.attr) -> a.ty) (Schema.attrs schema)) in
@@ -97,14 +230,19 @@ let of_csv_rows name schema rows =
   t
 
 let distinct_count t =
-  let seen = Tuple.Tbl.create (Stdlib.max 16 t.size) in
-  iter (fun tup -> if not (Tuple.Tbl.mem seen tup) then Tuple.Tbl.add seen tup ()) t;
-  Tuple.Tbl.length seen
+  let all = Array.init (Schema.arity t.schema) Fun.id in
+  let key = extractor t all in
+  let seen = Keypack.Hybrid.create (Stdlib.max 16 t.size) in
+  for i = 0 to t.size - 1 do
+    let k = key i in
+    if not (Keypack.Hybrid.mem seen k) then Keypack.Hybrid.add seen k ()
+  done;
+  Keypack.Hybrid.length seen
 
 let pp ppf t =
   Format.fprintf ppf "%s%a [%d tuples]@\n" t.name Schema.pp t.schema t.size;
   let limit = Stdlib.min t.size 20 in
   for i = 0 to limit - 1 do
-    Format.fprintf ppf "  %a@\n" Tuple.pp t.data.(i)
+    Format.fprintf ppf "  %a@\n" Tuple.pp (box_row t i)
   done;
   if t.size > limit then Format.fprintf ppf "  ... (%d more)@\n" (t.size - limit)

@@ -1,4 +1,8 @@
-(** In-memory bag relations with append-only mutation. *)
+(** In-memory bag relations with append-only mutation.
+
+    Physically columnar: one typed {!Column.t} per attribute. Boxed
+    {!Tuple.t}s are the interchange format at the edges; hot paths read
+    columns via {!scan} / {!Row} and pack keys via {!extractor}. *)
 
 type t
 
@@ -11,14 +15,78 @@ val append : t -> Tuple.t -> unit
 (** Raises [Invalid_argument] on arity mismatch. *)
 
 val of_list : string -> Schema.t -> Tuple.t list -> t
+
+(** {1 Columnar access (hot paths)} *)
+
+val columns : t -> Column.t array
+(** The physical columns, positionally aligned with the schema. Read-only
+    by convention. *)
+
+val column : t -> int -> Column.t
+
+val scan : t -> Column.data array
+(** Snapshot of every column's backing data for a tight scan loop; bumps the
+    [relational.column_scans] counter. Cells at indexes [>= cardinality]
+    are unspecified. *)
+
+val extractor : t -> int array -> int -> Keypack.key
+(** [extractor t positions] compiles a packed-key reader for the given key
+    positions (see {!Keypack.extractor}); build after loading. *)
+
+val float_at : t -> int -> int -> float
+(** [float_at t i pos]: row [i], column position [pos], as a float
+    ({!Value.to_float} semantics). Unchecked. *)
+
+val int_at : t -> int -> int -> int
+
+(** Cursor over one row: attribute reads without materialising a tuple. *)
+module Row : sig
+  type rel := t
+  type t = { rel : rel; mutable i : int }
+
+  val value : t -> int -> Value.t
+  val float : t -> int -> float
+  val int : t -> int -> int
+end
+
+val row : t -> int -> Row.t
+
+(** {1 Append fast paths (column-to-column, no intermediate tuple)} *)
+
+val append_from : t -> t -> int -> unit
+(** [append_from t src i] appends row [i] of [src]; schemas must be
+    compatible positionally. *)
+
+val append_project : t -> t -> int array -> int -> unit
+(** Append the projection of [src]'s row [i] onto the given positions. *)
+
+val append_concat : t -> t -> int -> t -> int array -> int -> unit
+(** [append_concat t a i b b_positions j] appends [a]'s row [i] followed by
+    the [b_positions] cells of [b]'s row [j] (the join output row). *)
+
+val of_projection : string -> t -> int array -> Schema.t -> t
+(** Bag projection by whole-column copy: column [j] of the result is a copy
+    of the source column at [positions.(j)]. *)
+
+val of_columns : string -> Schema.t -> Column.t array -> int -> t
+(** [of_columns name schema cols size] wraps freshly built columns (aligned
+    with [schema], each holding at least [size] cells); ownership
+    transfers to the relation. *)
+
+(** {1 Boxed access (edges and compatibility)}
+
+    These materialise boxed tuples (counted by [relational.boxed_tuples]). *)
+
 val get : t -> int -> Tuple.t
 val iter : (Tuple.t -> unit) -> t -> unit
 val iteri : (int -> Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val to_list : t -> Tuple.t list
 val copy : t -> t
+
 val value_at : t -> int -> string -> Value.t
-(** [value_at r i attr] is tuple [i]'s value of attribute [attr]. *)
+(** [value_at r i attr] is tuple [i]'s value of attribute [attr]. Raises
+    [Invalid_argument] when [i] is out of bounds. *)
 
 val value_count : t -> int
 (** Cardinality times arity — the paper's representation-size measure. *)

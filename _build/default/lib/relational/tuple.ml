@@ -9,10 +9,11 @@ let get (t : t) i = t.(i)
 let project (t : t) positions = Array.map (fun i -> t.(i)) positions
 
 let equal (a : t) (b : t) =
-  Array.length a = Array.length b
-  && (let ok = ref true in
-      Array.iteri (fun i v -> if not (Value.equal v b.(i)) then ok := false) a;
-      !ok)
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec loop i = i = n || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+  loop 0
 
 let compare (a : t) (b : t) =
   let n = Stdlib.min (Array.length a) (Array.length b) in

@@ -119,6 +119,57 @@ let test_semijoin () =
   let s = Ops.semijoin a b in
   Alcotest.(check int) "two survivors" 2 (Relation.cardinality s)
 
+(* --- columnar path vs boxed-tuple oracle --- *)
+
+(* The typed-column operators must agree, as bags of rows, with naive
+   oracles computed over boxed tuples pulled out via [Relation.to_list] —
+   the edge representation the columnar layer is supposed to be
+   indistinguishable from. *)
+
+let boxed_rows rel = List.map Array.to_list (Relation.to_list rel)
+
+let cartesian_matches_boxed_oracle =
+  QCheck2.Test.make ~count:40
+    ~name:"disjoint natural join = boxed cartesian oracle"
+    QCheck2.Gen.(triple (int_range 0 12) (int_range 0 12) int)
+    (fun (na, nb, seed) ->
+      let rng = Util.Prng.create seed in
+      let a = random_rel rng "A" [ "a" ] na 5 in
+      let b = random_rel rng "B" [ "b"; "c" ] nb 5 in
+      let fast = Ops.natural_join a b in
+      let oracle =
+        List.concat_map
+          (fun ta ->
+            List.map (fun tb -> Array.to_list (Array.append ta tb)) (Relation.to_list b))
+          (Relation.to_list a)
+      in
+      List.sort compare (boxed_rows fast) = List.sort compare oracle)
+
+let distinct_matches_boxed_oracle =
+  QCheck2.Test.make ~count:40 ~name:"distinct on bags = boxed sort_uniq oracle"
+    QCheck2.Gen.(triple (int_range 0 40) (int_range 1 3) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      (* small domain so duplicate rows are common *)
+      let r = random_rel rng "R" [ "a"; "b" ] card domain in
+      let d = Ops.distinct r in
+      List.sort compare (boxed_rows d)
+      = List.sort_uniq compare (boxed_rows r))
+
+let projection_matches_boxed_oracle =
+  QCheck2.Test.make ~count:40
+    ~name:"bag projection keeps duplicates = boxed per-row oracle"
+    QCheck2.Gen.(triple (int_range 0 40) (int_range 1 3) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let r = random_rel rng "R" [ "a"; "b"; "c" ] card domain in
+      let p = Ops.project r [ "c"; "a" ] in
+      let pos_c = Schema.position (Relation.schema r) "c" in
+      let pos_a = Schema.position (Relation.schema r) "a" in
+      let oracle = List.map (fun t -> [ t.(pos_c); t.(pos_a) ]) (Relation.to_list r) in
+      Relation.cardinality p = Relation.cardinality r
+      && List.sort compare (boxed_rows p) = List.sort compare oracle)
+
 (* --- group_by vs reference --- *)
 
 let groupby_matches_reference =
@@ -373,6 +424,12 @@ let () =
           Alcotest.test_case "value accounting + csv" `Quick
             test_relation_value_accounting;
           Alcotest.test_case "append arity mismatch" `Quick test_append_arity_mismatch;
+        ] );
+      ( "columnar-vs-boxed",
+        [
+          qcheck cartesian_matches_boxed_oracle;
+          qcheck distinct_matches_boxed_oracle;
+          qcheck projection_matches_boxed_oracle;
         ] );
       ( "hypergraph",
         [

@@ -27,24 +27,27 @@ module P = Fivm.Payload.Cov_dyn
    [factor] must attribute each aggregate factor to exactly one relation. *)
 let scalar_pass (db : Database.t) (factor : string -> Schema.t -> Tuple.t -> float) =
   let jt = Database.join_tree db in
-  let rec view (node : Join_tree.node) : float ref Tuple.Tbl.t =
+  let rec view (node : Join_tree.node) : float ref Keypack.Hybrid.t =
     let child_views = List.map (fun c -> (c, view c)) node.children in
     let schema = Relation.schema node.rel in
     let name = Relation.name node.rel in
     let key_positions = Array.of_list (List.map (Schema.position schema) node.key) in
+    let own_key = Relation.extractor node.rel key_positions in
     let child_keys =
       List.map
         (fun ((c : Join_tree.node), v) ->
-          (Array.of_list (List.map (Schema.position schema) c.key), v))
+          ( Relation.extractor node.rel
+              (Array.of_list (List.map (Schema.position schema) c.key)),
+            v ))
         child_views
     in
-    let out = Tuple.Tbl.create 64 in
-    Relation.iter
-      (fun tuple ->
+    let out = Keypack.Hybrid.create 64 in
+    Relation.iteri
+      (fun i tuple ->
         let rec probe = function
           | [] -> Some 1.0
-          | (positions, v) :: rest -> (
-              match Tuple.Tbl.find_opt v (Tuple.project tuple positions) with
+          | (key_of, v) :: rest -> (
+              match Keypack.Hybrid.find_opt v (key_of i) with
               | Some partial -> (
                   match probe rest with
                   | Some acc -> Some (acc *. !partial)
@@ -55,15 +58,17 @@ let scalar_pass (db : Database.t) (factor : string -> Schema.t -> Tuple.t -> flo
         | None -> ()
         | Some children_product ->
             let contrib = factor name schema tuple *. children_product in
-            let key = Tuple.project tuple key_positions in
-            (match Tuple.Tbl.find_opt out key with
+            let key = own_key i in
+            (match Keypack.Hybrid.find_opt out key with
             | Some r -> r := !r +. contrib
-            | None -> Tuple.Tbl.add out key (ref contrib)))
+            | None -> Keypack.Hybrid.add out key (ref contrib)))
       node.rel;
     out
   in
   let root_view = view (Join_tree.tree jt) in
-  match Tuple.Tbl.find_opt root_view [||] with Some r -> !r | None -> 0.0
+  match Keypack.Hybrid.find_opt root_view (Keypack.P 0) with
+  | Some r -> !r
+  | None -> 0.0
 
 (* ---- stage 0: interpreted, unshared ---- *)
 
@@ -152,37 +157,40 @@ let stage1_specialised (db : Database.t) ~features : Cov.t =
 
 let ring_pass ?(parallel = false) (db : Database.t) (task : Cov_task.t) : Cov.t =
   let jt = Database.join_tree db in
-  let rec view (node : Join_tree.node) : P.t ref Tuple.Tbl.t =
+  let rec view (node : Join_tree.node) : P.t ref Keypack.Hybrid.t =
     let child_views = List.map (fun c -> (c, view c)) node.children in
     let schema = Relation.schema node.rel in
     let name = Relation.name node.rel in
     let key_positions = Array.of_list (List.map (Schema.position schema) node.key) in
+    let own_key = Relation.extractor node.rel key_positions in
     let child_keys =
       List.map
         (fun ((c : Join_tree.node), v) ->
-          (Array.of_list (List.map (Schema.position schema) c.key), v))
+          ( Relation.extractor node.rel
+              (Array.of_list (List.map (Schema.position schema) c.key)),
+            v ))
         child_views
     in
     let lift = Cov_task.lift_cov task name in
     let n = Relation.cardinality node.rel in
     let scan lo len =
-      let out = Tuple.Tbl.create 64 in
+      let out = Keypack.Hybrid.create 64 in
       for idx = lo to lo + len - 1 do
         let tuple = Relation.get node.rel idx in
         let rec probe acc = function
           | [] -> Some acc
-          | (positions, v) :: rest -> (
-              match Tuple.Tbl.find_opt v (Tuple.project tuple positions) with
+          | (key_of, v) :: rest -> (
+              match Keypack.Hybrid.find_opt v (key_of idx) with
               | Some partial -> probe (P.mul acc !partial) rest
               | None -> None)
         in
         match probe (lift tuple) child_keys with
         | None -> ()
         | Some contrib -> (
-            let key = Tuple.project tuple key_positions in
-            match Tuple.Tbl.find_opt out key with
+            let key = own_key idx in
+            match Keypack.Hybrid.find_opt out key with
             | Some r -> r := P.add !r contrib
-            | None -> Tuple.Tbl.add out key (ref contrib))
+            | None -> Keypack.Hybrid.add out key (ref contrib))
       done;
       out
     in
@@ -192,19 +200,19 @@ let ring_pass ?(parallel = false) (db : Database.t) (task : Cov_task.t) : Cov.t 
           match acc with
           | None -> Some v
           | Some a ->
-              Tuple.Tbl.iter
+              Keypack.Hybrid.iter
                 (fun key r ->
-                  match Tuple.Tbl.find_opt a key with
+                  match Keypack.Hybrid.find_opt a key with
                   | Some r0 -> r0 := P.add !r0 !r
-                  | None -> Tuple.Tbl.add a key r)
+                  | None -> Keypack.Hybrid.add a key r)
                 v;
               Some a)
         ~zero:None
-      |> Option.value ~default:(Tuple.Tbl.create 1)
+      |> Option.value ~default:(Keypack.Hybrid.create 1)
     else scan 0 n
   in
   let root_view = view (Join_tree.tree jt) in
-  match Tuple.Tbl.find_opt root_view [||] with
+  match Keypack.Hybrid.find_opt root_view (Keypack.P 0) with
   | Some r -> Fivm.Payload.cov_elem task.Cov_task.dim !r
   | None -> Cov.zero task.Cov_task.dim
 

@@ -137,8 +137,14 @@ let generate ?(scale = 1.0) ~seed () =
           flt (Util.Prng.float_range rng 0.0 25.0);
         |])
   in
-  let item_price = Array.init s.n_items (fun k -> Value.to_float (Relation.get items k).(4)) in
-  let store_area = Array.init s.n_locn (fun l -> Value.to_float (Relation.get stores l).(4)) in
+  let item_price =
+    let c = Relation.column items 4 in
+    Array.init s.n_items (fun k -> Column.float_at c k)
+  in
+  let store_area =
+    let c = Relation.column stores 4 in
+    Array.init s.n_locn (fun l -> Column.float_at c l)
+  in
   let inventory =
     build "Inventory"
       [

@@ -138,7 +138,8 @@ let generate ?(scale = 1.0) ~seed () =
         |])
   in
   let item_price =
-    Array.init s.n_items (fun i -> Value.to_float (Relation.get item i).(4))
+    let c = Relation.column item 4 in
+    Array.init s.n_items (fun i -> Column.float_at c i)
   in
   let store_sales =
     build "StoreSales"

@@ -13,6 +13,12 @@
        never materialises the join (Figure 9), in time proportional to the
        factorisation size.
 
+   Trie levels are hybrid: dictionary-encoded int values (read straight out
+   of the typed columns, never boxed) hash in an int-keyed table, while
+   floats/strings/nulls fall back to a [Value.t]-keyed table. Routing
+   depends only on the value, so the same logical branch always lands on the
+   same side in every relation's trie and intersection probes one side only.
+
    For acyclic queries and orders from [Var_order.of_join_tree] this runs in
    time O(input + factorised-output), the factorisation-width guarantee. *)
 
@@ -25,7 +31,13 @@ module VTbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-type trie = Leaf of int | Node of trie VTbl.t
+module Itbl = Keypack.Itbl
+
+type trie = Leaf of int | Node of vtbl
+and vtbl = { ints : trie Itbl.t; others : trie VTbl.t }
+
+let vtbl_create n = { ints = Itbl.create n; others = VTbl.create 4 }
+let vtbl_length t = Itbl.length t.ints + VTbl.length t.others
 
 (* Observability ([factorized.*]): the work and output-size measures of the
    factorised engine — iterator advances during the multiway intersection
@@ -34,35 +46,63 @@ let c_advances = Obs.counter "factorized.iterator_advances"
 let c_drep_values = Obs.counter "factorized.drep_values"
 
 (* Build a relation's trie following [attr_order] (its attributes sorted by
-   depth in the variable order). Leaves count bag multiplicities. *)
+   depth in the variable order), reading the typed columns directly.
+   Leaves count bag multiplicities. *)
 let build_trie rel attr_order =
   let schema = Relation.schema rel in
   let positions = Array.of_list (List.map (Schema.position schema) attr_order) in
   let arity = Array.length positions in
-  let root = VTbl.create 64 in
-  Relation.iter
-    (fun tuple ->
-      let rec insert table i =
-        let v = tuple.(positions.(i)) in
-        if i = arity - 1 then
-          match VTbl.find_opt table v with
-          | Some (Leaf m) -> VTbl.replace table v (Leaf (m + 1))
-          | Some (Node _) -> assert false
-          | None -> VTbl.add table v (Leaf 1)
-        else
-          let sub =
-            match VTbl.find_opt table v with
-            | Some (Node t) -> t
-            | Some (Leaf _) -> assert false
-            | None ->
-                let t = VTbl.create 8 in
-                VTbl.add table v (Node t);
-                t
-          in
-          insert sub (i + 1)
+  let all = Relation.scan rel in
+  let datas = Array.map (fun p -> all.(p)) positions in
+  let root = vtbl_create 64 in
+  let rec insert table j i =
+    let last = j = arity - 1 in
+    match datas.(j) with
+    | Column.Ints a -> insert_int table j i last a.(i)
+    | Column.Floats a -> insert_val table j i last (Value.Float a.(i))
+    | Column.Boxed a -> (
+        match a.(i) with
+        | Value.Int x -> insert_int table j i last x
+        | v -> insert_val table j i last v)
+  and insert_int table j i last x =
+    if last then
+      match Itbl.find_opt table.ints x with
+      | Some (Leaf m) -> Itbl.replace table.ints x (Leaf (m + 1))
+      | Some (Node _) -> assert false
+      | None -> Itbl.add table.ints x (Leaf 1)
+    else
+      let sub =
+        match Itbl.find_opt table.ints x with
+        | Some (Node t) -> t
+        | Some (Leaf _) -> assert false
+        | None ->
+            let t = vtbl_create 8 in
+            Itbl.add table.ints x (Node t);
+            t
       in
-      if arity = 0 then () else insert root 0)
-    rel;
+      insert sub (j + 1) i
+  and insert_val table j i last v =
+    if last then
+      match VTbl.find_opt table.others v with
+      | Some (Leaf m) -> VTbl.replace table.others v (Leaf (m + 1))
+      | Some (Node _) -> assert false
+      | None -> VTbl.add table.others v (Leaf 1)
+    else
+      let sub =
+        match VTbl.find_opt table.others v with
+        | Some (Node t) -> t
+        | Some (Leaf _) -> assert false
+        | None ->
+            let t = vtbl_create 8 in
+            VTbl.add table.others v (Node t);
+            t
+      in
+      insert sub (j + 1) i
+  in
+  if arity > 0 then
+    for i = 0 to Relation.cardinality rel - 1 do
+      insert root 0 i
+    done;
   root
 
 (* Algebra the traversal folds with. *)
@@ -173,14 +213,20 @@ let fold (type a) ?(cache = true) (alg : a algebra) rels (order : Var_order.t) :
         { rel_id; trie = Node (build_trie rel attrs); remaining = attrs })
       rels
   in
-  (* environment of bound variables, for cache keys *)
-  let env : Value.t VTbl.t = VTbl.create 0 in
-  ignore env;
   let bound : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
-  (* one cache table per variable-order node *)
-  let caches : a Tuple.Tbl.t array =
-    Array.init n_nodes (fun _ -> Tuple.Tbl.create 64)
+  (* one cache table per variable-order node, keyed on the packed binding of
+     the node's dependency key *)
+  let caches : a Keypack.Hybrid.t array =
+    Array.init n_nodes (fun _ -> Keypack.Hybrid.create 64)
   in
+  let cache_positions : int array array =
+    Array.make n_nodes [||]
+  in
+  let rec fill_positions (n : node) =
+    cache_positions.(n.id) <- Array.init (List.length n.key) Fun.id;
+    List.iter fill_positions n.children
+  in
+  fill_positions root;
   let rec visit (n : node) (cs : cursor list) : a =
     let compute () =
       (* Partition cursors: those whose next attribute is n.var. *)
@@ -201,67 +247,80 @@ let fold (type a) ?(cache = true) (alg : a algebra) rels (order : Var_order.t) :
       (* iterate the smallest branch set, probe the others *)
       let (first_c, first_t), rest =
         match
-          List.sort (fun (_, t1) (_, t2) -> compare (VTbl.length t1) (VTbl.length t2)) tables
+          List.sort
+            (fun (_, t1) (_, t2) -> compare (vtbl_length t1) (vtbl_length t2))
+            tables
         with
         | smallest :: rest -> (smallest, rest)
         | [] -> assert false
       in
-      ignore first_c;
       let branches = ref [] in
+      let emit v sub_first matches =
+        Obs.incr c_advances;
+        (* advance all involved cursors on v *)
+        let advanced =
+          { first_c with trie = sub_first; remaining = List.tl first_c.remaining }
+          :: List.map
+               (fun (c, m) ->
+                 match m with
+                 | Some trie -> { c with trie; remaining = List.tl c.remaining }
+                 | None -> assert false)
+               matches
+        in
+        let finished, continuing =
+          List.partition (fun c -> c.remaining = []) advanced
+        in
+        let multiplicity =
+          List.fold_left
+            (fun acc c ->
+              match c.trie with Leaf m -> acc * m | Node _ -> assert false)
+            1 finished
+        in
+        let live = continuing @ waiting in
+        Hashtbl.replace bound n.var v;
+        let sub_result =
+          match n.children with
+          | [] ->
+              assert (live = []);
+              alg.unit_
+          | children ->
+              let parts =
+                List.map
+                  (fun child ->
+                    let mine =
+                      List.filter
+                        (fun c ->
+                          match c.remaining with
+                          | a :: _ -> Hashtbl.mem child.subtree a
+                          | [] -> false)
+                        live
+                    in
+                    visit child mine)
+                  children
+              in
+              alg.prod parts
+        in
+        Hashtbl.remove bound n.var;
+        branches := (v, alg.mult multiplicity sub_result) :: !branches
+      in
+      (* int-valued branches: intersect int tables, boxing only on emit *)
+      Itbl.iter
+        (fun x sub_first ->
+          let matches =
+            List.map (fun (c, t) -> (c, Itbl.find_opt t.ints x)) rest
+          in
+          if List.for_all (fun (_, m) -> m <> None) matches then
+            emit (Value.Int x) sub_first matches)
+        first_t.ints;
+      (* fallback branches: floats / strings / nulls *)
       VTbl.iter
         (fun v sub_first ->
           let matches =
-            List.map (fun (c, t) -> (c, VTbl.find_opt t v)) rest
+            List.map (fun (c, t) -> (c, VTbl.find_opt t.others v)) rest
           in
-          if List.for_all (fun (_, m) -> m <> None) matches then begin
-            Obs.incr c_advances;
-            (* advance all involved cursors on v *)
-            let advanced =
-              ({ first_c with trie = sub_first; remaining = List.tl first_c.remaining }
-              :: List.map
-                   (fun (c, m) ->
-                     match m with
-                     | Some trie -> { c with trie; remaining = List.tl c.remaining }
-                     | None -> assert false)
-                   matches)
-            in
-            let finished, continuing =
-              List.partition (fun c -> c.remaining = []) advanced
-            in
-            let multiplicity =
-              List.fold_left
-                (fun acc c ->
-                  match c.trie with Leaf m -> acc * m | Node _ -> assert false)
-                1 finished
-            in
-            let live = continuing @ waiting in
-            Hashtbl.replace bound n.var v;
-            let sub_result =
-              match n.children with
-              | [] ->
-                  assert (live = []);
-                  alg.unit_
-              | children ->
-                  let parts =
-                    List.map
-                      (fun child ->
-                        let mine =
-                          List.filter
-                            (fun c ->
-                              match c.remaining with
-                              | a :: _ -> Hashtbl.mem child.subtree a
-                              | [] -> false)
-                            live
-                        in
-                        visit child mine)
-                      children
-                  in
-                  alg.prod parts
-            in
-            Hashtbl.remove bound n.var;
-            branches := (v, alg.mult multiplicity sub_result) :: !branches
-          end)
-        first_t;
+          if List.for_all (fun (_, m) -> m <> None) matches then
+            emit v sub_first matches)
+        first_t.others;
       alg.union n.var (List.rev !branches)
     in
     if not cache then compute ()
@@ -270,12 +329,13 @@ let fold (type a) ?(cache = true) (alg : a algebra) rels (order : Var_order.t) :
          equal key bindings are shared (the DAG edges of Figure 8, e.g.
          price cached per item across dishes). *)
       let cache_key = Array.of_list (List.map (Hashtbl.find bound) n.key) in
+      let k = Keypack.key_of_tuple cache_positions.(n.id) cache_key in
       let table = caches.(n.id) in
-      match Tuple.Tbl.find_opt table cache_key with
+      match Keypack.Hybrid.find_opt table k with
       | Some r -> r
       | None ->
           let r = compute () in
-          Tuple.Tbl.add table cache_key r;
+          Keypack.Hybrid.add table k r;
           r
     end
   in

@@ -41,18 +41,22 @@ let augment (db : Database.t) (specs : (string * string * (Value.t -> int)) list
             let positions =
               List.map (fun (attr, _, f) -> (Schema.position schema attr, f)) specs
             in
-            let out = Relation.create ~capacity:(Relation.cardinality rel)
-                (Relation.name rel) schema'
+            (* columnar: copy the existing columns wholesale, then compute
+               each derived column from its single source column *)
+            let n = Relation.cardinality rel in
+            let base =
+              Array.map (fun c -> Column.sub c n) (Relation.columns rel)
             in
-            Relation.iter
-              (fun t ->
-                let extra =
-                  Array.of_list
-                    (List.map (fun (pos, f) -> Value.Int (f t.(pos))) positions)
-                in
-                Relation.append out (Array.append t extra))
-              rel;
-            out)
+            let extra =
+              Array.of_list
+                (List.map
+                   (fun (pos, f) ->
+                     let src = Relation.column rel pos in
+                     Column.of_ints (Array.init n (fun i -> f (Column.get src i))))
+                   positions)
+            in
+            Relation.of_columns (Relation.name rel) schema'
+              (Array.append base extra) n)
       (Database.relations db)
   in
   Database.create (Database.name db ^ "+derived") relations

@@ -255,12 +255,19 @@ let accuracy tree (rel : Relation.t) ~class_attr =
   let n = Relation.cardinality rel in
   if n = 0 then 1.0
   else begin
+    let col_of = Hashtbl.create 16 in
+    List.iter
+      (fun (a : Schema.attr) ->
+        Hashtbl.replace col_of a.name
+          (Relation.column rel (Schema.position schema a.name)))
+      (Schema.attrs schema);
+    let row = ref 0 in
+    let get a = Column.get (Hashtbl.find col_of a) !row in
     let correct = ref 0 in
-    Relation.iter
-      (fun t ->
-        let get a = t.(Schema.position schema a) in
-        if Value.equal (predict tree get) (get class_attr) then incr correct)
-      rel;
+    for i = 0 to n - 1 do
+      row := i;
+      if Value.equal (predict tree get) (get class_attr) then incr correct
+    done;
     float_of_int !correct /. float_of_int n
   end
 

@@ -99,9 +99,12 @@ let lloyd ?(seed = 1) ?(max_iters = 50) ~k (points : (float array * float) array
 
 let points_of_relation (rel : Relation.t) (dims : string list) =
   let schema = Relation.schema rel in
-  let positions = Array.of_list (List.map (Schema.position schema) dims) in
+  let cols =
+    Array.of_list
+      (List.map (fun d -> Relation.column rel (Schema.position schema d)) dims)
+  in
   Array.init (Relation.cardinality rel) (fun i ->
-      (Array.map (fun p -> Value.to_float (Relation.get rel i).(p)) positions, 1.0))
+      (Array.map (fun c -> Column.float_at c i) cols, 1.0))
 
 (* ---- the structure-aware grid coreset ---- *)
 
@@ -122,12 +125,12 @@ let make_grid (db : Database.t) ~(dims : string list) ~(cells : int) : grid =
           match Schema.position_opt (Relation.schema rel) dim with
           | None -> ()
           | Some pos ->
-              Relation.iter
-                (fun t ->
-                  let x = Value.to_float t.(pos) in
-                  if x < lo.(i) then lo.(i) <- x;
-                  if x > hi.(i) then hi.(i) <- x)
-                rel)
+              let col = Relation.column rel pos in
+              for row = 0 to Relation.cardinality rel - 1 do
+                let x = Column.float_at col row in
+                if x < lo.(i) then lo.(i) <- x;
+                if x > hi.(i) then hi.(i) <- x
+              done)
         (Database.relations db))
     dims;
   let step =
@@ -170,22 +173,20 @@ let augmented_database (db : Database.t) (g : grid) =
               List.map (fun (_, dim) -> Schema.attr (bucket_attr dim) Value.TInt) dims
             in
             let schema' = Schema.of_list (Schema.attrs schema @ extra) in
-            let out = Relation.create (Relation.name rel) schema' in
-            let positions =
-              List.map (fun (i, dim) -> (i, Schema.position schema dim)) dims
+            let n = Relation.cardinality rel in
+            let base = Array.map (fun c -> Column.sub c n) (Relation.columns rel) in
+            let buckets =
+              Array.of_list
+                (List.map
+                   (fun (i, dim) ->
+                     let src = Relation.column rel (Schema.position schema dim) in
+                     Column.of_ints
+                       (Array.init n (fun row ->
+                            cell_of_value g i (Column.float_at src row))))
+                   dims)
             in
-            Relation.iter
-              (fun t ->
-                let buckets =
-                  Array.of_list
-                    (List.map
-                       (fun (i, pos) ->
-                         Value.Int (cell_of_value g i (Value.to_float t.(pos))))
-                       positions)
-                in
-                Relation.append out (Array.append t buckets))
-              rel;
-            out)
+            Relation.of_columns (Relation.name rel) schema'
+              (Array.append base buckets) n)
       (Database.relations db)
   in
   Database.create (Database.name db ^ "_grid") relations

@@ -83,6 +83,60 @@ let compile schema p =
   in
   go p
 
+(* Columnar compilation: resolve each attribute to its column once and
+   specialise the comparison to the column representation, so scans test
+   rows by index without materialising tuples. The generic fallback boxes
+   just the one referenced cell, preserving [Value.compare] semantics for
+   promoted or cross-typed columns. *)
+let compile_cols schema (cols : Column.t array) p =
+  let col a = cols.(Schema.position schema a) in
+  let rec go = function
+    | True -> fun _ -> true
+    | Ge (a, c) -> (
+        let cl = col a in
+        match (Column.data cl, c) with
+        | Column.Ints arr, Value.Int x -> fun i -> arr.(i) >= x
+        | Column.Floats arr, Value.Float x -> fun i -> arr.(i) >= x
+        | _ -> fun i -> Value.compare (Column.get cl i) c >= 0)
+    | Lt (a, c) -> (
+        let cl = col a in
+        match (Column.data cl, c) with
+        | Column.Ints arr, Value.Int x -> fun i -> arr.(i) < x
+        | Column.Floats arr, Value.Float x -> fun i -> arr.(i) < x
+        | _ -> fun i -> Value.compare (Column.get cl i) c < 0)
+    | Eq (a, c) -> (
+        let cl = col a in
+        match (Column.data cl, c) with
+        | Column.Ints arr, Value.Int x -> fun i -> arr.(i) = x
+        | Column.Floats arr, Value.Float x -> fun i -> arr.(i) = x
+        | _ -> fun i -> Value.equal (Column.get cl i) c)
+    | In (a, cs) -> (
+        let cl = col a in
+        match Column.data cl with
+        | Column.Ints arr
+          when List.for_all (function Value.Int _ -> true | _ -> false) cs ->
+            let xs = List.map Value.to_int cs in
+            fun i -> List.mem arr.(i) xs
+        | _ -> fun i -> List.exists (Value.equal (Column.get cl i)) cs)
+    | Not p ->
+        let f = go p in
+        fun i -> not (f i)
+    | And (p, q) ->
+        let f = go p and g = go q in
+        fun i -> f i && g i
+    | Or (p, q) ->
+        let f = go p and g = go q in
+        fun i -> f i || g i
+    | Additive_ineq (terms, c) ->
+        let compiled = List.map (fun (a, w) -> (col a, w)) terms in
+        fun i ->
+          List.fold_left
+            (fun acc (cl, w) -> acc +. (w *. Column.float_at cl i))
+            0.0 compiled
+          > c
+  in
+  go p
+
 (* SQL rendering of a predicate (the paper presents the aggregate forms as
    SQL in Section 2). *)
 let rec to_sql = function
