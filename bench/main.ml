@@ -667,6 +667,64 @@ let wcoj () =
     (float_of_int n_updates /. t_maintain)
     (Fivm.Triangle.count g) (Fivm.Triangle.recompute g)
 
+(* ------------------------------------------------------------- recovery *)
+
+(* Recovery time vs checkpoint cadence: how long until the maintainer
+   answers again after a crash, from (a) a cold rebuild of the whole stream,
+   (b) checkpoint + WAL-tail replay at several cadences. The trade-off is
+   the classical one: frequent checkpoints cost steady-state throughput and
+   buy short recovery (small WAL tail), and vice versa. *)
+let recovery () =
+  header "Recovery time: checkpoint + WAL-tail replay vs cold rebuild" "";
+  let db = Datagen.Retailer.generate ~scale:(0.05 *. scale) ~seed () in
+  let features = Datagen.Retailer.ivm_features in
+  let stream = Array.of_list (Datagen.Stream_gen.inserts_of_database db) in
+  let n = Array.length stream in
+  let make () = Fivm.Maintainer.create Fivm.Maintainer.F_ivm db ~features in
+  Printf.printf "stream: %d inserts (F-IVM, retailer)\n" n;
+  (* cold rebuild reference: re-apply the whole stream *)
+  let t_cold =
+    Util.Timing.measure ~repeats:1 (fun () ->
+        let m = make () in
+        Array.iter (Fivm.Maintainer.apply m) stream)
+  in
+  Printf.printf "%-28s %12s %12s %14s\n" "configuration" "ingest" "recovery"
+    "vs cold";
+  Printf.printf "%-28s %12s %12s %14s\n" "cold rebuild (no WAL)" "--"
+    (Util.Timing.to_string t_cold) "1.0x";
+  record ~entry:"recovery" ~engine:"cold-rebuild" t_cold;
+  List.iter
+    (fun checkpoint_every ->
+      let dir = Filename.temp_dir "borg-recovery" "" in
+      let cleanup () =
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      in
+      Fun.protect ~finally:cleanup @@ fun () ->
+      let cfg = Resilience.Driver.config ~checkpoint_every dir in
+      let d = Resilience.Driver.create cfg make in
+      let t_ingest =
+        Util.Timing.measure ~repeats:1 (fun () ->
+            Array.iter (fun u -> ignore (Resilience.Driver.submit d u)) stream)
+      in
+      (* simulate the crash: abandon [d] and recover purely from disk *)
+      let t_recover =
+        Util.Timing.measure ~repeats:1 (fun () ->
+            ignore (Resilience.Driver.create cfg make))
+      in
+      let label = Printf.sprintf "checkpoint every %d" checkpoint_every in
+      Printf.printf "%-28s %12s %12s %14s\n%!" label
+        (Util.Timing.to_string t_ingest)
+        (Util.Timing.to_string t_recover)
+        (pct (t_cold /. t_recover));
+      record ~entry:"recovery"
+        ~engine:(Printf.sprintf "ckpt-%d-ingest" checkpoint_every)
+        t_ingest;
+      record ~entry:"recovery"
+        ~engine:(Printf.sprintf "ckpt-%d-recover" checkpoint_every)
+        t_recover)
+    [ 100; 1000; 10000 ]
+
 (* -------------------------------------------------------------- engines *)
 
 (* The engine facade: every Engine_intf implementation on the same batch,
@@ -710,6 +768,7 @@ let entries =
     ("ineq", ineq);
     ("ablate", ablate);
     ("wcoj", wcoj);
+    ("recovery", recovery);
     ("engines", engines);
     ("micro", micro);
   ]

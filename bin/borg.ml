@@ -243,6 +243,162 @@ let ivm_cmd =
     Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg
           $ trace_arg $ metrics_out_arg)
 
+(* ---- maintain: resilient IVM with WAL, checkpoints and fault injection ---- *)
+
+let maintain_cmd =
+  let method_arg =
+    let mconv =
+      Arg.enum
+        [
+          ("fivm", Fivm.Maintainer.F_ivm);
+          ("higher", Fivm.Maintainer.Higher_order);
+          ("first", Fivm.Maintainer.First_order);
+        ]
+    in
+    Arg.(value & opt mconv Fivm.Maintainer.F_ivm
+         & info [ "method" ] ~docv:"M" ~doc:"fivm | higher | first")
+  in
+  let limit_arg =
+    Arg.(value & opt int max_int & info [ "limit" ] ~docv:"N" ~doc:"Insert at most N tuples.")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"WAL and checkpoint directory (kept across restarts). Defaults to a \
+                   fresh temporary directory, removed on exit.")
+  in
+  let every_arg =
+    Arg.(value & opt int 256
+         & info [ "checkpoint-every" ] ~docv:"K" ~doc:"Commits between checkpoints (0: never).")
+  in
+  let audit_arg =
+    Arg.(value & opt int 0
+         & info [ "audit-every" ] ~docv:"K"
+             ~doc:"Commits between audits of the maintained covariance against a \
+                   from-scratch recomputation (0: never).")
+  in
+  let faults_arg =
+    (* validate the spec at parse time so a typo is a usage error, not an
+       uncaught Invalid_argument later *)
+    let fconv =
+      let parse s =
+        match Resilience.Faults.parse ~seed:0 s with
+        | _ -> Ok s
+        | exception Invalid_argument msg -> Error (`Msg msg)
+      in
+      Arg.conv (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt (some fconv) None
+         & info [ "inject-faults" ] ~docv:"SPEC" ~doc:(Resilience.Faults.grammar ^ "."))
+  in
+  let restarts_arg =
+    Arg.(value & opt int 3
+         & info [ "restarts" ] ~docv:"R"
+             ~doc:"Recover and resume after at most R injected crashes.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"After the stream, replay it through a bare maintainer and fail unless \
+                   the recovered covariance is bit-identical.")
+  in
+  let run (name, spec) scale seed strategy limit dir every audit faults_spec restarts
+      verify trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let db = spec.generate ~scale ~seed () in
+    let stream =
+      Array.of_list
+        (List.filteri (fun i _ -> i < limit) (Datagen.Stream_gen.inserts_of_database db))
+    in
+    let dir, cleanup =
+      match dir with
+      | Some d -> (d, fun () -> ())
+      | None ->
+          let d = Filename.temp_dir "borg-maintain" "" in
+          ( d,
+            fun () ->
+              Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+              Sys.rmdir d )
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let faults =
+      match faults_spec with
+      | Some s -> Resilience.Faults.parse ~seed s
+      | None -> Resilience.Faults.none ()
+    in
+    let cfg =
+      Resilience.Driver.config ~checkpoint_every:every ~audit_every:audit ~faults dir
+    in
+    let make () = Fivm.Maintainer.create strategy db ~features:spec.ivm_features in
+    let crashes = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let rec go d =
+      let from = Resilience.Driver.seq d in
+      match
+        for i = from to Array.length stream - 1 do
+          ignore (Resilience.Driver.submit d stream.(i))
+        done
+      with
+      | () -> d
+      | exception Resilience.Faults.Crash msg ->
+          incr crashes;
+          Printf.printf "crash %d: %s\n%!" !crashes msg;
+          if !crashes > restarts then begin
+            Printf.eprintf "borg maintain: restart budget (%d) exhausted\n" restarts;
+            exit 1
+          end;
+          let d' = Resilience.Driver.create cfg make in
+          Printf.printf "recovered to seq %d, resuming\n%!" (Resilience.Driver.seq d');
+          go d'
+    in
+    let d = go (Resilience.Driver.create cfg make) in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let n = Array.length stream in
+    Printf.printf
+      "%s over %s: %d updates committed in %s (%.0f tuples/s), %d crash(es), %d quarantined\n"
+      (Fivm.Maintainer.strategy_name strategy)
+      name (Resilience.Driver.seq d)
+      (Util.Timing.to_string seconds)
+      (float_of_int n /. seconds)
+      !crashes
+      (List.length (Resilience.Driver.quarantined d));
+    let cov = Resilience.Driver.covariance d in
+    Printf.printf "maintained join count: %g\n" (Rings.Covariance.count cov);
+    Resilience.Driver.close d;
+    if verify then begin
+      let m = make () in
+      Array.iter (Fivm.Maintainer.apply m) stream;
+      let reference = Fivm.Maintainer.covariance m in
+      let bits = Int64.bits_of_float in
+      let dim = Rings.Covariance.dim reference in
+      let identical = ref (bits cov.Rings.Covariance.c = bits reference.Rings.Covariance.c) in
+      for i = 0 to dim - 1 do
+        if bits (Util.Vec.get cov.Rings.Covariance.s i)
+           <> bits (Util.Vec.get reference.Rings.Covariance.s i)
+        then identical := false;
+        for j = 0 to dim - 1 do
+          if bits (Util.Mat.get cov.Rings.Covariance.q i j)
+             <> bits (Util.Mat.get reference.Rings.Covariance.q i j)
+          then identical := false
+        done
+      done;
+      if !identical then
+        Printf.printf "verify: recovered covariance is bit-identical to the clean run\n"
+      else begin
+        Printf.eprintf "borg maintain: recovered covariance DIVERGES from the clean run\n";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "maintain"
+       ~doc:
+         "Maintain the covariance matrix resiliently: WAL + checkpoints, optional \
+          fault injection, crash recovery, quarantine and audits.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg
+          $ dir_arg $ every_arg $ audit_arg $ faults_arg $ restarts_arg $ verify_arg
+          $ trace_arg $ metrics_out_arg)
+
 (* ---- agg: run an aggregate batch through a selectable engine ---- *)
 
 let engines : Aggregates.Engine_intf.t list =
@@ -392,6 +548,7 @@ let () =
             tree_cmd;
             batches_cmd;
             ivm_cmd;
+            maintain_cmd;
             agg_cmd;
             check_metrics_cmd;
           ]))

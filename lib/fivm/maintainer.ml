@@ -127,6 +127,73 @@ let covariance t : Cov.t =
 let storage = function
   | Fivm { storage; _ } | Higher { storage; _ } | First { storage; _ } -> storage
 
+let strategy_of = function
+  | Fivm _ -> F_ivm
+  | Higher _ -> Higher_order
+  | First _ -> First_order
+
+(* ---- checkpoint hooks (used by lib/resilience) ----
+
+   A view dump carries the EXACT accumulated payload floats of the strategy's
+   maintained state; restoring it into a maintainer whose storage holds the
+   same contents reproduces the state bit-identically (recomputation would
+   re-associate float additions and drift in the last ulps). *)
+
+type view_dump =
+  | Cov_views of (string * (Relational.Keypack.key * Payload.Cov_dyn.t) list) list
+  | Float_views of (string * (Relational.Keypack.key * float) list) list array
+  | Totals of float array
+
+let dump_views = function
+  | Fivm { tree; _ } -> Cov_views (Cov_tree.export tree)
+  | Higher { trees; _ } -> Float_views (Array.map Float_tree.export trees)
+  | First { totals; _ } -> Totals (Array.copy totals)
+
+let restore_views t dump =
+  match (t, dump) with
+  | Fivm { tree; _ }, Cov_views d -> Cov_tree.import tree d
+  | Higher { trees; _ }, Float_views ds ->
+      if Array.length ds <> Array.length trees then
+        invalid_arg "Maintainer.restore_views: tree count mismatch";
+      Array.iteri (fun i d -> Float_tree.import trees.(i) d) ds
+  | First { totals; _ }, Totals ts ->
+      if Array.length ts <> Array.length totals then
+        invalid_arg "Maintainer.restore_views: totals length mismatch";
+      Array.blit ts 0 totals 0 (Array.length ts)
+  | _ -> invalid_arg "Maintainer.restore_views: strategy mismatch"
+
+(* Fault-injection hook: corrupt the maintained state in place (WITHOUT
+   touching base storage) so that an audit against {!recompute} fails. Only
+   reachable from the resilience layer's fault harness and tests. *)
+let perturb t x =
+  match t with
+  | Fivm { tree; _ } ->
+      let d =
+        List.map
+          (fun (name, entries) ->
+            ( name,
+              List.map
+                (fun (k, p) ->
+                  match p with
+                  | `Elem e -> (k, `Elem { e with Cov.c = e.Cov.c +. x })
+                  | p -> (k, p))
+                entries ))
+          (Cov_tree.export tree)
+      in
+      Cov_tree.import tree d
+  | Higher { trees; _ } ->
+      if Array.length trees > 0 then begin
+        let d =
+          List.map
+            (fun (name, entries) ->
+              (name, List.map (fun (k, v) -> (k, v +. x)) entries))
+            (Float_tree.export trees.(0))
+        in
+        Float_tree.import trees.(0) d
+      end
+  | First { totals; _ } ->
+      if Array.length totals > 0 then totals.(0) <- totals.(0) +. x
+
 let view_rows t =
   let sum sizes = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
   match t with

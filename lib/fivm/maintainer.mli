@@ -36,5 +36,31 @@ val covariance : t -> Rings.Covariance.t
 
 val storage : t -> Storage.t
 
+val strategy_of : t -> strategy
+
 val recompute : t -> Rings.Covariance.t
 (** From-scratch recomputation over the current contents (test oracle). *)
+
+(** {2 Checkpoint hooks (used by {!Resilience})} *)
+
+type view_dump =
+  | Cov_views of (string * (Keypack.key * Payload.Cov_dyn.t) list) list
+      (** F-IVM: per-node covariance-ring view contents. *)
+  | Float_views of (string * (Keypack.key * float) list) list array
+      (** Higher-order: per-aggregate per-node scalar view contents. *)
+  | Totals of float array  (** First-order: running aggregate totals. *)
+
+val dump_views : t -> view_dump
+(** The EXACT accumulated view payloads of the maintained state; restoring a
+    dump into a maintainer whose storage holds the same contents reproduces
+    the state bit-identically (recomputation would re-associate float
+    additions). *)
+
+val restore_views : t -> view_dump -> unit
+(** Replace the maintained view state with a dump. Raises [Invalid_argument]
+    if the dump's shape does not match the maintainer's strategy. *)
+
+val perturb : t -> float -> unit
+(** Fault-injection hook: corrupt the maintained view state in place (base
+    storage untouched) so that an audit against {!recompute} detects
+    divergence. No-op on empty state. *)

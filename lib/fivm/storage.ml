@@ -12,16 +12,26 @@
 open Relational
 module Hybrid = Keypack.Hybrid
 
+(* Distinct-tuple entry: the multiplicity plus an insertion stamp. The stamp
+   orders [dump] output so a restored storage rebuilds its index lists in the
+   SAME order as the original — list order feeds float accumulation order in
+   the IVM strategies, and crash recovery promises bit-identical state. *)
+type entry = { mult : int ref; stamp : int }
+
 type node = {
   name : string;
   schema : Schema.t;
   all_positions : int array; (* identity; whole-tuple key for [tuples] *)
-  tuples : int ref Hybrid.t; (* whole-tuple key -> multiplicity (never 0) *)
+  tuples : entry Hybrid.t; (* whole-tuple key -> live entry (mult never 0) *)
   indexes : (string * int array * Tuple.t list ref Hybrid.t) list;
       (* (neighbour, key positions in this schema, key -> distinct tuples) *)
 }
 
-type t = { nodes : (string, node) Hashtbl.t; jt : Join_tree.t }
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  jt : Join_tree.t;
+  mutable next_stamp : int;
+}
 
 (* Undirected neighbour map from the join tree (via the default rooting plus
    reversal; every edge appears in both directions). *)
@@ -70,7 +80,7 @@ let create (db : Database.t) =
           indexes;
         })
     (Database.relations db);
-  { nodes; jt }
+  { nodes; jt; next_stamp = 0 }
 
 let node t name =
   match Hashtbl.find_opt t.nodes name with
@@ -81,7 +91,7 @@ let tuple_key (n : node) tuple = Keypack.key_of_tuple n.all_positions tuple
 
 let multiplicity (n : node) tuple =
   match Hybrid.find_opt n.tuples (tuple_key n tuple) with
-  | Some m -> !m
+  | Some e -> !(e.mult)
   | None -> 0
 
 (* Distinct tuples of [n] joining with key [key] of neighbour [neighbour]. *)
@@ -100,11 +110,13 @@ let apply t (u : Delta.update) =
   let n = node t u.relation in
   let tk = tuple_key n u.tuple in
   let old_m =
-    match Hybrid.find_opt n.tuples tk with Some m -> !m | None -> 0
+    match Hybrid.find_opt n.tuples tk with Some e -> !(e.mult) | None -> 0
   in
   let new_m = old_m + u.multiplicity in
   if old_m = 0 && new_m <> 0 then begin
-    Hybrid.replace n.tuples tk (ref new_m);
+    let stamp = t.next_stamp in
+    t.next_stamp <- stamp + 1;
+    Hybrid.replace n.tuples tk { mult = ref new_m; stamp };
     List.iter
       (fun (_, positions, idx) ->
         let key = Keypack.key_of_tuple positions u.tuple in
@@ -127,12 +139,12 @@ let apply t (u : Delta.update) =
   end
   else
     match Hybrid.find_opt n.tuples tk with
-    | Some m -> m := new_m
+    | Some e -> e.mult := new_m
     | None -> assert false
 
 let total_tuples t =
   Hashtbl.fold
-    (fun _ n acc -> Hybrid.fold (fun _ m acc -> acc + abs !m) n.tuples acc)
+    (fun _ n acc -> Hybrid.fold (fun _ e acc -> acc + abs !(e.mult)) n.tuples acc)
     t.nodes 0
 
 let join_tree t = t.jt
@@ -141,4 +153,23 @@ let join_tree t = t.jt
    from their whole-tuple keys (packed keys unpack value-faithfully). *)
 let iter_tuples (n : node) f =
   let arity = Array.length n.all_positions in
-  Hybrid.iter (fun k m -> f (Keypack.key_tuple arity k) !m) n.tuples
+  Hybrid.iter (fun k e -> f (Keypack.key_tuple arity k) !(e.mult)) n.tuples
+
+(* Live contents in insertion-stamp order (oldest first): replaying the dump
+   as inserts into a fresh storage rebuilds every index list in the original
+   order, so float accumulation downstream reproduces bit-identically. *)
+let dump t : Delta.update list =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun name n ->
+      let arity = Array.length n.all_positions in
+      Hybrid.iter
+        (fun k e ->
+          entries :=
+            (e.stamp, { Delta.relation = name;
+                        tuple = Keypack.key_tuple arity k;
+                        multiplicity = !(e.mult) })
+            :: !entries)
+        n.tuples)
+    t.nodes;
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !entries)

@@ -6,12 +6,16 @@
 
 open Relational
 
+type entry = { mult : int ref; stamp : int }
+(** Distinct-tuple entry: multiplicity plus the insertion stamp that orders
+    {!dump} (index-list order must survive checkpoint/restore). *)
+
 type node = {
   name : string;
   schema : Schema.t;
   all_positions : int array;  (** identity positions (whole-tuple key) *)
-  tuples : int ref Keypack.Hybrid.t;
-      (** whole-tuple key -> multiplicity (never 0) *)
+  tuples : entry Keypack.Hybrid.t;
+      (** whole-tuple key -> live entry (multiplicity never 0) *)
   indexes : (string * int array * Tuple.t list ref Keypack.Hybrid.t) list;
       (** (neighbour, key positions in this schema, key -> distinct tuples) *)
 }
@@ -38,3 +42,9 @@ val apply : t -> Delta.update -> unit
 val total_tuples : t -> int
 val join_tree : t -> Join_tree.t
 val iter_tuples : node -> (Tuple.t -> int -> unit) -> unit
+
+val dump : t -> Delta.update list
+(** Live contents as bulk inserts in insertion-stamp order (oldest first):
+    applying them to a fresh storage reproduces every index list in the
+    original order, which keeps downstream float accumulation bit-identical
+    (the checkpoint/restore contract). *)

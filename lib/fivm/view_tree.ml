@@ -183,4 +183,33 @@ module Make (P : Payload.S) = struct
         v.children
     in
     go t.root []
+
+  (* Checkpoint support: dump every node's view as (key, payload) pairs and
+     load such a dump back into a freshly created tree. Payload refs hold the
+     EXACT accumulated ring values, so export -> import restores the
+     maintained state bit-identically (a from-scratch recomputation would
+     re-associate float additions). Keys are sorted for a deterministic
+     serialisation; node names are unique (they are relation names). *)
+  let export (t : t) : (string * (Keypack.key * P.t) list) list =
+    let rec go (v : vnode) acc =
+      let entries =
+        Keypack.Hybrid.fold (fun k r acc -> (k, !r) :: acc) v.view []
+      in
+      let entries =
+        List.sort (fun (a, _) (b, _) -> Keypack.key_compare a b) entries
+      in
+      Array.fold_left (fun acc c -> go c acc) ((v.name, entries) :: acc) v.children
+    in
+    go t.root []
+
+  let import (t : t) (dump : (string * (Keypack.key * P.t) list) list) =
+    let rec go (v : vnode) =
+      Keypack.Hybrid.clear v.view;
+      (match List.assoc_opt v.name dump with
+      | Some entries ->
+          List.iter (fun (k, p) -> Keypack.Hybrid.add v.view k (ref p)) entries
+      | None -> ());
+      Array.iter go v.children
+    in
+    go t.root
 end

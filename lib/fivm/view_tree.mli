@@ -27,4 +27,12 @@ module Make (P : Payload.S) : sig
 
   val view_sizes : t -> (string * int) list
   (** Per-node view cardinalities (diagnostics). *)
+
+  val export : t -> (string * (Keypack.key * P.t) list) list
+  (** Per-node view contents (keys sorted), carrying the exact accumulated
+      payloads — the checkpoint representation of maintained state. *)
+
+  val import : t -> (string * (Keypack.key * P.t) list) list -> unit
+  (** Replace all view contents with an {!export} dump (bit-identical
+      restore); nodes absent from the dump become empty. *)
 end

@@ -219,14 +219,18 @@ let rec parse_value st =
 
 and is_number_start c = match c with '0' .. '9' | '-' -> true | _ -> false
 
-let parse s =
+(* A document is ONE value followed only by whitespace: both truncated input
+   (inner error) and trailing garbage reject with {!Parse_error} carrying
+   the offset — never a silently accepted prefix. *)
+let parse_exn s =
   let st = { s; pos = 0 } in
-  match parse_value st with
-  | v ->
-      skip_ws st;
-      if st.pos <> String.length s then Error "trailing characters"
-      else Ok v
-  | exception Parse_error msg -> Error msg
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing characters";
+  v
+
+let parse s =
+  match parse_exn s with v -> Ok v | exception Parse_error msg -> Error msg
 
 (* ---------- accessors ---------- *)
 

@@ -16,9 +16,17 @@ val num_int : int -> t
 val to_string : t -> string
 (** Compact (single-line) rendering; strings are escaped per RFC 8259. *)
 
+exception Parse_error of string
+(** Message includes the offending byte offset. *)
+
 val parse : string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries a message with the
-    offending offset. Inverse of {!to_string} on finite numbers. *)
+    offending offset. Inverse of {!to_string} on finite numbers. Truncated
+    documents and trailing garbage are rejected — a prefix is never
+    silently accepted. *)
+
+val parse_exn : string -> t
+(** As {!parse}, raising {!Parse_error}. *)
 
 val member : string -> t -> t option
 (** [member key (Obj fields)] looks up a field; [None] on other shapes. *)

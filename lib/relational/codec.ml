@@ -1,0 +1,141 @@
+(* Binary codec for the durable formats of the resilience layer: fixed-width
+   little-endian primitives plus value/tuple/key encodings.
+
+   Writers append to a [Buffer.t]; readers consume a [reader] cursor over a
+   string and raise [Decode_error] on any malformed or truncated input —
+   callers (WAL replay, checkpoint restore) turn that into "stop at the last
+   valid prefix" rather than crashing. The encoding is self-contained per
+   record: no global symbol table, so a record can be decoded out of any
+   valid byte range. *)
+
+exception Decode_error of string
+
+type reader = { buf : string; mutable pos : int }
+
+let reader ?(pos = 0) buf = { buf; pos }
+
+let eof r = r.pos >= String.length r.buf
+
+let remaining r = String.length r.buf - r.pos
+
+let fail msg = raise (Decode_error msg)
+
+let need r n =
+  if remaining r < n then
+    fail (Printf.sprintf "truncated input: need %d bytes at offset %d" n r.pos)
+
+(* ---- primitives ---- *)
+
+let u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let read_u8 r =
+  need r 1;
+  let c = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+(* 32-bit unsigned little-endian (lengths, checksums) *)
+let u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+
+let read_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.buf r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+(* OCaml int as 8-byte little-endian (sign-preserving through Int64) *)
+let i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let read_i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+(* floats by their exact bit pattern: decode(encode x) is bit-identical *)
+let f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let read_f64 r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.buf r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let read_str r =
+  let n = read_u32 r in
+  if n > remaining r then fail "truncated string";
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ---- values and tuples ---- *)
+
+let value b = function
+  | Value.Null -> u8 b 0
+  | Value.Int n ->
+      u8 b 1;
+      i64 b n
+  | Value.Float x ->
+      u8 b 2;
+      f64 b x
+  | Value.Str s ->
+      u8 b 3;
+      str b s
+
+let read_value r =
+  match read_u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (read_i64 r)
+  | 2 -> Value.Float (read_f64 r)
+  | 3 -> Value.Str (read_str r)
+  | tag -> fail (Printf.sprintf "bad value tag %d" tag)
+
+let tuple b (t : Tuple.t) =
+  u32 b (Array.length t);
+  Array.iter (value b) t
+
+let read_tuple r : Tuple.t =
+  let n = read_u32 r in
+  (* cheap sanity bound: a tuple cell takes at least one tag byte *)
+  if n > remaining r then fail "truncated tuple";
+  Array.init n (fun _ -> read_value r)
+
+(* ---- packed keys ---- *)
+
+let key b = function
+  | Keypack.P k ->
+      u8 b 0;
+      i64 b k
+  | Keypack.B t ->
+      u8 b 1;
+      tuple b t
+
+let read_key r =
+  match read_u8 r with
+  | 0 -> Keypack.P (read_i64 r)
+  | 1 -> Keypack.B (read_tuple r)
+  | tag -> fail (Printf.sprintf "bad key tag %d" tag)
+
+(* ---- checksummed frames ---- *)
+
+(* [len u32][crc32 u32][payload]: the framing used for every WAL record and
+   checkpoint body. A frame only decodes if it is completely present and its
+   checksum matches, so a torn tail or flipped bit reads as "no frame". *)
+
+let frame b payload =
+  u32 b (String.length payload);
+  u32 b (Util.Checksum.crc32 payload);
+  Buffer.add_string b payload
+
+let read_frame r =
+  let len = read_u32 r in
+  let crc = read_u32 r in
+  if len > remaining r then fail "truncated frame";
+  let payload = String.sub r.buf r.pos len in
+  if Util.Checksum.crc32 payload <> crc then fail "frame checksum mismatch";
+  r.pos <- r.pos + len;
+  payload

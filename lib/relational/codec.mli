@@ -1,0 +1,48 @@
+(** Binary codec for the resilience layer's durable formats: fixed-width
+    little-endian primitives, value/tuple/key encodings, and checksummed
+    frames. Writers append to a [Buffer.t]; readers raise {!Decode_error} on
+    malformed or truncated input (floats round-trip bit-identically). *)
+
+exception Decode_error of string
+
+type reader = { buf : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+val eof : reader -> bool
+val remaining : reader -> int
+
+val u8 : Buffer.t -> int -> unit
+val read_u8 : reader -> int
+
+val u32 : Buffer.t -> int -> unit
+(** 32-bit unsigned little-endian (lengths, checksums). *)
+
+val read_u32 : reader -> int
+
+val i64 : Buffer.t -> int -> unit
+(** OCaml int as 8-byte little-endian. *)
+
+val read_i64 : reader -> int
+
+val f64 : Buffer.t -> float -> unit
+(** Exact bit pattern: [read_f64] returns a bit-identical float. *)
+
+val read_f64 : reader -> float
+
+val str : Buffer.t -> string -> unit
+val read_str : reader -> string
+
+val value : Buffer.t -> Value.t -> unit
+val read_value : reader -> Value.t
+
+val tuple : Buffer.t -> Tuple.t -> unit
+val read_tuple : reader -> Tuple.t
+
+val key : Buffer.t -> Keypack.key -> unit
+val read_key : reader -> Keypack.key
+
+val frame : Buffer.t -> string -> unit
+(** [[len][crc32][payload]]: a frame decodes only when completely present
+    with a matching checksum — torn tails and bit flips read as "no frame". *)
+
+val read_frame : reader -> string

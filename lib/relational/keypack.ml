@@ -42,6 +42,15 @@ let hash_int x =
 
 let key_hash = function P x -> hash_int x | B t -> Tuple.hash t
 
+(* Total order (packed before boxed): deterministic serialisation order for
+   checkpoint writers iterating hash tables. *)
+let key_compare a b =
+  match (a, b) with
+  | P x, P y -> Stdlib.compare x y
+  | B x, B y -> Tuple.compare x y
+  | P _, B _ -> -1
+  | B _, P _ -> 1
+
 (* [unpack k p] recovers the [k] packed fields as [Value.Int]s. *)
 let unpack k p =
   if k = 1 then [| Value.Int p |]
@@ -160,6 +169,10 @@ module Hybrid = struct
     | B k -> Tuple.Tbl.remove t.boxed k
 
   let length t = Itbl.length t.packed + Tuple.Tbl.length t.boxed
+
+  let clear t =
+    Itbl.clear t.packed;
+    Tuple.Tbl.clear t.boxed
 
   let iter f t =
     Itbl.iter (fun p v -> f (P p) v) t.packed;

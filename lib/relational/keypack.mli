@@ -8,6 +8,10 @@ type key = P of int | B of Tuple.t
 val key_equal : key -> key -> bool
 val key_hash : key -> int
 
+val key_compare : key -> key -> int
+(** Total order (packed before boxed) — deterministic serialisation order
+    for checkpoint writers iterating hash tables. *)
+
 val field_width : int -> int
 (** Bits per field at the given key arity (62 for arity <= 1, [62/k] else). *)
 
@@ -40,6 +44,7 @@ module Hybrid : sig
   val replace : 'a t -> key -> 'a -> unit
   val remove : 'a t -> key -> unit
   val length : 'a t -> int
+  val clear : 'a t -> unit
   val iter : (key -> 'a -> unit) -> 'a t -> unit
   val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 end

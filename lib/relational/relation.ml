@@ -217,17 +217,35 @@ let csv_rows t =
   List.init t.size (fun i ->
       Array.to_list (Array.map (fun c -> Value.to_string (Column.get c i)) t.cols))
 
-let of_csv_rows name schema rows =
+(* Malformed rows raise [Util.Csvio.Malformed] with their 1-based source
+   position; [first_line] anchors row 0 (pass 2 for data under a header
+   line, or use {!of_csv_rows_located} when blank lines may interleave). *)
+let of_csv_located name schema (rows : (int * string list) list) =
   let tys = Array.of_list (List.map (fun (a : Schema.attr) -> a.ty) (Schema.attrs schema)) in
   let t = create ~capacity:(Stdlib.max 1 (List.length rows)) name schema in
   List.iter
-    (fun row ->
+    (fun (line, row) ->
       let cells = Array.of_list row in
       if Array.length cells <> Array.length tys then
-        invalid_arg "Relation.of_csv_rows: arity mismatch";
-      append t (Array.mapi (fun i cell -> Value.of_string tys.(i) cell) cells))
+        Util.Csvio.malformed ~line ~column:(Array.length cells)
+          (Printf.sprintf "expected %d cells for schema of %s, got %d"
+             (Array.length tys) name (Array.length cells));
+      append t
+        (Array.mapi
+           (fun i cell ->
+             try Value.of_string tys.(i) cell
+             with _ ->
+               Util.Csvio.malformed ~line ~column:(i + 1)
+                 (Printf.sprintf "cannot parse %S as %s" cell
+                    (Value.ty_to_string tys.(i))))
+           cells))
     rows;
   t
+
+let of_csv_rows ?(first_line = 1) name schema rows =
+  of_csv_located name schema (List.mapi (fun i row -> (first_line + i, row)) rows)
+
+let of_csv_rows_located = of_csv_located
 
 let distinct_count t =
   let all = Array.init (Schema.arity t.schema) Fun.id in

@@ -95,6 +95,15 @@ val csv_size : t -> int
 (** Byte size of the CSV serialisation (without materialising it). *)
 
 val csv_rows : t -> string list list
-val of_csv_rows : string -> Schema.t -> string list list -> t
+
+val of_csv_rows : ?first_line:int -> string -> Schema.t -> string list list -> t
+(** Typed CSV load. Raises [Util.Csvio.Malformed] with the 1-based source
+    position on wrong arity or an unparseable cell; [first_line] (default 1)
+    anchors the first row's line number (pass 2 for data under a header). *)
+
+val of_csv_rows_located : string -> Schema.t -> (int * string list) list -> t
+(** As {!of_csv_rows}, over [Util.Csvio.parse_string_located] or
+    [read_file_located] output — reported lines survive skipped blanks. *)
+
 val distinct_count : t -> int
 val pp : Format.formatter -> t -> unit

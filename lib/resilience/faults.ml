@@ -1,0 +1,97 @@
+(* Seeded fault injection for the resilient maintenance driver.
+
+   A fault plan is parsed from a compact spec string (comma-separated):
+
+     crash-before:N     raise {!Crash} when update N is logged but not applied
+     crash-after:N      raise {!Crash} right after update N commits
+     torn-tail:K        when a crash fires, shear K bytes off the WAL tail
+     flip-checkpoint    when a crash fires, flip a bit in the newest checkpoint
+     transient:P        each apply fails with probability P (seeded; retried)
+     corrupt-state:N    silently perturb maintained views after update N
+                        (exercises the audit/rebuild path)
+
+   Crash and corruption events are ONE-SHOT: they clear themselves when they
+   fire, so an in-process restart that replays the same sequence numbers
+   (e.g. after a torn tail rewound the committed count) does not crash-loop.
+   Transient failures draw from a [Util.Prng] stream, so a given seed yields
+   the same failure pattern on every run. *)
+
+exception Crash of string
+
+type t = {
+  prng : Util.Prng.t;
+  mutable crash_before : int option;
+  mutable crash_after : int option;
+  mutable torn_tail : int;
+  mutable flip_checkpoint : bool;
+  mutable transient : float;
+  mutable corrupt_state : int option;
+}
+
+let none () =
+  {
+    prng = Util.Prng.create 0;
+    crash_before = None;
+    crash_after = None;
+    torn_tail = 0;
+    flip_checkpoint = false;
+    transient = 0.0;
+    corrupt_state = None;
+  }
+
+let grammar =
+  "comma-separated events: crash-before:N | crash-after:N | torn-tail:K | \
+   flip-checkpoint | transient:P | corrupt-state:N"
+
+let parse ~seed spec =
+  let t = { (none ()) with prng = Util.Prng.create seed } in
+  let bad tok = invalid_arg (Printf.sprintf "bad fault spec %S (%s)" tok grammar) in
+  String.split_on_char ',' spec
+  |> List.iter (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then ()
+         else
+           match String.index_opt tok ':' with
+           | None -> if tok = "flip-checkpoint" then t.flip_checkpoint <- true else bad tok
+           | Some i -> (
+               let name = String.sub tok 0 i in
+               let arg = String.sub tok (i + 1) (String.length tok - i - 1) in
+               let int_arg () = match int_of_string_opt arg with Some n -> n | None -> bad tok in
+               let float_arg () =
+                 match float_of_string_opt arg with Some f -> f | None -> bad tok
+               in
+               match name with
+               | "crash-before" -> t.crash_before <- Some (int_arg ())
+               | "crash-after" -> t.crash_after <- Some (int_arg ())
+               | "torn-tail" -> t.torn_tail <- int_arg ()
+               | "flip-checkpoint" -> bad tok
+               | "transient" -> t.transient <- float_arg ()
+               | "corrupt-state" -> t.corrupt_state <- Some (int_arg ())
+               | _ -> bad tok));
+  t
+
+let crash_before t ~seq =
+  match t.crash_before with
+  | Some n when seq >= n ->
+      t.crash_before <- None;
+      raise (Crash (Printf.sprintf "injected crash before commit of update %d" seq))
+  | _ -> ()
+
+let crash_after t ~seq =
+  match t.crash_after with
+  | Some n when seq >= n ->
+      t.crash_after <- None;
+      raise (Crash (Printf.sprintf "injected crash after commit of update %d" seq))
+  | _ -> ()
+
+let transient_failure t = t.transient > 0.0 && Util.Prng.float t.prng 1.0 < t.transient
+
+let corrupt_now t ~seq =
+  match t.corrupt_state with
+  | Some n when seq >= n ->
+      t.corrupt_state <- None;
+      true
+  | _ -> false
+
+let torn_tail t = t.torn_tail
+let flips_checkpoint t = t.flip_checkpoint

@@ -1,0 +1,37 @@
+(** Seeded fault injection for the resilient maintenance driver: one-shot
+    crash events (optionally tearing the WAL tail / bit-flipping the newest
+    checkpoint as they fire), seeded transient apply failures, and silent
+    view-state corruption to exercise the audit path. *)
+
+exception Crash of string
+(** Simulated process death; the driver applies any configured disk damage
+    and re-raises, and the harness recovers by rebuilding the driver. *)
+
+type t
+
+val none : unit -> t
+(** No faults. *)
+
+val parse : seed:int -> string -> t
+(** Parse a fault spec. Raises [Invalid_argument] with the grammar on a bad
+    token. *)
+
+val grammar : string
+(** One-line description of the spec grammar (CLI help text). *)
+
+val crash_before : t -> seq:int -> unit
+(** Raise {!Crash} (once) if the plan crashes before commit of [seq]. *)
+
+val crash_after : t -> seq:int -> unit
+
+val transient_failure : t -> bool
+(** Draw: does this apply attempt fail transiently? *)
+
+val corrupt_now : t -> seq:int -> bool
+(** One-shot: perturb the maintained state after this commit? *)
+
+val torn_tail : t -> int
+(** Bytes to shear off the WAL when a crash fires (0 = none). *)
+
+val flips_checkpoint : t -> bool
+(** Flip a bit in the newest checkpoint when a crash fires? *)

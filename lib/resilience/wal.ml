@@ -1,0 +1,75 @@
+(* Append-only write-ahead log of delta updates.
+
+   One checksummed frame per record ([Codec.frame]: length, CRC-32, payload);
+   each record carries the sequence number the update commits as, so replay
+   after a checkpoint restore can skip the prefix already covered by the
+   checkpoint. Appends flush before returning — a record that [append]
+   acknowledged survives a crash, and recovery applies it.
+
+   Replay is truncation-tolerant: a torn tail (partial frame, or a frame
+   whose checksum no longer matches) ends the replay at the last valid
+   record instead of raising; the caller repairs the file with {!truncate}
+   before appending again, so later records never sit behind garbage. *)
+
+module Codec = Relational.Codec
+
+type record = { seq : int; update : Fivm.Delta.update }
+
+let encode_record b (r : record) =
+  Codec.i64 b r.seq;
+  Codec.str b r.update.relation;
+  Codec.tuple b r.update.tuple;
+  Codec.i64 b r.update.multiplicity
+
+let decode_record rd : record =
+  let seq = Codec.read_i64 rd in
+  let relation = Codec.read_str rd in
+  let tuple = Codec.read_tuple rd in
+  let multiplicity = Codec.read_i64 rd in
+  { seq; update = { Fivm.Delta.relation; tuple; multiplicity } }
+
+type writer = { path : string; oc : out_channel }
+
+let open_append path =
+  {
+    path;
+    oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path;
+  }
+
+let append w r =
+  let payload = Buffer.create 64 in
+  encode_record payload r;
+  let framed = Buffer.create 80 in
+  Codec.frame framed (Buffer.contents payload);
+  Buffer.output_buffer w.oc framed;
+  flush w.oc
+
+let close w = close_out_noerr w.oc
+
+type replay = { records : record list; valid_bytes : int; torn : bool }
+
+let replay path : replay =
+  if not (Sys.file_exists path) then { records = []; valid_bytes = 0; torn = false }
+  else begin
+    let s = In_channel.with_open_bin path In_channel.input_all in
+    let rd = Codec.reader s in
+    let records = ref [] and valid = ref 0 and torn = ref false in
+    (try
+       while not (Codec.eof rd) do
+         let payload = Codec.read_frame rd in
+         records := decode_record (Codec.reader payload) :: !records;
+         valid := rd.Codec.pos
+       done
+     with Codec.Decode_error _ -> torn := true);
+    { records = List.rev !records; valid_bytes = !valid; torn = !torn }
+  end
+
+let truncate path ~len = if Sys.file_exists path then Unix.truncate path len
+
+let size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0
+
+(* Damage injection (fault harness): shear [bytes] off the end of the log,
+   simulating a write torn mid-frame by a crash. *)
+let shear_tail path ~bytes =
+  let n = size path in
+  if n > 0 then Unix.truncate path (max 0 (n - bytes))

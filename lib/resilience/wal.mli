@@ -1,0 +1,34 @@
+(** Append-only write-ahead log of delta updates: one checksummed frame per
+    record, flushed on append, with truncation-tolerant replay (a torn tail
+    ends the replay at the last valid record instead of raising). *)
+
+type record = { seq : int; update : Fivm.Delta.update }
+(** [seq] is the sequence number the update commits as; replay after a
+    checkpoint restore skips records with [seq <=] the checkpoint's. *)
+
+type writer
+
+val open_append : string -> writer
+(** Open (creating if absent) for appending. *)
+
+val append : writer -> record -> unit
+(** Frame, write, flush: acknowledged records survive a crash. *)
+
+val close : writer -> unit
+
+type replay = {
+  records : record list;  (** valid prefix, in append order *)
+  valid_bytes : int;  (** length of that prefix on disk *)
+  torn : bool;  (** a partial or corrupt frame ended the scan early *)
+}
+
+val replay : string -> replay
+(** Never raises on torn/corrupt tails; a missing file is an empty log. *)
+
+val truncate : string -> len:int -> unit
+(** Repair a torn log to its valid prefix before appending again. *)
+
+val size : string -> int
+
+val shear_tail : string -> bytes:int -> unit
+(** Damage injection: shear bytes off the end, as a crash mid-write would. *)

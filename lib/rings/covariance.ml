@@ -124,6 +124,39 @@ let moment_matrix t =
       | i, 0 -> t.s.(i - 1)
       | i, j -> Mat.get t.q (i - 1) (j - 1))
 
+(* Binary codec (checkpoint payloads): dimension, count, sums, then the
+   product matrix row-major, every float by its exact bit pattern — a
+   decoded triple is bit-identical to the encoded one, which the
+   crash-recovery equivalence guarantee depends on. *)
+let encode b t =
+  let n = dim t in
+  Relational.Codec.u32 b n;
+  Relational.Codec.f64 b t.c;
+  for i = 0 to n - 1 do
+    Relational.Codec.f64 b t.s.(i)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Relational.Codec.f64 b (Mat.get t.q i j)
+    done
+  done
+
+let decode r =
+  let n = Relational.Codec.read_u32 r in
+  if n > 65536 then raise (Relational.Codec.Decode_error "covariance dim");
+  let c = Relational.Codec.read_f64 r in
+  let s = Vec.create n in
+  for i = 0 to n - 1 do
+    s.(i) <- Relational.Codec.read_f64 r
+  done;
+  let q = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Mat.set q i j (Relational.Codec.read_f64 r)
+    done
+  done;
+  { c; s; q }
+
 let to_string t =
   Format.asprintf "(c=%g, s=%a)" t.c Vec.pp t.s
 

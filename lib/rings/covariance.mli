@@ -53,6 +53,13 @@ val moment_matrix : t -> Mat.t
 (** The (n+1)x(n+1) symmetric moment matrix [[c, s^T]; [s, Q]] with the
     intercept in slot 0 — the input to gradient-descent linear regression. *)
 
+val encode : Buffer.t -> t -> unit
+(** Binary codec for checkpoint payloads; floats are stored by bit pattern,
+    so {!decode} returns a bit-identical triple. *)
+
+val decode : Relational.Codec.reader -> t
+(** @raise Relational.Codec.Decode_error on malformed input. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

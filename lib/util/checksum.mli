@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE, reflected) integrity checksums for the resilience layer's
+    on-disk formats. Results are non-negative 32-bit values in an [int]. *)
+
+val crc32 : string -> int
+val crc32_sub : string -> pos:int -> len:int -> int
+val crc32_bytes : Bytes.t -> pos:int -> len:int -> int

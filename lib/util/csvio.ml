@@ -6,20 +6,42 @@
    building. Only the simple dialect is supported: comma separator, no quoted
    separators (our generators never emit commas inside fields). *)
 
+(* Malformed input (wrong arity, unparseable cell) carries its SOURCE
+   position: 1-based line and column (column = cell index + 1), so a bad
+   cell in a million-row import is findable. Raised by the typed loaders
+   ([Relation.of_csv_rows]) on top of the located rows below. *)
+exception Malformed of { line : int; column : int; reason : string }
+
+let malformed ~line ~column reason = raise (Malformed { line; column; reason })
+
+let () =
+  Printexc.register_printer (function
+    | Malformed { line; column; reason } ->
+        Some (Printf.sprintf "malformed CSV at line %d, column %d: %s" line column reason)
+    | _ -> None)
+
 let split_line line =
   String.split_on_char ',' line
 
-let parse_string s =
+let strip_cr line =
+  if String.length line > 0 && line.[String.length line - 1] = '\r' then
+    String.sub line 0 (String.length line - 1)
+  else line
+
+(* Rows paired with their 1-based physical line numbers; blank lines are
+   skipped but keep counting, so positions in {!Malformed} match the file. *)
+let parse_string_located s =
   let lines = String.split_on_char '\n' s in
-  List.filter_map
-    (fun line ->
-      let line =
-        if String.length line > 0 && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
-      in
-      if line = "" then None else Some (split_line line))
-    lines
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (lineno, acc) line ->
+            let line = strip_cr line in
+            ( lineno + 1,
+              if line = "" then acc else (lineno, split_line line) :: acc ))
+          (1, []) lines))
+
+let parse_string s = List.map snd (parse_string_located s)
 
 let write_row buf row =
   List.iteri
@@ -50,14 +72,19 @@ let write_file path rows =
         rows;
       Buffer.output_buffer oc buf)
 
-let read_file path =
+let read_file_located path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec loop acc =
+      let rec loop lineno acc =
         match input_line ic with
-        | line -> loop (split_line line :: acc)
+        | line ->
+            let line = strip_cr line in
+            loop (lineno + 1)
+              (if line = "" then acc else (lineno, split_line line) :: acc)
         | exception End_of_file -> List.rev acc
       in
-      loop [])
+      loop 1 [])
+
+let read_file path = List.map snd (read_file_located path)

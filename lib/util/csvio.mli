@@ -1,11 +1,24 @@
 (** Minimal CSV support for the export/import steps of the structure-agnostic
     baseline. Simple dialect: comma separator, no embedded commas/quotes. *)
 
+exception Malformed of { line : int; column : int; reason : string }
+(** Malformed input with its SOURCE position: 1-based line, 1-based column
+    (cell index + 1). Raised by typed loaders built on the located rows
+    (e.g. [Relation.of_csv_rows]) for wrong arity or unparseable cells. *)
+
+val malformed : line:int -> column:int -> string -> 'a
+(** Raise {!Malformed}. *)
+
 val parse_string : string -> string list list
 (** Parse CSV text into rows of cells; blank lines are skipped. *)
+
+val parse_string_located : string -> (int * string list) list
+(** Rows paired with 1-based physical line numbers (blank lines skipped but
+    counted, so positions match the source text). *)
 
 val to_string : string list list -> string
 (** Serialise rows to CSV text. *)
 
 val write_file : string -> string list list -> unit
 val read_file : string -> string list list
+val read_file_located : string -> (int * string list) list

@@ -165,12 +165,99 @@ let test_heavy_light_split () =
   Alcotest.(check int) "heavy tuples" 90 (Relation.cardinality heavy);
   Alcotest.(check int) "light tuples" 10 (Relation.cardinality light)
 
+(* ---- incremental maintenance: the three IVM strategies against each
+   other and against recompute, after EVERY batch of one seeded 500-update
+   stream of inserts and deletes ---- *)
+
+module M = Fivm.Maintainer
+module Delta = Fivm.Delta
+
+let stream_db () =
+  Database.create "stream"
+    [
+      Relation.create "F"
+        (Schema.make [ ("a", Value.TInt); ("b", Value.TInt); ("m", Value.TFloat) ]);
+      Relation.create "D1" (Schema.make [ ("a", Value.TInt); ("u", Value.TFloat) ]);
+      Relation.create "D2" (Schema.make [ ("b", Value.TInt); ("v", Value.TFloat) ]);
+    ]
+
+(* Inserts with small key domains (so tuples join), and deletes of
+   previously inserted tuples about a quarter of the time. *)
+let stream_update rng inserted =
+  if !inserted <> [] && Util.Prng.int rng 4 = 0 then begin
+    let u = Util.Prng.choice rng (Array.of_list !inserted) in
+    inserted := List.filter (fun x -> x != u) !inserted;
+    Delta.delete u.Delta.relation u.Delta.tuple
+  end
+  else begin
+    let rel = [| "F"; "D1"; "D2" |].(Util.Prng.int rng 3) in
+    let tuple =
+      match rel with
+      | "F" ->
+          [| int (Util.Prng.int rng 4); int (Util.Prng.int rng 4);
+             flt (Util.Prng.float rng 5.0) |]
+      | _ -> [| int (Util.Prng.int rng 4); flt (Util.Prng.float rng 5.0) |]
+    in
+    let u = Delta.insert rel tuple in
+    inserted := u :: !inserted;
+    u
+  end
+
+let test_maintenance_strategies_agree () =
+  let rng = Util.Prng.create 20260806 in
+  let inserted = ref [] in
+  let updates = Array.init 500 (fun _ -> stream_update rng inserted) in
+  let features = [ "m"; "u"; "v" ] in
+  let maintainers =
+    List.map
+      (fun s -> M.create s (stream_db ()) ~features)
+      [ M.F_ivm; M.Higher_order; M.First_order ]
+  in
+  let batch_size = 20 in
+  let batches = Array.length updates / batch_size in
+  for b = 0 to batches - 1 do
+    List.iter
+      (fun m ->
+        for i = b * batch_size to ((b + 1) * batch_size) - 1 do
+          M.apply m updates.(i)
+        done)
+      maintainers;
+    match maintainers with
+    | fivm :: others ->
+        let reference = M.covariance fivm in
+        Alcotest.(check bool)
+          (Printf.sprintf "batch %d: F-IVM matches recompute" b)
+          true
+          (Rings.Covariance.equal_rel ~eps:1e-6 reference (M.recompute fivm));
+        List.iter
+          (fun m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "batch %d: %s matches F-IVM" b
+                 (M.strategy_name (M.strategy_of m)))
+              true
+              (Rings.Covariance.equal_rel ~eps:1e-6 reference (M.covariance m)))
+          others
+    | [] -> assert false
+  done;
+  (* the stream really exercised both directions *)
+  let deletes =
+    Array.fold_left
+      (fun acc (u : Delta.update) -> if u.Delta.multiplicity < 0 then acc + 1 else acc)
+      0 updates
+  in
+  Alcotest.(check bool) "stream contains deletes" true (deletes > 50)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
   Alcotest.run "differential"
     [
       ("cross-engine", [ qcheck engines_agree ]);
+      ( "delta-stream",
+        [
+          Alcotest.test_case "all strategies + recompute agree per batch"
+            `Quick test_maintenance_strategies_agree;
+        ] );
       ( "degree-stats",
         [
           qcheck degree_stats_consistent;

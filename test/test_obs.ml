@@ -114,6 +114,68 @@ let test_json_parse_errors () =
       | Ok _ -> Alcotest.failf "expected parse error on %S" s)
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
 
+(* Random finite JSON documents: structural depth <= 3, finite numbers only
+   (the printer maps non-finite to null by design, which would not round-trip
+   as a Num). *)
+let random_json seed =
+  let open Obs.Json in
+  let prng = Util.Prng.create seed in
+  let random_string () =
+    String.init (Util.Prng.int prng 8) (fun _ ->
+        (* printable ASCII plus the escaped set and a control char *)
+        Util.Prng.choice prng
+          [| 'a'; 'z'; '0'; ' '; '"'; '\\'; '\n'; '\t'; '\001'; '/'; '{' |])
+  in
+  let random_number () =
+    match Util.Prng.int prng 4 with
+    | 0 -> num_int (Util.Prng.int_range prng (-1000) 1000)
+    | 1 -> Num (Util.Prng.float_range prng (-1e6) 1e6)
+    | 2 -> Num (Util.Prng.float_range prng (-1e-3) 1e-3)
+    | _ -> Num (if Util.Prng.bool prng then 0.0 else -0.0)
+  in
+  let rec value depth =
+    match if depth = 0 then Util.Prng.int prng 5 else Util.Prng.int prng 7 with
+    | 0 -> Null
+    | 1 -> Bool (Util.Prng.bool prng)
+    | 2 | 3 -> random_number ()
+    | 4 -> Str (random_string ())
+    | 5 -> Arr (List.init (Util.Prng.int prng 4) (fun _ -> value (depth - 1)))
+    | _ ->
+        Obj
+          (List.init (Util.Prng.int prng 4) (fun i ->
+               (Printf.sprintf "k%d%s" i (random_string ()), value (depth - 1))))
+  in
+  value 3
+
+let qcheck_json_round_trip =
+  QCheck2.Test.make ~count:200 ~name:"random documents round-trip via parse_exn"
+    QCheck2.Gen.int
+    (fun seed ->
+      let doc = random_json seed in
+      Obs.Json.parse_exn (Obs.Json.to_string doc) = doc)
+
+let test_json_rejects_truncation_and_garbage () =
+  let open Obs.Json in
+  let doc = random_json 42 in
+  let s = to_string (Obj [ ("payload", doc); ("n", num_int 7) ]) in
+  (* every strict prefix must raise Parse_error, never parse as a smaller
+     document *)
+  for len = 0 to String.length s - 1 do
+    match parse_exn (String.sub s 0 len) with
+    | _ -> Alcotest.failf "prefix of length %d parsed" len
+    | exception Parse_error _ -> ()
+  done;
+  (* trailing garbage after a complete document is rejected too *)
+  List.iter
+    (fun tail ->
+      match parse_exn (s ^ tail) with
+      | _ -> Alcotest.failf "accepted trailing %S" tail
+      | exception Parse_error _ -> ())
+    [ "x"; "{}"; "  1"; ","; "]" ];
+  (* but trailing whitespace is fine *)
+  Alcotest.(check bool) "whitespace tail ok" true
+    (parse_exn (s ^ " \n\t ") = parse_exn s)
+
 let test_export_shape () =
   with_clean_obs @@ fun () ->
   Obs.set_enabled true;
@@ -159,6 +221,9 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_round_trip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          QCheck_alcotest.to_alcotest qcheck_json_round_trip;
+          Alcotest.test_case "rejects truncation and trailing garbage" `Quick
+            test_json_rejects_truncation_and_garbage;
           Alcotest.test_case "export shape" `Quick test_export_shape;
         ] );
     ]

@@ -114,6 +114,50 @@ let csv_prop =
         (list_size (int_range 1 5) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
     (fun rows -> Csvio.parse_string (Csvio.to_string rows) = rows)
 
+(* Malformed CSV reports its source position: 1-based line (physical, so
+   skipped blank lines still count) and 1-based column. *)
+
+let check_malformed name ~line ~column f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Csvio.Malformed" name
+  | exception Csvio.Malformed m ->
+      Alcotest.(check int) (name ^ ": line") line m.line;
+      Alcotest.(check int) (name ^ ": column") column m.column
+
+let test_csv_located_lines () =
+  let text = "a,b\n\n1,2\n\n\n3,4\n" in
+  Alcotest.(check (list (pair int (list string))))
+    "blank lines counted but skipped"
+    [ (1, [ "a"; "b" ]); (3, [ "1"; "2" ]); (6, [ "3"; "4" ]) ]
+    (Csvio.parse_string_located text)
+
+let test_csv_malformed_arity () =
+  let schema = Relational.Schema.make [ ("x", Relational.Value.TInt); ("y", Relational.Value.TFloat) ] in
+  (* row 2 of the data (line 3 under a header) has three cells *)
+  check_malformed "wrong arity" ~line:3 ~column:3 (fun () ->
+      Relational.Relation.of_csv_rows ~first_line:2 "r" schema
+        [ [ "1"; "2.0" ]; [ "3"; "4.0"; "oops" ] ]);
+  (* located variant: the reported line survives interleaved blanks *)
+  let rows = Csvio.parse_string_located "1,2.0\n\n\n3,4.0,oops\n" in
+  check_malformed "wrong arity (located)" ~line:4 ~column:3 (fun () ->
+      Relational.Relation.of_csv_rows_located "r" schema rows)
+
+let test_csv_malformed_cell () =
+  let schema = Relational.Schema.make [ ("x", Relational.Value.TInt); ("y", Relational.Value.TFloat) ] in
+  check_malformed "non-numeric cell" ~line:2 ~column:2 (fun () ->
+      Relational.Relation.of_csv_rows "r" schema
+        [ [ "1"; "2.0" ]; [ "3"; "not-a-number" ] ]);
+  check_malformed "int cell" ~line:1 ~column:1 (fun () ->
+      Relational.Relation.of_csv_rows "r" schema [ [ "1.5"; "2.0" ] ]);
+  (* the message is human-readable and carries the position *)
+  (match
+     Relational.Relation.of_csv_rows "r" schema [ [ "x"; "0" ] ]
+   with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Csvio.Malformed m ->
+      Alcotest.(check bool) "reason mentions the cell" true
+        (String.length m.reason > 0))
+
 (* --- interner --- *)
 
 let test_interner () =
@@ -182,6 +226,12 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           qcheck csv_prop;
+          Alcotest.test_case "located physical lines" `Quick
+            test_csv_located_lines;
+          Alcotest.test_case "malformed: wrong arity" `Quick
+            test_csv_malformed_arity;
+          Alcotest.test_case "malformed: bad cell" `Quick
+            test_csv_malformed_cell;
         ] );
       ("interner", [ Alcotest.test_case "basic" `Quick test_interner ]);
       ( "pool",
