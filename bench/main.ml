@@ -753,6 +753,52 @@ let engines () =
       (module Baseline.Unshared.Monet);
     ]
 
+(* ---------------------------------------------------------------- shard *)
+
+(* Sharded maintenance scaling: the retailer insert stream hash-partitioned
+   into N shards (Fivm.Shard). Wall time reflects this machine's core
+   count; "critical path" runs every shard alone (~domains:1) and takes the
+   slowest shard's apply time — the delta-application makespan an idle
+   N-core machine would see. Merge time is the canonical shard-order fold
+   of the per-shard covariances. *)
+let shard () =
+  header "Sharded F-IVM maintenance: shard-count scaling (retailer stream)" "";
+  let db = Datagen.Retailer.generate ~scale ~seed () in
+  let features = Datagen.Retailer.ivm_features in
+  let stream = Datagen.Stream_gen.inserts_of_database db in
+  Printf.printf "stream: %d inserts (F-IVM); partition attribute: %s; %d domains\n"
+    (List.length stream)
+    (Fivm.Shard.plan_attr (Fivm.Shard.plan ~shards:1 db))
+    (Util.Pool.num_domains ());
+  Printf.printf "%-8s %12s %14s %10s %16s\n" "shards" "wall" "critical path"
+    "merge" "speedup (crit)";
+  let base = ref nan in
+  List.iter
+    (fun shards ->
+      let sh_wall = Fivm.Shard.create Fivm.Maintainer.F_ivm db ~features ~shards in
+      let t_wall =
+        Util.Timing.measure ~repeats:1 (fun () ->
+            Fivm.Shard.apply_batch sh_wall stream)
+      in
+      let sh_crit = Fivm.Shard.create Fivm.Maintainer.F_ivm db ~features ~shards in
+      Fivm.Shard.apply_batch ~domains:1 sh_crit stream;
+      let t_crit =
+        Array.fold_left Stdlib.max 0.0 (Fivm.Shard.shard_seconds sh_crit)
+      in
+      let _, t_merge =
+        Util.Timing.time (fun () -> ignore (Fivm.Shard.covariance sh_crit))
+      in
+      if shards = 1 then base := t_crit;
+      Printf.printf "%-8d %12s %14s %10s %16s\n%!" shards
+        (Util.Timing.to_string t_wall)
+        (Util.Timing.to_string t_crit)
+        (Util.Timing.to_string t_merge)
+        (pct (!base /. t_crit));
+      record ~entry:"shard" ~engine:(Printf.sprintf "n%d-wall" shards) t_wall;
+      record ~entry:"shard" ~engine:(Printf.sprintf "n%d-critical" shards) t_crit;
+      record ~entry:"shard" ~engine:(Printf.sprintf "n%d-merge" shards) t_merge)
+    [ 1; 2; 4; 8 ]
+
 (* ------------------------------------------------------------- dispatch *)
 
 let entries =
@@ -769,6 +815,7 @@ let entries =
     ("ablate", ablate);
     ("wcoj", wcoj);
     ("recovery", recovery);
+    ("shard", shard);
     ("engines", engines);
     ("micro", micro);
   ]

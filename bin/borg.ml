@@ -302,73 +302,50 @@ let maintain_cmd =
              ~doc:"After the stream, replay it through a bare maintainer and fail unless \
                    the recovered covariance is bit-identical.")
   in
+  let shards_arg =
+    let default =
+      match Sys.getenv_opt "BORG_SHARDS" with
+      | Some s -> ( try Stdlib.max 1 (int_of_string s) with _ -> 1)
+      | None -> 1
+    in
+    Arg.(value & opt int default
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Hash-partition the stream into N shards maintained in parallel, \
+                   each with its own WAL and checkpoints under \
+                   $(b,checkpoint-dir)/shard-k. Defaults to $(b,BORG_SHARDS) \
+                   or 1 (the single-shard driver).")
+  in
+  let digest_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "digest-out" ] ~docv:"FILE"
+             ~doc:"Write a hex CRC-32 digest of the final covariance's bit pattern \
+                   to $(docv); identical digests mean bit-identical results.")
+  in
   let run (name, spec) scale seed strategy limit dir every audit faults_spec restarts
-      verify trace metrics_out =
+      verify shards digest_out trace metrics_out =
     with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     let stream =
       Array.of_list
         (List.filteri (fun i _ -> i < limit) (Datagen.Stream_gen.inserts_of_database db))
     in
+    let rec rm_rf path =
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
     let dir, cleanup =
       match dir with
       | Some d -> (d, fun () -> ())
       | None ->
           let d = Filename.temp_dir "borg-maintain" "" in
-          ( d,
-            fun () ->
-              Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
-              Sys.rmdir d )
+          (d, fun () -> rm_rf d)
     in
     Fun.protect ~finally:cleanup @@ fun () ->
-    let faults =
-      match faults_spec with
-      | Some s -> Resilience.Faults.parse ~seed s
-      | None -> Resilience.Faults.none ()
-    in
-    let cfg =
-      Resilience.Driver.config ~checkpoint_every:every ~audit_every:audit ~faults dir
-    in
     let make () = Fivm.Maintainer.create strategy db ~features:spec.ivm_features in
-    let crashes = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    let rec go d =
-      let from = Resilience.Driver.seq d in
-      match
-        for i = from to Array.length stream - 1 do
-          ignore (Resilience.Driver.submit d stream.(i))
-        done
-      with
-      | () -> d
-      | exception Resilience.Faults.Crash msg ->
-          incr crashes;
-          Printf.printf "crash %d: %s\n%!" !crashes msg;
-          if !crashes > restarts then begin
-            Printf.eprintf "borg maintain: restart budget (%d) exhausted\n" restarts;
-            exit 1
-          end;
-          let d' = Resilience.Driver.create cfg make in
-          Printf.printf "recovered to seq %d, resuming\n%!" (Resilience.Driver.seq d');
-          go d'
-    in
-    let d = go (Resilience.Driver.create cfg make) in
-    let seconds = Unix.gettimeofday () -. t0 in
-    let n = Array.length stream in
-    Printf.printf
-      "%s over %s: %d updates committed in %s (%.0f tuples/s), %d crash(es), %d quarantined\n"
-      (Fivm.Maintainer.strategy_name strategy)
-      name (Resilience.Driver.seq d)
-      (Util.Timing.to_string seconds)
-      (float_of_int n /. seconds)
-      !crashes
-      (List.length (Resilience.Driver.quarantined d));
-    let cov = Resilience.Driver.covariance d in
-    Printf.printf "maintained join count: %g\n" (Rings.Covariance.count cov);
-    Resilience.Driver.close d;
-    if verify then begin
-      let m = make () in
-      Array.iter (Fivm.Maintainer.apply m) stream;
-      let reference = Fivm.Maintainer.covariance m in
+    let bit_identical (cov : Rings.Covariance.t) (reference : Rings.Covariance.t) =
       let bits = Int64.bits_of_float in
       let dim = Rings.Covariance.dim reference in
       let identical = ref (bits cov.Rings.Covariance.c = bits reference.Rings.Covariance.c) in
@@ -382,7 +359,111 @@ let maintain_cmd =
           then identical := false
         done
       done;
-      if !identical then
+      !identical
+    in
+    let t0 = Unix.gettimeofday () in
+    (* Single shard: the bare driver with an in-process restart loop.
+       Sharded: per-shard drivers with in-task recovery (Resilience.Sharded). *)
+    let cov, committed, crashes, quarantined, reference =
+      if shards <= 1 then begin
+        let faults =
+          match faults_spec with
+          | Some s -> Resilience.Faults.parse ~seed s
+          | None -> Resilience.Faults.none ()
+        in
+        let cfg =
+          Resilience.Driver.config ~checkpoint_every:every ~audit_every:audit ~faults dir
+        in
+        let crashes = ref 0 in
+        let rec go d =
+          let from = Resilience.Driver.seq d in
+          match
+            for i = from to Array.length stream - 1 do
+              ignore (Resilience.Driver.submit d stream.(i))
+            done
+          with
+          | () -> d
+          | exception Resilience.Faults.Crash msg ->
+              incr crashes;
+              Printf.printf "crash %d: %s\n%!" !crashes msg;
+              if !crashes > restarts then begin
+                Printf.eprintf "borg maintain: restart budget (%d) exhausted\n" restarts;
+                exit 1
+              end;
+              let d' = Resilience.Driver.create cfg make in
+              Printf.printf "recovered to seq %d, resuming\n%!" (Resilience.Driver.seq d');
+              go d'
+        in
+        let d = go (Resilience.Driver.create cfg make) in
+        let cov = Resilience.Driver.covariance d in
+        let committed = Resilience.Driver.seq d in
+        let quarantined = List.length (Resilience.Driver.quarantined d) in
+        Resilience.Driver.close d;
+        let reference () =
+          let m = make () in
+          Array.iter (Fivm.Maintainer.apply m) stream;
+          Fivm.Maintainer.covariance m
+        in
+        (cov, committed, !crashes, quarantined, reference)
+      end
+      else begin
+        let plan = Fivm.Shard.plan ~shards db in
+        let faults k =
+          match faults_spec with
+          | Some s -> Resilience.Faults.parse ~seed:(seed + k) s
+          | None -> Resilience.Faults.none ()
+        in
+        let sh =
+          Resilience.Sharded.create ~checkpoint_every:every ~audit_every:audit
+            ~max_restarts:restarts ~faults ~dir ~plan make
+        in
+        (match Resilience.Sharded.submit_batch sh (Array.to_list stream) with
+        | () -> ()
+        | exception Failure msg ->
+            Printf.eprintf "borg maintain: %s\n" msg;
+            exit 1);
+        let cov = Resilience.Sharded.covariance sh in
+        let committed = Resilience.Sharded.seq sh in
+        let crashes = Resilience.Sharded.crashes sh in
+        let quarantined = List.length (Resilience.Sharded.quarantined sh) in
+        Resilience.Sharded.close sh;
+        let reference () =
+          let clean =
+            Fivm.Shard.create strategy db ~features:spec.ivm_features ~shards
+          in
+          Array.iter (Fivm.Shard.apply clean) stream;
+          Fivm.Shard.covariance clean
+        in
+        Printf.printf "sharded over %d shards on %s (per-shard commits:%s)\n" shards
+          (Fivm.Shard.plan_attr plan)
+          (String.concat ""
+             (Array.to_list
+                (Array.map (Printf.sprintf " %d") (Resilience.Sharded.seqs sh))));
+        (cov, committed, crashes, quarantined, reference)
+      end
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let n = Array.length stream in
+    Printf.printf
+      "%s over %s: %d updates committed in %s (%.0f tuples/s), %d crash(es), %d quarantined\n"
+      (Fivm.Maintainer.strategy_name strategy)
+      name committed
+      (Util.Timing.to_string seconds)
+      (float_of_int n /. seconds)
+      crashes quarantined;
+    Printf.printf "maintained join count: %g\n" (Rings.Covariance.count cov);
+    Option.iter
+      (fun path ->
+        let buf = Buffer.create 4096 in
+        Rings.Covariance.encode buf cov;
+        let digest = Printf.sprintf "%08x\n" (Util.Checksum.crc32 (Buffer.contents buf)) in
+        let oc = open_out path in
+        output_string oc digest;
+        close_out oc;
+        Printf.printf "digest: %s" digest)
+      digest_out;
+    if verify then begin
+      if bit_identical cov (reference ()) then
         Printf.printf "verify: recovered covariance is bit-identical to the clean run\n"
       else begin
         Printf.eprintf "borg maintain: recovered covariance DIVERGES from the clean run\n";
@@ -394,10 +475,11 @@ let maintain_cmd =
     (Cmd.info "maintain"
        ~doc:
          "Maintain the covariance matrix resiliently: WAL + checkpoints, optional \
-          fault injection, crash recovery, quarantine and audits.")
+          fault injection, crash recovery, quarantine and audits, optionally \
+          hash-partitioned over N parallel shards.")
     Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ method_arg $ limit_arg
           $ dir_arg $ every_arg $ audit_arg $ faults_arg $ restarts_arg $ verify_arg
-          $ trace_arg $ metrics_out_arg)
+          $ shards_arg $ digest_out_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- agg: run an aggregate batch through a selectable engine ---- *)
 

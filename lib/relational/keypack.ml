@@ -42,6 +42,12 @@ let hash_int x =
 
 let key_hash = function P x -> hash_int x | B t -> Tuple.hash t
 
+(* Shard routing depends only on the key value (via [key_hash]), so a packed
+   key and its boxed round trip land on the same shard, and every producer
+   of the same key routes identically. *)
+let shard_of_key ~shards k =
+  if shards <= 1 then 0 else (key_hash k land max_int) mod shards
+
 (* Total order (packed before boxed): deterministic serialisation order for
    checkpoint writers iterating hash tables. *)
 let key_compare a b =

@@ -12,6 +12,11 @@ val key_compare : key -> key -> int
 (** Total order (packed before boxed) — deterministic serialisation order
     for checkpoint writers iterating hash tables. *)
 
+val shard_of_key : shards:int -> key -> int
+(** [shard_of_key ~shards k] maps [k] to a shard in [\[0, shards)]. Depends
+    only on the key value: packed keys and their boxed round trips route
+    identically. [shards <= 1] always routes to shard 0. *)
+
 val field_width : int -> int
 (** Bits per field at the given key arity (62 for arity <= 1, [62/k] else). *)
 

@@ -21,21 +21,53 @@ let ranges n chunks =
   in
   if n = 0 then [] else build 0 0 []
 
-(* [parallel_chunks ~domains n f combine zero] applies [f lo len] on each
-   chunk in its own domain and folds the results with [combine]. *)
-let parallel_chunks ?domains n f ~combine ~zero =
-  let domains = match domains with Some d -> d | None -> num_domains () in
-  match ranges n domains with
+(* [parallel_chunks ~domains ~chunks n f ~combine ~zero] applies [f lo len]
+   on each chunk, distributing chunks over worker domains, and folds the
+   results with [combine] in chunk-index order. The decomposition and the
+   fold order depend only on [n] and [chunks] — never on how many domains
+   execute them — so for a fixed chunk count the result is bit-identical
+   across domain counts even when [combine] is non-commutative.
+   [chunks] defaults to [domains] to preserve the historical decomposition
+   for callers with commutative combines. With one worker (or one chunk)
+   everything runs inline on the calling domain: no spawn. *)
+let parallel_chunks ?domains ?chunks n f ~combine ~zero =
+  let domains =
+    Stdlib.max 1 (match domains with Some d -> d | None -> num_domains ())
+  in
+  let chunks = match chunks with Some c -> Stdlib.max 1 c | None -> domains in
+  match ranges n chunks with
   | [] -> zero
   | [ (lo, len) ] -> combine zero (f lo len)
-  | (lo0, len0) :: rest ->
-      let handles =
-        List.map (fun (lo, len) -> Domain.spawn (fun () -> f lo len)) rest
-      in
-      let first = f lo0 len0 in
-      List.fold_left
-        (fun acc h -> combine acc (Domain.join h))
-        (combine zero first) handles
+  | rs ->
+      let rs = Array.of_list rs in
+      let k = Array.length rs in
+      let results = Array.make k None in
+      let workers = Stdlib.min domains k in
+      if workers <= 1 then
+        Array.iteri (fun i (lo, len) -> results.(i) <- Some (f lo len)) rs
+      else begin
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < k then begin
+              let lo, len = rs.(i) in
+              results.(i) <- Some (f lo len);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join spawned
+      end;
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | Some v -> combine acc v
+          | None -> failwith "Pool.parallel_chunks: missing chunk")
+        zero results
 
 (* Run a list of independent thunks in parallel, preserving order of
    results. Used for LMFAO task parallelism over independent view groups. *)

@@ -10,9 +10,20 @@ val ranges : int -> int -> (int * int) list
     [(start, length)] ranges covering it exactly. *)
 
 val parallel_chunks :
-  ?domains:int -> int -> (int -> int -> 'a) -> combine:('b -> 'a -> 'b) -> zero:'b -> 'b
+  ?domains:int ->
+  ?chunks:int ->
+  int ->
+  (int -> int -> 'a) ->
+  combine:('b -> 'a -> 'b) ->
+  zero:'b ->
+  'b
 (** [parallel_chunks n f ~combine ~zero] evaluates [f start len] on each chunk
-    of [\[0, n)] in parallel domains and folds the partial results. *)
+    of [\[0, n)] in parallel domains and folds the partial results in
+    chunk-index order. The decomposition and fold order depend only on [n]
+    and [chunks] (default: the domain count), so for a fixed [chunks] the
+    result is independent of how many domains run the work — bit-identical
+    even for non-commutative [combine]. [?domains:1] runs inline without
+    spawning. *)
 
 val parallel_tasks : ?domains:int -> (unit -> 'a) list -> 'a list
 (** Run independent thunks in parallel, returning results in input order. *)

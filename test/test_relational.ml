@@ -396,6 +396,71 @@ let test_append_arity_mismatch () =
     (Invalid_argument "Relation.append: arity mismatch on R (3 vs 2)") (fun () ->
       Relation.append r [| int 1; int 2; int 3 |])
 
+(* ---- Keypack shard routing ---- *)
+
+(* Uniform keys spread evenly: no shard may receive more than twice the
+   mean, for packed multi-field int keys and for boxed string keys alike. *)
+let test_shard_distribution () =
+  let n = 10_000 in
+  let check_counts label shards counts =
+    let mean = float_of_int n /. float_of_int shards in
+    Array.iteri
+      (fun s c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: shard %d/%d holds %d <= 2x mean" label s shards c)
+          true
+          (float_of_int c <= 2.0 *. mean))
+      counts
+  in
+  List.iter
+    (fun shards ->
+      let packed = Array.make shards 0 in
+      let boxed = Array.make shards 0 in
+      for i = 0 to n - 1 do
+        let kp =
+          Keypack.key_of_tuple [| 0; 1 |]
+            [| Value.Int (i mod 100); Value.Int (i / 100) |]
+        in
+        let kb = Keypack.key_of_tuple [| 0 |] [| Value.Str (string_of_int i) |] in
+        packed.(Keypack.shard_of_key ~shards kp) <-
+          packed.(Keypack.shard_of_key ~shards kp) + 1;
+        boxed.(Keypack.shard_of_key ~shards kb) <-
+          boxed.(Keypack.shard_of_key ~shards kb) + 1
+      done;
+      check_counts "packed" shards packed;
+      check_counts "boxed" shards boxed)
+    [ 2; 3; 4; 8; 16 ];
+  Alcotest.(check int) "shards=1 routes everything to 0" 0
+    (Keypack.shard_of_key ~shards:1 (Keypack.P 123456789))
+
+(* Routing is a function of the key VALUE: a key and its boxed round trip
+   (unpack/key_tuple then re-pack) land on the same shard, whether the key
+   packs or falls back to a boxed tuple. *)
+let shard_route_roundtrip =
+  QCheck2.Test.make ~count:200
+    ~name:"shard routing consistent across pack/unpack round trips"
+    QCheck2.Gen.(pair (int_range 1 4) int)
+    (fun (arity, seed) ->
+      let rng = Util.Prng.create seed in
+      (* mix fields that pack (small non-negative ints) with fields that
+         force the boxed fallback (negatives, strings) *)
+      let field () =
+        match Util.Prng.int rng 3 with
+        | 0 -> Value.Int (Util.Prng.int rng 1000)
+        | 1 -> Value.Int (-1 - Util.Prng.int rng 1000)
+        | _ -> Value.Str (string_of_int (Util.Prng.int rng 100))
+      in
+      let tuple = Array.init arity (fun _ -> field ()) in
+      let positions = Array.init arity Fun.id in
+      let k = Keypack.key_of_tuple positions tuple in
+      let k' = Keypack.key_of_tuple positions (Keypack.key_tuple arity k) in
+      Keypack.key_equal k k'
+      && List.for_all
+           (fun shards ->
+             let s = Keypack.shard_of_key ~shards k in
+             s = Keypack.shard_of_key ~shards k' && s >= 0 && s < shards)
+           [ 1; 2; 3; 8; 16 ])
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -430,6 +495,12 @@ let () =
           qcheck cartesian_matches_boxed_oracle;
           qcheck distinct_matches_boxed_oracle;
           qcheck projection_matches_boxed_oracle;
+        ] );
+      ( "keypack",
+        [
+          Alcotest.test_case "shard distribution sanity" `Quick
+            test_shard_distribution;
+          qcheck shard_route_roundtrip;
         ] );
       ( "hypergraph",
         [

@@ -199,6 +199,55 @@ let test_parallel_tasks_order () =
   let results = Pool.parallel_tasks (List.init 20 (fun i () -> i * i)) in
   Alcotest.(check (list int)) "ordered" (List.init 20 (fun i -> i * i)) results
 
+(* For a FIXED chunk count, the result may not depend on how many domains
+   execute the chunks — even when [combine] is non-commutative and float
+   rounding makes every association distinct. Covers the n < chunks edge
+   (each chunk one element) via small n. *)
+let parallel_chunks_domain_invariance =
+  QCheck2.Test.make ~count:60
+    ~name:"parallel_chunks: result independent of domain count"
+    QCheck2.Gen.(triple (int_range 0 50) (int_range 1 10) int)
+    (fun (n, chunks, seed) ->
+      let rng = Util.Prng.create seed in
+      let xs = Array.init (max n 1) (fun _ -> Util.Prng.float rng 1.0) in
+      let run domains =
+        Pool.parallel_chunks ~domains ~chunks n
+          (fun lo len ->
+            let s = ref 0.0 in
+            for i = lo to lo + len - 1 do
+              s := !s +. xs.(i)
+            done;
+            !s)
+          (* non-commutative, non-associative combine: any reordering of the
+             fold shows up in the bits *)
+          ~combine:(fun acc x -> (acc *. 0.5) +. x)
+          ~zero:1.0
+      in
+      let reference = Int64.bits_of_float (run 1) in
+      List.for_all
+        (fun domains -> Int64.bits_of_float (run domains) = reference)
+        [ 2; 3; 4; 8 ])
+
+(* domains=1 must not spawn: every chunk runs on the calling domain. *)
+let test_parallel_chunks_no_spawn () =
+  let self = Domain.self () in
+  let ids =
+    Pool.parallel_chunks ~domains:1 ~chunks:8 100
+      (fun _ _ -> [ Domain.self () ])
+      ~combine:( @ ) ~zero:[]
+  in
+  Alcotest.(check int) "8 chunks ran" 8 (List.length ids);
+  Alcotest.(check bool) "all on the calling domain" true
+    (List.for_all (fun id -> id = self) ids)
+
+(* n < chunks: ranges must cover [0, n) exactly with n singleton chunks. *)
+let test_ranges_fewer_items_than_chunks () =
+  let rs = Pool.ranges 3 8 in
+  Alcotest.(check int) "clamped to n chunks" 3 (List.length rs);
+  Alcotest.(check (list (pair int int))) "singleton cover"
+    [ (0, 1); (1, 1); (2, 1) ] rs;
+  Alcotest.(check (list (pair int int))) "n=0 empty" [] (Pool.ranges 0 4)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -239,5 +288,10 @@ let () =
           Alcotest.test_case "ranges cover" `Quick test_ranges_cover;
           Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
           Alcotest.test_case "task order" `Quick test_parallel_tasks_order;
+          qcheck parallel_chunks_domain_invariance;
+          Alcotest.test_case "domains=1 never spawns" `Quick
+            test_parallel_chunks_no_spawn;
+          Alcotest.test_case "ranges with n < chunks" `Quick
+            test_ranges_fewer_items_than_chunks;
         ] );
     ]
