@@ -799,6 +799,69 @@ let shard () =
       record ~entry:"shard" ~engine:(Printf.sprintf "n%d-merge" shards) t_merge)
     [ 1; 2; 4; 8 ]
 
+(* ---------------------------------------------------------------- serve *)
+
+(* Serving-layer cache economics: the numeric covariance batch over the
+   retailer stream, answered (a) cold by Lmfao.Engine.eval over the current
+   contents, (b) by the epoch-cached hit path, (c) re-served right after a
+   delta round refreshed the entry in place. The headline number is the
+   hit/cold ratio — the whole point of the cache is that repeated traffic
+   stops paying for LMFAO's decomposition. *)
+let serve_bench () =
+  header "Serving: epoch-cached hits vs cold LMFAO recompute (retailer)" "";
+  let db = Datagen.Retailer.generate ~scale ~seed () in
+  let features = Datagen.Retailer.ivm_features in
+  let stream = Array.of_list (Datagen.Stream_gen.inserts_of_database db) in
+  let n = Array.length stream in
+  let initial = n * 9 / 10 in
+  let seg lo len = Array.to_list (Array.sub stream lo len) in
+  let srv = Serve.create Fivm.Maintainer.F_ivm db ~features in
+  let t_load =
+    Util.Timing.measure ~repeats:1 (fun () ->
+        Serve.apply_deltas srv (seg 0 initial))
+  in
+  let batch = Aggregates.Batch.covariance_numeric features in
+  Printf.printf "stream: %d inserts loaded in %s; batch: %d aggregates\n" initial
+    (Util.Timing.to_string t_load)
+    (Aggregates.Batch.size batch);
+  let dbnow = Serve.snapshot srv in
+  let t_cold =
+    Util.Timing.measure ~repeats:3 (fun () ->
+        ignore (Lmfao.Engine.eval ~on_cyclic:`Materialize dbnow batch))
+  in
+  ignore (Serve.serve srv batch);
+  let t_hit =
+    Util.Timing.measure ~repeats:100 (fun () -> ignore (Serve.serve srv batch))
+  in
+  let t_refresh =
+    Util.Timing.measure ~repeats:3 (fun () ->
+        Serve.apply_deltas srv (seg initial 8))
+  in
+  let t_hit_after =
+    Util.Timing.measure ~repeats:100 (fun () -> ignore (Serve.serve srv batch))
+  in
+  let s = Serve.stats srv in
+  Printf.printf "%-34s %12s %14s\n" "path" "time" "vs cold";
+  Printf.printf "%-34s %12s %14s\n" "cold Lmfao.Engine.eval"
+    (Util.Timing.to_string t_cold) "1.0x";
+  Printf.printf "%-34s %12s %14s\n" "cache hit"
+    (Util.Timing.to_string t_hit)
+    (pct (t_cold /. t_hit));
+  Printf.printf "%-34s %12s %14s\n" "8-update delta round (refresh)"
+    (Util.Timing.to_string t_refresh)
+    (pct (t_cold /. t_refresh));
+  Printf.printf "%-34s %12s %14s\n" "hit after refresh"
+    (Util.Timing.to_string t_hit_after)
+    (pct (t_cold /. t_hit_after));
+  Printf.printf
+    "stats: %d hits, %d misses, %d refreshes, %d invalidations (epoch %d)\n%!"
+    s.Serve.hits s.Serve.misses s.Serve.refreshes s.Serve.invalidations
+    (Serve.epoch srv);
+  record ~entry:"serve" ~engine:"cold-eval" t_cold;
+  record ~entry:"serve" ~engine:"cache-hit" t_hit;
+  record ~entry:"serve" ~engine:"delta-refresh" t_refresh;
+  record ~entry:"serve" ~engine:"hit-after-refresh" t_hit_after
+
 (* ------------------------------------------------------------- dispatch *)
 
 let entries =
@@ -816,6 +879,7 @@ let entries =
     ("wcoj", wcoj);
     ("recovery", recovery);
     ("shard", shard);
+    ("serve", serve_bench);
     ("engines", engines);
     ("micro", micro);
   ]

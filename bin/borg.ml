@@ -549,6 +549,223 @@ let agg_cmd =
     Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ engine_arg $ batch_arg
           $ trace_arg $ metrics_out_arg)
 
+(* ---- serve: epoch-cached aggregate serving over a delta stream ---- *)
+
+let serve_cmd =
+  (* [serve] gets its own dataset enum: the synthetic workloads plus
+     "lattice", a small star schema whose feature values are strictly
+     positive multiples of 1/16. On the lattice every covariance sum is
+     exactly representable, so --check can demand BIT identity between
+     served (cached/refreshed) results and a fresh recompute. *)
+  let star_db () =
+    Database.create "lattice"
+      [
+        Relation.create "F"
+          (Schema.make [ ("a", Value.TInt); ("b", Value.TInt); ("m", Value.TFloat) ]);
+        Relation.create "D1" (Schema.make [ ("a", Value.TInt); ("u", Value.TFloat) ]);
+        Relation.create "D2" (Schema.make [ ("b", Value.TInt); ("v", Value.TFloat) ]);
+      ]
+  in
+  let lattice_stream ~seed ~steps =
+    let rng = Util.Prng.create seed in
+    let inserted = ref [] in
+    let value rng = float_of_int (1 + Util.Prng.int rng 64) /. 16.0 in
+    let iv n = Value.Int n and fv x = Value.Float x in
+    List.init steps (fun _ ->
+        if !inserted <> [] && Util.Prng.int rng 4 = 0 then begin
+          let u = Util.Prng.choice rng (Array.of_list !inserted) in
+          inserted := List.filter (fun x -> x != u) !inserted;
+          Fivm.Delta.delete u.Fivm.Delta.relation u.Fivm.Delta.tuple
+        end
+        else begin
+          let rel = [| "F"; "D1"; "D2" |].(Util.Prng.int rng 3) in
+          let tuple =
+            match rel with
+            | "F" -> [| iv (Util.Prng.int rng 4); iv (Util.Prng.int rng 4); fv (value rng) |]
+            | _ -> [| iv (Util.Prng.int rng 4); fv (value rng) |]
+          in
+          let u = Fivm.Delta.insert rel tuple in
+          inserted := u :: !inserted;
+          u
+        end)
+  in
+  (* [exact]: demand bit identity (sound only for exact float arithmetic —
+     the lattice stream). Otherwise served and recomputed sums may differ
+     in summation order, so compare with the same relative tolerance as
+     Covariance.equal_rel. *)
+  let results_agree ~exact a b =
+    let same v1 v2 =
+      if exact then Int64.bits_of_float v1 = Int64.bits_of_float v2
+      else
+        Float.abs (v1 -. v2)
+        <= 1e-9 *. (1.0 +. Float.abs v1 +. Float.abs v2)
+    in
+    let by_id l = List.sort (fun (i, _) (j, _) -> compare i j) l in
+    let a = by_id a and b = by_id b in
+    List.length a = List.length b
+    && List.for_all2
+         (fun (id1, r1) (id2, r2) ->
+           String.equal id1 id2
+           && List.length r1 = List.length r2
+           && List.for_all2
+                (fun (k1, v1) (k2, v2) -> k1 = k2 && same v1 v2)
+                r1 r2)
+         a b
+  in
+  let target_arg =
+    let sconv =
+      Arg.enum
+        (("lattice", `Lattice)
+        :: List.map (fun (n, s) -> (n, `Gen (n, s))) datasets)
+    in
+    Arg.(required & pos 0 (some sconv) None & info [] ~docv:"DATASET")
+  in
+  let method_arg =
+    let mconv =
+      Arg.enum
+        [
+          ("fivm", Fivm.Maintainer.F_ivm);
+          ("higher", Fivm.Maintainer.Higher_order);
+          ("first", Fivm.Maintainer.First_order);
+        ]
+    in
+    Arg.(value & opt mconv Fivm.Maintainer.F_ivm
+         & info [ "method" ] ~docv:"M" ~doc:"fivm | higher | first")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"K" ~doc:"Concurrent serving clients per burst.")
+  in
+  let repeats_arg =
+    Arg.(value & opt int 4
+         & info [ "repeats" ] ~docv:"R" ~doc:"Requests per batch per client burst.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 2
+         & info [ "rounds" ] ~docv:"N" ~doc:"Delta rounds applied between bursts.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 400
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Total updates: half as the initial load, the rest split over the rounds.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"After every burst, fail unless each served result matches a \
+                   fresh LMFAO recompute over the current contents: bit-identical \
+                   on the exact-arithmetic lattice dataset, within 1e-9 relative \
+                   error elsewhere (arbitrary floats are summation-order \
+                   sensitive).")
+  in
+  let run target scale seed strategy clients repeats rounds limit check trace
+      metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let exact = target = `Lattice in
+    let name, schema_db, features, mi, stream =
+      match target with
+      | `Lattice ->
+          ("lattice", star_db (), [ "m"; "u"; "v" ], [ "a"; "b" ],
+           lattice_stream ~seed ~steps:limit)
+      | `Gen (n, spec) ->
+          let db = spec.generate ~scale ~seed () in
+          let mi =
+            match n with
+            | "retailer" -> Datagen.Retailer.mi_attrs
+            | "favorita" -> Datagen.Favorita.mi_attrs
+            | "yelp" -> Datagen.Yelp.mi_attrs
+            | _ -> Datagen.Tpcds.mi_attrs
+          in
+          ( n, db, spec.ivm_features, mi,
+            List.filteri (fun i _ -> i < limit)
+              (Datagen.Stream_gen.inserts_of_database db) )
+    in
+    let srv = Serve.create strategy schema_db ~features in
+    let batches =
+      (* one refreshable batch (pure covariance coordinates) and one that
+         must invalidate (group-bys) *)
+      [
+        Aggregates.Batch.covariance_numeric features;
+        Aggregates.Batch.mutual_information mi;
+      ]
+    in
+    let updates = Array.of_list stream in
+    let n = Array.length updates in
+    let initial = n / 2 in
+    let seg lo len = Array.to_list (Array.sub updates lo len) in
+    Serve.apply_deltas srv (seg 0 initial);
+    let served = ref 0 in
+    let burst () =
+      List.iter
+        (fun b ->
+          (* one warm-up request (miss or refreshed hit), then a concurrent
+             burst that must hit the cache *)
+          ignore (Serve.serve srv b);
+          let requests = List.init (clients * repeats) (fun _ -> b) in
+          ignore (Serve.serve_many ~clients srv requests);
+          served := !served + 1 + List.length requests;
+          if check then begin
+            let got = Serve.serve srv b in
+            incr served;
+            let fresh =
+              (Lmfao.Engine.eval ~on_cyclic:`Materialize (Serve.snapshot srv) b)
+                .Lmfao.Engine.keyed
+            in
+            if not (results_agree ~exact got fresh) then begin
+              Printf.eprintf
+                "borg serve: served %s DIVERGES from recompute at epoch %d\n"
+                b.Aggregates.Batch.name (Serve.epoch srv);
+              List.iter
+                (fun (id, r1) ->
+                  match List.assoc_opt id fresh with
+                  | Some r2 when r1 = r2 -> ()
+                  | r2 ->
+                      Printf.eprintf "  %s: served %s vs fresh %s\n" id
+                        (String.concat ";"
+                           (List.map (fun (_, v) -> Printf.sprintf "%h" v) r1))
+                        (match r2 with
+                        | None -> "<missing>"
+                        | Some r2 ->
+                            String.concat ";"
+                              (List.map (fun (_, v) -> Printf.sprintf "%h" v) r2)))
+                got;
+              exit 1
+            end
+          end)
+        batches
+    in
+    let t0 = Unix.gettimeofday () in
+    burst ();
+    let remaining = n - initial in
+    for r = 0 to rounds - 1 do
+      let lo = initial + r * remaining / rounds in
+      let hi = initial + (r + 1) * remaining / rounds in
+      Serve.apply_deltas srv (seg lo (hi - lo));
+      burst ()
+    done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let s = Serve.stats srv in
+    Printf.printf
+      "%s over %s (%s): %d requests in %s, epoch %d, cache %d entries\n"
+      "serve" name
+      (Fivm.Maintainer.strategy_name strategy)
+      !served (Util.Timing.to_string seconds) (Serve.epoch srv)
+      (Serve.cache_size srv);
+    Printf.printf "hits %d  misses %d  refreshes %d  invalidations %d\n" s.Serve.hits
+      s.Serve.misses s.Serve.refreshes s.Serve.invalidations;
+    if check then
+      Printf.printf "check: served results %s recompute\n"
+        (if exact then "bit-identical to" else "within 1e-9 relative of")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve aggregate batches concurrently from the epoch-invalidated cache \
+          while F-IVM applies delta rounds.")
+    Term.(const run $ target_arg $ scale_arg $ seed_arg $ method_arg $ clients_arg
+          $ repeats_arg $ rounds_arg $ limit_arg $ check_arg $ trace_arg
+          $ metrics_out_arg)
+
 (* ---- check-metrics: validate an exported metrics snapshot ---- *)
 
 let check_metrics_cmd =
@@ -632,5 +849,6 @@ let () =
             ivm_cmd;
             maintain_cmd;
             agg_cmd;
+            serve_cmd;
             check_metrics_cmd;
           ]))

@@ -174,3 +174,35 @@ let eval_flat rel batch =
 let pp ppf b =
   Format.fprintf ppf "batch %s: %d aggregates@\n" b.name (size b);
   List.iter (fun a -> Format.fprintf ppf "  %a@\n" Spec.pp a) b.aggregates
+
+(* Content fingerprint: the batch's canonical forms folded through CRC-32,
+   chaining each step's digest into the next input so aggregate ORDER
+   matters (two batches answer positionally). Used by [Serve] as the cache
+   key for a batch shape. *)
+let fingerprint b =
+  List.fold_left
+    (fun acc s -> Util.Checksum.crc32 (Printf.sprintf "%08x|%s" acc (Spec.canonical s)))
+    (Util.Checksum.crc32 b.name)
+    b.aggregates
+
+(* The numeric-only covariance batch: COUNT, SUM(x), SUM(x*y) over the given
+   features, no categorical interactions. Exactly the aggregates a serving
+   cache can refresh from a maintained covariance triple. *)
+let covariance_numeric (features : string list) =
+  let aggs = ref [] in
+  let push a = aggs := a :: !aggs in
+  push (Spec.count ~id:"count");
+  List.iter
+    (fun x ->
+      push (Spec.make ~id:(Printf.sprintf "sum(%s)" x) ~terms:[ (x, 1) ] ~group_by:[] ()))
+    features;
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) (x :: rest) @ pairs rest
+  in
+  List.iter
+    (fun (x, y) ->
+      let terms = if x = y then [ (x, 2) ] else [ (x, 1); (y, 1) ] in
+      push (Spec.make ~id:(Printf.sprintf "sum(%s*%s)" x y) ~terms ~group_by:[] ()))
+    (pairs features);
+  { name = "covariance-numeric"; aggregates = List.rev !aggs }

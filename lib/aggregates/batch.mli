@@ -32,3 +32,13 @@ val eval_flat : Relation.t -> t -> (string * Spec.result) list
 (** Naive evaluation of the whole batch over a materialised data matrix. *)
 
 val pp : Format.formatter -> t -> unit
+
+val fingerprint : t -> int
+(** Order-sensitive content fingerprint of the batch (name plus every
+    aggregate's {!Spec.canonical} folded through [Util.Checksum.crc32]);
+    non-negative and stable across processes. Cache key material. *)
+
+val covariance_numeric : string list -> t
+(** The numeric part of {!covariance} over an explicit feature list: COUNT,
+    SUM(x) and SUM(x*y) only — the batch shape a covariance-maintaining
+    serving cache can refresh without recomputation. *)

@@ -127,6 +127,10 @@ let covariance t : Cov.t =
 let storage = function
   | Fivm { storage; _ } | Higher { storage; _ } | First { storage; _ } -> storage
 
+let features = function
+  | Fivm { task; _ } | Higher { task; _ } | First { task; _ } ->
+      Array.to_list task.Cov_task.features
+
 let strategy_of = function
   | Fivm _ -> F_ivm
   | Higher _ -> Higher_order

@@ -36,6 +36,10 @@ val covariance : t -> Rings.Covariance.t
 
 val storage : t -> Storage.t
 
+val features : t -> string list
+(** The numeric features of the covariance task, in the order given to
+    {!create} (= the index order of {!covariance}'s vector and matrix). *)
+
 val strategy_of : t -> strategy
 
 val recompute : t -> Rings.Covariance.t

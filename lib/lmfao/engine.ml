@@ -140,12 +140,6 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
   stats.views <- stats.views + 1;
   Obs.add c_partials (Array.length distinct);
   Obs.incr c_views;
-  (* subtree ownership predicates *)
-  let subtree_names =
-    Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] node
-  in
-  let owned_by_subtree a = List.mem (Hashtbl.find owner a) subtree_names in
-  ignore owned_by_subtree;
   let owned_here a = Hashtbl.find owner a = my_name in
   (* children plans: restrict each distinct partial to each child's subtree *)
   let children_with_specs =
@@ -541,11 +535,27 @@ let table_of keyed =
 (* Cyclic fallback (the paper's Section 4 footnote: cyclic queries are
    partially evaluated to acyclic ones by materialising decomposition bags):
    materialise the full join with the worst-case optimal engine and answer
-   the batch by flat evaluation over it. *)
-let eval_cyclic (db : Database.t) (batch : Batch.t) =
+   the batch by flat evaluation over it. Stats reflect the actual work: one
+   materialised view (the full join), one flat pass per aggregate, no
+   sharing. *)
+let c_cyclic_fallback = Obs.counter "lmfao.cyclic_fallback"
+
+let eval_cyclic (db : Database.t) (batch : Batch.t) :
+    (string * Spec.result) list * stats =
   Obs.with_span "lmfao.cyclic_fallback" @@ fun () ->
+  Obs.incr c_cyclic_fallback;
   let join = Factorized.Wcoj.materialise (Database.relations db) in
-  List.map (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s)) batch.Batch.aggregates
+  let keyed =
+    List.map (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s)) batch.Batch.aggregates
+  in
+  let stats =
+    { views = 1; partials = List.length batch.Batch.aggregates; shared_away = 0 }
+  in
+  Obs.incr c_views;
+  Obs.add c_partials stats.partials;
+  Obs.add c_tuples_scanned
+    (Relation.cardinality join * List.length batch.Batch.aggregates);
+  (keyed, stats)
 
 let eval ?(options = default_options) ?(on_cyclic = `Raise) (db : Database.t)
     (batch : Batch.t) : result =
@@ -554,7 +564,7 @@ let eval ?(options = default_options) ?(on_cyclic = `Raise) (db : Database.t)
     match eval_acyclic ~options db batch with
     | r -> r
     | exception Join_tree.Cyclic when on_cyclic = `Materialize ->
-        (eval_cyclic db batch, { views = 0; partials = 0; shared_away = 0 })
+        eval_cyclic db batch
   in
   { keyed; table = lazy (table_of keyed); stats }
 

@@ -55,7 +55,9 @@ val eval :
     schemas: [`Raise] (default) propagates [Join_tree.Cyclic];
     [`Materialize] falls back to materialising the join with
     {!Factorized.Wcoj} and evaluating the batch flat (the paper's footnote-4
-    bag materialisation — [result.stats] is all zeroes on that path).
+    bag materialisation). On that path [result.stats] reflects the actual
+    work — one materialised view, one flat pass per aggregate, nothing
+    shared — and the [lmfao.cyclic_fallback] counter is bumped.
     @raise Unsupported on non-decomposable filters
     @raise Join_tree.Cyclic on cyclic schemas with [on_cyclic = `Raise] *)
 

@@ -58,7 +58,11 @@ let counter_value_by_name name =
 
 (* ---------- gauges ---------- *)
 
-type gauge = { g_name : string; mutable g : float }
+(* Gauges are written from worker domains (e.g. per-shard sizes inside
+   [Util.Pool] tasks), so the cell is an [Atomic] — a plain mutable float
+   here was a cross-domain data race that histograms (mutex) and counters
+   (atomics) never had. *)
+type gauge = { g_name : string; g : float Atomic.t }
 
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 
@@ -67,12 +71,12 @@ let gauge name =
       match Hashtbl.find_opt gauges name with
       | Some g -> g
       | None ->
-          let g = { g_name = name; g = 0.0 } in
+          let g = { g_name = name; g = Atomic.make 0.0 } in
           Hashtbl.add gauges name g;
           g)
 
-let set_gauge g v = if !enabled then g.g <- v
-let gauge_value g = g.g
+let set_gauge g v = if !enabled then Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
 
 (* ---------- histograms ---------- *)
 
@@ -201,7 +205,7 @@ let spans () = locked (fun () -> List.rev !top_spans)
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
-      Hashtbl.iter (fun _ g -> g.g <- 0.0) gauges;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g 0.0) gauges;
       Hashtbl.iter
         (fun _ h ->
           h.h_count <- 0;
@@ -256,11 +260,11 @@ let pp_report ppf () =
       Format.fprintf ppf "counters:@,";
       List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@," name v) cs);
   let gs =
-    List.filter (fun (_, g) -> g.g <> 0.0) (sorted_bindings gauges)
+    List.filter (fun (_, g) -> gauge_value g <> 0.0) (sorted_bindings gauges)
   in
   if gs <> [] then begin
     Format.fprintf ppf "gauges:@,";
-    List.iter (fun (name, g) -> Format.fprintf ppf "  %-36s %12g@," name g.g) gs
+    List.iter (fun (name, g) -> Format.fprintf ppf "  %-36s %12g@," name (gauge_value g)) gs
   end;
   let hs =
     List.filter (fun (_, h) -> h.h_count > 0) (sorted_bindings histograms)
@@ -295,7 +299,7 @@ let to_json () =
       ( "gauges",
         Json.Obj
           (List.filter_map
-             (fun (k, g) -> if g.g = 0.0 then None else Some (k, Json.Num g.g))
+             (fun (k, g) -> if gauge_value g = 0.0 then None else Some (k, Json.Num (gauge_value g)))
              (sorted_bindings gauges)) );
       ( "histograms",
         Json.Obj

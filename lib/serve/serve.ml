@@ -1,0 +1,248 @@
+(* Concurrent aggregate serving over Lmfao.Engine with an epoch-invalidated
+   result cache.
+
+   The paper's serving story (ROADMAP north star) is repeated traffic of the
+   SAME aggregate batches — covariance matrices for model reoptimisation,
+   mutual-information batches for structure search — over a database that
+   F-IVM keeps fresh. Re-running LMFAO's decomposition per request wastes
+   the repetition, so this layer caches batch results keyed by
+
+     (Batch.fingerprint, database epoch)
+
+   where the epoch is an atomic counter advanced by every delta batch. A
+   request whose cached entry carries the current epoch is a HIT (no engine
+   work at all). On delta application, cache entries are either
+
+   - REFRESHED in place, when every aggregate of the batch is a coordinate
+     of the maintained covariance triple (COUNT, SUM(x), SUM(x^2),
+     SUM(x*y) over the maintainer's features, unfiltered and ungrouped):
+     the new result is read straight out of [Maintainer.covariance], which
+     F-IVM has already brought up to date — no recompute; or
+   - DROPPED (invalidated), for anything else (group-bys, filters,
+     non-feature attributes); the next request recomputes and re-caches.
+
+   Under exact arithmetic (the dyadic-lattice inputs of the differential
+   tests) refreshed entries are bit-identical to a fresh LMFAO recompute,
+   because both pipelines produce exactly representable sums.
+
+   Concurrency: the cache is guarded by one mutex held only for lookups and
+   insertions (never across engine work); the epoch is an [Atomic]. Reads
+   may run as K concurrent clients on [Util.Pool] tasks under the global
+   worker budget. Delta application is single-writer: callers must not
+   overlap [apply_deltas] with in-flight reads (the CLI and tests serialise
+   them; a miss that loses the race to a concurrent delta batch is inserted
+   at its own stale epoch and simply misses again next time). *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+module Cov = Rings.Covariance
+module Maintainer = Fivm.Maintainer
+
+(* Coordinate of one covariance-backed aggregate in the maintained triple. *)
+type coord = C | S of int | Q of int * int
+
+type entry = {
+  mutable e_epoch : int; (* epoch the cached result is valid for *)
+  mutable e_result : (string * Spec.result) list;
+  refresh : (string * coord) list option;
+      (* per-aggregate coordinates when the WHOLE batch is covariance-backed *)
+}
+
+type stats = { hits : int; misses : int; invalidations : int; refreshes : int }
+
+type t = {
+  maintainer : Maintainer.t;
+  schema_db : Database.t; (* empty, schema-shaped; snapshots clone it *)
+  feature_index : (string, int) Hashtbl.t;
+  epoch : int Atomic.t;
+  cache : (int, entry) Hashtbl.t; (* fingerprint -> entry *)
+  lock : Mutex.t;
+  options : Lmfao.Engine.options;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+  refreshes : int Atomic.t;
+}
+
+let c_hits = Obs.counter "serve.hits"
+let c_misses = Obs.counter "serve.misses"
+let c_invalidations = Obs.counter "serve.invalidations"
+let c_refreshes = Obs.counter "serve.refreshes"
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(options = Lmfao.Engine.default_options) strategy
+    (db : Database.t) ~features =
+  let maintainer = Maintainer.create strategy db ~features in
+  let feature_index = Hashtbl.create 8 in
+  List.iteri (fun i f -> Hashtbl.replace feature_index f i) features;
+  {
+    maintainer;
+    schema_db = db;
+    feature_index;
+    epoch = Atomic.make 0;
+    cache = Hashtbl.create 16;
+    lock = Mutex.create ();
+    options;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    refreshes = Atomic.make 0;
+  }
+
+let maintainer t = t.maintainer
+let epoch t = Atomic.get t.epoch
+let cache_size t = locked t (fun () -> Hashtbl.length t.cache)
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    invalidations = Atomic.get t.invalidations;
+    refreshes = Atomic.get t.refreshes;
+  }
+
+(* ---------- covariance-backed detection ---------- *)
+
+let coord_of_spec t (s : Spec.t) =
+  let idx a = Hashtbl.find_opt t.feature_index a in
+  if s.filter <> Predicate.True || s.group_by <> [] then None
+  else
+    match s.terms with
+    | [] -> Some C
+    | [ (x, 1) ] -> Option.map (fun i -> S i) (idx x)
+    | [ (x, 2) ] -> Option.map (fun i -> Q (i, i)) (idx x)
+    | [ (x, 1); (y, 1) ] -> (
+        match (idx x, idx y) with
+        | Some i, Some j -> Some (Q (i, j))
+        | _ -> None)
+    | _ -> None
+
+(* The refresh plan: Some coords iff EVERY aggregate is a triple
+   coordinate — a partially backed batch cannot be refreshed consistently,
+   so it invalidates as a whole. *)
+let refresh_plan t (batch : Batch.t) =
+  let rec all acc = function
+    | [] -> Some (List.rev acc)
+    | (s : Spec.t) :: rest -> (
+        match coord_of_spec t s with
+        | Some c -> all ((s.id, c) :: acc) rest
+        | None -> None)
+  in
+  all [] batch.Batch.aggregates
+
+let coord_value (cov : Cov.t) = function
+  | C -> cov.Cov.c
+  | S i -> Util.Vec.get cov.Cov.s i
+  | Q (i, j) -> Util.Mat.get cov.Cov.q i j
+
+let result_of_plan cov plan =
+  List.map (fun (id, c) -> (id, [ ([], coord_value cov c) ])) plan
+
+(* ---------- snapshot + recompute ---------- *)
+
+(* Current database contents as a fresh [Database.t]: replay [Storage.dump]
+   (live tuples in insertion-stamp order) into empty clones of the schema
+   relations. Order preservation keeps LMFAO's accumulation order — and so
+   its float results — deterministic for a given stream. *)
+let snapshot t : Database.t =
+  let rels =
+    List.map
+      (fun r -> Relation.create (Relation.name r) (Relation.schema r))
+      (Database.relations t.schema_db)
+  in
+  let db = Database.create (Database.name t.schema_db) rels in
+  List.iter
+    (fun (u : Fivm.Delta.update) ->
+      let rel = Database.relation db u.Fivm.Delta.relation in
+      for _ = 1 to u.Fivm.Delta.multiplicity do
+        Relation.append rel u.Fivm.Delta.tuple
+      done)
+    (Fivm.Storage.dump (Maintainer.storage t.maintainer));
+  db
+
+(* Recompute the batch and return results in BATCH order (the engine groups
+   its keyed results by decomposition root) — the serving contract is
+   request order, and refreshed entries are rebuilt in batch order too. *)
+let recompute t (batch : Batch.t) =
+  let r =
+    Lmfao.Engine.eval ~options:t.options ~on_cyclic:`Materialize (snapshot t)
+      batch
+  in
+  let table = Lazy.force r.Lmfao.Engine.table in
+  List.map
+    (fun (s : Spec.t) ->
+      match Hashtbl.find_opt table s.id with
+      | Some res -> (s.id, res)
+      | None -> failwith "Serve.recompute: engine lost an aggregate")
+    batch.Batch.aggregates
+
+(* ---------- the read path ---------- *)
+
+let serve t (batch : Batch.t) : (string * Spec.result) list =
+  Obs.with_span "serve.request" @@ fun () ->
+  let fp = Batch.fingerprint batch in
+  let now = Atomic.get t.epoch in
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache fp with
+        | Some e when e.e_epoch = now -> Some e.e_result
+        | _ -> None)
+  in
+  match cached with
+  | Some r ->
+      Atomic.incr t.hits;
+      Obs.incr c_hits;
+      r
+  | None ->
+      Atomic.incr t.misses;
+      Obs.incr c_misses;
+      let keyed = recompute t batch in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.cache fp with
+          | Some e when e.e_epoch >= now ->
+              (* a concurrent miss (or a refresh) got there first; keep the
+                 newer entry *)
+              ()
+          | _ ->
+              Hashtbl.replace t.cache fp
+                {
+                  e_epoch = now;
+                  e_result = keyed;
+                  refresh = refresh_plan t batch;
+                });
+      keyed
+
+(* K concurrent clients on pool tasks; [clients] bounds the domains used
+   (further capped by the global worker budget). Results in input order. *)
+let serve_many ?clients t (batches : Batch.t list) =
+  Util.Pool.parallel_tasks ?domains:clients
+    (List.map (fun b () -> serve t b) batches)
+
+(* ---------- the write path ---------- *)
+
+let apply_deltas t (updates : Fivm.Delta.update list) =
+  Obs.with_span "serve.apply" @@ fun () ->
+  Maintainer.apply_batch t.maintainer updates;
+  let next = Atomic.fetch_and_add t.epoch 1 + 1 in
+  let cov = lazy (Maintainer.covariance t.maintainer) in
+  locked t (fun () ->
+      let dropped = ref [] in
+      Hashtbl.iter
+        (fun fp (e : entry) ->
+          if e.e_epoch < next then
+            match e.refresh with
+            | Some plan ->
+                e.e_result <- result_of_plan (Lazy.force cov) plan;
+                e.e_epoch <- next;
+                Atomic.incr t.refreshes;
+                Obs.incr c_refreshes
+            | None ->
+                dropped := fp :: !dropped;
+                Atomic.incr t.invalidations;
+                Obs.incr c_invalidations)
+        t.cache;
+      List.iter (Hashtbl.remove t.cache) !dropped)

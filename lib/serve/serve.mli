@@ -1,0 +1,63 @@
+(** Concurrent aggregate serving over {!Lmfao.Engine} with an
+    epoch-invalidated result cache kept fresh by {!Fivm.Maintainer}.
+
+    Batches are cached under [(Batch.fingerprint, epoch)]: every delta batch
+    advances the atomic epoch, then either refreshes cache entries in place
+    (batches made entirely of maintained covariance-triple coordinates —
+    COUNT / SUM(x) / SUM(x^2) / SUM(x*y) over the features, unfiltered,
+    ungrouped) or drops them so the next request recomputes from a storage
+    snapshot. Under exact arithmetic, refreshed and recomputed results are
+    bit-identical (the serving differential in [test_serve.ml]).
+
+    Reads may run as concurrent clients on {!Util.Pool} tasks under the
+    process-global worker budget; delta application is single-writer and
+    must not overlap reads. Counters [serve.hits] / [serve.misses] /
+    [serve.invalidations] / [serve.refreshes] and spans [serve.request] /
+    [serve.apply] are maintained when {!Obs} is enabled; {!stats} is always
+    live. *)
+
+open Relational
+module Spec := Aggregates.Spec
+
+type t
+
+type stats = { hits : int; misses : int; invalidations : int; refreshes : int }
+
+val create :
+  ?options:Lmfao.Engine.options ->
+  Fivm.Maintainer.strategy ->
+  Database.t ->
+  features:string list ->
+  t
+(** A server over an initially EMPTY database with the given schemas (the
+    same contract as {!Fivm.Maintainer.create}); [features] are the numeric
+    attributes of the maintained covariance task. [options] configure the
+    recompute engine (e.g. [parallel]). *)
+
+val serve : t -> Aggregates.Batch.t -> (string * Spec.result) list
+(** Answer one batch: a cache hit returns the stored result without engine
+    work; a miss evaluates the batch with {!Lmfao.Engine.eval} over a
+    snapshot of the current contents and caches it at the epoch observed
+    before the computation. Results are in batch-aggregate order regardless
+    of how they were produced (the engine groups by decomposition root;
+    refreshes rebuild in batch order). *)
+
+val serve_many :
+  ?clients:int -> t -> Aggregates.Batch.t list -> (string * Spec.result) list list
+(** [serve] each batch as a parallel pool task ([clients] bounds the domain
+    count, default [Pool.num_domains ()]; the global budget caps actual
+    spawns). Results in input order. *)
+
+val apply_deltas : t -> Fivm.Delta.update list -> unit
+(** Apply one delta batch through the maintainer, advance the epoch, then
+    refresh every covariance-backed cache entry from the maintained triple
+    and drop the rest. Single-writer: do not overlap with reads. *)
+
+val snapshot : t -> Database.t
+(** The current database contents as a fresh [Database.t] (storage dump
+    replayed in insertion-stamp order) — what a cache miss evaluates over. *)
+
+val maintainer : t -> Fivm.Maintainer.t
+val epoch : t -> int
+val cache_size : t -> int
+val stats : t -> stats

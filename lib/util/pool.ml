@@ -2,12 +2,96 @@
 
    LMFAO's domain parallelism (Section 4 of the paper) partitions a relation
    into chunks processed by worker domains whose partial aggregates are then
-   combined. This module provides exactly that pattern. *)
+   combined. This module provides exactly that pattern.
 
-let num_domains () =
-  match Sys.getenv_opt "BORG_DOMAINS" with
-  | Some s -> (try Stdlib.max 1 (int_of_string s) with _ -> 4)
-  | None -> Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+   All spawning goes through one PROCESS-GLOBAL worker budget: nested
+   [parallel_tasks] / [parallel_chunks] calls (LMFAO recurses over subtrees
+   from inside parallel root groups) acquire spawn tokens from a shared
+   atomic pool and run inline when it is exhausted, so the peak number of
+   live domains never exceeds [num_domains ()] no matter how deeply the
+   calls nest or how many of them run concurrently. *)
+
+(* [domains_of_env v] parses a BORG_DOMAINS value. Anything that is not a
+   positive integer (junk, "", "0", negatives) falls back to the documented
+   default: the runtime's recommendation capped at 8. *)
+let default_domains () =
+  Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+let domains_of_env = function
+  | None -> default_domains ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None -> default_domains ())
+
+let num_domains () = domains_of_env (Sys.getenv_opt "BORG_DOMAINS")
+
+(* ---------- the global worker budget ----------
+
+   [budget_avail] holds the spawn tokens still free; each spawned domain
+   holds one token until it is joined. The total is fixed at module
+   initialisation to [num_domains () - 1] (the calling domain is the
+   remaining worker), so with BORG_DOMAINS=1 nothing ever spawns. Tests and
+   benchmarks may resize the pool with [set_worker_budget] while no workers
+   are live. *)
+
+let budget_total = Atomic.make (Stdlib.max 0 (num_domains () - 1))
+let budget_avail = Atomic.make (Atomic.get budget_total)
+
+let worker_budget () = Atomic.get budget_total
+
+let set_worker_budget n =
+  let n = Stdlib.max 0 n in
+  Atomic.set budget_total n;
+  Atomic.set budget_avail n
+
+let rec try_acquire want =
+  if want <= 0 then 0
+  else
+    let avail = Atomic.get budget_avail in
+    if avail <= 0 then 0
+    else
+      let take = Stdlib.min want avail in
+      if Atomic.compare_and_set budget_avail avail (avail - take) then take
+      else try_acquire want
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add budget_avail n)
+
+(* Live-domain accounting (1 = the main domain). The counter moves in the
+   spawning domain — up just before [Domain.spawn], down after the matching
+   join — so [peak_live_domains] is an upper bound on concurrently live
+   domains and exactly mirrors token ownership. *)
+
+let live = Atomic.make 1
+let peak = Atomic.make 1
+
+let rec bump_peak v =
+  let p = Atomic.get peak in
+  if v > p && not (Atomic.compare_and_set peak p v) then bump_peak v
+
+let live_domains () = Atomic.get live
+let peak_live_domains () = Atomic.get peak
+let reset_peak_live_domains () = Atomic.set peak (Atomic.get live)
+
+let c_spawned = Obs.counter "pool.spawned"
+let c_inline = Obs.counter "pool.budget_inline"
+
+(* Spawn [granted] copies of [worker] (the caller already holds [granted]
+   tokens), run [worker] inline too, then join and release. Tokens and the
+   live count are restored even if a worker raises. *)
+let with_workers granted worker =
+  if granted <= 0 then worker ()
+  else begin
+    bump_peak (granted + Atomic.fetch_and_add live granted);
+    Obs.add c_spawned granted;
+    let spawned = List.init granted (fun _ -> Domain.spawn worker) in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter Domain.join spawned;
+        ignore (Atomic.fetch_and_add live (-granted));
+        release granted)
+      worker
+  end
 
 (* Split [0, n) into at most [chunks] contiguous ranges. *)
 let ranges n chunks =
@@ -43,8 +127,11 @@ let parallel_chunks ?domains ?chunks n f ~combine ~zero =
       let k = Array.length rs in
       let results = Array.make k None in
       let workers = Stdlib.min domains k in
-      if workers <= 1 then
+      let granted = if workers <= 1 then 0 else try_acquire (workers - 1) in
+      if granted = 0 then begin
+        if workers > 1 then Obs.add c_inline k;
         Array.iteri (fun i (lo, len) -> results.(i) <- Some (f lo len)) rs
+      end
       else begin
         let next = Atomic.make 0 in
         let worker () =
@@ -58,9 +145,7 @@ let parallel_chunks ?domains ?chunks n f ~combine ~zero =
           in
           loop ()
         in
-        let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        List.iter Domain.join spawned
+        with_workers granted worker
       end;
       Array.fold_left
         (fun acc r ->
@@ -78,23 +163,27 @@ let parallel_tasks ?domains thunks =
     let tasks = Array.of_list thunks in
     let n = Array.length tasks in
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (tasks.(i) ());
-          loop ()
-        end
+    let granted =
+      try_acquire (Stdlib.min (domains - 1) (Stdlib.max 0 (n - 1)))
+    in
+    if granted = 0 then begin
+      Obs.add c_inline n;
+      Array.iteri (fun i t -> results.(i) <- Some (t ())) tasks
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (tasks.(i) ());
+            loop ()
+          end
+        in
+        loop ()
       in
-      loop ()
-    in
-    let spawned =
-      List.init (Stdlib.min (domains - 1) (Stdlib.max 0 (n - 1))) (fun _ ->
-          Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join spawned;
+      with_workers granted worker
+    end;
     Array.to_list
       (Array.map
          (function Some r -> r | None -> failwith "Pool.parallel_tasks: missing")

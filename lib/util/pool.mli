@@ -1,9 +1,43 @@
 (** Domain-based parallelism helpers (OCaml 5) implementing LMFAO's domain
-    and task parallelism patterns. *)
+    and task parallelism patterns, with one process-global worker budget
+    shared by every (possibly nested) call. *)
 
 val num_domains : unit -> int
-(** Worker count: [BORG_DOMAINS] env var if set, else the runtime's
-    recommendation capped at 8. *)
+(** Worker count: [BORG_DOMAINS] env var if it parses as a positive
+    integer, else the runtime's recommendation capped at 8 (the same
+    default an unset variable gets — junk, ["0"] and negatives never pick
+    an arbitrary constant). *)
+
+val domains_of_env : string option -> int
+(** The [BORG_DOMAINS] parsing rule behind {!num_domains}, exposed for
+    tests: [None], non-integers and values [< 1] all yield the documented
+    default. *)
+
+(** {1 Global worker budget}
+
+    Every spawn takes a token from a process-wide pool of
+    [num_domains () - 1] tokens (fixed at module initialisation; the
+    calling domain is the remaining worker). Nested parallel calls that
+    find the pool empty run inline instead of oversubscribing, so peak
+    live domains never exceed [worker_budget () + 1]. *)
+
+val worker_budget : unit -> int
+(** Total spawn tokens. *)
+
+val set_worker_budget : int -> unit
+(** Resize the token pool (clamped at 0). Test/bench hook — only call
+    while no worker domains are live, or tokens will be miscounted. *)
+
+val live_domains : unit -> int
+(** Domains currently alive (1 = just the main domain). *)
+
+val peak_live_domains : unit -> int
+(** High-water mark of {!live_domains} since the last
+    {!reset_peak_live_domains}. *)
+
+val reset_peak_live_domains : unit -> unit
+
+(** {1 Parallel maps} *)
 
 val ranges : int -> int -> (int * int) list
 (** [ranges n chunks] splits [\[0, n)] into at most [chunks] contiguous
@@ -22,8 +56,12 @@ val parallel_chunks :
     chunk-index order. The decomposition and fold order depend only on [n]
     and [chunks] (default: the domain count), so for a fixed [chunks] the
     result is independent of how many domains run the work — bit-identical
-    even for non-commutative [combine]. [?domains:1] runs inline without
-    spawning. *)
+    even for non-commutative [combine] — and in particular independent of
+    how many spawn tokens the global budget happens to grant. [?domains:1]
+    runs inline without spawning or touching the budget. *)
 
 val parallel_tasks : ?domains:int -> (unit -> 'a) list -> 'a list
-(** Run independent thunks in parallel, returning results in input order. *)
+(** Run independent thunks in parallel, returning results in input order.
+    Spawns at most [min (domains - 1) (n - 1)] workers, further capped by
+    the free tokens of the global budget (0 free: all thunks run inline on
+    the calling domain). *)

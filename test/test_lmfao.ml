@@ -216,6 +216,137 @@ let bucketed_equals_flat =
               || Spec.result_equal (norm mine) (norm reference))
         flat)
 
+(* ---- parallel differential ----
+
+   The parallel evaluator must be BIT-identical to the sequential one — not
+   merely numerically close — because [Pool.parallel_chunks] fixes the
+   decomposition and fold order independently of how many domains (or spawn
+   tokens) execute the chunks. Inputs here are exact in floating point
+   (integer-valued floats; every partial sum of products stays far below
+   2^53), so any ordering difference would surface as a bit difference.
+   Exercised under BORG_DOMAINS=1 (inline) and =4 (spawning, budget 3) via
+   the env var the engine actually reads, across the share / multi_root
+   option matrix. *)
+
+let bits_identical a b =
+  let norm r =
+    List.sort (fun (k, _) (k', _) -> compare k k') r
+  in
+  List.length a = List.length b
+  && List.for_all
+       (fun (id, mine) ->
+         match List.assoc_opt id b with
+         | None -> false
+         | Some theirs ->
+             let mine = norm mine and theirs = norm theirs in
+             List.length mine = List.length theirs
+             && List.for_all2
+                  (fun (k, v) (k', v') ->
+                    k = k'
+                    && Int64.bits_of_float v = Int64.bits_of_float v')
+                  mine theirs)
+       a
+
+let with_domains_env v f =
+  let saved = Sys.getenv_opt "BORG_DOMAINS" in
+  let saved_budget = Util.Pool.worker_budget () in
+  Unix.putenv "BORG_DOMAINS" v;
+  Util.Pool.set_worker_budget (Util.Pool.num_domains () - 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "BORG_DOMAINS" (Option.value saved ~default:"");
+      Util.Pool.set_worker_budget saved_budget)
+    f
+
+let parallel_matches_sequential options_desc options =
+  QCheck2.Test.make ~count:8
+    ~name:
+      (Printf.sprintf "parallel = sequential bitwise (%s, domains 1 and 4)"
+         options_desc)
+    QCheck2.Gen.(triple (int_range 1 30) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      List.for_all
+        (fun batch_name ->
+          let batch = batch_of batch_name db in
+          let seq =
+            (Engine.eval ~options:{ options with Engine.parallel = false } db
+               batch)
+              .Engine.keyed
+          in
+          List.for_all
+            (fun env ->
+              with_domains_env env @@ fun () ->
+              let par =
+                (Engine.eval
+                   ~options:
+                     { options with Engine.parallel = true; chunk_threshold = 4 }
+                   db batch)
+                  .Engine.keyed
+              in
+              bits_identical seq par)
+            [ "1"; "4" ])
+        [ "covariance"; "mutualinfo" ])
+
+let parallel_differential_matrix =
+  List.map
+    (fun (desc, options) -> parallel_matches_sequential desc options)
+    [
+      ("default", default);
+      ("no-share", { default with share = false });
+      ("single-root", { default with multi_root = false });
+      ( "no-share single-root",
+        { default with share = false; multi_root = false } );
+    ]
+
+(* ---- cyclic fallback ----
+
+   Cyclic schemas (no join tree) fall back to a materialised WCOJ join.
+   The fallback must report REAL stats — one view (the join), one partial
+   per aggregate — and bump the [lmfao.cyclic_fallback] counter, instead of
+   the all-zero stats it used to fabricate. *)
+let cyclic_fallback_reports_stats () =
+  let tri name a b rows =
+    Relation.of_list name
+      (Schema.make [ (a, Value.TInt); (b, Value.TInt) ])
+      (List.map (fun (x, y) -> [| int x; int y |]) rows)
+  in
+  let db =
+    Database.create "triangle"
+      [
+        tri "R" "a" "b" [ (1, 2); (2, 3); (1, 3) ];
+        tri "S" "b" "c" [ (2, 3); (3, 1); (3, 4) ];
+        tri "T" "c" "a" [ (3, 1); (1, 2); (4, 1) ];
+      ]
+  in
+  let batch =
+    {
+      Batch.name = "tri";
+      aggregates =
+        [ Spec.count ~id:"n"; Spec.make ~id:"ga" ~terms:[] ~group_by:[ "a" ] () ];
+    }
+  in
+  (match Engine.eval ~on_cyclic:`Raise db batch with
+  | exception Join_tree.Cyclic -> ()
+  | _ -> Alcotest.fail "expected Cyclic on `Raise");
+  Obs.reset ();
+  let r =
+    Obs.with_enabled true (fun () -> Engine.eval ~on_cyclic:`Materialize db batch)
+  in
+  Alcotest.(check int) "one materialised view" 1 r.Engine.stats.views;
+  Alcotest.(check int) "one partial per aggregate" 2 r.Engine.stats.partials;
+  Alcotest.(check int) "nothing shared" 0 r.Engine.stats.shared_away;
+  Alcotest.(check int) "fallback counted" 1
+    (Obs.counter_value_by_name "lmfao.cyclic_fallback");
+  Alcotest.(check bool) "join tuples scanned" true
+    (Obs.counter_value_by_name "lmfao.tuples_scanned" > 0);
+  (* and the results are still right: the triangle query has exactly three
+     matches, (1,2,3), (2,3,1) and (1,3,4) *)
+  Alcotest.(check (float 0.0)) "count" 3.0
+    (Spec.scalar_result (List.assoc "n" r.Engine.keyed));
+  Obs.reset ()
+
 let test_spec_to_sql () =
   let spec =
     Spec.make
@@ -241,6 +372,12 @@ let () =
               [ "covariance"; "decision"; "mutualinfo"; "kmeans" ])
           all_options );
       ("bucketed", [ qcheck bucketed_equals_flat ]);
+      ("parallel-differential", List.map qcheck parallel_differential_matrix);
+      ( "cyclic",
+        [
+          Alcotest.test_case "fallback reports real stats" `Quick
+            cyclic_fallback_reports_stats;
+        ] );
       ("sql", [ Alcotest.test_case "Spec.to_sql" `Quick test_spec_to_sql ]);
       ( "sharing",
         [

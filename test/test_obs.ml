@@ -87,6 +87,45 @@ let test_with_enabled_restores () =
       Alcotest.(check bool) "forced on" true (Obs.is_enabled ()));
   Alcotest.(check bool) "restored off" false (Obs.is_enabled ())
 
+(* ---- gauges under concurrent writers ----
+
+   [set_gauge] used to be a plain mutable-field store; concurrent writers
+   from worker domains were a data race (flagged by tsan, undefined under
+   the OCaml memory model). The cell is now a [float Atomic.t]: with N
+   domains each storing its own distinct sentinel value in a tight loop,
+   every intermediate read and the final value must be EXACTLY one of the
+   written sentinels — torn or invented values fail the bit-pattern check. *)
+let test_gauge_concurrent_writers () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let g = Obs.gauge "test.race_gauge" in
+  let writers = 4 and iters = 25_000 in
+  (* sentinel per writer: distinct bit patterns, incl. a negative and a
+     subnormal-ish magnitude so torn writes cannot masquerade as valid *)
+  let sentinel d = Float.of_int (d + 1) *. 1.625 *. if d mod 2 = 0 then 1.0 else -1.0 in
+  let valid v =
+    v = 0.0 || List.exists (fun d -> Int64.bits_of_float (sentinel d) = Int64.bits_of_float v)
+                 (List.init writers Fun.id)
+  in
+  let bad = Atomic.make 0 in
+  let domains =
+    List.init writers (fun d ->
+        Domain.spawn (fun () ->
+            let mine = sentinel d in
+            for _ = 1 to iters do
+              Obs.set_gauge g mine;
+              if not (valid (Obs.gauge_value g)) then Atomic.incr bad
+            done))
+  in
+  (* the main domain reads concurrently too *)
+  for _ = 1 to iters do
+    if not (valid (Obs.gauge_value g)) then Atomic.incr bad
+  done;
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn or invented gauge values" 0 (Atomic.get bad);
+  Alcotest.(check bool) "final value is a written sentinel" true
+    (valid (Obs.gauge_value g) && Obs.gauge_value g <> 0.0)
+
 (* ---- JSON ---- *)
 
 let test_json_round_trip () =
@@ -216,6 +255,11 @@ let () =
           Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "with_enabled restores" `Quick
             test_with_enabled_restores;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "concurrent writers race-free" `Quick
+            test_gauge_concurrent_writers;
         ] );
       ( "json",
         [

@@ -248,6 +248,90 @@ let test_ranges_fewer_items_than_chunks () =
     [ (0, 1); (1, 1); (2, 1) ] rs;
   Alcotest.(check (list (pair int int))) "n=0 empty" [] (Pool.ranges 0 4)
 
+(* BORG_DOMAINS parsing: junk, "0" and negatives must fall back to the
+   recommended-count default (capped at 8), never to an arbitrary constant
+   or a crash. *)
+let test_domains_of_env () =
+  let default = Pool.domains_of_env None in
+  Alcotest.(check bool) "default positive, capped" true
+    (default >= 1 && default <= 8);
+  List.iter
+    (fun junk ->
+      Alcotest.(check int)
+        (Printf.sprintf "%S falls back" junk)
+        default
+        (Pool.domains_of_env (Some junk)))
+    [ ""; "banana"; "0"; "-3"; "2.5"; "1e3"; "  "; "0x"; "--4" ];
+  Alcotest.(check int) "valid value wins" 4 (Pool.domains_of_env (Some "4"));
+  Alcotest.(check int) "whitespace trimmed" 6
+    (Pool.domains_of_env (Some " 6 "));
+  Alcotest.(check int) "large values not capped" 32
+    (Pool.domains_of_env (Some "32"))
+
+(* Budget regression: nested parallel calls share ONE process-global token
+   pool, so peak live domains never exceed budget + 1 (the caller) no matter
+   how the calls nest. Before the budget each nesting level spawned its own
+   full complement. *)
+let with_budget k f =
+  let saved = Pool.worker_budget () in
+  Pool.set_worker_budget k;
+  Fun.protect ~finally:(fun () -> Pool.set_worker_budget saved) f
+
+let test_nested_budget_no_oversubscription () =
+  with_budget 2 @@ fun () ->
+  Pool.reset_peak_live_domains ();
+  (* 4 outer tasks each wanting 4 domains, each running an inner
+     parallel_chunks also wanting 4: without a shared budget this asks for
+     dozens of domains at once. *)
+  let outer =
+    Pool.parallel_tasks ~domains:4
+      (List.init 4 (fun i () ->
+           Pool.parallel_chunks ~domains:4 100
+             (fun lo len ->
+               let s = ref 0 in
+               for j = lo to lo + len - 1 do
+                 s := !s + j + i
+               done;
+               !s)
+             ~combine:( + ) ~zero:0))
+  in
+  let expect i = (100 * 99 / 2) + (100 * i) in
+  Alcotest.(check (list int)) "nested results exact"
+    [ expect 0; expect 1; expect 2; expect 3 ]
+    outer;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d <= budget 2 + 1" (Pool.peak_live_domains ()))
+    true
+    (Pool.peak_live_domains () <= 3);
+  Alcotest.(check int) "all workers joined" 1 (Pool.live_domains ());
+  (* Tokens must be back in the pool: a fresh parallel call can spawn the
+     full complement again (peak accounting moves before the spawn, so this
+     is deterministic). *)
+  Pool.reset_peak_live_domains ();
+  ignore
+    (Pool.parallel_tasks ~domains:3
+       (List.init 3 (fun i () -> i * i)));
+  Alcotest.(check int) "tokens released back to the pool" 3
+    (Pool.peak_live_domains ())
+
+(* Zero budget: everything runs inline on the calling domain, results are
+   still exact, and nothing is ever spawned. *)
+let test_zero_budget_runs_inline () =
+  with_budget 0 @@ fun () ->
+  Pool.reset_peak_live_domains ();
+  let r =
+    Pool.parallel_chunks ~domains:8 1000
+      (fun lo len ->
+        let s = ref 0 in
+        for i = lo to lo + len - 1 do
+          s := !s + i
+        done;
+        !s)
+      ~combine:( + ) ~zero:0
+  in
+  Alcotest.(check int) "sum exact" (1000 * 999 / 2) r;
+  Alcotest.(check int) "no domain ever spawned" 1 (Pool.peak_live_domains ())
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -293,5 +377,11 @@ let () =
             test_parallel_chunks_no_spawn;
           Alcotest.test_case "ranges with n < chunks" `Quick
             test_ranges_fewer_items_than_chunks;
+          Alcotest.test_case "BORG_DOMAINS parsing fallback" `Quick
+            test_domains_of_env;
+          Alcotest.test_case "nested calls respect global budget" `Quick
+            test_nested_budget_no_oversubscription;
+          Alcotest.test_case "zero budget runs inline" `Quick
+            test_zero_budget_runs_inline;
         ] );
     ]
