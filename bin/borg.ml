@@ -124,10 +124,10 @@ let train_cmd =
     with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     Printf.printf "training ridge linear regression over %s (scale %g)...\n" name scale;
-    let r = Ml.Linreg.train_over_database db spec.features in
+    let r = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db spec.features in
     Printf.printf "batch: %d aggregates in %s; solve: %s (%d steps)\n"
       r.aggregate_count
-      (Util.Timing.to_string r.batch_seconds)
+      (Util.Timing.to_string r.stats_seconds)
       (Util.Timing.to_string r.solve_seconds)
       r.model.iterations_run;
     let join = Database.materialise_join db in
@@ -549,46 +549,48 @@ let agg_cmd =
     Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ engine_arg $ batch_arg
           $ trace_arg $ metrics_out_arg)
 
+(* ---- the lattice workload (shared by serve and learn) ----
+
+   A small star schema whose feature values are strictly positive multiples
+   of 1/16. On the lattice every covariance sum is exactly representable in
+   a float, so --check can demand BIT identity between maintained
+   (cached/refreshed/warm-trained) state and a fresh recompute. *)
+
+let star_db () =
+  Database.create "lattice"
+    [
+      Relation.create "F"
+        (Schema.make [ ("a", Value.TInt); ("b", Value.TInt); ("m", Value.TFloat) ]);
+      Relation.create "D1" (Schema.make [ ("a", Value.TInt); ("u", Value.TFloat) ]);
+      Relation.create "D2" (Schema.make [ ("b", Value.TInt); ("v", Value.TFloat) ]);
+    ]
+
+let lattice_stream ~seed ~steps =
+  let rng = Util.Prng.create seed in
+  let inserted = ref [] in
+  let value rng = float_of_int (1 + Util.Prng.int rng 64) /. 16.0 in
+  let iv n = Value.Int n and fv x = Value.Float x in
+  List.init steps (fun _ ->
+      if !inserted <> [] && Util.Prng.int rng 4 = 0 then begin
+        let u = Util.Prng.choice rng (Array.of_list !inserted) in
+        inserted := List.filter (fun x -> x != u) !inserted;
+        Fivm.Delta.delete u.Fivm.Delta.relation u.Fivm.Delta.tuple
+      end
+      else begin
+        let rel = [| "F"; "D1"; "D2" |].(Util.Prng.int rng 3) in
+        let tuple =
+          match rel with
+          | "F" -> [| iv (Util.Prng.int rng 4); iv (Util.Prng.int rng 4); fv (value rng) |]
+          | _ -> [| iv (Util.Prng.int rng 4); fv (value rng) |]
+        in
+        let u = Fivm.Delta.insert rel tuple in
+        inserted := u :: !inserted;
+        u
+      end)
+
 (* ---- serve: epoch-cached aggregate serving over a delta stream ---- *)
 
 let serve_cmd =
-  (* [serve] gets its own dataset enum: the synthetic workloads plus
-     "lattice", a small star schema whose feature values are strictly
-     positive multiples of 1/16. On the lattice every covariance sum is
-     exactly representable, so --check can demand BIT identity between
-     served (cached/refreshed) results and a fresh recompute. *)
-  let star_db () =
-    Database.create "lattice"
-      [
-        Relation.create "F"
-          (Schema.make [ ("a", Value.TInt); ("b", Value.TInt); ("m", Value.TFloat) ]);
-        Relation.create "D1" (Schema.make [ ("a", Value.TInt); ("u", Value.TFloat) ]);
-        Relation.create "D2" (Schema.make [ ("b", Value.TInt); ("v", Value.TFloat) ]);
-      ]
-  in
-  let lattice_stream ~seed ~steps =
-    let rng = Util.Prng.create seed in
-    let inserted = ref [] in
-    let value rng = float_of_int (1 + Util.Prng.int rng 64) /. 16.0 in
-    let iv n = Value.Int n and fv x = Value.Float x in
-    List.init steps (fun _ ->
-        if !inserted <> [] && Util.Prng.int rng 4 = 0 then begin
-          let u = Util.Prng.choice rng (Array.of_list !inserted) in
-          inserted := List.filter (fun x -> x != u) !inserted;
-          Fivm.Delta.delete u.Fivm.Delta.relation u.Fivm.Delta.tuple
-        end
-        else begin
-          let rel = [| "F"; "D1"; "D2" |].(Util.Prng.int rng 3) in
-          let tuple =
-            match rel with
-            | "F" -> [| iv (Util.Prng.int rng 4); iv (Util.Prng.int rng 4); fv (value rng) |]
-            | _ -> [| iv (Util.Prng.int rng 4); fv (value rng) |]
-          in
-          let u = Fivm.Delta.insert rel tuple in
-          inserted := u :: !inserted;
-          u
-        end)
-  in
   (* [exact]: demand bit identity (sound only for exact float arithmetic —
      the lattice stream). Otherwise served and recomputed sums may differ
      in summation order, so compare with the same relative tolerance as
@@ -766,6 +768,203 @@ let serve_cmd =
           $ repeats_arg $ rounds_arg $ limit_arg $ check_arg $ trace_arg
           $ metrics_out_arg)
 
+(* ---- learn: epoch-fresh model serving over a delta stream ---- *)
+
+let learn_cmd =
+  (* Online model maintenance over the exact-arithmetic lattice workload:
+     register Ml.Models entries against a server, stream delta batches
+     through it, and serve epoch-tagged predictions between batches. With
+     --check, every strategy runs and after every batch each served model is
+     audited against a COLD retrain over from-scratch statistics
+     (Maintainer.recompute + snapshot): bit-identical encodings for direct
+     solves, prediction agreement within Models.refresh_audit tolerance for
+     iterative optimisers. *)
+  let models_arg =
+    let known = String.concat ", " (List.map Ml.Model_intf.name Ml.Models.all) in
+    Arg.(value
+         & opt (list string) [ "linreg-closed"; "linreg-cg"; "linreg-gd"; "polyreg" ]
+         & info [ "models" ] ~docv:"M,.."
+             ~doc:(Printf.sprintf "Registry models to serve (known: %s)." known))
+  in
+  let method_arg =
+    let mconv =
+      Arg.enum
+        [
+          ("fivm", Fivm.Maintainer.F_ivm);
+          ("higher", Fivm.Maintainer.Higher_order);
+          ("first", Fivm.Maintainer.First_order);
+        ]
+    in
+    Arg.(value & opt mconv Fivm.Maintainer.F_ivm
+         & info [ "method" ] ~docv:"M"
+             ~doc:"fivm | higher | first (ignored under --check, which runs all three).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 100
+         & info [ "rounds" ] ~docv:"N" ~doc:"Delta batches applied per strategy.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 4
+         & info [ "batch-size" ] ~docv:"B" ~doc:"Updates per delta batch.")
+  in
+  let initial_arg =
+    Arg.(value & opt int 96
+         & info [ "initial" ] ~docv:"N" ~doc:"Updates loaded before registration.")
+  in
+  let staleness_arg =
+    Arg.(value & opt int 0
+         & info [ "staleness" ] ~docv:"K"
+             ~doc:"Epochs a served model may lag the data before apply_deltas \
+                   must refresh it (0: refresh every batch).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Run ALL three maintenance strategies and, after every delta \
+                   batch, fail unless each served (warm-refreshed) model matches \
+                   a cold retrain over from-scratch statistics: bit-identical \
+                   encodings for direct solves, served predictions within the \
+                   audit tolerance for iterative optimisers.")
+  in
+  let run models strategy rounds batch initial staleness check seed trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let specs =
+      List.map
+        (fun n ->
+          match Ml.Models.find n with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "borg learn: unknown model %s (known: %s)\n" n
+                (String.concat ", " (List.map Ml.Model_intf.name Ml.Models.all));
+              exit 1)
+        models
+    in
+    let features = [ "m"; "u"; "v" ] and response = "m" in
+    (* probe points for served predictions (lattice-range attribute values) *)
+    let probes =
+      List.concat_map
+        (fun u -> List.map (fun v -> (u, v)) [ 0.25; 1.0; 2.5 ])
+        [ 0.5; 1.25; 3.0 ]
+    in
+    let get_of (u, v) attr =
+      match attr with
+      | "intercept" -> Value.Float 1.0
+      | "u" -> Value.Float u
+      | "v" -> Value.Float v
+      | a -> invalid_arg (Printf.sprintf "borg learn: probe has no attribute %s" a)
+    in
+    let strategies =
+      if check then
+        [ Fivm.Maintainer.F_ivm; Fivm.Maintainer.Higher_order; Fivm.Maintainer.First_order ]
+      else [ strategy ]
+    in
+    List.iter
+      (fun strategy ->
+        let srv = Serve.create strategy (star_db ()) ~features in
+        let stream =
+          Array.of_list (lattice_stream ~seed ~steps:(initial + (rounds * batch)))
+        in
+        let seg lo len = Array.to_list (Array.sub stream lo len) in
+        Serve.apply_deltas srv (seg 0 initial);
+        let names =
+          List.map
+            (fun spec ->
+              Serve.Model.register srv ~max_staleness:staleness spec ~response)
+            specs
+        in
+        let audits = ref 0 in
+        let audit () =
+          (* one cold bundle per batch, shared across models: from-scratch
+             covariance (Maintainer.recompute) in the SAME layout as the
+             served bundle, snapshot-backed monomial/row statistics *)
+          let cold_moments =
+            Ml.Model_intf.moments_of_covariance
+              ~snapshot:(fun () -> Serve.snapshot srv)
+              (Fivm.Maintainer.recompute (Serve.maintainer srv))
+              ~features ~response
+          in
+          List.iter
+            (fun name ->
+              (* freshness on demand: under --staleness the served model may
+                 legitimately lag, so pull it to the current epoch first *)
+              Serve.Model.refresh srv name;
+              let warm, _ = Serve.Model.packed srv name in
+              let spec = Serve.Model.spec_of srv name in
+              let cold = Ml.Model_intf.train_packed spec cold_moments in
+              let diverged detail =
+                Printf.eprintf
+                  "borg learn: %s served model DIVERGES from cold retrain at \
+                   epoch %d (%s): %s\n"
+                  name (Serve.epoch srv)
+                  (Fivm.Maintainer.strategy_name strategy)
+                  detail;
+                exit 1
+              in
+              (match Ml.Models.refresh_audit spec with
+              | `Bitwise ->
+                  let bytes p =
+                    let b = Buffer.create 256 in
+                    Ml.Model_intf.encode_packed b p;
+                    Buffer.contents b
+                  in
+                  if not (String.equal (bytes warm) (bytes cold)) then
+                    diverged "encoded parameters differ bitwise"
+              | `Tolerance tol ->
+                  List.iter
+                    (fun probe ->
+                      let w = Ml.Model_intf.predict_packed warm (get_of probe) in
+                      let c = Ml.Model_intf.predict_packed cold (get_of probe) in
+                      if
+                        not
+                          (Float.abs (w -. c)
+                          <= tol *. (1.0 +. Float.abs w +. Float.abs c))
+                      then
+                        diverged
+                          (Printf.sprintf "prediction %h vs %h (tol %g)" w c tol))
+                    probes);
+              incr audits)
+            names
+        in
+        let t0 = Unix.gettimeofday () in
+        for r = 0 to rounds - 1 do
+          Serve.apply_deltas srv (seg (initial + (r * batch)) batch);
+          List.iter
+            (fun name ->
+              List.iter
+                (fun p -> ignore (Serve.Model.predict srv name (get_of p)))
+                probes)
+            names;
+          if check then audit ()
+        done;
+        let seconds = Unix.gettimeofday () -. t0 in
+        let s = Serve.stats srv in
+        Printf.printf
+          "learn over lattice (%s): %d models, %d delta batches in %s, epoch %d\n"
+          (Fivm.Maintainer.strategy_name strategy)
+          (List.length names) rounds
+          (Util.Timing.to_string seconds)
+          (Serve.epoch srv);
+        Printf.printf "model refreshes %d  model predictions %d\n"
+          s.Serve.model_refreshes s.Serve.model_predictions;
+        List.iter
+          (fun name ->
+            Printf.printf "  %-14s epoch %d\n" name (Serve.Model.epoch_of srv name))
+          names;
+        if check then
+          Printf.printf
+            "check: %d model audits against cold retrains passed\n" !audits)
+      strategies
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:
+         "Serve epoch-fresh models over a delta stream: register, warm-refresh \
+          on every batch, predict with epoch tags; --check audits every \
+          refresh against a cold retrain under all three strategies.")
+    Term.(const run $ models_arg $ method_arg $ rounds_arg $ batch_arg
+          $ initial_arg $ staleness_arg $ check_arg $ seed_arg $ trace_arg
+          $ metrics_out_arg)
+
 (* ---- check-metrics: validate an exported metrics snapshot ---- *)
 
 let check_metrics_cmd =
@@ -850,5 +1049,6 @@ let () =
             maintain_cmd;
             agg_cmd;
             serve_cmd;
+            learn_cmd;
             check_metrics_cmd;
           ]))

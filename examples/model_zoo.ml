@@ -16,16 +16,19 @@ let () =
     (Relation.cardinality join);
 
   (* 1. ridge linear regression (Section 2.1) *)
-  let lin = Ml.Linreg.train_over_database db features in
+  let lin = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
   Printf.printf "[linear regression]   %4d aggregates, RMSE %.2f\n"
     lin.aggregate_count
     (Ml.Linreg.rmse_on lin.model join);
 
   (* 2. degree-2 polynomial regression (Section 2.1) *)
   let poly =
-    Ml.Polyreg.train db
-      ~features:[ "prize"; "maxtemp"; "avghhi" ]
-      ~response:"inventoryunits"
+    let moment, _batch =
+      Ml.Monomial.moment_of_database db
+        ~features:[ "prize"; "maxtemp"; "avghhi" ]
+        ~response:"inventoryunits"
+    in
+    Ml.Polyreg.train_from_monomial_moments moment
   in
   Printf.printf "[polynomial (deg 2)]  %4d basis monomials, RMSE %.2f\n"
     (List.length poly.basis_monomials)

@@ -63,10 +63,10 @@ let () =
   in
 
   (* structure-aware training: batch -> LMFAO -> gradient descent *)
-  let run = Ml.Linreg.train_over_database db features in
+  let run = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
   Printf.printf "aggregate batch: %d aggregates in %s; optimisation: %s\n"
     run.aggregate_count
-    (Util.Timing.to_string run.batch_seconds)
+    (Util.Timing.to_string run.stats_seconds)
     (Util.Timing.to_string run.solve_seconds);
 
   Printf.printf "\nlearned weights:\n";

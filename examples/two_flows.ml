@@ -34,10 +34,10 @@ let () =
 
   (* ---- the blue flow: structure-aware ---- *)
   Printf.printf "\n[structure-aware] aggregate batch -> optimisation\n";
-  let run = Ml.Linreg.train_over_database db features in
-  let total = run.batch_seconds +. run.solve_seconds in
+  let run = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
+  let total = run.stats_seconds +. run.solve_seconds in
   Printf.printf "  batch:      %s (%d aggregates; join never materialised)\n"
-    (Util.Timing.to_string run.batch_seconds)
+    (Util.Timing.to_string run.stats_seconds)
     run.aggregate_count;
   Printf.printf "  learn:      %s (%d optimisation steps)\n"
     (Util.Timing.to_string run.solve_seconds)

@@ -32,7 +32,7 @@ let strategy_name = function
   | Higher_order -> "higher-order IVM"
   | First_order -> "first-order IVM"
 
-type t =
+type state =
   | Fivm of { task : Cov_task.t; storage : Storage.t; tree : Cov_tree.t }
   | Higher of {
       task : Cov_task.t;
@@ -47,26 +47,34 @@ type t =
       totals : float array;
     }
 
+(* [schema] is the (empty) database the maintainer was created over; it is
+   never written, only cloned by {!snapshot} so relation order — and with it
+   the join tree and LMFAO's accumulation order — survives a snapshot. *)
+type t = { schema : Database.t; state : state }
+
 let create strategy (db : Database.t) ~features =
   let task = Cov_task.make db ~features in
   let storage = Storage.create db in
-  match strategy with
-  | F_ivm ->
-      let tree = Cov_tree.create storage ~lift:(Cov_task.lift_cov task) in
-      Fivm { task; storage; tree }
-  | Higher_order ->
-      let aggs = Cov_task.aggregate_pairs task in
-      let trees =
-        Array.map
-          (fun pair ->
-            Float_tree.create storage ~lift:(fun rel tuple ->
-                Cov_task.factor task pair rel tuple))
-          aggs
-      in
-      Higher { task; storage; aggs; trees }
-  | First_order ->
-      let aggs = Cov_task.aggregate_pairs task in
-      First { task; storage; aggs; totals = Array.make (Array.length aggs) 0.0 }
+  let state =
+    match strategy with
+    | F_ivm ->
+        let tree = Cov_tree.create storage ~lift:(Cov_task.lift_cov task) in
+        Fivm { task; storage; tree }
+    | Higher_order ->
+        let aggs = Cov_task.aggregate_pairs task in
+        let trees =
+          Array.map
+            (fun pair ->
+              Float_tree.create storage ~lift:(fun rel tuple ->
+                  Cov_task.factor task pair rel tuple))
+            aggs
+        in
+        Higher { task; storage; aggs; trees }
+    | First_order ->
+        let aggs = Cov_task.aggregate_pairs task in
+        First { task; storage; aggs; totals = Array.make (Array.length aggs) 0.0 }
+  in
+  { schema = db; state }
 
 (* Delta-join evaluation for first-order IVM: the sum, over all extensions
    of the updated tuple to full join results, of the aggregate's factor
@@ -100,7 +108,7 @@ let delta_join_sum storage task pair (u : Delta.update) =
 let apply t (u : Delta.update) =
   Obs.incr c_updates;
   Obs.add c_delta_tuples (abs u.multiplicity);
-  match t with
+  match t.state with
   | Fivm { storage; tree; _ } ->
       Cov_tree.delta tree u;
       Storage.apply storage u
@@ -114,7 +122,7 @@ let apply t (u : Delta.update) =
       Storage.apply storage u
 
 let covariance t : Cov.t =
-  match t with
+  match t.state with
   | Fivm { task; tree; _ } -> Payload.cov_elem task.Cov_task.dim (Cov_tree.result tree)
   | Higher { task; aggs; trees; _ } ->
       Cov_task.assemble task
@@ -124,17 +132,40 @@ let covariance t : Cov.t =
       Cov_task.assemble task
         (Array.to_list (Array.mapi (fun k pair -> (pair, totals.(k))) aggs))
 
-let storage = function
+let storage t =
+  match t.state with
   | Fivm { storage; _ } | Higher { storage; _ } | First { storage; _ } -> storage
 
-let features = function
+let features t =
+  match t.state with
   | Fivm { task; _ } | Higher { task; _ } | First { task; _ } ->
       Array.to_list task.Cov_task.features
 
-let strategy_of = function
+let strategy_of t =
+  match t.state with
   | Fivm _ -> F_ivm
   | Higher _ -> Higher_order
   | First _ -> First_order
+
+(* Current contents as a fresh [Database.t]: replay [Storage.dump] (live
+   tuples in insertion-stamp order) into empty clones of the schema
+   relations. Order preservation keeps LMFAO's accumulation order — and so
+   its float results — deterministic for a given stream. *)
+let snapshot t : Database.t =
+  let rels =
+    List.map
+      (fun r -> Relation.create (Relation.name r) (Relation.schema r))
+      (Database.relations t.schema)
+  in
+  let db = Database.create (Database.name t.schema) rels in
+  List.iter
+    (fun (u : Delta.update) ->
+      let rel = Database.relation db u.Delta.relation in
+      for _ = 1 to u.Delta.multiplicity do
+        Relation.append rel u.Delta.tuple
+      done)
+    (Storage.dump (storage t));
+  db
 
 (* ---- checkpoint hooks (used by lib/resilience) ----
 
@@ -148,13 +179,14 @@ type view_dump =
   | Float_views of (string * (Relational.Keypack.key * float) list) list array
   | Totals of float array
 
-let dump_views = function
+let dump_views t =
+  match t.state with
   | Fivm { tree; _ } -> Cov_views (Cov_tree.export tree)
   | Higher { trees; _ } -> Float_views (Array.map Float_tree.export trees)
   | First { totals; _ } -> Totals (Array.copy totals)
 
 let restore_views t dump =
-  match (t, dump) with
+  match (t.state, dump) with
   | Fivm { tree; _ }, Cov_views d -> Cov_tree.import tree d
   | Higher { trees; _ }, Float_views ds ->
       if Array.length ds <> Array.length trees then
@@ -170,7 +202,7 @@ let restore_views t dump =
    touching base storage) so that an audit against {!recompute} fails. Only
    reachable from the resilience layer's fault harness and tests. *)
 let perturb t x =
-  match t with
+  match t.state with
   | Fivm { tree; _ } ->
       let d =
         List.map
@@ -200,7 +232,7 @@ let perturb t x =
 
 let view_rows t =
   let sum sizes = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
-  match t with
+  match t.state with
   | Fivm { tree; _ } -> sum (Cov_tree.view_sizes tree)
   | Higher { trees; _ } ->
       Array.fold_left (fun acc tree -> acc + sum (Float_tree.view_sizes tree)) 0 trees
@@ -210,9 +242,7 @@ let view_rows t =
    refreshed once at the end (refreshing them per update would cost more
    than the updates themselves for the higher-order strategy). *)
 let apply_batch t (us : Delta.update list) =
-  let strategy =
-    match t with Fivm _ -> F_ivm | Higher _ -> Higher_order | First _ -> First_order
-  in
+  let strategy = strategy_of t in
   Obs.with_span ("fivm.batch:" ^ strategy_name strategy) @@ fun () ->
   Obs.incr c_batches;
   List.iter (apply t) us;
@@ -224,7 +254,7 @@ let apply_batch t (us : Delta.update list) =
 (* Reference: recompute the covariance triple from scratch over the current
    storage contents (used by tests and drift checks). *)
 let recompute t : Cov.t =
-  match t with
+  match t.state with
   | Fivm { task; tree; _ } -> Payload.cov_elem task.Cov_task.dim (Cov_tree.recompute tree)
   | Higher { task; aggs; trees; _ } ->
       Cov_task.assemble task

@@ -36,6 +36,14 @@ val covariance : t -> Rings.Covariance.t
 
 val storage : t -> Storage.t
 
+val snapshot : t -> Database.t
+(** The current contents as a fresh [Database.t]: the storage dump replayed
+    in insertion-stamp order into empty clones of the schema relations, so
+    downstream float accumulation is deterministic for a given stream. This
+    is the moment-assembly input for model refreshers that need aggregates
+    beyond the maintained covariance triple (degree-4 monomials, data
+    passes). *)
+
 val features : t -> string list
 (** The numeric features of the covariance task, in the order given to
     {!create} (= the index order of {!covariance}'s vector and matrix). *)

@@ -38,29 +38,18 @@ let covariance ?(cache = true) (db : Database.t) ~(features : string list) : Cov
   Fivm.Payload.cov_elem dim result
 
 (* Ridge linear regression trained from the factorised covariance pass:
-   response must be listed among [features]. *)
+   response must be listed among [features]. The triple is wrapped as a
+   [Moment.t] and solved by [Linreg.train], so the factorised and LMFAO
+   paths share one model type and one weight-assembly code path. *)
 let train_linreg ?(ridge = 1e-3) ?cache (db : Database.t) ~(features : string list)
-    ~(response : string) : float array * string list =
+    ~(response : string) : Linreg.model =
   let cov = covariance ?cache db ~features in
-  let moment = Cov.moment_matrix cov in
-  let resp_slot =
-    match List.find_index (fun f -> f = response) features with
-    | Some i -> i + 1
-    | None -> invalid_arg "F_engine.train_linreg: response not in features"
+  if not (List.mem response features) then
+    invalid_arg "F_engine.train_linreg: response not in features";
+  let moment = Moment.of_covariance cov ~features ~response:(Some response) in
+  let feature =
+    Aggregates.Feature.make ~response
+      ~continuous:(List.filter (fun f -> f <> response) features)
+      ~categorical:[] ()
   in
-  let keep =
-    Array.of_list
-      (List.filter (fun i -> i <> resp_slot) (List.init (List.length features + 1) Fun.id))
-  in
-  let n = Stdlib.max 1.0 (Cov.count cov) in
-  let a =
-    Util.Mat.init (Array.length keep) (Array.length keep) (fun i j ->
-        (Util.Mat.get moment keep.(i) keep.(j) /. n) +. if i = j then ridge else 0.0)
-  in
-  let b = Array.map (fun i -> Util.Mat.get moment i resp_slot /. n) keep in
-  let weights = Util.Mat.solve_spd a b in
-  let columns =
-    Array.to_list
-      (Array.map (fun i -> if i = 0 then "intercept" else List.nth features (i - 1)) keep)
-  in
-  (weights, columns)
+  Linreg.train ~ridge ~method_:Linreg.Closed_form feature moment

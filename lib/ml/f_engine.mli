@@ -14,7 +14,8 @@ val train_linreg :
   Database.t ->
   features:string list ->
   response:string ->
-  float array * string list
+  Linreg.model
 (** Closed-form ridge regression from the factorised pass; [response] must
-    appear in [features]. Returns weights with their column names
-    (intercept first). *)
+    appear in [features]. The triple is wrapped as a {!Moment.t} and solved
+    by {!Linreg.train}, so the factorised and LMFAO paths share one model
+    type (columns are intercept-first, as everywhere). *)

@@ -46,10 +46,17 @@ let gradient_aggregates (d : data) (w : float array) ~delta =
     d.x;
   (grad, !inside)
 
-let train ?(params = default_params) (d : data) : float array =
+(* The gradient loop, startable from a previous parameter vector: the
+   refresh path resumes close to the optimum (Section 1.5), the cold path
+   starts at zero. *)
+let train_weights ?(params = default_params) ?init (d : data) : float array =
   let n = Stdlib.max 1 (Array.length d.x) in
-  let n_features = if n = 0 then 0 else Array.length d.x.(0) in
-  let w = Array.make n_features 0.0 in
+  let n_features = if Array.length d.x = 0 then 0 else Array.length d.x.(0) in
+  let w =
+    match init with
+    | Some w0 when Array.length w0 = n_features -> Array.copy w0
+    | _ -> Array.make n_features 0.0
+  in
   for it = 1 to params.iterations do
     let lr = params.learning_rate /. sqrt (float_of_int it) in
     let grad, _ = gradient_aggregates d w ~delta:params.delta in
@@ -59,6 +66,9 @@ let train ?(params = default_params) (d : data) : float array =
     done
   done;
   w
+
+let train ?(params = default_params) (d : data) : float array =
+  train_weights ~params d
 
 let predict (w : float array) (row : float array) =
   let acc = ref 0.0 in
@@ -79,3 +89,87 @@ let objective ?(params = default_params) (w : float array) (d : data) =
         else params.delta *. (a -. (0.5 *. params.delta)))
     d.x;
   !loss /. float_of_int n
+
+(* ---- the Model_intf adapter ----
+
+   Huber's gradient is NOT expressible as static moments: the in-band /
+   out-of-band split is an additive inequality under the CURRENT parameters,
+   so every step needs theta-join aggregates over the data. The adapter is
+   honest about this: it declares [`Rows] and forces the bundle's data
+   matrix (a snapshot recompute when serving online), rather than pretending
+   a covariance triple could carry the loss. *)
+
+type named_model = {
+  columns : string array; (* one-hot column names; slot 0 is the intercept *)
+  weights : float array;
+  delta : float;
+}
+
+let predict_named (m : named_model) (get : string -> Relational.Value.t) =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i col ->
+      let v =
+        if col = "intercept" then 1.0
+        else
+          match String.index_opt col '=' with
+          | Some eq ->
+              let attr = String.sub col 0 eq in
+              let value = String.sub col (eq + 1) (String.length col - eq - 1) in
+              if Relational.Value.to_string (get attr) = value then 1.0 else 0.0
+          | None -> Relational.Value.to_float (get col)
+      in
+      acc := !acc +. (m.weights.(i) *. v))
+    m.columns;
+  !acc
+
+module Model = struct
+  let name = "huber"
+
+  let description =
+    "Huber-loss regression; per-step inequality aggregates over the data"
+
+  type options = params
+
+  let default_options = default_params
+
+  type model = named_model
+
+  let needs = `Rows
+
+  let train_from_moments ?(options = default_params) ?warm_start
+      (m : Model_intf.moments) =
+    let rows = Lazy.force m.Model_intf.rows in
+    let d = { x = rows.Model_intf.x; y = rows.Model_intf.y } in
+    let init =
+      match warm_start with
+      | Some (w : model) when w.columns = rows.Model_intf.row_columns ->
+          Some w.weights
+      | _ -> None
+    in
+    {
+      columns = rows.Model_intf.row_columns;
+      weights = train_weights ~params:options ?init d;
+      delta = options.delta;
+    }
+
+  let refresh ?options ~previous m =
+    train_from_moments ?options ~warm_start:previous m
+
+  let predict = predict_named
+
+  let encode buf (m : model) =
+    let module Codec = Relational.Codec in
+    Codec.i64 buf (Array.length m.columns);
+    Array.iter (Codec.str buf) m.columns;
+    Array.iter (Codec.f64 buf) m.weights;
+    Codec.f64 buf m.delta
+
+  let decode r : model =
+    let module Codec = Relational.Codec in
+    let dim = Codec.read_i64 r in
+    let columns = Array.init dim (fun _ -> Codec.read_str r) in
+    let weights = Array.init dim (fun _ -> Codec.read_f64 r) in
+    let delta = Codec.read_f64 r in
+    { columns; weights; delta }
+end

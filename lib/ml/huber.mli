@@ -17,6 +17,28 @@ val gradient_aggregates : data -> float array -> delta:float -> float array * in
 (** One step's inequality-aggregate batch: the per-feature gradient sums and
     the number of in-band tuples. *)
 
+val train_weights : ?params:params -> ?init:float array -> data -> float array
+(** The gradient loop; [init] warm-starts it from a previous parameter
+    vector (the online-refresh path). *)
+
 val train : ?params:params -> data -> float array
+  [@@ocaml.deprecated "use train_weights or Huber.Model"]
+(** @deprecated [train_weights] without a warm start. *)
+
 val predict : float array -> float array -> float
 val objective : ?params:params -> float array -> data -> float
+
+type named_model = {
+  columns : string array;  (** one-hot column names; slot 0 is the intercept *)
+  weights : float array;
+  delta : float;
+}
+
+val predict_named : named_model -> (string -> Relational.Value.t) -> float
+
+(** The {!Model_intf.S} adapter ("huber"). Huber's gradient needs per-step
+    inequality aggregates under the current parameters, so the adapter
+    declares [`Rows] and forces the bundle's data matrix — it cannot refresh
+    from a covariance triple alone. *)
+module Model :
+  Model_intf.S with type model = named_model and type options = params

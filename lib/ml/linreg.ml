@@ -269,6 +269,79 @@ let rmse_on (model : model) (rel : Relation.t) =
     sqrt (!se /. float_of_int n)
   end
 
+(* ---- binary codec (bit-identical float round trip) ---- *)
+
+let encode_feature buf (f : Feature.t) =
+  (match f.response with
+  | None -> Codec.u8 buf 0
+  | Some r ->
+      Codec.u8 buf 1;
+      Codec.str buf r);
+  let strs l =
+    Codec.i64 buf (List.length l);
+    List.iter (Codec.str buf) l
+  in
+  strs f.continuous;
+  strs f.categorical;
+  Codec.i64 buf f.thresholds_per_feature
+
+let decode_feature r : Feature.t =
+  let response =
+    match Codec.read_u8 r with 0 -> None | _ -> Some (Codec.read_str r)
+  in
+  let strs () = List.init (Codec.read_i64 r) (fun _ -> Codec.read_str r) in
+  let continuous = strs () in
+  let categorical = strs () in
+  let thresholds_per_feature = Codec.read_i64 r in
+  Feature.make ?response ~thresholds_per_feature ~continuous ~categorical ()
+
+let encode buf (m : model) =
+  Codec.i64 buf (Array.length m.feature_columns);
+  Array.iter (Codec.str buf) m.feature_columns;
+  Array.iter (Codec.f64 buf) m.weights;
+  encode_feature buf m.features;
+  Codec.i64 buf m.iterations_run
+
+let decode r : model =
+  let dim = Codec.read_i64 r in
+  let feature_columns = Array.init dim (fun _ -> Codec.read_str r) in
+  let weights = Array.init dim (fun _ -> Codec.read_f64 r) in
+  let features = decode_feature r in
+  let iterations_run = Codec.read_i64 r in
+  { feature_columns; weights; features; iterations_run }
+
+(* ---- the Model_intf adapter (plus its CLI-selectable variants) ---- *)
+
+type model_options = { ridge : float; method_ : method_ }
+
+module Model = struct
+  let name = "linreg-cg"
+
+  let description =
+    "ridge linear regression, conjugate gradients on the covariance moments"
+
+  type options = model_options
+
+  let default_options = { ridge = 1e-3; method_ = Conjugate_gradient default_cg }
+
+  type nonrec model = model
+
+  let needs = `Covariance
+
+  let train_from_moments ?(options = default_options) ?warm_start
+      (m : Model_intf.moments) =
+    train ~ridge:options.ridge ~method_:options.method_ ?warm_start
+      m.Model_intf.features
+      (Lazy.force m.Model_intf.covariance)
+
+  let refresh ?options ~previous m =
+    train_from_moments ?options ~warm_start:previous m
+
+  let predict = predict
+  let encode = encode
+  let decode = decode
+end
+
 (* End-to-end structure-aware training: synthesise the covariance batch, run
    LMFAO, assemble the moment matrix, optimise. Returns the model plus the
    batch/optimisation timings (the Figure 3 rows). *)
@@ -280,26 +353,14 @@ type timed_run = {
 }
 
 let train_over_database ?(ridge = 1e-3) ?(method_ = Conjugate_gradient default_cg)
-    ?(engine_options = Lmfao.Engine.default_options) (db : Database.t)
-    (features : Feature.t) : timed_run =
-  let batch = Aggregates.Batch.covariance features in
-  let table, batch_seconds =
-    Timing.time (fun () ->
-        Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table)
-  in
-  let lookup id =
-    match Hashtbl.find_opt table id with
-    | Some r -> r
-    | None -> invalid_arg (Printf.sprintf "Linreg: missing aggregate %s" id)
-  in
-  let model, solve_seconds =
-    Timing.time (fun () ->
-        let moment = Moment.of_batch features lookup in
-        train ~ridge ~method_ features moment)
+    ?engine_options (db : Database.t) (features : Feature.t) : timed_run =
+  let r =
+    Model_intf.timed_fit ?engine_options ~options:{ ridge; method_ }
+      (module Model) db features
   in
   {
-    model;
-    batch_seconds;
-    solve_seconds;
-    aggregate_count = Aggregates.Batch.size batch;
+    model = r.Model_intf.model;
+    batch_seconds = r.Model_intf.stats_seconds;
+    solve_seconds = r.Model_intf.solve_seconds;
+    aggregate_count = r.Model_intf.aggregate_count;
   }

@@ -44,6 +44,19 @@ val predict : model -> (string -> Value.t) -> float
 val rmse_on : model -> Relation.t -> float
 (** RMSE over an explicit (materialised) relation, for evaluation. *)
 
+val encode : Buffer.t -> model -> unit
+(** Binary codec; floats round-trip bit-identically. *)
+
+val decode : Codec.reader -> model
+(** @raise Relational.Codec.Decode_error on malformed input. *)
+
+type model_options = { ridge : float; method_ : method_ }
+
+(** The {!Model_intf.S} adapter ("linreg-cg"). The CLI-selectable closed-form
+    and gradient-descent variants live in {!Models}. *)
+module Model :
+  Model_intf.S with type model = model and type options = model_options
+
 type timed_run = {
   model : model;
   batch_seconds : float;
@@ -58,5 +71,6 @@ val train_over_database :
   Database.t ->
   Feature.t ->
   timed_run
-(** End-to-end structure-aware training: synthesise the covariance batch,
-    run LMFAO, assemble the moment matrix, optimise (CG by default). *)
+  [@@ocaml.deprecated "use Model_intf.timed_fit (module Linreg.Model)"]
+(** @deprecated Thin wrapper over {!Model_intf.timed_fit} with
+    {!Model}. *)

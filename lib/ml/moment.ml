@@ -141,6 +141,37 @@ let of_batch (f : Feature.t) (lookup : string -> Spec.result) : t =
       | None -> None);
   }
 
+(* The moment matrix read straight out of a maintained covariance triple:
+   [Rings.Covariance.moment_matrix] already IS Sigma over
+   (1, features...) — only the column names and the response slot need
+   attaching. [features] must list the triple's features in its index
+   order. This is the refresh path of online model maintenance: after a
+   delta batch the triple is current, so assembling the trainer's input is
+   O(d^2) and independent of the data size. *)
+let of_covariance (cov : Rings.Covariance.t) ~(features : string list)
+    ~(response : string option) : t =
+  let dim = Rings.Covariance.dim cov in
+  if List.length features <> dim then
+    invalid_arg "Moment.of_covariance: features do not match the triple's dimension";
+  let columns = Array.of_list ("intercept" :: features) in
+  let index = Hashtbl.create (Array.length columns) in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) columns;
+  let response_col =
+    match response with
+    | None -> None
+    | Some r -> (
+        match Hashtbl.find_opt index r with
+        | Some i -> Some i
+        | None -> invalid_arg "Moment.of_covariance: response not in features")
+  in
+  {
+    columns;
+    index;
+    matrix = Rings.Covariance.moment_matrix cov;
+    count = Rings.Covariance.count cov;
+    response_col;
+  }
+
 (* The moment matrix computed directly over a materialised, one-hot encoded
    matrix — the reference the batch path is tested against. *)
 let of_data_matrix (m : Baseline.One_hot.matrix) ~(response : string) : t =

@@ -28,6 +28,14 @@ val of_batch : Aggregates.Feature.t -> (string -> Aggregates.Spec.result) -> t
     produced by [Aggregates.Batch.covariance]); categorical domains are
     discovered from the marginal counts. *)
 
+val of_covariance :
+  Rings.Covariance.t -> features:string list -> response:string option -> t
+(** The moment matrix read straight out of a maintained covariance triple
+    ([features] in the triple's index order; the intercept is slot 0). This
+    is the O(d^2), data-size-independent refresh path of online model
+    maintenance. Raises if [features] does not match the triple's dimension
+    or [response] is not among them. *)
+
 val of_data_matrix : Baseline.One_hot.matrix -> response:string -> t
 (** Reference: the same matrix computed directly over a materialised,
     one-hot encoded data matrix (the response column is named

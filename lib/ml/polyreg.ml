@@ -3,64 +3,19 @@
    regression models").
 
    The quadratic basis phi(x) = (1, x_i ..., x_i * x_j ...) needs the moment
-   matrix E[phi phi^T], whose entries are SUM-PRODUCT aggregates of degree
-   up to 4 — still plain [Spec] terms (attribute powers), so the same LMFAO
-   engine computes the whole batch over the join without materialising it:
-   products across relations factorise through the join tree. *)
+   matrix E[phi phi^T] — the basis-space moments of [Monomial]. Training is
+   one closed-form ridge solve over that matrix, so a refresh from updated
+   moments is bit-identical to a cold retrain over the same statistics. *)
 
 open Relational
-module Spec = Aggregates.Spec
 open Util
 
-(* basis monomials over features xs: exponent vectors of total degree <= 2 *)
-type monomial = (string * int) list (* sorted, powers >= 1; [] = 1 *)
+type monomial = Monomial.t
 
-let basis (features : string list) : monomial list =
-  let singles = List.map (fun x -> [ (x, 1) ]) features in
-  let rec pairs = function
-    | [] -> []
-    | x :: rest ->
-        [ (x, 2) ]
-        :: List.map (fun y -> List.sort compare [ (x, 1); (y, 1) ]) rest
-        @ pairs rest
-  in
-  ([] :: singles) @ pairs features
-
-let monomial_name (m : monomial) =
-  match m with
-  | [] -> "1"
-  | ts -> String.concat "*" (List.map (fun (a, p) -> Printf.sprintf "%s^%d" a p) ts)
-
-(* product of two monomials: merge exponents *)
-let mono_mul (a : monomial) (b : monomial) : monomial =
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun (x, p) ->
-      Hashtbl.replace table x (p + Option.value ~default:0 (Hashtbl.find_opt table x)))
-    (a @ b);
-  List.sort compare (Hashtbl.fold (fun x p acc -> (x, p) :: acc) table [])
-
-(* the aggregate batch: SUM of every pairwise product of basis monomials
-   (and of each monomial times the response) *)
-let batch_for (features : string list) ~(response : string) =
-  let b = basis features in
-  let specs = Hashtbl.create 64 in
-  let add terms =
-    let id = monomial_name terms in
-    if not (Hashtbl.mem specs id) then
-      Hashtbl.replace specs id (Spec.make ~id ~terms ~group_by:[] ())
-  in
-  List.iteri
-    (fun i mi ->
-      List.iteri
-        (fun j mj -> if j >= i then add (mono_mul mi mj))
-        b;
-      add (mono_mul mi [ (response, 1) ]))
-    b;
-  add [ (response, 2) ];
-  ( { Aggregates.Batch.name = "polyreg";
-      aggregates = Hashtbl.fold (fun _ s acc -> s :: acc) specs [] },
-    b )
+let basis = Monomial.basis
+let monomial_name = Monomial.name
+let mono_mul = Monomial.mul
+let batch_for = Monomial.batch_for
 
 type model = {
   basis_monomials : monomial list;
@@ -68,34 +23,44 @@ type model = {
   response : string;
 }
 
-let train ?(ridge = 1e-2) ?(engine_options = Lmfao.Engine.default_options)
-    (db : Database.t) ~(features : string list) ~(response : string) : model =
-  let batch, b = batch_for features ~response in
-  let table = Lazy.force (Lmfao.Engine.eval ~options:engine_options db batch).table in
-  let scalar terms =
-    match Hashtbl.find_opt table (monomial_name terms) with
-    | Some r -> Spec.scalar_result r
-    | None -> invalid_arg ("Polyreg: missing aggregate " ^ monomial_name terms)
+(* Closed-form ridge solve over the basis-space moments: the moment's
+   columns are the basis monomials (constant first, named "intercept")
+   followed by the response. *)
+let train_from_monomial_moments ?(ridge = 1e-2) (m : Moment.t) : model =
+  let r =
+    match m.Moment.response_col with
+    | Some r -> r
+    | None -> invalid_arg "Polyreg: moment matrix has no response column"
   in
-  let dim = List.length b in
-  let n = Stdlib.max 1.0 (scalar []) in
-  let barr = Array.of_list b in
+  let response = m.Moment.columns.(r) in
+  let dim = Moment.width m - 1 in
+  if r <> dim then invalid_arg "Polyreg: response must be the last column";
+  let n = Stdlib.max 1.0 m.Moment.count in
   let a =
     Mat.init dim dim (fun i j ->
-        (scalar (mono_mul barr.(i) barr.(j)) /. n) +. if i = j then ridge else 0.0)
+        (Mat.get m.Moment.matrix i j /. n) +. if i = j then ridge else 0.0)
   in
-  let rhs =
-    Array.map (fun m -> scalar (mono_mul m [ (response, 1) ]) /. n) barr
+  let rhs = Array.init dim (fun i -> Mat.get m.Moment.matrix i r /. n) in
+  let basis_monomials =
+    List.map
+      (fun c ->
+        if c = "intercept" then []
+        else
+          List.map
+            (fun part ->
+              match String.index_opt part '^' with
+              | Some caret ->
+                  ( String.sub part 0 caret,
+                    int_of_string
+                      (String.sub part (caret + 1)
+                         (String.length part - caret - 1)) )
+              | None -> (part, 1))
+            (String.split_on_char '*' c))
+      (Array.to_list (Array.sub m.Moment.columns 0 dim))
   in
-  { basis_monomials = b; weights = Mat.solve_spd a rhs; response }
+  { basis_monomials; weights = Mat.solve_spd a rhs; response }
 
-let eval_monomial (m : monomial) (get : string -> float) =
-  List.fold_left
-    (fun acc (x, p) ->
-      let v = get x in
-      let rec pow acc k = if k = 0 then acc else pow (acc *. v) (k - 1) in
-      pow acc p)
-    1.0 m
+let eval_monomial (m : monomial) (get : string -> float) = Monomial.eval m get
 
 let predict (model : model) (get : string -> float) =
   List.fold_left
@@ -124,3 +89,73 @@ let rmse_on (model : model) (rel : Relation.t) =
     done;
     sqrt (!se /. float_of_int n)
   end
+
+(* ---- binary codec ---- *)
+
+let encode buf (m : model) =
+  Codec.i64 buf (List.length m.basis_monomials);
+  List.iter
+    (fun mono ->
+      Codec.i64 buf (List.length mono);
+      List.iter
+        (fun (a, p) ->
+          Codec.str buf a;
+          Codec.i64 buf p)
+        mono)
+    m.basis_monomials;
+  Array.iter (Codec.f64 buf) m.weights;
+  Codec.str buf m.response
+
+let decode r : model =
+  let dim = Codec.read_i64 r in
+  let basis_monomials =
+    List.init dim (fun _ ->
+        List.init (Codec.read_i64 r) (fun _ ->
+            let a = Codec.read_str r in
+            let p = Codec.read_i64 r in
+            (a, p)))
+  in
+  let weights = Array.init dim (fun _ -> Codec.read_f64 r) in
+  let response = Codec.read_str r in
+  { basis_monomials; weights; response }
+
+(* ---- the Model_intf adapter ---- *)
+
+type model_options = { ridge : float }
+
+module Model = struct
+  let name = "polyreg"
+
+  let description =
+    "degree-2 polynomial ridge regression from the basis-space moments"
+
+  type options = model_options
+
+  let default_options = { ridge = 1e-2 }
+
+  type nonrec model = model
+
+  let needs = `Monomial
+
+  (* Closed form: the warm start is accepted for signature uniformity but
+     cannot speed up a direct solve. *)
+  let train_from_moments ?(options = default_options) ?warm_start
+      (m : Model_intf.moments) =
+    ignore warm_start;
+    train_from_monomial_moments ~ridge:options.ridge
+      (Lazy.force m.Model_intf.monomial)
+
+  let refresh ?options ~previous m =
+    train_from_moments ?options ~warm_start:previous m
+
+  let predict (m : model) (get : string -> Value.t) =
+    predict m (fun a -> Value.to_float (get a))
+
+  let encode = encode
+  let decode = decode
+end
+
+let train ?(ridge = 1e-2) ?(engine_options = Lmfao.Engine.default_options)
+    (db : Database.t) ~(features : string list) ~(response : string) : model =
+  let m, _ = Monomial.moment_of_database ~engine_options db ~features ~response in
+  train_from_monomial_moments ~ridge m

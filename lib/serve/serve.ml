@@ -49,26 +49,51 @@ type entry = {
       (* per-aggregate coordinates when the WHOLE batch is covariance-backed *)
 }
 
-type stats = { hits : int; misses : int; invalidations : int; refreshes : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  refreshes : int;
+  clients_clamped : int;
+  model_refreshes : int;
+  model_predictions : int;
+}
+
+(* One registered model: the module that trains it, the current parameters,
+   the epoch they were trained at, and the staleness budget (how many epochs
+   the model may lag the data before [apply_deltas] must refresh it). *)
+type mentry = {
+  spec : Ml.Model_intf.t;
+  m_response : string;
+  max_staleness : int;
+  mutable packed : Ml.Model_intf.packed;
+  mutable m_epoch : int;
+}
 
 type t = {
   maintainer : Maintainer.t;
-  schema_db : Database.t; (* empty, schema-shaped; snapshots clone it *)
   feature_index : (string, int) Hashtbl.t;
   epoch : int Atomic.t;
   cache : (int, entry) Hashtbl.t; (* fingerprint -> entry *)
+  models : (string, mentry) Hashtbl.t; (* registered name -> entry *)
   lock : Mutex.t;
   options : Lmfao.Engine.options;
   hits : int Atomic.t;
   misses : int Atomic.t;
   invalidations : int Atomic.t;
   refreshes : int Atomic.t;
+  clients_clamped : int Atomic.t;
+  model_refreshes : int Atomic.t;
+  model_predictions : int Atomic.t;
 }
 
 let c_hits = Obs.counter "serve.hits"
 let c_misses = Obs.counter "serve.misses"
 let c_invalidations = Obs.counter "serve.invalidations"
 let c_refreshes = Obs.counter "serve.refreshes"
+let c_clients_clamped = Obs.counter "serve.clients_clamped"
+let c_model_refreshes = Obs.counter "serve.model_refreshes"
+let c_model_predictions = Obs.counter "serve.model_predictions"
 
 let locked t f =
   Mutex.lock t.lock;
@@ -81,16 +106,19 @@ let create ?(options = Lmfao.Engine.default_options) strategy
   List.iteri (fun i f -> Hashtbl.replace feature_index f i) features;
   {
     maintainer;
-    schema_db = db;
     feature_index;
     epoch = Atomic.make 0;
     cache = Hashtbl.create 16;
+    models = Hashtbl.create 8;
     lock = Mutex.create ();
     options;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     invalidations = Atomic.make 0;
     refreshes = Atomic.make 0;
+    clients_clamped = Atomic.make 0;
+    model_refreshes = Atomic.make 0;
+    model_predictions = Atomic.make 0;
   }
 
 let maintainer t = t.maintainer
@@ -103,6 +131,9 @@ let stats t =
     misses = Atomic.get t.misses;
     invalidations = Atomic.get t.invalidations;
     refreshes = Atomic.get t.refreshes;
+    clients_clamped = Atomic.get t.clients_clamped;
+    model_refreshes = Atomic.get t.model_refreshes;
+    model_predictions = Atomic.get t.model_predictions;
   }
 
 (* ---------- covariance-backed detection ---------- *)
@@ -144,25 +175,10 @@ let result_of_plan cov plan =
 
 (* ---------- snapshot + recompute ---------- *)
 
-(* Current database contents as a fresh [Database.t]: replay [Storage.dump]
-   (live tuples in insertion-stamp order) into empty clones of the schema
-   relations. Order preservation keeps LMFAO's accumulation order — and so
-   its float results — deterministic for a given stream. *)
-let snapshot t : Database.t =
-  let rels =
-    List.map
-      (fun r -> Relation.create (Relation.name r) (Relation.schema r))
-      (Database.relations t.schema_db)
-  in
-  let db = Database.create (Database.name t.schema_db) rels in
-  List.iter
-    (fun (u : Fivm.Delta.update) ->
-      let rel = Database.relation db u.Fivm.Delta.relation in
-      for _ = 1 to u.Fivm.Delta.multiplicity do
-        Relation.append rel u.Fivm.Delta.tuple
-      done)
-    (Fivm.Storage.dump (Maintainer.storage t.maintainer));
-  db
+(* Current database contents as a fresh [Database.t] (storage dump replayed
+   in insertion-stamp order) — what a cache miss evaluates over and what
+   beyond-the-triple model refreshers recompute their statistics from. *)
+let snapshot t : Database.t = Maintainer.snapshot t.maintainer
 
 (* Recompute the batch and return results in BATCH order (the engine groups
    its keyed results by decomposition root) — the serving contract is
@@ -217,10 +233,52 @@ let serve t (batch : Batch.t) : (string * Spec.result) list =
       keyed
 
 (* K concurrent clients on pool tasks; [clients] bounds the domains used
-   (further capped by the global worker budget). Results in input order. *)
+   (further capped by the global worker budget). Results in input order.
+   An explicit request above the budget is recorded in [clients_clamped]
+   (and the [serve.clients_clamped] counter) — the pool silently runs the
+   excess inline, and load tests need oversubscription to be detectable. *)
 let serve_many ?clients t (batches : Batch.t list) =
+  let requested =
+    match clients with Some c -> c | None -> Util.Pool.num_domains ()
+  in
+  if requested > Util.Pool.worker_budget () + 1 then begin
+    Atomic.incr t.clients_clamped;
+    Obs.incr c_clients_clamped
+  end;
   Util.Pool.parallel_tasks ?domains:clients
     (List.map (fun b () -> serve t b) batches)
+
+(* ---------- online model maintenance ---------- *)
+
+(* The moments bundle a registered model (re)trains from: covariance
+   straight from the maintained triple (O(d^2), data-size independent);
+   monomial / row statistics recomputed from a snapshot on demand. *)
+let model_moments t ~response =
+  Ml.Model_intf.moments_of_covariance
+    ~snapshot:(fun () -> snapshot t)
+    ~engine_options:t.options
+    (Maintainer.covariance t.maintainer)
+    ~features:(Maintainer.features t.maintainer)
+    ~response
+
+let refresh_models t ~next =
+  (* snapshot the entry list under the lock, train outside it (the lock is
+     never held across engine work); entry mutation is safe because delta
+     application is single-writer *)
+  let entries =
+    locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.models [])
+  in
+  List.iter
+    (fun (e : mentry) ->
+      if next - e.m_epoch > e.max_staleness then begin
+        e.packed <-
+          Ml.Model_intf.refresh_packed e.packed
+            (model_moments t ~response:e.m_response);
+        e.m_epoch <- next;
+        Atomic.incr t.model_refreshes;
+        Obs.incr c_model_refreshes
+      end)
+    entries
 
 (* ---------- the write path ---------- *)
 
@@ -245,4 +303,79 @@ let apply_deltas t (updates : Fivm.Delta.update list) =
                 Atomic.incr t.invalidations;
                 Obs.incr c_invalidations)
         t.cache;
-      List.iter (Hashtbl.remove t.cache) !dropped)
+      List.iter (Hashtbl.remove t.cache) !dropped);
+  refresh_models t ~next
+
+(* ---------- epoch-fresh model serving ---------- *)
+
+module Model = struct
+  let find t name =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.models name with
+        | Some e -> e
+        | None -> invalid_arg (Printf.sprintf "Serve.Model: no model %S" name))
+
+  (* Register and train the initial parameters from the current triple.
+     Single-writer, like [apply_deltas]. *)
+  let register ?name ?(max_staleness = 0) t (spec : Ml.Model_intf.t)
+      ~(response : string) =
+    if max_staleness < 0 then invalid_arg "Serve.Model.register: max_staleness < 0";
+    if not (List.mem response (Maintainer.features t.maintainer)) then
+      invalid_arg
+        (Printf.sprintf
+           "Serve.Model.register: response %s is not a maintained feature"
+           response);
+    let name = Option.value name ~default:(Ml.Model_intf.name spec) in
+    let packed =
+      Ml.Model_intf.train_packed spec (model_moments t ~response)
+    in
+    let e =
+      {
+        spec;
+        m_response = response;
+        max_staleness;
+        packed;
+        m_epoch = Atomic.get t.epoch;
+      }
+    in
+    locked t (fun () ->
+        if Hashtbl.mem t.models name then
+          invalid_arg
+            (Printf.sprintf "Serve.Model.register: %S already registered" name);
+        Hashtbl.replace t.models name e);
+    name
+
+  let names t =
+    locked t (fun () ->
+        List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.models []))
+
+  (* The served parameters with their epoch tag: the model is guaranteed to
+     lag the data by at most its staleness budget. *)
+  let packed t name =
+    let e = find t name in
+    (e.packed, e.m_epoch)
+
+  let epoch_of t name = (find t name).m_epoch
+  let spec_of t name = (find t name).spec
+  let response_of t name = (find t name).m_response
+
+  let predict t name (get : string -> Value.t) =
+    let e = find t name in
+    Atomic.incr t.model_predictions;
+    Obs.incr c_model_predictions;
+    (Ml.Model_intf.predict_packed e.packed get, e.m_epoch)
+
+  (* Force a refresh outside [apply_deltas] (e.g. a staleness-intolerant
+     client paying for freshness on demand). *)
+  let refresh t name =
+    let e = find t name in
+    let now = Atomic.get t.epoch in
+    if e.m_epoch < now then begin
+      e.packed <-
+        Ml.Model_intf.refresh_packed e.packed
+          (model_moments t ~response:e.m_response);
+      e.m_epoch <- now;
+      Atomic.incr t.model_refreshes;
+      Obs.incr c_model_refreshes
+    end
+end

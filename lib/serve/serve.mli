@@ -1,4 +1,4 @@
-(** Concurrent aggregate serving over {!Lmfao.Engine} with an
+(** Concurrent aggregate AND model serving over {!Lmfao.Engine} with an
     epoch-invalidated result cache kept fresh by {!Fivm.Maintainer}.
 
     Batches are cached under [(Batch.fingerprint, epoch)]: every delta batch
@@ -9,19 +9,37 @@
     snapshot. Under exact arithmetic, refreshed and recomputed results are
     bit-identical (the serving differential in [test_serve.ml]).
 
+    {!Model} extends the same loop to learned models: registered
+    {!Ml.Model_intf} implementations train from the maintained triple and
+    are refreshed (warm-started) by [apply_deltas] whenever their staleness
+    budget would otherwise be exceeded, so predictions carry an epoch tag at
+    most [max_staleness] behind the data.
+
     Reads may run as concurrent clients on {!Util.Pool} tasks under the
     process-global worker budget; delta application is single-writer and
     must not overlap reads. Counters [serve.hits] / [serve.misses] /
-    [serve.invalidations] / [serve.refreshes] and spans [serve.request] /
-    [serve.apply] are maintained when {!Obs} is enabled; {!stats} is always
-    live. *)
+    [serve.invalidations] / [serve.refreshes] / [serve.clients_clamped] /
+    [serve.model_refreshes] / [serve.model_predictions] and spans
+    [serve.request] / [serve.apply] are maintained when {!Obs} is enabled;
+    {!stats} is always live. *)
 
 open Relational
 module Spec := Aggregates.Spec
 
 type t
 
-type stats = { hits : int; misses : int; invalidations : int; refreshes : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  refreshes : int;
+  clients_clamped : int;
+      (** [serve_many] calls whose requested client count exceeded the
+          worker budget (the pool runs the excess inline — detectable
+          oversubscription, not a silent cap) *)
+  model_refreshes : int;
+  model_predictions : int;
+}
 
 val create :
   ?options:Lmfao.Engine.options ->
@@ -46,12 +64,48 @@ val serve_many :
   ?clients:int -> t -> Aggregates.Batch.t list -> (string * Spec.result) list list
 (** [serve] each batch as a parallel pool task ([clients] bounds the domain
     count, default [Pool.num_domains ()]; the global budget caps actual
-    spawns). Results in input order. *)
+    spawns). Results in input order. A request for more clients than the
+    budget can grant bumps [stats.clients_clamped] and the
+    [serve.clients_clamped] counter. *)
 
 val apply_deltas : t -> Fivm.Delta.update list -> unit
-(** Apply one delta batch through the maintainer, advance the epoch, then
-    refresh every covariance-backed cache entry from the maintained triple
-    and drop the rest. Single-writer: do not overlap with reads. *)
+(** Apply one delta batch through the maintainer, advance the epoch, refresh
+    every covariance-backed cache entry from the maintained triple and drop
+    the rest, then warm-refresh every registered model whose staleness
+    budget the new epoch would exceed. Single-writer: do not overlap with
+    reads. *)
+
+(** Epoch-fresh model serving: register a {!Ml.Model_intf} implementation,
+    get it trained from the maintained triple and refreshed (warm-started)
+    on delta application, and serve predictions tagged with the epoch the
+    parameters were trained at. *)
+module Model : sig
+  val register :
+    ?name:string -> ?max_staleness:int -> t -> Ml.Model_intf.t ->
+    response:string -> string
+  (** Train the initial parameters from the current triple and register
+      under [name] (default: the model's own name; returned). [response]
+      must be one of the maintainer's features. [max_staleness] (default 0)
+      is the number of epochs the model may lag the data before
+      [apply_deltas] must refresh it. Single-writer, like [apply_deltas].
+      Raises on duplicate names and unknown responses. *)
+
+  val predict : t -> string -> (string -> Value.t) -> float * int
+  (** Prediction by attribute lookup plus the epoch tag of the parameters
+      used (at most [max_staleness] behind {!epoch}). *)
+
+  val packed : t -> string -> Ml.Model_intf.packed * int
+  (** The served parameters with their epoch tag. *)
+
+  val refresh : t -> string -> unit
+  (** Force a warm refresh to the current epoch outside [apply_deltas]
+      (freshness on demand); no-op when already current. Single-writer. *)
+
+  val names : t -> string list
+  val epoch_of : t -> string -> int
+  val spec_of : t -> string -> Ml.Model_intf.t
+  val response_of : t -> string -> string
+end
 
 val snapshot : t -> Database.t
 (** The current database contents as a fresh [Database.t] (storage dump

@@ -11,7 +11,7 @@ let test_two_flows_agree () =
   let db = Datagen.Retailer.generate ~scale:0.02 ~seed:31 () in
   let features = Datagen.Retailer.features in
   let report = Baseline.Agnostic.run db features in
-  let aware = Ml.Linreg.train_over_database db features in
+  let aware = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
   let join = Database.materialise_join db in
   let aware_rmse = Ml.Linreg.rmse_on aware.model join in
   Alcotest.(check int) "join rows" (Relation.cardinality join) report.join_cardinality;
@@ -21,7 +21,9 @@ let test_two_flows_agree () =
     (aware_rmse <= report.rmse +. 1e-9);
   (* and close to the closed-form optimum *)
   let closed =
-    Ml.Linreg.train_over_database ~method_:Ml.Linreg.Closed_form db features
+    Ml.Model_intf.timed_fit
+      ~options:{ Ml.Linreg.ridge = 1e-3; method_ = Ml.Linreg.Closed_form }
+      (module Ml.Linreg.Model) db features
   in
   let closed_rmse = Ml.Linreg.rmse_on closed.model join in
   Alcotest.(check bool)
@@ -64,7 +66,7 @@ let test_models_train_everywhere () =
     (fun (name, db, features) ->
       let join = Database.materialise_join db in
       (* linear regression *)
-      let r = Ml.Linreg.train_over_database db features in
+      let r = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
       let rmse = Ml.Linreg.rmse_on r.model join in
       Alcotest.(check bool) (name ^ ": finite linreg rmse") true (Float.is_finite rmse);
       (* decision tree (small) *)

@@ -54,7 +54,7 @@ let planted_features =
 let test_moment_matches_data_matrix () =
   let db = planted_db ~seed:1 () in
   let features = planted_features in
-  let run = Ml.Linreg.train_over_database db features in
+  let run = Ml.Model_intf.timed_fit (module Ml.Linreg.Model) db features in
   ignore run;
   let batch = Aggregates.Batch.covariance features in
   let table = Lazy.force (Lmfao.Engine.eval db batch).Lmfao.Engine.table in
@@ -84,8 +84,9 @@ let test_moment_matches_data_matrix () =
 let test_linreg_recovers_plane () =
   let db = planted_db ~seed:2 () in
   let run =
-    Ml.Linreg.train_over_database ~ridge:1e-6 ~method_:Ml.Linreg.Closed_form db
-      planted_features
+    Ml.Model_intf.timed_fit
+      ~options:{ Ml.Linreg.ridge = 1e-6; method_ = Ml.Linreg.Closed_form }
+      (module Ml.Linreg.Model) db planted_features
   in
   let join = Database.materialise_join db in
   let rmse = Ml.Linreg.rmse_on run.model join in
@@ -94,15 +95,20 @@ let test_linreg_recovers_plane () =
 let test_gd_close_to_closed_form () =
   let db = planted_db ~seed:3 ~noise:1.0 () in
   let closed =
-    Ml.Linreg.train_over_database ~ridge:1e-3 ~method_:Ml.Linreg.Closed_form db
-      planted_features
+    Ml.Model_intf.timed_fit
+      ~options:{ Ml.Linreg.ridge = 1e-3; method_ = Ml.Linreg.Closed_form }
+      (module Ml.Linreg.Model) db planted_features
   in
   let gd =
-    Ml.Linreg.train_over_database ~ridge:1e-3
-      ~method_:
-        (Ml.Linreg.Gradient_descent
-           { learning_rate = 0.05; iterations = 60_000; tolerance = 1e-10 })
-      db planted_features
+    Ml.Model_intf.timed_fit
+      ~options:
+        {
+          Ml.Linreg.ridge = 1e-3;
+          method_ =
+            Ml.Linreg.Gradient_descent
+              { learning_rate = 0.05; iterations = 60_000; tolerance = 1e-10 };
+        }
+      (module Ml.Linreg.Model) db planted_features
   in
   let join = Database.materialise_join db in
   let r1 = Ml.Linreg.rmse_on closed.model join in
@@ -114,8 +120,12 @@ let test_gd_close_to_closed_form () =
 
 let test_ridge_shrinks () =
   let db = planted_db ~seed:4 ~noise:0.5 () in
-  let weak = Ml.Linreg.train_over_database ~ridge:1e-6 ~method_:Ml.Linreg.Closed_form db planted_features in
-  let strong = Ml.Linreg.train_over_database ~ridge:10.0 ~method_:Ml.Linreg.Closed_form db planted_features in
+  let fit ridge =
+    Ml.Model_intf.timed_fit
+      ~options:{ Ml.Linreg.ridge; method_ = Ml.Linreg.Closed_form }
+      (module Ml.Linreg.Model) db planted_features
+  in
+  let weak = fit 1e-6 and strong = fit 10.0 in
   Alcotest.(check bool) "stronger ridge, smaller norm" true
     (Util.Vec.norm2 strong.model.weights < Util.Vec.norm2 weak.model.weights)
 
@@ -361,7 +371,10 @@ let test_polyreg_learns_quadratic () =
     Relation.append f [| int a; flt m; flt y |]
   done;
   let db = Database.create "quad" [ f; d ] in
-  let model = Ml.Polyreg.train ~ridge:1e-8 db ~features:[ "m"; "u" ] ~response:"y" in
+  let moment, _ =
+    Ml.Monomial.moment_of_database db ~features:[ "m"; "u" ] ~response:"y"
+  in
+  let model = Ml.Polyreg.train_from_monomial_moments ~ridge:1e-8 moment in
   let join = Database.materialise_join db in
   let rmse = Ml.Polyreg.rmse_on model join in
   Alcotest.(check bool) (Printf.sprintf "rmse %.5f < 0.01" rmse) true (rmse < 0.01)
@@ -377,7 +390,7 @@ let test_fm_beats_linear_on_interactions () =
   in
   let y = Array.map (fun row -> 2.0 *. row.(0) *. row.(1)) x in
   let fm =
-    Ml.Factorization_machine.train
+    Ml.Factorization_machine.train_on_rows
       ~params:
         { Ml.Factorization_machine.default_params with iterations = 3000; learning_rate = 0.05 }
       x y
@@ -557,16 +570,17 @@ let f_engine_matches =
 
 let test_f_engine_linreg () =
   let db = planted_db ~seed:41 () in
-  let weights, columns =
+  let model =
     Ml.F_engine.train_linreg ~ridge:1e-8 db ~features:[ "y"; "m"; "u" ] ~response:"y"
   in
   let w_of name =
-    let rec go i = function
-      | [] -> Alcotest.failf "missing column %s" name
-      | c :: _ when c = name -> weights.(i)
-      | _ :: rest -> go (i + 1) rest
+    let cols = model.Ml.Linreg.feature_columns in
+    let rec go i =
+      if i >= Array.length cols then Alcotest.failf "missing column %s" name
+      else if cols.(i) = name then model.Ml.Linreg.weights.(i)
+      else go (i + 1)
     in
-    go 0 columns
+    go 0
   in
   (* the planted signal is y = 3 + 2m - u + 5[k=1]; without k's one-hot the
      linear part must still recover the m and u slopes *)
@@ -660,7 +674,7 @@ let test_huber_resists_outliers () =
   in
   let d = { Ml.Huber.x; y } in
   let w_huber =
-    Ml.Huber.train ~params:{ Ml.Huber.default_params with iterations = 2000 } d
+    Ml.Huber.train_weights ~params:{ Ml.Huber.default_params with iterations = 2000 } d
   in
   (* least squares gets dragged by the outliers; fit it via the moments *)
   let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
@@ -690,7 +704,9 @@ let test_huber_objective_decreases () =
   let y = Array.map (fun row -> 3.0 -. row.(1)) x in
   let d = { Ml.Huber.x; y } in
   let w0 = [| 0.0; 0.0 |] in
-  let w = Ml.Huber.train ~params:{ Ml.Huber.default_params with iterations = 500 } d in
+  let w =
+    Ml.Huber.train_weights ~params:{ Ml.Huber.default_params with iterations = 500 } d
+  in
   Alcotest.(check bool) "objective decreased" true
     (Ml.Huber.objective w d < Ml.Huber.objective w0 d)
 
