@@ -30,6 +30,7 @@ let seed = 42
    across PRs. Populated by [record] calls at the measurement points and
    written once after the run. *)
 let json_out = ref None
+let compare_with = ref None
 let timings : Obs.Json.t list ref = ref []
 
 let record ~entry ~engine seconds =
@@ -115,7 +116,25 @@ let fig3 () =
   record ~entry:"fig3" ~engine:"lmfao-batch" aware.stats_seconds;
   record ~entry:"fig3" ~engine:"lmfao-total" aware_total;
   record ~entry:"fig3" ~engine:"agnostic-total"
-    (Baseline.Agnostic.total_seconds report)
+    (Baseline.Agnostic.total_seconds report);
+  (* interpreted vs staged-compiled execution of the same covariance batch:
+     compile once (cold cost reported separately), then time the two
+     executors on identical plans. *)
+  let t_interp =
+    Util.Timing.measure ~repeats:3 (fun () -> Lmfao.Engine.eval_batch db batch)
+  in
+  let plan, t_compile = Util.Timing.time (fun () -> Compile.Engine.compile db batch) in
+  let t_compiled =
+    Util.Timing.measure ~repeats:3 (fun () -> Compile.Engine.run plan db)
+  in
+  Printf.printf "\ncovariance batch, interpreted: %s  compiled: %s (%s; compile %s)\n%!"
+    (Util.Timing.to_string t_interp)
+    (Util.Timing.to_string t_compiled)
+    (pct (t_interp /. t_compiled))
+    (Util.Timing.to_string t_compile);
+  record ~entry:"fig3" ~engine:"lmfao-interpreted" t_interp;
+  record ~entry:"fig3" ~engine:"lmfao-compiled" t_compiled;
+  record ~entry:"fig3" ~engine:"compile-cold" t_compile
 
 (* ------------------------------------------------------------ fig4left *)
 
@@ -748,6 +767,7 @@ let engines () =
       record ~entry:"engines" ~engine:(Aggregates.Engine_intf.name e) t)
     [
       (module Lmfao.Engine : Aggregates.Engine_intf.S);
+      (module Compile.Engine);
       (module Baseline.Agnostic);
       (module Baseline.Unshared.Dbx);
       (module Baseline.Unshared.Monet);
@@ -972,6 +992,10 @@ let () =
         json_out := Some file;
         parse_args acc rest
     | "--json" :: [] -> failwith "--json needs a file argument"
+    | "--compare" :: file :: rest ->
+        compare_with := Some file;
+        parse_args acc rest
+    | "--compare" :: [] -> failwith "--compare needs a file argument"
     | x :: rest -> parse_args (x :: acc) rest
     | [] -> List.rev acc
   in
@@ -1013,6 +1037,51 @@ let () =
           Printf.printf "unknown entry %s (available: %s)\n" name
             (String.concat ", " (List.map fst entries)))
     requested;
+  (* --compare OLD.json: per-entry speedup of this run against a previous
+     --json dump, matched on (entry, engine). *)
+  (match !compare_with with
+  | None -> ()
+  | Some file ->
+      let triples doc =
+        match Obs.Json.member "timings" doc with
+        | Some (Obs.Json.Arr l) ->
+            List.filter_map
+              (fun o ->
+                match
+                  ( Obs.Json.member "entry" o,
+                    Obs.Json.member "engine" o,
+                    Obs.Json.member "seconds" o )
+                with
+                | ( Some (Obs.Json.Str e),
+                    Some (Obs.Json.Str g),
+                    Some (Obs.Json.Num s) ) ->
+                    Some ((e, g), s)
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      match Obs.Json.parse (In_channel.with_open_text file In_channel.input_all) with
+      | Error msg -> Printf.printf "\n--compare %s: parse error: %s\n%!" file msg
+      | exception Sys_error msg -> Printf.printf "\n--compare: %s\n%!" msg
+      | Ok doc ->
+          let old = triples doc in
+          let now =
+            triples (Obs.Json.Obj [ ("timings", Obs.Json.Arr (List.rev !timings)) ])
+          in
+          header (Printf.sprintf "Comparison against %s (old / new)" file) "";
+          Printf.printf "%-12s %-22s %12s %12s %10s\n" "entry" "engine" "old"
+            "new" "speedup";
+          List.iter
+            (fun ((entry, engine), secs) ->
+              match List.assoc_opt (entry, engine) old with
+              | None -> ()
+              | Some old_secs ->
+                  Printf.printf "%-12s %-22s %12s %12s %10s\n" entry engine
+                    (Util.Timing.to_string old_secs)
+                    (Util.Timing.to_string secs)
+                    (pct (old_secs /. secs)))
+            now;
+          Printf.printf "%!");
   match !json_out with
   | None -> ()
   | Some file ->

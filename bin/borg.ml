@@ -486,19 +486,46 @@ let maintain_cmd =
 let engines : Aggregates.Engine_intf.t list =
   [
     (module Lmfao.Engine);
+    (module Compile.Engine);
     (module Baseline.Agnostic);
     (module Baseline.Unshared.Dbx);
     (module Baseline.Unshared.Monet);
   ]
 
+let engine_names =
+  String.concat ", " (List.map Aggregates.Engine_intf.name engines)
+
 let agg_cmd =
   let engine_arg =
+    (* resolved through the registry so any registered engine is
+       selectable; a typo reports the known names *)
     let econv =
-      Arg.enum (List.map (fun e -> (Aggregates.Engine_intf.name e, e)) engines)
+      let parse s =
+        match Aggregates.Engine_intf.find engines s with
+        | Some e -> Ok e
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown engine '%s' (known engines: %s)" s
+                    engine_names))
+      in
+      let print fmt e =
+        Format.pp_print_string fmt (Aggregates.Engine_intf.name e)
+      in
+      Arg.conv (parse, print)
     in
     Arg.(value & opt econv (List.hd engines)
          & info [ "engine" ] ~docv:"E"
-             ~doc:"Aggregate engine: lmfao | agnostic | dbx | monet.")
+             ~doc:(Printf.sprintf "Aggregate engine: %s." engine_names))
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Audit the result: evaluate the batch twice (the second run \
+                exercises any plan cache) and compare against the LMFAO \
+                interpreter — bitwise for lmfao engines, numerically \
+                otherwise. Exits 1 on divergence.")
   in
   let batch_arg =
     let bconv =
@@ -514,7 +541,21 @@ let agg_cmd =
          & info [ "batch" ] ~docv:"B"
              ~doc:"Batch: covariance | decision-node | mutual-info | kmeans.")
   in
-  let run (name, spec) scale seed engine batch_name trace metrics_out =
+  (* bitwise comparison of keyed results: same ids, same assignments in
+     the same order, every float identical to the last bit *)
+  let bits_identical a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (id, mine) (id', theirs) ->
+           String.equal id id'
+           && List.length mine = List.length theirs
+           && List.for_all2
+                (fun (k, v) (k', v') ->
+                  k = k' && Int64.bits_of_float v = Int64.bits_of_float v')
+                mine theirs)
+         a b
+  in
+  let run (name, spec) scale seed engine batch_name check trace metrics_out =
     with_obs trace metrics_out @@ fun () ->
     let db = spec.generate ~scale ~seed () in
     let mi =
@@ -542,12 +583,42 @@ let agg_cmd =
       name scale (List.length results) (Util.Timing.to_string seconds);
     List.iter
       (fun (id, rows) -> Printf.printf "  %-24s %6d group(s)\n" id (List.length rows))
-      results
+      results;
+    if check then begin
+      let ename = Aggregates.Engine_intf.name engine in
+      (* second evaluation: a cached-plan engine serves this from its
+         cache, so the audit also covers the cached path *)
+      let again = Aggregates.Engine_intf.eval engine db batch in
+      let reference = Lmfao.Engine.eval_batch db batch in
+      let bitwise =
+        String.length ename >= 5 && String.sub ename 0 5 = "lmfao"
+      in
+      let agree a b =
+        if bitwise then bits_identical a b
+        else
+          List.length a = List.length b
+          && List.for_all2
+               (fun (id, r) (id', r') ->
+                 String.equal id id' && Aggregates.Spec.result_equal r r')
+               (List.sort compare a) (List.sort compare b)
+      in
+      let ok_rerun = agree results again in
+      let ok_ref = agree results reference in
+      Printf.printf "check (%s): rerun %s, vs interpreter %s\n"
+        (if bitwise then "bitwise" else "numeric")
+        (if ok_rerun then "identical" else "DIVERGED")
+        (if ok_ref then "identical" else "DIVERGED");
+      if not (ok_rerun && ok_ref) then begin
+        Printf.eprintf "borg agg: engine %s diverges from the reference\n"
+          ename;
+        exit 1
+      end
+    end
   in
   Cmd.v
     (Cmd.info "agg" ~doc:"Evaluate an aggregate batch with a selectable engine.")
     Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ engine_arg $ batch_arg
-          $ trace_arg $ metrics_out_arg)
+          $ check_arg $ trace_arg $ metrics_out_arg)
 
 (* ---- the lattice workload (shared by serve and learn) ----
 

@@ -1,0 +1,47 @@
+(** The staged-compilation engine ("lmfao-compiled"): lowers the LMFAO
+    logical plan through the typed IR, optimises it, and executes
+    specialised closures. Satisfies {!Aggregates.Engine_intf.S}. Results
+    are bitwise equal to {!Lmfao.Engine}; cyclic schemas fall back to the
+    interpreter (counted in [lmfao.compile.cyclic]). *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+type options = Lmfao.Engine.options
+
+val default_options : options
+
+type compiled
+(** A compiled batch: one optimised {!Ir.rooted} per multi-root group,
+    tagged with the batch fingerprint and a plan signature. *)
+
+val compile : ?options:options -> Database.t -> Batch.t -> compiled
+(** Compile without consulting the cache. Counts [lmfao.compile.plans];
+    runs under the [lmfao.compile.plan] span with [lmfao.compile.lower] /
+    [lmfao.compile.passes] child spans.
+    @raise Join_tree.Cyclic on cyclic schemas
+    @raise Lmfao.Plan.Unsupported on non-decomposable filters *)
+
+val run : compiled -> Database.t -> (string * Spec.result) list
+(** Execute a compiled batch against a database (which must still match
+    the plan signature — see {!reusable}). *)
+
+val reusable : compiled -> ?options:options -> Database.t -> Batch.t -> bool
+(** Whether a cached plan may serve this (db, batch, options): the batch
+    fingerprint, the options, and the plan signature — schema shape plus
+    the cardinality-dependent multi-root assignment — all still match. *)
+
+val find_or_compile : ?options:options -> Database.t -> Batch.t -> compiled
+(** Consult the global fingerprint-keyed plan cache (revalidating the
+    signature; hits count [lmfao.compile.cache_hits]), compiling on miss.
+    Thread-safe.
+    @raise Join_tree.Cyclic on cyclic schemas *)
+
+(** {1 Engine_intf} *)
+
+val name : string
+val description : string
+
+val eval_batch :
+  ?options:options -> Database.t -> Batch.t -> (string * Spec.result) list

@@ -1,0 +1,550 @@
+(* Stage 3: closure-compile a physical IR plan against a live database and
+   run it.
+
+   Binding happens once per node per execution: relations are resolved by
+   name, column readers are specialised to the live [Column.data]
+   representation ([float array]/[int array] accessors, no variant
+   dispatch per row), key extractors are compiled, filters are compiled to
+   position-resolved closures, and each slot becomes one kernel closure
+   with its payload offset and child payload indexes pre-resolved and its
+   term product unrolled for small arities. The scan loop then runs with
+   zero per-row dispatch beyond the kernel calls themselves.
+
+   BIT-IDENTITY CONTRACT: this executor must produce results bitwise
+   equal to [Lmfao.Engine] on the same logical plan. Float operations
+   happen in exactly the interpreter's order — term products are
+   left-associated starting from 1.0, child scalars multiply in child
+   order after the terms, slots accumulate in slot-array order, rows are
+   inserted into the view before any filter is tested, grouped
+   accumulation replicates [Engine.accumulate_grouped] verbatim, and
+   parallel scans use the same deterministic [Pool.parallel_chunks]
+   decomposition and merge order. The differential qcheck suite holds
+   this line. *)
+
+open Relational
+module Spec = Aggregates.Spec
+
+type options = Lmfao.Engine.options
+
+(* Sorted-assignment grouped accumulator: the k-relation payload
+   ([Faggregate.Grouped] over floats) specialised to flat sorted arrays.
+   Every operation replicates the ring's fold order EXACTLY — [KMap] folds
+   ascending in [Key.compare] order, so each per-key float addition happens
+   in the same sequence as the interpreter's map-based path, keeping
+   results bitwise equal while dropping the balanced-tree overhead (and
+   its allocation) from the per-tuple inner loop. *)
+module Ga = struct
+  type key = (string * Value.t) list
+
+  (* replica of [Faggregate.Grouped.Key.compare] *)
+  let key_compare (a : key) (b : key) =
+    let rec go a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | (xa, va) :: ra, (xb, vb) :: rb ->
+          let c = compare xa xb in
+          if c <> 0 then c
+          else
+            let c = Value.compare va vb in
+            if c <> 0 then c else go ra rb
+    in
+    go a b
+
+  type t = {
+    mutable keys : key array; (* ascending in [key_compare]; [len] used *)
+    mutable vals : float array;
+    mutable len : int;
+  }
+
+  let create () = { keys = [||]; vals = [||]; len = 0 }
+  let singleton k v = { keys = [| k |]; vals = [| v |]; len = 1 }
+
+  (* index of [k], or [-(insertion point) - 1] when absent *)
+  let rec search t k lo hi =
+    if lo > hi then -lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      let c = key_compare k t.keys.(mid) in
+      if c = 0 then mid
+      else if c < 0 then search t k lo (mid - 1)
+      else search t k (mid + 1) hi
+
+  let insert t pos k v =
+    if t.len = Array.length t.keys then begin
+      let cap = max 4 (2 * t.len) in
+      let ks = Array.make cap [] and vs = Array.make cap 0.0 in
+      Array.blit t.keys 0 ks 0 t.len;
+      Array.blit t.vals 0 vs 0 t.len;
+      t.keys <- ks;
+      t.vals <- vs
+    end;
+    Array.blit t.keys pos t.keys (pos + 1) (t.len - pos);
+    Array.blit t.vals pos t.vals (pos + 1) (t.len - pos);
+    t.keys.(pos) <- k;
+    t.vals.(pos) <- v;
+    t.len <- t.len + 1
+
+  (* [KMap.update k (None -> v | Some v0 -> v0 +. v)] *)
+  let bump t k v =
+    let i = search t k 0 (t.len - 1) in
+    if i >= 0 then t.vals.(i) <- t.vals.(i) +. v else insert t (-i - 1) k v
+
+  (* [KMap.union (fun _ x y -> Some (x +. y))] with x from [a], y from
+     [b], merged into [a] in place *)
+  let add_into (a : t) (b : t) =
+    if b.len <> 0 then
+      if a.len = 0 then begin
+        a.keys <- Array.sub b.keys 0 b.len;
+        a.vals <- Array.sub b.vals 0 b.len;
+        a.len <- b.len
+      end
+      else begin
+        let ks = Array.make (a.len + b.len) [] in
+        let vs = Array.make (a.len + b.len) 0.0 in
+        let i = ref 0 and j = ref 0 and n = ref 0 in
+        while !i < a.len && !j < b.len do
+          let c = key_compare a.keys.(!i) b.keys.(!j) in
+          if c = 0 then begin
+            ks.(!n) <- a.keys.(!i);
+            vs.(!n) <- a.vals.(!i) +. b.vals.(!j);
+            incr i;
+            incr j
+          end
+          else if c < 0 then begin
+            ks.(!n) <- a.keys.(!i);
+            vs.(!n) <- a.vals.(!i);
+            incr i
+          end
+          else begin
+            ks.(!n) <- b.keys.(!j);
+            vs.(!n) <- b.vals.(!j);
+            incr j
+          end;
+          incr n
+        done;
+        while !i < a.len do
+          ks.(!n) <- a.keys.(!i);
+          vs.(!n) <- a.vals.(!i);
+          incr i;
+          incr n
+        done;
+        while !j < b.len do
+          ks.(!n) <- b.keys.(!j);
+          vs.(!n) <- b.vals.(!j);
+          incr j;
+          incr n
+        done;
+        a.keys <- ks;
+        a.vals <- vs;
+        a.len <- !n
+      end
+
+  (* replica of [Faggregate.Grouped.merge_keys] *)
+  let merge_keys a b = List.sort (fun (x, _) (y, _) -> compare x y) (a @ b)
+
+  (* replica of [Faggregate.Grouped.mul]: both folds ascending, each
+     product bumped into the accumulator in generation order. Assignments
+     cover disjoint variable sets, so merging with the empty key is the
+     identity (the ring's fst-only stable sort of an already-sorted
+     assignment). *)
+  let mul (a : t) (b : t) : t =
+    let acc = create () in
+    for i = 0 to a.len - 1 do
+      let ka = a.keys.(i) and va = a.vals.(i) in
+      for j = 0 to b.len - 1 do
+        let kb = b.keys.(j) in
+        let k =
+          match (ka, kb) with
+          | [], _ -> kb
+          | _, [] -> ka
+          | _ -> merge_keys ka kb
+        in
+        bump acc k (va *. b.vals.(j))
+      done
+    done;
+    acc
+
+  let bindings (t : t) = List.init t.len (fun i -> (t.keys.(i), t.vals.(i)))
+end
+
+type row = { sc : float array; gr : Ga.t array }
+type view = row Keypack.Hybrid.t
+
+(* Specialization fallbacks: boxed or representation-drifted columns, and
+   grouped (k-relation valued) slots that use the generic map path. *)
+let c_fallbacks = Obs.counter "lmfao.compile.fallbacks"
+let c_tuples = Obs.counter "lmfao.compile.tuples_scanned"
+
+let merge_rows (a : row) (b : row) =
+  Array.iteri (fun i v -> a.sc.(i) <- a.sc.(i) +. v) b.sc;
+  Array.iteri (fun i v -> Ga.add_into a.gr.(i) v) b.gr
+
+let merge_views (a : view) (b : view) : view =
+  Keypack.Hybrid.iter
+    (fun key row_b ->
+      match Keypack.Hybrid.find_opt a key with
+      | Some row_a -> merge_rows row_a row_b
+      | None -> Keypack.Hybrid.add a key row_b)
+    b;
+  a
+
+(* ---------- monomorphic column readers ---------- *)
+
+(* Reader specialised to the live representation. Indexes stay within the
+   relation's cardinality, which the column capacity bounds, so the
+   unsafe reads are in range. Semantics are [Column.float_at]. *)
+let reader (cols : Column.t array) pos : int -> float =
+  match Column.data cols.(pos) with
+  | Column.Floats a -> fun i -> Array.unsafe_get a i
+  | Column.Ints a -> fun i -> float_of_int (Array.unsafe_get a i)
+  | Column.Boxed a -> fun i -> Value.to_float (Array.unsafe_get a i)
+
+let live_rep (cols : Column.t array) pos : Ir.rep =
+  match Column.data cols.(pos) with
+  | Column.Ints _ -> Ir.Rint
+  | Column.Floats _ -> Ir.Rfloat
+  | Column.Boxed _ -> Ir.Rboxed
+
+(* ---------- filter compilation ---------- *)
+
+(* Mirror of [Predicate.compile_cols], driven by the IR's positions. The
+   generic arms preserve [Value.compare]/[Value.equal] semantics for
+   boxed or cross-typed columns. *)
+let rec compile_filter (cols : Column.t array) (f : Ir.filter) : int -> bool =
+  match f with
+  | Ir.FTrue -> fun _ -> true
+  | Ir.FGe (p, c) -> (
+      let cl = cols.(p) in
+      match (Column.data cl, c) with
+      | Column.Ints arr, Value.Int x -> fun i -> arr.(i) >= x
+      | Column.Floats arr, Value.Float x -> fun i -> arr.(i) >= x
+      | _ -> fun i -> Value.compare (Column.get cl i) c >= 0)
+  | Ir.FLt (p, c) -> (
+      let cl = cols.(p) in
+      match (Column.data cl, c) with
+      | Column.Ints arr, Value.Int x -> fun i -> arr.(i) < x
+      | Column.Floats arr, Value.Float x -> fun i -> arr.(i) < x
+      | _ -> fun i -> Value.compare (Column.get cl i) c < 0)
+  | Ir.FEq (p, c) -> (
+      let cl = cols.(p) in
+      match (Column.data cl, c) with
+      | Column.Ints arr, Value.Int x -> fun i -> arr.(i) = x
+      | Column.Floats arr, Value.Float x -> fun i -> arr.(i) = x
+      | _ -> fun i -> Value.equal (Column.get cl i) c)
+  | Ir.FIn (p, cs) -> (
+      let cl = cols.(p) in
+      match Column.data cl with
+      | Column.Ints arr
+        when List.for_all (function Value.Int _ -> true | _ -> false) cs ->
+          let xs = List.map Value.to_int cs in
+          fun i -> List.mem arr.(i) xs
+      | _ -> fun i -> List.exists (Value.equal (Column.get cl i)) cs)
+  | Ir.FNot f ->
+      let g = compile_filter cols f in
+      fun i -> not (g i)
+  | Ir.FAnd (f, g) ->
+      let cf = compile_filter cols f and cg = compile_filter cols g in
+      fun i -> cf i && cg i
+  | Ir.FOr (f, g) ->
+      let cf = compile_filter cols f and cg = compile_filter cols g in
+      fun i -> cf i || cg i
+  | Ir.FAdditive (ts, c) ->
+      let compiled = List.map (fun (p, w) -> (cols.(p), w)) ts in
+      fun i ->
+        List.fold_left
+          (fun acc (cl, w) -> acc +. (w *. Column.float_at cl i))
+          0.0 compiled
+        > c
+
+let compile_filters cols = function
+  | [] -> fun _ -> true
+  | [ f ] -> compile_filter cols f
+  | fs ->
+      let compiled = List.map (compile_filter cols) fs in
+      fun i -> List.for_all (fun f -> f i) compiled
+
+(* ---------- term products ---------- *)
+
+(* Left-associated product starting from 1.0, unrolled for the common
+   arities. The op sequence is exactly the interpreter's
+   [local := 1.0; local := !local *. x; ...] chain. *)
+let build_product (terms : ((int -> float) * int) array) : int -> float =
+  match terms with
+  | [||] -> fun _ -> 1.0
+  | [| (r, 1) |] -> fun i -> 1.0 *. r i
+  | [| (r, 2) |] ->
+      fun i ->
+        let x = r i in
+        1.0 *. x *. x
+  | [| (r1, 1); (r2, 1) |] -> fun i -> 1.0 *. r1 i *. r2 i
+  | terms ->
+      fun i ->
+        let local = ref 1.0 in
+        Array.iter
+          (fun (r, power) ->
+            let x = r i in
+            for _ = 1 to power do
+              local := !local *. x
+            done)
+          terms;
+        !local
+
+(* ---------- grouped accumulation (generic path) ---------- *)
+
+(* Replica of [Engine.accumulate_grouped] over the sorted-array payload:
+   scalar children fold into the float coefficient, grouped children
+   multiply as k-relations, the group assignment boxes one cell per
+   attribute. Mutates [acc] in place; the float-op sequence per result key
+   is the interpreter's. *)
+let accumulate_grouped (groups : (string * int) array)
+    (child_refs : (int * bool) array) (cols : Column.t array) i local
+    (child_rows : row array) (acc : Ga.t) : unit =
+  let coeff = ref local in
+  let grouped = ref [] in
+  Array.iteri
+    (fun c r ->
+      let idx, is_scalar = child_refs.(c) in
+      if is_scalar then coeff := !coeff *. r.sc.(idx)
+      else grouped := r.gr.(idx) :: !grouped)
+    child_rows;
+  let assignment =
+    match groups with
+    | [| (a, pos) |] -> [ (a, Column.get cols.(pos) i) ]
+    | groups ->
+        List.sort compare
+          (Array.to_list
+             (Array.map (fun (a, pos) -> (a, Column.get cols.(pos) i)) groups))
+  in
+  match !grouped with
+  | [] -> Ga.bump acc assignment !coeff
+  | [ g ] when assignment = [] ->
+      (* the hot root shape: no local groups, one grouped child.
+         [mul (singleton [] coeff) g] then the ascending fold into [acc]
+         collapses to bumping each coeff·entry directly — the same
+         additions, per key, in the same ascending order *)
+      let c = !coeff in
+      for j = 0 to g.Ga.len - 1 do
+        Ga.bump acc g.Ga.keys.(j) (c *. g.Ga.vals.(j))
+      done
+  | gs ->
+      let m = ref (Ga.singleton assignment !coeff) in
+      List.iter (fun g -> m := Ga.mul !m g) gs;
+      (* [KMap.fold bump]: ascending over the product, bumped into acc *)
+      let m = !m in
+      for k = 0 to m.Ga.len - 1 do
+        Ga.bump acc m.Ga.keys.(k) m.Ga.vals.(k)
+      done
+
+(* ---------- node execution ---------- *)
+
+(* Payload layout: scalars and grouped partials counted separately in slot
+   order — identical to the interpreter's assignment. *)
+let payload_map (slots : Ir.slot array) : (int * bool) array * int * int =
+  let ns = ref 0 and ng = ref 0 in
+  let m =
+    Array.map
+      (fun (s : Ir.slot) ->
+        if s.Ir.s_scalar then begin
+          incr ns;
+          (!ns - 1, true)
+        end
+        else begin
+          incr ng;
+          (!ng - 1, false)
+        end)
+      slots
+  in
+  (m, !ns, !ng)
+
+(* Count specialization fallbacks for one node binding: grouped slots (map
+   path) and columns whose live representation is boxed or has drifted
+   from what the plan was specialised for. *)
+let count_fallbacks (node : Ir.node) cols =
+  Array.iter
+    (fun (s : Ir.slot) ->
+      if not s.Ir.s_scalar then Obs.incr c_fallbacks;
+      Array.iter
+        (fun (t : Ir.term) ->
+          let live = live_rep cols t.Ir.t_pos in
+          if live = Ir.Rboxed || live <> t.Ir.t_rep then Obs.incr c_fallbacks)
+        s.Ir.s_terms)
+    node.Ir.n_slots
+
+let rec compute ~(options : options) (db : Database.t) (node : Ir.node) :
+    view * (int * bool) array =
+  Obs.with_span ("lmfao.compile.view:" ^ node.Ir.n_rel) (fun () ->
+      compute_node ~options db node)
+
+and compute_node ~options db (node : Ir.node) : view * (int * bool) array =
+  let children = Array.to_list node.Ir.n_children in
+  let kids =
+    if options.Lmfao.Engine.parallel && List.length children > 1 then
+      Util.Pool.parallel_tasks
+        (List.map (fun c () -> compute ~options db c) children)
+    else List.map (compute ~options db) children
+  in
+  let child_views = Array.of_list (List.map fst kids) in
+  let child_payloads = Array.of_list (List.map snd kids) in
+  let rel = Database.relation db node.Ir.n_rel in
+  let n = Relation.cardinality rel in
+  let n_children = Array.length child_views in
+  let n_slots = Array.length node.Ir.n_slots in
+  ignore (Relation.scan rel);
+  let cols = Relation.columns rel in
+  let own_key = Relation.extractor rel node.Ir.n_key.Ir.k_positions in
+  let child_key =
+    Array.map
+      (fun (k : Ir.key_shape) -> Relation.extractor rel k.Ir.k_positions)
+      node.Ir.n_child_keys
+  in
+  let payload, payload_scalars, payload_grouped = payload_map node.Ir.n_slots in
+  (* per slot: the child payload indexes its kernel multiplies/merges *)
+  let child_refs =
+    Array.map
+      (fun (s : Ir.slot) ->
+        Array.mapi (fun c cs -> child_payloads.(c).(cs)) s.Ir.s_children)
+      node.Ir.n_slots
+  in
+  count_fallbacks node cols;
+  let nh = Array.length node.Ir.n_hoisted in
+  (* [scan] is invoked once per chunk; the kernel closures and the hoist
+     buffer are built inside so concurrent chunks never share mutable
+     state. Construction is O(slots), amortised over >= chunk_threshold
+     rows. *)
+  let scan lo len =
+    Obs.add c_tuples len;
+    let buf = Array.make (max nh 1) 0.0 in
+    let hload =
+      Array.map (fun pos -> reader cols pos) node.Ir.n_hoisted
+    in
+    let slot_reader pos =
+      (* hoisted positions read the per-row buffer *)
+      let rec idx k =
+        if k >= nh then -1
+        else if node.Ir.n_hoisted.(k) = pos then k
+        else idx (k + 1)
+      in
+      match idx 0 with
+      | -1 -> reader cols pos
+      | k -> fun _ -> Array.unsafe_get buf k
+    in
+    let scan_ok = compile_filters cols node.Ir.n_scan_filters in
+    let kernels =
+      Array.mapi
+        (fun s_idx (s : Ir.slot) ->
+          let filt = compile_filters cols s.Ir.s_filters in
+          let no_filter = s.Ir.s_filters = [] in
+          let product =
+            build_product
+              (Array.map
+                 (fun (t : Ir.term) -> (slot_reader t.Ir.t_pos, t.Ir.t_power))
+                 s.Ir.s_terms)
+          in
+          let p_idx, _ = payload.(s_idx) in
+          let refs = child_refs.(s_idx) in
+          if s.Ir.s_scalar then (
+            match Array.length refs with
+            | 0 when no_filter ->
+                fun i _child_rows (acc : row) ->
+                  acc.sc.(p_idx) <- acc.sc.(p_idx) +. product i
+            | 0 ->
+                fun i _child_rows (acc : row) ->
+                  if filt i then acc.sc.(p_idx) <- acc.sc.(p_idx) +. product i
+            | nrefs ->
+                fun i child_rows (acc : row) ->
+                  if filt i then begin
+                    let local = ref (product i) in
+                    for c = 0 to nrefs - 1 do
+                      let idx, _ = Array.unsafe_get refs c in
+                      local :=
+                        !local *. (Array.unsafe_get child_rows c).sc.(idx)
+                    done;
+                    acc.sc.(p_idx) <- acc.sc.(p_idx) +. !local
+                  end)
+          else
+            fun i child_rows (acc : row) ->
+              if filt i then
+                accumulate_grouped s.Ir.s_groups refs cols i (product i)
+                  child_rows
+                  acc.gr.(p_idx))
+        node.Ir.n_slots
+    in
+    let view : view = Keypack.Hybrid.create 256 in
+    let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
+    for i = lo to lo + len - 1 do
+      (* probe all children; a missing partner voids the row entirely *)
+      let rec probe c =
+        if c = n_children then true
+        else
+          match
+            Keypack.Hybrid.find_opt child_views.(c) (child_key.(c) i)
+          with
+          | Some r ->
+              child_rows.(c) <- r;
+              probe (c + 1)
+          | None -> false
+      in
+      if probe 0 then begin
+        let key = own_key i in
+        (* the row is inserted BEFORE any filter runs: an all-filters-false
+           row still creates a zero row, as in the interpreter *)
+        let acc_row =
+          match Keypack.Hybrid.find_opt view key with
+          | Some r -> r
+          | None ->
+              let r =
+                {
+                  sc = Array.make payload_scalars 0.0;
+                  (* fresh accumulators: [Ga.t] is mutable, never shared *)
+                  gr = Array.init payload_grouped (fun _ -> Ga.create ());
+                }
+              in
+              Keypack.Hybrid.add view key r;
+              r
+        in
+        if scan_ok i then begin
+          for k = 0 to nh - 1 do
+            Array.unsafe_set buf k ((Array.unsafe_get hload k) i)
+          done;
+          for s = 0 to n_slots - 1 do
+            (Array.unsafe_get kernels s) i child_rows acc_row
+          done
+        end
+      end
+    done;
+    view
+  in
+  let view =
+    if options.Lmfao.Engine.parallel && n > options.Lmfao.Engine.chunk_threshold
+    then
+      Util.Pool.parallel_chunks n scan
+        ~combine:(fun acc v ->
+          match acc with None -> Some v | Some a -> Some (merge_views a v))
+        ~zero:None
+      |> Option.value ~default:(Keypack.Hybrid.create 1)
+    else scan 0 n
+  in
+  (view, payload)
+
+(* ---------- rooted execution ---------- *)
+
+let compute_rooted ~options db (r : Ir.rooted) : (string * Spec.result) list =
+  Obs.with_span ("lmfao.compile.root:" ^ r.Ir.r_root) @@ fun () ->
+  let view, payload = compute ~options db r.Ir.r_node in
+  (* the root view has the single empty key, which packs as [P 0] *)
+  let row = Keypack.Hybrid.find_opt view (Keypack.P 0) in
+  Array.to_list
+    (Array.map
+       (fun (id, slot) ->
+         let p_idx, scalar = payload.(slot) in
+         let result =
+           match row with
+           | None -> if scalar then [ ([], 0.0) ] else []
+           | Some r ->
+               if scalar then [ ([], r.sc.(p_idx)) ]
+               else Ga.bindings r.gr.(p_idx)
+         in
+         (id, result))
+       r.Ir.r_outputs)

@@ -1,0 +1,21 @@
+(** Stage 3: closure-compile a physical IR plan against a live database
+    and run it — monomorphic column readers, pre-resolved payload offsets,
+    unrolled small-arity products, zero variant dispatch in the scan loop.
+    Results are BITWISE equal to {!Lmfao.Engine} on the same logical plan
+    (the differential qcheck suite enforces this). *)
+
+open Relational
+module Spec = Aggregates.Spec
+
+type options = Lmfao.Engine.options
+(** Only [parallel] and [chunk_threshold] matter here; [share] and
+    [multi_root] are already baked into the plan. *)
+
+val compute_rooted :
+  options:options -> Database.t -> Ir.rooted -> (string * Spec.result) list
+(** Execute one rooted plan: bind (specialise readers, filters, kernels to
+    the live column representations — drift is counted in
+    [lmfao.compile.fallbacks]), scan, and extract each output aggregate
+    from its root slot. Runs under [lmfao.compile.root:*] /
+    [lmfao.compile.view:*] spans and counts
+    [lmfao.compile.tuples_scanned]. *)

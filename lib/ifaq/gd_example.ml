@@ -5,11 +5,10 @@
    [original] is the paper's starting program (the response u rides along in
    the tuples; following the paper we keep the displayed objective
    sum_x Q(x) * (sum_f2 theta(f2) x(f2)) * x(f1), which exercises exactly
-   the same data-intensive structure). [stage_pushdown] is the final form
-   after aggregate extraction, pushdown past the joins, view fusion and trie
-   conversion — constructed following the paper's derivation; the rewrite
-   pipeline of [Rewrite] produces the intermediate stages mechanically.
-   Tests check that EVERY stage evaluates to the same parameters. *)
+   the same data-intensive structure). Every later stage — through
+   aggregate extraction, pushdown past the joins, view fusion and trie
+   conversion — is produced mechanically by the [Rewrite] passes. Tests
+   check that EVERY stage evaluates to the same parameters. *)
 
 open Expr
 
@@ -81,124 +80,23 @@ let original =
       join_expr,
       Iter { times = iterations; var = "theta"; init = theta0; body = update } )
 
-(* ---- the final stage: aggregate pushdown + fusion + trie conversion ----
+(* the full ladder: the mechanical [Rewrite] stages, the mechanical
+   aggregate pushdown applied on top of them, and the mechanical view
+   fusion + trie conversion ([Rewrite.fuse_views]) — which derives the
+   paper's fused per-relation views
 
-   M_{f1,f2} factorises through the join tree S - R, S - I: the R- and
-   I-side sums are pushed into fused views
+     WR = sum_xr { xr.s -> {m1=R(xr), m2=R(xr)*xr.c, m3=R(xr)*xr.c^2} }
+     WI = sum_xi { xi.i -> {m1=I(xi), m2=I(xi)*xi.p, m3=I(xi)*xi.p^2} }
 
-     WR = sum_xr R(xr) * { xr.s -> {cnt=1, c=xr.c, cc=xr.c^2} }
-     WI = sum_xi I(xi) * { xi.i -> {cnt=1, p=xi.p, pp=xi.p^2} }
-
-   and each M entry is one scan of S probing the views. *)
-
-let owner f = match f with "c" -> `R | "p" -> `I | _ -> `S
-
-(* view component to read on each side for the (f1, f2) entry *)
-let component side f1 f2 =
-  let owned f = owner f = side in
-  match (owned f1, owned f2) with
-  | true, true -> (match side with `R -> "cc" | `I -> "pp" | `S -> assert false)
-  | true, false | false, true -> (
-      match side with `R -> "c" | `I -> "p" | `S -> assert false)
-  | false, false -> "cnt"
-
-let fused_views_program =
-  let wr =
-    Sum
-      ( "xr",
-        Rel "R",
-        Mul
-          ( Lookup (Rel "R", Var "xr"),
-            Sing
-              ( Field (Var "xr", "s"),
-                Rec
-                  [
-                    ("cnt", Num 1.0);
-                    ("c", Field (Var "xr", "c"));
-                    ("cc", Mul (Field (Var "xr", "c"), Field (Var "xr", "c")));
-                  ] ) ) )
-  in
-  let wi =
-    Sum
-      ( "xi",
-        Rel "I",
-        Mul
-          ( Lookup (Rel "I", Var "xi"),
-            Sing
-              ( Field (Var "xi", "i"),
-                Rec
-                  [
-                    ("cnt", Num 1.0);
-                    ("p", Field (Var "xi", "p"));
-                    ("pp", Mul (Field (Var "xi", "p"), Field (Var "xi", "p")));
-                  ] ) ) )
-  in
-  let local f =
-    (* the S-side factor of feature f for the current xs *)
-    if owner f = `S then Some (Field (Var "xs", f)) else None
-  in
-  let entry f1 f2 =
-    let factors =
-      List.filter_map Fun.id [ local f1; local f2 ]
-      @ [
-          Field (Lookup (Var "WR", Field (Var "xs", "s")), component `R f1 f2);
-          Field (Lookup (Var "WI", Field (Var "xs", "i")), component `I f1 f2);
-        ]
-    in
-    Sum
-      ( "xs",
-        Rel "S",
-        List.fold_left (fun acc g -> Mul (acc, g)) (Lookup (Rel "S", Var "xs")) factors
-      )
-  in
-  let m =
-    Rec
-      (List.map
-         (fun f1 -> (f1, Rec (List.map (fun f2 -> (f2, entry f1 f2)) features)))
-         features)
-  in
-  (* the specialised convergence loop over record-typed theta and M *)
-  let theta0_rec = Rec (List.map (fun f -> (f, Num 1.0)) features) in
-  let inner f1 =
-    let dot =
-      List.map
-        (fun f2 ->
-          Mul (Field (Var "theta", f2), Field (Field (Var "M", f1), f2)))
-        features
-    in
-    match dot with
-    | [] -> Num 0.0
-    | d :: ds -> List.fold_left (fun acc g -> Add (acc, g)) d ds
-  in
-  let update_rec =
-    Rec
-      (List.map
-         (fun f1 ->
-           (f1, Sub (Field (Var "theta", f1), Mul (Num alpha, inner f1))))
-         features)
-  in
-  Let
-    ( "WR",
-      wr,
-      Let
-        ( "WI",
-          wi,
-          Let
-            ( "M",
-              m,
-              Iter { times = iterations; var = "theta"; init = theta0_rec; body = update_rec }
-            ) ) )
-
-(* the full ladder: the mechanical [Rewrite] stages, the MECHANICAL
-   aggregate pushdown applied on top of them, and the hand-derived fused
-   final form (view fusion + trie conversion) *)
+   so each M entry is one scan of S probing the two tries. *)
 let all_stages () : (string * expr) list =
   let mechanical = Rewrite.pipeline original in
   let last = snd (List.nth mechanical (List.length mechanical - 1)) in
+  let pushed = Rewrite.aggregate_pushdown last in
   mechanical
   @ [
-      ("aggregate pushdown (mechanical)", Rewrite.aggregate_pushdown last);
-      ("view fusion + trie conversion (hand-derived)", fused_views_program);
+      ("aggregate pushdown (mechanical)", pushed);
+      ("view fusion + trie conversion (mechanical)", Rewrite.fuse_views pushed);
     ]
 
 (* ---- example data ---- *)

@@ -14,16 +14,10 @@ val update : Expr.expr
 val original : Expr.expr
 (** The paper's starting program: [let Q = ... in iterate ...]. *)
 
-val fused_views_program : Expr.expr
-(** The final stage after aggregate extraction, pushdown past the joins,
-    view fusion and trie conversion: per-relation fused views WR/WI and M
-    entries that scan S probing them (constructed following the paper's
-    derivation; semantically equal to every other stage). *)
-
 val all_stages : unit -> (string * Expr.expr) list
-(** The mechanical [Rewrite.pipeline] stages, the mechanical
-    [Rewrite.aggregate_pushdown] applied on top, and the hand-derived fused
-    final form. *)
+(** The mechanical [Rewrite.pipeline] stages, then the mechanical
+    [Rewrite.aggregate_pushdown], then the mechanical [Rewrite.fuse_views]
+    (per-relation fused trie views WR/WI probed from one scan of S). *)
 
 val relations :
   ?n_s:int -> ?n_keys:int -> seed:int -> unit -> (string * Interp.value) list

@@ -13,10 +13,9 @@
      into records/addition chains, and static field access replacing
      dynamic lookups by record fields.
 
-   The aggregate pushdown is also mechanical (see below); only the final
-   view FUSION + trie conversion stage is constructed by hand in
-   [Gd_example], following the paper's derivation. The test suite checks
-   semantic equivalence of every stage. *)
+   The aggregate pushdown and the final view FUSION + trie conversion are
+   also mechanical (see below). The test suite checks semantic equivalence
+   of every stage. *)
 
 open Expr
 
@@ -318,6 +317,104 @@ let hoist_views e =
 let aggregate_pushdown ?(join_name = "Q") e =
   e |> inline_let join_name |> push_sum_through_join |> eliminate_singleton_sums
   |> static_field_access |> factor_out |> guards_to_views |> hoist_views
+
+(* ---------- view fusion + trie conversion ---------- *)
+
+(* The pushdown leaves one Let-bound view per aggregate entry and side:
+   [Let (v, Sum (y, Rel r, Sing (key, value)), body)]. Views over the SAME
+   relation with the SAME key differ only in the value they carry (the
+   moment: multiplicity, a field, a square...). Fusion groups them by
+   (relation, key) — bound variable normalised — dedups structurally equal
+   values, and replaces each group by ONE record-valued view
+
+     W = Σ y∈r. {key → {m1 = value_1; ...; mk = value_k}}
+
+   — the trie conversion: one probe per relation now retrieves every
+   moment at once. Probes [v(probe)] become [W(probe).mi], the original
+   Lets are dropped, and the fused views wrap the program. *)
+let fuse_views (e : expr) : expr =
+  let rec has_binder = function
+    | Sum _ | Lam _ | Let _ | Iter _ -> true
+    | Num _ | Sym _ | Var _ | Set _ | Rel _ -> false
+    | Rec fields -> List.exists (fun (_, x) -> has_binder x) fields
+    | Field (x, _) -> has_binder x
+    | Lookup (a, b) | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b)
+    | Sing (a, b) ->
+        has_binder a || has_binder b
+  in
+  (* rename the bound variable to a marker so views from different entries
+     compare structurally (safe: the matched bodies contain no binders) *)
+  let normalise y x =
+    map_bottom_up (fun n -> if n = Var y then Var "%y" else n) x
+  in
+  (* collect every fusable view binding in discovery order *)
+  let found = ref [] in
+  ignore
+    (map_bottom_up
+       (fun node ->
+         (match node with
+          | Let (v, (Sum (y, Rel r, Sing (key, value)) as view), _)
+            when free view = [] && (not (has_binder key))
+                 && not (has_binder value) ->
+              found := (v, r, normalise y key, normalise y value) :: !found
+          | _ -> ());
+         node)
+       e);
+  let views = List.rev !found in
+  if views = [] then e
+  else begin
+    (* group by (relation, key); dedup values in first-use order *)
+    let groups : ((string * expr) * (string * expr list ref)) list ref =
+      ref []
+    in
+    let tbl : (string, string * string) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (v, r, key, value) ->
+        let gkey = (r, key) in
+        let w, values =
+          match List.assoc_opt gkey !groups with
+          | Some g -> g
+          | None ->
+              let g = (gensym "W", ref []) in
+              groups := !groups @ [ (gkey, g) ];
+              g
+        in
+        let rec index i = function
+          | [] ->
+              values := !values @ [ value ];
+              i
+          | x :: xs -> if x = value then i else index (i + 1) xs
+        in
+        let idx = index 0 !values in
+        Hashtbl.replace tbl v (w, Printf.sprintf "m%d" (idx + 1)))
+      views;
+    (* drop the fused-away Lets and retarget their probes *)
+    let stripped =
+      map_bottom_up
+        (fun node ->
+          match node with
+          | Let (v, _, body) when Hashtbl.mem tbl v -> body
+          | Lookup (Var v, probe) when Hashtbl.mem tbl v ->
+              let w, field = Hashtbl.find tbl v in
+              Field (Lookup (Var w, probe), field)
+          | node -> node)
+        e
+    in
+    (* wrap the fused record-valued views around the program *)
+    List.fold_right
+      (fun ((r, key), (w, values)) acc ->
+        let yv = gensym "y" in
+        let denorm x =
+          map_bottom_up (fun n -> if n = Var "%y" then Var yv else n) x
+        in
+        let fields =
+          List.mapi
+            (fun i v -> (Printf.sprintf "m%d" (i + 1), denorm v))
+            !values
+        in
+        Let (w, Sum (yv, Rel r, Sing (denorm key, Rec fields)), acc))
+      !groups stripped
+  end
 
 (* ---------- the cumulative pipeline ---------- *)
 

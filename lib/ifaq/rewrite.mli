@@ -1,7 +1,7 @@
 (** IFAQ's equivalence-preserving transformations (Section 5.3, Figure 11),
-    implemented mechanically over the AST. The aggregate-pushdown final form
-    is constructed by [Gd_example.fused_views_program] following the paper's
-    derivation; tests check semantic equivalence of every stage. *)
+    implemented mechanically over the AST — through aggregate pushdown,
+    view fusion and trie conversion; tests check semantic equivalence of
+    every stage. *)
 
 open Expr
 
@@ -59,6 +59,12 @@ val hoist_views : expr -> expr
 
 val aggregate_pushdown : ?join_name:string -> expr -> expr
 (** The composed mechanical pushdown stage. *)
+
+val fuse_views : expr -> expr
+(** View fusion + trie conversion: Let-bound views over the same relation
+    with the same key are fused into one record-valued view carrying every
+    distinct moment as a field; probes become field projections of one
+    lookup. *)
 
 val stages : (string * (expr -> expr)) list
 val pipeline : expr -> (string * expr) list

@@ -17,15 +17,18 @@
    - Scans can be chunked across domains and independent subtrees computed
      as parallel tasks (Section 4, "Parallelisation").
 
-   Every attribute is owned by exactly one node (the closest to the root
-   containing it), so factors of an aggregate are counted exactly once. *)
+   The decomposition itself (restriction, sharing, root choice, ownership)
+   lives in [Plan]; this module is the closure INTERPRETER over that
+   logical plan. The staged compiler in [Compile] consumes the same plans
+   and must stay bit-identical to this module — it is the differential
+   oracle. *)
 
 open Relational
 module GF = Factorized.Faggregate.Grouped_float
 module Spec = Aggregates.Spec
 module Batch = Aggregates.Batch
 
-exception Unsupported of string
+exception Unsupported = Plan.Unsupported
 
 type options = {
   share : bool; (* dedup identical partial aggregates (default true) *)
@@ -37,25 +40,8 @@ type options = {
 let default_options =
   { share = true; parallel = false; multi_root = true; chunk_threshold = 8192 }
 
-(* ---------- filter decomposition ---------- *)
-
-(* Split a predicate into single-attribute conjuncts. Aggregates whose
-   filters span several attributes (additive inequalities) are outside this
-   engine; Section 2.3's dedicated algorithms live in [Ml.Svm]. *)
-let rec conjuncts (p : Predicate.t) : Predicate.t list =
-  match p with
-  | Predicate.True -> []
-  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
-  | p -> [ p ]
-
-let conjunct_attr p =
-  match List.sort_uniq compare (Predicate.attrs p) with
-  | [ a ] -> a
-  | _ ->
-      raise
-        (Unsupported
-           (Format.asprintf "filter %a does not decompose per attribute"
-              Predicate.pp p))
+let plan_options (o : options) =
+  { Plan.share = o.share; multi_root = o.multi_root }
 
 (* ---------- payloads ----------
 
@@ -66,7 +52,7 @@ let conjunct_attr p =
 
 type row = { sc : float array; gr : GF.t array }
 
-(* ---------- plans ---------- *)
+(* ---------- executable plans ---------- *)
 
 type slot_plan = {
   canonical : string;
@@ -90,130 +76,49 @@ type node_plan = {
   children : node_plan list;
 }
 
-type stats = { mutable views : int; mutable partials : int; mutable shared_away : int }
+type stats = Plan.stats = {
+  mutable views : int;
+  mutable partials : int;
+  mutable shared_away : int;
+}
 
 (* Observability: the per-layer work the paper counts (Sections 1.4 and 4),
    exported under the [lmfao.*] namespace. Handles are created once at
    module initialisation; updates are a branch when disabled. *)
 let c_views = Obs.counter "lmfao.views"
 let c_partials = Obs.counter "lmfao.partials"
-let c_shared_away = Obs.counter "lmfao.shared_away"
 let c_tuples_scanned = Obs.counter "lmfao.tuples_scanned"
 let c_roots = Obs.counter "lmfao.roots"
 
-(* Restrict a spec to the attributes satisfying [keep]. *)
-let restrict keep (s : Spec.t) : Spec.t =
-  let filter =
-    match List.filter (fun c -> keep (conjunct_attr c)) (conjuncts s.filter) with
-    | [] -> Predicate.True
-    | c :: cs -> List.fold_left (fun acc c -> Predicate.And (acc, c)) c cs
-  in
-  Spec.make ~filter ~id:s.id
-    ~terms:(List.filter (fun (a, _) -> keep a) s.terms)
-    ~group_by:(List.filter keep s.group_by)
-    ()
-
-(* Build the evaluation plan for [specs] rooted at [node]. [owner] maps each
-   attribute to the name of the node that owns it. *)
-let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
-    (specs : Spec.t list) : node_plan =
-  let my_name = Relation.name node.rel in
-  let schema = Relation.schema node.rel in
-  (* deduplicate partials at this node *)
-  let canonical s = if options.share then Spec.canonical s else s.Spec.id in
-  let tbl = Hashtbl.create 16 in
-  let distinct = ref [] in
-  List.iter
-    (fun s ->
-      let key = canonical s in
-      if not (Hashtbl.mem tbl key) then begin
-        Hashtbl.add tbl key (List.length !distinct);
-        distinct := s :: !distinct
-      end
-      else begin
-        stats.shared_away <- stats.shared_away + 1;
-        Obs.incr c_shared_away
-      end)
-    specs;
-  let distinct = Array.of_list (List.rev !distinct) in
-  stats.partials <- stats.partials + Array.length distinct;
-  stats.views <- stats.views + 1;
-  Obs.add c_partials (Array.length distinct);
-  Obs.incr c_views;
-  let owned_here a = Hashtbl.find owner a = my_name in
-  (* children plans: restrict each distinct partial to each child's subtree *)
-  let children_with_specs =
-    List.map
-      (fun (child : Join_tree.node) ->
-        let child_names =
-          Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] child
-        in
-        let in_child a = List.mem (Hashtbl.find owner a) child_names in
-        let restricted = Array.map (restrict in_child) distinct in
-        (child, restricted))
-      node.children
-  in
-  let child_plans =
-    List.map
-      (fun (child, restricted) ->
-        build_plan ~options ~owner ~stats child (Array.to_list restricted))
-      children_with_specs
-  in
-  (* slot index of each restricted partial within its child's plan *)
-  let child_slot_of =
-    List.map2
-      (fun (_, restricted) (plan : node_plan) ->
-        Array.map
-          (fun (r : Spec.t) ->
-            match Hashtbl.find_opt plan.slot_index (canonical r) with
-            | Some i -> i
-            | None -> failwith "Engine.build_plan: missing child slot")
-          restricted)
-      children_with_specs child_plans
-  in
-  let n_scalar = ref 0 and n_grouped = ref 0 in
+(* Instantiate the closure interpreter for a logical plan: compile filter
+   conjuncts to columnar closures, assign payload indexes in slot order
+   (scalars and grouped partials counted separately), and resolve each
+   child slot to its payload. *)
+let rec instantiate (p : Plan.node) : node_plan =
+  let child_plans = List.map instantiate p.Plan.children in
   let child_plan_arr = Array.of_list child_plans in
+  let schema = Relation.schema p.Plan.rel in
+  let n_scalar = ref 0 and n_grouped = ref 0 in
   let slots =
-    Array.mapi
-      (fun i (s : Spec.t) ->
-        let local_terms =
-          Array.of_list
-            (List.filter_map
-               (fun (a, p) ->
-                 if owned_here a then Some (Schema.position schema a, p) else None)
-               s.terms)
-        in
-        let local_groups =
-          Array.of_list
-            (List.filter_map
-               (fun a ->
-                 if owned_here a then Some (a, Schema.position schema a) else None)
-               s.group_by)
-        in
+    Array.map
+      (fun (s : Plan.slot) ->
         let local_filter =
-          let mine =
-            List.filter (fun c -> owned_here (conjunct_attr c)) (conjuncts s.filter)
-          in
-          match mine with
+          match s.local_filter with
           | [] -> fun _ -> true
           | cs ->
-              let cols = Relation.columns node.rel in
+              let cols = Relation.columns p.Plan.rel in
               let compiled = List.map (Predicate.compile_cols schema cols) cs in
               fun i -> List.for_all (fun f -> f i) compiled
-        in
-        let child_slots =
-          Array.of_list (List.map (fun arr -> arr.(i)) child_slot_of)
         in
         let child_refs =
           Array.mapi
             (fun c cs ->
               let child_slot = child_plan_arr.(c).slots.(cs) in
               (child_slot.payload_idx, child_slot.scalar))
-            child_slots
+            s.child_slots
         in
-        let scalar = s.group_by = [] in
         let payload_idx =
-          if scalar then begin
+          if s.scalar then begin
             incr n_scalar;
             !n_scalar - 1
           end
@@ -223,30 +128,23 @@ let rec build_plan ~options ~owner ~stats (node : Join_tree.node)
           end
         in
         {
-          canonical = canonical s;
-          local_terms;
-          local_groups;
+          canonical = s.key;
+          local_terms = s.local_terms;
+          local_groups = s.local_groups;
           local_filter;
-          child_slots;
+          child_slots = s.child_slots;
           child_refs;
-          scalar;
+          scalar = s.scalar;
           payload_idx;
         })
-      distinct
+      p.Plan.slots
   in
-  let slot_index = Hashtbl.create (2 * Array.length slots) in
-  Array.iteri (fun i (s : slot_plan) -> Hashtbl.replace slot_index s.canonical i) slots;
   {
-    rel = node.rel;
-    key_positions = Array.of_list (List.map (Schema.position schema) node.key);
-    child_keys =
-      Array.of_list
-        (List.map
-           (fun ((child : Join_tree.node), _) ->
-             Array.of_list (List.map (Schema.position schema) child.key))
-           children_with_specs);
+    rel = p.Plan.rel;
+    key_positions = p.Plan.key_positions;
+    child_keys = p.Plan.child_keys;
     slots;
-    slot_index;
+    slot_index = p.Plan.slot_index;
     n_scalar = !n_scalar;
     n_grouped = !n_grouped;
     children = child_plans;
@@ -393,44 +291,20 @@ and compute_node ~options (plan : node_plan) : view =
 
 (* ---------- top level ---------- *)
 
-(* Owner of each attribute for a given rooting: the node closest to the root
-   whose relation contains it (BFS order, ties broken by name). *)
-let compute_owners (root : Join_tree.node) =
-  let owner = Hashtbl.create 32 in
-  let queue = Queue.create () in
-  Queue.add root queue;
-  let level = ref [] in
-  (* BFS with deterministic within-level order *)
-  while not (Queue.is_empty queue) do
-    let n = Queue.pop queue in
-    level := n :: !level;
-    List.iter (fun c -> Queue.add c queue) n.children
-  done;
-  List.iter
-    (fun (n : Join_tree.node) ->
-      List.iter
-        (fun a -> Hashtbl.replace owner a (Relation.name n.rel))
-        (Schema.names (Relation.schema n.rel)))
-    !level;
-  (* [!level] is reverse BFS, so replace leaves the shallowest node in *)
-  owner
-
 let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
     (string * Spec.result) list =
   if specs = [] then []
   else
     Obs.with_span ("lmfao.root:" ^ root) @@ fun () ->
     Obs.incr c_roots;
-    let tree = Join_tree.tree ~root jt in
-    let owner = compute_owners tree in
-    let plan = build_plan ~options ~owner ~stats tree specs in
+    let rooted = Plan.build (plan_options options) ~stats jt ~root specs in
+    let plan = instantiate rooted.Plan.tree in
     let view = compute ~options plan in
     (* the root view has the single empty key, which packs as [P 0] *)
     let row = Keypack.Hybrid.find_opt view (Keypack.P 0) in
     (* map each requested spec to its (possibly shared) slot *)
     List.map
-      (fun (s : Spec.t) ->
-        let key = if options.share then Spec.canonical s else s.Spec.id in
+      (fun ((s : Spec.t), key) ->
         let result =
           match row with
           | None -> if s.group_by = [] then [ ([], 0.0) ] else []
@@ -444,78 +318,22 @@ let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
               else GF.bindings r.gr.(slot.payload_idx)
         in
         (s.id, result))
-      specs
+      rooted.Plan.requests
 
-(* Root choice per aggregate (the heart of LMFAO's multi-root design):
-   group-by aggregates root at the relation owning their first group-by
-   attribute (grouping stays local); scalar products root at the relation
-   owning their first term, so the products are computed over that (usually
-   small dimension) relation while the big fact table contributes only
-   DEDUPLICATED partial sums — one per attribute rather than one per
-   aggregate; pure counts root at the smallest relation. *)
-let choose_root (jt : Join_tree.t) ~default_root (s : Spec.t) =
-  let owner_of attr =
-    match
-      List.find_opt
-        (fun r -> Schema.mem (Relation.schema r) attr)
-        (Join_tree.relations jt)
-    with
-    | Some r -> Relation.name r
-    | None -> default_root
-  in
-  match (s.group_by, s.terms) with
-  | g :: _, _ -> owner_of g
-  | [], (a, _) :: _ -> owner_of a
-  | [], [] -> (
-      match
-        List.sort
-          (fun r1 r2 -> compare (Relation.cardinality r1) (Relation.cardinality r2))
-          (Join_tree.relations jt)
-      with
-      | smallest :: _ -> Relation.name smallest
-      | [] -> default_root)
+let choose_root = Plan.choose_root
 
 (* Evaluate the batch over an acyclic schema: group the aggregates by their
    chosen root, then one rooted decomposition pass per group. *)
 let eval_acyclic ~options (db : Database.t) (batch : Batch.t) :
     (string * Spec.result) list * stats =
-  let jt = Database.join_tree db in
-  let stats = { views = 0; partials = 0; shared_away = 0 } in
-  let default_root =
-    let largest =
-      List.fold_left
-        (fun acc r ->
-          match acc with
-          | None -> Some r
-          | Some best ->
-              if Relation.cardinality r > Relation.cardinality best then Some r
-              else acc)
-        None (Database.relations db)
-    in
-    Relation.name (Option.get largest)
-  in
-  let groups = Hashtbl.create 8 in
-  let order = ref [] in
-  List.iter
-    (fun s ->
-      let root =
-        if options.multi_root then choose_root jt ~default_root s else default_root
-      in
-      (match Hashtbl.find_opt groups root with
-      | Some l -> l := s :: !l
-      | None ->
-          Hashtbl.add groups root (ref [ s ]);
-          order := root :: !order))
-    batch.Batch.aggregates;
-  let run_group root =
-    let specs = List.rev !(Hashtbl.find groups root) in
-    run_rooted ~options ~stats jt root specs
-  in
+  let jt, groups = Plan.group_by_root (plan_options options) db batch in
+  let stats = Plan.fresh_stats () in
+  let run_group (root, specs) = run_rooted ~options ~stats jt root specs in
   let results =
-    let roots = List.rev !order in
-    if options.parallel && List.length roots > 1 then
-      List.concat (Util.Pool.parallel_tasks (List.map (fun r () -> run_group r) roots))
-    else List.concat_map run_group roots
+    if options.parallel && List.length groups > 1 then
+      List.concat
+        (Util.Pool.parallel_tasks (List.map (fun g () -> run_group g) groups))
+    else List.concat_map run_group groups
   in
   (results, stats)
 
@@ -546,7 +364,9 @@ let eval_cyclic (db : Database.t) (batch : Batch.t) :
   Obs.incr c_cyclic_fallback;
   let join = Factorized.Wcoj.materialise (Database.relations db) in
   let keyed =
-    List.map (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s)) batch.Batch.aggregates
+    List.map
+      (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s))
+      batch.Batch.aggregates
   in
   let stats =
     { views = 1; partials = List.length batch.Batch.aggregates; shared_away = 0 }
@@ -575,4 +395,5 @@ let name = "lmfao"
 let description =
   "shared multi-root decomposition over the join tree (cyclic: WCOJ fallback)"
 
-let eval_batch ?options db batch = (eval ?options ~on_cyclic:`Materialize db batch).keyed
+let eval_batch ?options db batch =
+  (eval ?options ~on_cyclic:`Materialize db batch).keyed

@@ -27,7 +27,7 @@ type options = {
 
 val default_options : options
 
-type stats = {
+type stats = Plan.stats = {
   mutable views : int;  (** views (node plans) computed *)
   mutable partials : int;  (** distinct partial aggregates across all views *)
   mutable shared_away : int;  (** batch restrictions collapsed by dedup *)

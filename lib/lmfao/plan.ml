@@ -1,0 +1,307 @@
+(* Logical planning for LMFAO (Sections 1.4 and 4), split out of the
+   interpreter so that other execution tiers (the staged compiler in
+   [Compile]) can consume the same decomposition.
+
+   The planner owns everything that is independent of HOW a view is
+   executed: multi-root assignment, the top-down restriction of each
+   aggregate over the join tree, per-node deduplication of identical
+   partials (sharing), and attribute ownership. Its output is pure data —
+   filters stay first-order [Predicate.t] conjuncts, terms and keys are
+   resolved to column positions — which both the closure interpreter
+   ([Engine]) and the staged compiler lower in their own way. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+exception Unsupported of string
+
+type options = {
+  share : bool; (* dedup identical partial aggregates *)
+  multi_root : bool; (* root group-by aggregates at their group attr's node *)
+}
+
+let default_options = { share = true; multi_root = true }
+
+type stats = {
+  mutable views : int;
+  mutable partials : int;
+  mutable shared_away : int;
+}
+
+let fresh_stats () = { views = 0; partials = 0; shared_away = 0 }
+
+(* One partial aggregate computed at a node, shared by every batch
+   aggregate whose restriction to this subtree coincides with it. *)
+type slot = {
+  key : string; (* canonical form (sharing on) or aggregate id (off) *)
+  spec : Spec.t; (* the restricted spec this slot computes *)
+  local_terms : (int * int) array; (* (position, power) over owned attrs *)
+  local_groups : (string * int) array; (* owned group-by attrs *)
+  local_filter : Predicate.t list; (* owned filter conjuncts *)
+  child_slots : int array; (* per child: slot in the child's plan *)
+  scalar : bool; (* no group-by anywhere in the subtree *)
+}
+
+type node = {
+  rel : Relation.t;
+  key_positions : int array; (* this node's join key with its parent *)
+  child_keys : int array array; (* per child: child-key positions in OUR schema *)
+  slots : slot array;
+  slot_index : (string, int) Hashtbl.t; (* slot key -> index into [slots] *)
+  children : node list;
+}
+
+type rooted = {
+  root : string;
+  tree : node;
+  requests : (Spec.t * string) list;
+      (* each requested aggregate with its root slot key, in batch order *)
+}
+
+let c_views = Obs.counter "lmfao.views"
+let c_partials = Obs.counter "lmfao.partials"
+let c_shared_away = Obs.counter "lmfao.shared_away"
+
+(* ---------- filter decomposition ---------- *)
+
+(* Split a predicate into single-attribute conjuncts. Aggregates whose
+   filters span several attributes (additive inequalities) are outside this
+   engine; Section 2.3's dedicated algorithms live in [Ml.Svm]. *)
+let rec conjuncts (p : Predicate.t) : Predicate.t list =
+  match p with
+  | Predicate.True -> []
+  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let conjunct_attr p =
+  match List.sort_uniq compare (Predicate.attrs p) with
+  | [ a ] -> a
+  | _ ->
+      raise
+        (Unsupported
+           (Format.asprintf "filter %a does not decompose per attribute"
+              Predicate.pp p))
+
+(* Restrict a spec to the attributes satisfying [keep]. *)
+let restrict keep (s : Spec.t) : Spec.t =
+  let filter =
+    match List.filter (fun c -> keep (conjunct_attr c)) (conjuncts s.filter) with
+    | [] -> Predicate.True
+    | c :: cs -> List.fold_left (fun acc c -> Predicate.And (acc, c)) c cs
+  in
+  Spec.make ~filter ~id:s.id
+    ~terms:(List.filter (fun (a, _) -> keep a) s.terms)
+    ~group_by:(List.filter keep s.group_by)
+    ()
+
+let slot_key options (s : Spec.t) =
+  if options.share then Spec.canonical s else s.Spec.id
+
+(* ---------- plan construction ---------- *)
+
+let rec build_node ~options ~owner ~stats (node : Join_tree.node)
+    (specs : Spec.t list) : node =
+  let my_name = Relation.name node.rel in
+  let schema = Relation.schema node.rel in
+  (* deduplicate partials at this node *)
+  let canonical = slot_key options in
+  let tbl = Hashtbl.create 16 in
+  let distinct = ref [] in
+  List.iter
+    (fun s ->
+      let key = canonical s in
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key (List.length !distinct);
+        distinct := s :: !distinct
+      end
+      else begin
+        stats.shared_away <- stats.shared_away + 1;
+        Obs.incr c_shared_away
+      end)
+    specs;
+  let distinct = Array.of_list (List.rev !distinct) in
+  stats.partials <- stats.partials + Array.length distinct;
+  stats.views <- stats.views + 1;
+  Obs.add c_partials (Array.length distinct);
+  Obs.incr c_views;
+  let owned_here a = Hashtbl.find owner a = my_name in
+  (* children plans: restrict each distinct partial to each child's subtree *)
+  let children_with_specs =
+    List.map
+      (fun (child : Join_tree.node) ->
+        let child_names =
+          Join_tree.fold_node (fun acc n -> Relation.name n.rel :: acc) [] child
+        in
+        let in_child a = List.mem (Hashtbl.find owner a) child_names in
+        let restricted = Array.map (restrict in_child) distinct in
+        (child, restricted))
+      node.children
+  in
+  let child_plans =
+    List.map
+      (fun (child, restricted) ->
+        build_node ~options ~owner ~stats child (Array.to_list restricted))
+      children_with_specs
+  in
+  (* slot index of each restricted partial within its child's plan *)
+  let child_slot_of =
+    List.map2
+      (fun (_, restricted) (plan : node) ->
+        Array.map
+          (fun (r : Spec.t) ->
+            match Hashtbl.find_opt plan.slot_index (canonical r) with
+            | Some i -> i
+            | None -> failwith "Plan.build: missing child slot")
+          restricted)
+      children_with_specs child_plans
+  in
+  let slots =
+    Array.mapi
+      (fun i (s : Spec.t) ->
+        let local_terms =
+          Array.of_list
+            (List.filter_map
+               (fun (a, p) ->
+                 if owned_here a then Some (Schema.position schema a, p)
+                 else None)
+               s.terms)
+        in
+        let local_groups =
+          Array.of_list
+            (List.filter_map
+               (fun a ->
+                 if owned_here a then Some (a, Schema.position schema a)
+                 else None)
+               s.group_by)
+        in
+        let local_filter =
+          List.filter (fun c -> owned_here (conjunct_attr c)) (conjuncts s.filter)
+        in
+        let child_slots =
+          Array.of_list (List.map (fun arr -> arr.(i)) child_slot_of)
+        in
+        {
+          key = canonical s;
+          spec = s;
+          local_terms;
+          local_groups;
+          local_filter;
+          child_slots;
+          scalar = s.group_by = [];
+        })
+      distinct
+  in
+  let slot_index = Hashtbl.create (2 * Array.length slots) in
+  Array.iteri (fun i (s : slot) -> Hashtbl.replace slot_index s.key i) slots;
+  {
+    rel = node.rel;
+    key_positions = Array.of_list (List.map (Schema.position schema) node.key);
+    child_keys =
+      Array.of_list
+        (List.map
+           (fun ((child : Join_tree.node), _) ->
+             Array.of_list (List.map (Schema.position schema) child.key))
+           children_with_specs);
+    slots;
+    slot_index;
+    children = child_plans;
+  }
+
+(* Owner of each attribute for a given rooting: the node closest to the root
+   whose relation contains it (BFS order, ties broken by name). *)
+let compute_owners (root : Join_tree.node) =
+  let owner = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let level = ref [] in
+  (* BFS with deterministic within-level order *)
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    level := n :: !level;
+    List.iter (fun c -> Queue.add c queue) n.children
+  done;
+  List.iter
+    (fun (n : Join_tree.node) ->
+      List.iter
+        (fun a -> Hashtbl.replace owner a (Relation.name n.rel))
+        (Schema.names (Relation.schema n.rel)))
+    !level;
+  (* [!level] is reverse BFS, so replace leaves the shallowest node in *)
+  owner
+
+let build options ~stats (jt : Join_tree.t) ~root (specs : Spec.t list) :
+    rooted =
+  let tree = Join_tree.tree ~root jt in
+  let owner = compute_owners tree in
+  let tree = build_node ~options ~owner ~stats tree specs in
+  { root; tree; requests = List.map (fun s -> (s, slot_key options s)) specs }
+
+(* ---------- root choice ---------- *)
+
+(* Root choice per aggregate (the heart of LMFAO's multi-root design):
+   group-by aggregates root at the relation owning their first group-by
+   attribute (grouping stays local); scalar products root at the relation
+   owning their first term, so the products are computed over that (usually
+   small dimension) relation while the big fact table contributes only
+   DEDUPLICATED partial sums — one per attribute rather than one per
+   aggregate; pure counts root at the smallest relation. *)
+let choose_root (jt : Join_tree.t) ~default_root (s : Spec.t) =
+  let owner_of attr =
+    match
+      List.find_opt
+        (fun r -> Schema.mem (Relation.schema r) attr)
+        (Join_tree.relations jt)
+    with
+    | Some r -> Relation.name r
+    | None -> default_root
+  in
+  match (s.group_by, s.terms) with
+  | g :: _, _ -> owner_of g
+  | [], (a, _) :: _ -> owner_of a
+  | [], [] -> (
+      match
+        List.sort
+          (fun r1 r2 ->
+            compare (Relation.cardinality r1) (Relation.cardinality r2))
+          (Join_tree.relations jt)
+      with
+      | smallest :: _ -> Relation.name smallest
+      | [] -> default_root)
+
+(* Group the batch's aggregates by their chosen root, preserving batch order
+   within and across groups. Raises [Join_tree.Cyclic] on cyclic schemas. *)
+let group_by_root options (db : Database.t) (batch : Batch.t) :
+    Join_tree.t * (string * Spec.t list) list =
+  let jt = Database.join_tree db in
+  let default_root =
+    let largest =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | None -> Some r
+          | Some best ->
+              if Relation.cardinality r > Relation.cardinality best then Some r
+              else acc)
+        None (Database.relations db)
+    in
+    Relation.name (Option.get largest)
+  in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let root =
+        if options.multi_root then choose_root jt ~default_root s
+        else default_root
+      in
+      match Hashtbl.find_opt groups root with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.add groups root (ref [ s ]);
+          order := root :: !order)
+    batch.Batch.aggregates;
+  ( jt,
+    List.map
+      (fun root -> (root, List.rev !(Hashtbl.find groups root)))
+      (List.rev !order) )

@@ -1,0 +1,91 @@
+(** Logical planning for LMFAO, shared by the closure interpreter
+    ({!Engine}) and the staged compiler ([Compile]). The planner decides
+    WHAT each view computes — multi-root assignment, top-down restriction
+    of every aggregate over the join tree, per-node dedup of identical
+    partials — and leaves the plan as pure data: first-order filter
+    conjuncts, (position, power) terms, explicit child-slot wiring. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+
+exception Unsupported of string
+(** Raised for filters that do not decompose per attribute. *)
+
+type options = {
+  share : bool;  (** dedup identical partial aggregates *)
+  multi_root : bool;  (** per-aggregate root choice *)
+}
+
+val default_options : options
+(** [{ share = true; multi_root = true }]. *)
+
+type stats = {
+  mutable views : int;
+  mutable partials : int;
+  mutable shared_away : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** One partial aggregate computed at a node. *)
+type slot = {
+  key : string;  (** canonical form (sharing on) or aggregate id (off) *)
+  spec : Spec.t;  (** the restricted spec this slot computes *)
+  local_terms : (int * int) array;  (** (position, power) over owned attrs *)
+  local_groups : (string * int) array;  (** owned group-by attrs *)
+  local_filter : Predicate.t list;  (** owned filter conjuncts *)
+  child_slots : int array;  (** per child: slot in the child's plan *)
+  scalar : bool;  (** no group-by anywhere in the subtree *)
+}
+
+type node = {
+  rel : Relation.t;
+  key_positions : int array;  (** this node's join key with its parent *)
+  child_keys : int array array;
+      (** per child: child-key positions in OUR schema *)
+  slots : slot array;
+  slot_index : (string, int) Hashtbl.t;  (** slot key -> index into [slots] *)
+  children : node list;
+}
+
+type rooted = {
+  root : string;
+  tree : node;
+  requests : (Spec.t * string) list;
+      (** each requested aggregate with its root slot key, in batch order *)
+}
+
+val conjuncts : Predicate.t -> Predicate.t list
+(** Flatten a predicate into its conjuncts ([True] contributes none).
+    @raise Unsupported never — only {!conjunct_attr} rejects. *)
+
+val conjunct_attr : Predicate.t -> string
+(** The single attribute a conjunct constrains.
+    @raise Unsupported when the conjunct spans several attributes. *)
+
+val restrict : (string -> bool) -> Spec.t -> Spec.t
+(** Restrict a spec (terms, group-by, filter conjuncts) to the attributes
+    satisfying the predicate, keeping its id. *)
+
+val compute_owners : Join_tree.node -> (string, string) Hashtbl.t
+(** Attribute -> owning relation for a rooting: the node closest to the
+    root whose relation contains the attribute. *)
+
+val choose_root : Join_tree.t -> default_root:string -> Spec.t -> string
+(** The multi-root policy: group-bys root at their first group attribute's
+    relation; products at their first term's owner; counts at the smallest
+    relation. *)
+
+val group_by_root :
+  options -> Database.t -> Batch.t -> Join_tree.t * (string * Spec.t list) list
+(** Group the batch's aggregates by their chosen root (batch order
+    preserved within and across groups), together with the join tree.
+    @raise Join_tree.Cyclic on cyclic schemas. *)
+
+val build : options -> stats:stats -> Join_tree.t -> root:string ->
+  Spec.t list -> rooted
+(** Build the rooted logical plan for one group of aggregates, updating
+    [stats] and the [lmfao.views] / [lmfao.partials] / [lmfao.shared_away]
+    counters.
+    @raise Unsupported on non-decomposable filters *)

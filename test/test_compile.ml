@@ -1,0 +1,429 @@
+(* Tests for the staged-compilation engine.
+
+   The headline property is BIT-identity: [Compile.Engine] must produce
+   exactly the floats [Lmfao.Engine] produces — same decomposition, same
+   accumulation order — across random acyclic databases and batches
+   (including filters and group-bys), every option combination, all four
+   datagen schemas, and the cyclic-fallback path. A second qcheck suite
+   checks stage equivalence of the IR passes: executing the plan after
+   each pass gives bitwise the same results as executing the raw lowered
+   plan. *)
+
+open Relational
+module Spec = Aggregates.Spec
+module Batch = Aggregates.Batch
+module Feature = Aggregates.Feature
+module Engine = Lmfao.Engine
+module Cengine = Compile.Engine
+
+let int n = Value.Int n
+let flt x = Value.Float x
+
+(* Same star database as test_lmfao: fact F(a,b,c,m1,m2) with dims
+   D1(a,x,u), D2(b,y), D3(c,z); all floats integer-valued so results are
+   exact and bit comparisons are meaningful. *)
+let random_star rng card domain =
+  let mk name attrs gen =
+    let schema = Schema.make attrs in
+    let rel = Relation.create name schema in
+    for _ = 1 to card do
+      Relation.append rel (gen ())
+    done;
+    rel
+  in
+  let ri d = int (Util.Prng.int rng d) in
+  let rf () = flt (float_of_int (Util.Prng.int rng 10)) in
+  let f =
+    mk "F"
+      [ ("a", Value.TInt); ("b", Value.TInt); ("c", Value.TInt);
+        ("m1", Value.TFloat); ("m2", Value.TFloat) ]
+      (fun () -> [| ri domain; ri domain; ri domain; rf (); rf () |])
+  in
+  let d1 =
+    mk "D1"
+      [ ("a", Value.TInt); ("x", Value.TInt); ("u", Value.TFloat) ]
+      (fun () -> [| ri domain; ri 3; rf () |])
+  in
+  let d2 =
+    mk "D2"
+      [ ("b", Value.TInt); ("y", Value.TInt) ]
+      (fun () -> [| ri domain; ri 3 |])
+  in
+  let d3 =
+    mk "D3"
+      [ ("c", Value.TInt); ("z", Value.TInt) ]
+      (fun () -> [| ri domain; ri 3 |])
+  in
+  Database.create "star" [ f; d1; d2; d3 ]
+
+let features =
+  Feature.make ~response:"m1" ~thresholds_per_feature:3
+    ~continuous:[ "m2"; "u" ] ~categorical:[ "x"; "y"; "z" ] ()
+
+(* Bitwise comparison of keyed results: same ids, same assignments in the
+   same order, and every float identical down to the last bit. *)
+let bits_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (id, mine) (id', theirs) ->
+         String.equal id id'
+         && List.length mine = List.length theirs
+         && List.for_all2
+              (fun (k, v) (k', v') ->
+                k = k' && Int64.bits_of_float v = Int64.bits_of_float v')
+              mine theirs)
+       a b
+
+let check_compiled_vs_interpreter ~options db batch =
+  let interp = Engine.eval_batch ~options db batch in
+  let compiled = Cengine.eval_batch ~options db batch in
+  let ok = bits_identical interp compiled in
+  if not ok then
+    Format.eprintf "COMPILED MISMATCH on %s (interp %d results, compiled %d)@."
+      batch.Batch.name (List.length interp) (List.length compiled);
+  ok
+
+let batch_of name db =
+  match name with
+  | "covariance" -> Batch.covariance features
+  | "decision" -> Batch.decision_node ~db features
+  | "mutualinfo" -> Batch.mutual_information [ "x"; "y"; "z" ]
+  | "kmeans" -> Batch.kmeans features
+  | _ -> assert false
+
+(* Random ad-hoc batches: products with powers, group-bys, and one- or
+   two-conjunct single-attribute filters (>=, <, =) over the star schema.
+   Integer-valued constants keep evaluation exact. *)
+let random_batch rng =
+  let numeric = [ "m1"; "m2"; "u" ] in
+  let categorical = [ "x"; "y"; "z"; "a"; "b"; "c" ] in
+  let pick l = List.nth l (Util.Prng.int rng (List.length l)) in
+  let subset l =
+    List.filter (fun _ -> Util.Prng.int rng 3 = 0) l
+  in
+  let random_conjunct () =
+    match Util.Prng.int rng 4 with
+    | 0 -> Predicate.Ge (pick numeric, flt (float_of_int (Util.Prng.int rng 10)))
+    | 1 -> Predicate.Lt (pick numeric, flt (float_of_int (Util.Prng.int rng 10)))
+    | 2 -> Predicate.Eq (pick categorical, int (Util.Prng.int rng 4))
+    | _ ->
+        Predicate.In
+          (pick categorical, [ int (Util.Prng.int rng 4); int (Util.Prng.int rng 4) ])
+  in
+  let random_spec i =
+    let terms =
+      List.map (fun a -> (a, 1 + Util.Prng.int rng 2)) (subset numeric)
+    in
+    let group_by = subset categorical in
+    let filter =
+      match Util.Prng.int rng 3 with
+      | 0 -> Predicate.True
+      | 1 -> random_conjunct ()
+      | _ -> Predicate.And (random_conjunct (), random_conjunct ())
+    in
+    Spec.make ~filter ~id:(Printf.sprintf "q%d" i) ~terms ~group_by ()
+  in
+  let n = 1 + Util.Prng.int rng 8 in
+  { Batch.name = "random"; aggregates = List.init n random_spec }
+
+let default = Engine.default_options
+
+let all_options =
+  [
+    ("default", default);
+    ("no-share", { default with Engine.share = false });
+    ("single-root", { default with Engine.multi_root = false });
+    ("parallel", { default with Engine.parallel = true; chunk_threshold = 4 });
+    ( "no-share single-root",
+      { default with Engine.share = false; multi_root = false } );
+  ]
+
+let compiled_matches_interpreter batch_name options_desc options =
+  QCheck2.Test.make ~count:12
+    ~name:
+      (Printf.sprintf "compiled = interpreter bitwise: %s (%s)" batch_name
+         options_desc)
+    QCheck2.Gen.(triple (int_range 0 25) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      check_compiled_vs_interpreter ~options db (batch_of batch_name db))
+
+let random_batches_match options_desc options =
+  QCheck2.Test.make ~count:30
+    ~name:
+      (Printf.sprintf "compiled = interpreter bitwise: random batches (%s)"
+         options_desc)
+    QCheck2.Gen.(triple (int_range 0 30) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      check_compiled_vs_interpreter ~options db (random_batch rng))
+
+(* ---- all datagen schemas ---- *)
+
+let datagen_schemas () =
+  List.iter
+    (fun (name, db, feats, mi) ->
+      List.iter
+        (fun batch ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s bitwise" name batch.Batch.name)
+            true
+            (check_compiled_vs_interpreter ~options:default db batch))
+        [
+          Batch.covariance feats;
+          Batch.decision_node ~db feats;
+          Batch.mutual_information mi;
+        ])
+    [
+      ( "retailer",
+        Datagen.Retailer.generate ~scale:0.02 ~seed:11 (),
+        Datagen.Retailer.features,
+        Datagen.Retailer.mi_attrs );
+      ( "favorita",
+        Datagen.Favorita.generate ~scale:0.02 ~seed:12 (),
+        Datagen.Favorita.features,
+        Datagen.Favorita.mi_attrs );
+      ( "yelp",
+        Datagen.Yelp.generate ~scale:0.02 ~seed:13 (),
+        Datagen.Yelp.features,
+        Datagen.Yelp.mi_attrs );
+      ( "tpcds",
+        Datagen.Tpcds.generate ~scale:0.02 ~seed:14 (),
+        Datagen.Tpcds.features,
+        Datagen.Tpcds.mi_attrs );
+    ]
+
+(* ---- cyclic fallback ---- *)
+
+let cyclic_fallback () =
+  let tri name a b rows =
+    Relation.of_list name
+      (Schema.make [ (a, Value.TInt); (b, Value.TInt) ])
+      (List.map (fun (x, y) -> [| int x; int y |]) rows)
+  in
+  let db =
+    Database.create "triangle"
+      [
+        tri "R" "a" "b" [ (1, 2); (2, 3); (1, 3) ];
+        tri "S" "b" "c" [ (2, 3); (3, 1); (3, 4) ];
+        tri "T" "c" "a" [ (3, 1); (1, 2); (4, 1) ];
+      ]
+  in
+  let batch =
+    {
+      Batch.name = "tri";
+      aggregates =
+        [ Spec.count ~id:"n"; Spec.make ~id:"ga" ~terms:[] ~group_by:[ "a" ] () ];
+    }
+  in
+  Obs.reset ();
+  let ok =
+    Obs.with_enabled true (fun () ->
+        check_compiled_vs_interpreter ~options:default db batch)
+  in
+  Alcotest.(check bool) "cyclic batch bitwise via fallback" true ok;
+  Alcotest.(check bool) "fallback counted" true
+    (Obs.counter_value_by_name "lmfao.compile.cyclic" > 0);
+  Obs.reset ()
+
+(* ---- plan cache ---- *)
+
+let plan_cache_behaviour () =
+  let rng = Util.Prng.create 23 in
+  let db = random_star rng 30 4 in
+  let batch = Batch.covariance features in
+  Obs.reset ();
+  Obs.with_enabled true (fun () ->
+      let first = Cengine.eval_batch db batch in
+      let plans0 = Obs.counter_value_by_name "lmfao.compile.plans" in
+      let again = Cengine.eval_batch db batch in
+      Alcotest.(check bool) "second run bitwise equal" true
+        (bits_identical first again);
+      Alcotest.(check bool) "second run hit the plan cache" true
+        (Obs.counter_value_by_name "lmfao.compile.cache_hits" > 0);
+      Alcotest.(check int) "second run compiled nothing" plans0
+        (Obs.counter_value_by_name "lmfao.compile.plans");
+      (* a compiled plan revalidates against the live database: a fresh db
+         with the same schema reuses it, and stays bit-identical *)
+      let rng2 = Util.Prng.create 99 in
+      let db2 = random_star rng2 25 3 in
+      Alcotest.(check bool) "fresh data through the cached plan" true
+        (check_compiled_vs_interpreter ~options:default db2 batch));
+  Obs.reset ()
+
+(* The plan signature covers the cardinality-dependent root assignment:
+   pure counts root at the SMALLEST relation, so growing a different
+   relation to be smallest must recompile rather than reuse a stale
+   rooting (bit-identity with a fresh interpreter run would break). *)
+let cache_revalidates_roots () =
+  let mk name attrs rows =
+    Relation.of_list name (Schema.make attrs)
+      (List.map (Array.map (fun v -> v)) rows)
+  in
+  let db small_d =
+    let f_rows =
+      List.init 6 (fun i -> [| int (i mod 3); flt (float_of_int i) |])
+    in
+    let d_rows = List.init (if small_d then 2 else 9) (fun i -> [| int (i mod 3); int i |]) in
+    Database.create "two"
+      [
+        mk "F" [ ("a", Value.TInt); ("m", Value.TFloat) ] f_rows;
+        mk "D" [ ("a", Value.TInt); ("x", Value.TInt) ] d_rows;
+      ]
+  in
+  let batch = { Batch.name = "counts"; aggregates = [ Spec.count ~id:"n" ] } in
+  Alcotest.(check bool) "small D" true
+    (check_compiled_vs_interpreter ~options:default (db true) batch);
+  (* same fingerprint, different smallest relation -> must recompile *)
+  Alcotest.(check bool) "large D (roots moved)" true
+    (check_compiled_vs_interpreter ~options:default (db false) batch)
+
+(* ---- stage equivalence of the IR passes ---- *)
+
+let lowered_plans db batch options =
+  let popts = { Lmfao.Plan.share = false; multi_root = options.Engine.multi_root } in
+  let jt, groups = Lmfao.Plan.group_by_root popts db batch in
+  let stats = Lmfao.Plan.fresh_stats () in
+  List.filter_map
+    (fun (root, specs) ->
+      if specs = [] then None
+      else Some (Compile.Lower.rooted (Lmfao.Plan.build popts ~stats jt ~root specs)))
+    groups
+
+let run_plans ~options db plans =
+  List.concat_map (Compile.Exec.compute_rooted ~options db) plans
+
+let passes_preserve_results =
+  QCheck2.Test.make ~count:20
+    ~name:"each IR pass preserves execution bitwise"
+    QCheck2.Gen.(triple (int_range 0 25) (int_range 1 5) int)
+    (fun (card, domain, seed) ->
+      let rng = Util.Prng.create seed in
+      let db = random_star rng card domain in
+      let batch =
+        if Util.Prng.int rng 2 = 0 then Batch.covariance features
+        else random_batch rng
+      in
+      let options = default in
+      let raw = lowered_plans db batch options in
+      let reference = run_plans ~options db raw in
+      (* cumulative: after each stage of the pipeline, results unchanged *)
+      let _, ok =
+        List.fold_left
+          (fun (plans, ok) (pass_name, pass) ->
+            let plans = List.map pass plans in
+            let got = run_plans ~options db plans in
+            let ok' = ok && bits_identical reference got in
+            if not ok' && ok then
+              Format.eprintf "PASS %s changed results@." pass_name;
+            (plans, ok'))
+          (raw, true)
+          (Compile.Passes.all ~share:true)
+      in
+      (* and each pass individually on the raw plan *)
+      List.for_all
+        (fun (pass_name, pass) ->
+          let got = run_plans ~options db (List.map pass raw) in
+          let ok = bits_identical reference got in
+          if not ok then Format.eprintf "PASS %s (solo) changed results@." pass_name;
+          ok)
+        (Compile.Passes.all ~share:true)
+      && ok)
+
+(* Slot merging really fires: an unshared covariance lowering has many
+   identical fact-side partials, and the merged plan must shrink. *)
+let merge_reduces_slots () =
+  let rng = Util.Prng.create 7 in
+  let db = random_star rng 30 4 in
+  let batch = Batch.covariance features in
+  let raw = lowered_plans db batch default in
+  let total_slots plans =
+    let rec node_slots (n : Compile.Ir.node) =
+      Array.length n.Compile.Ir.n_slots
+      + Array.fold_left (fun acc c -> acc + node_slots c) 0 n.Compile.Ir.n_children
+    in
+    List.fold_left (fun acc (r : Compile.Ir.rooted) -> acc + node_slots r.Compile.Ir.r_node) 0 plans
+  in
+  let merged = List.map Compile.Passes.merge_slots raw in
+  Alcotest.(check bool)
+    (Printf.sprintf "merged %d < raw %d slots" (total_slots merged) (total_slots raw))
+    true
+    (total_slots merged < total_slots raw);
+  let reference = run_plans ~options:default db raw in
+  Alcotest.(check bool) "merged still bitwise" true
+    (bits_identical reference (run_plans ~options:default db merged))
+
+(* Dead-slot elimination: drop an output and the unreferenced slot chain
+   disappears, leaving the remaining output bit-identical. *)
+let dead_slot_elimination () =
+  let rng = Util.Prng.create 9 in
+  let db = random_star rng 25 4 in
+  let batch =
+    {
+      Batch.name = "two";
+      aggregates =
+        [
+          Spec.make ~id:"s1" ~terms:[ ("m1", 1) ] ~group_by:[] ();
+          Spec.make ~id:"s2" ~terms:[ ("m2", 2) ] ~group_by:[] ();
+        ];
+    }
+  in
+  match lowered_plans db batch default with
+  | [ plan ] ->
+      let reference = run_plans ~options:default db [ plan ] in
+      let orphaned =
+        {
+          plan with
+          Compile.Ir.r_outputs =
+            Array.sub plan.Compile.Ir.r_outputs 0 1 (* drop s2's output *);
+        }
+      in
+      let cleaned = Compile.Passes.dead_slots orphaned in
+      let slots (r : Compile.Ir.rooted) =
+        Array.length r.Compile.Ir.r_node.Compile.Ir.n_slots
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dead slots dropped (%d -> %d)" (slots orphaned)
+           (slots cleaned))
+        true
+        (slots cleaned < slots orphaned);
+      let got = run_plans ~options:default db [ cleaned ] in
+      Alcotest.(check bool) "surviving output bitwise" true
+        (bits_identical [ List.hd reference ] got)
+  | plans ->
+      Alcotest.failf "expected one rooted plan, got %d" (List.length plans)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "differential",
+        List.concat_map
+          (fun (desc, options) ->
+            List.map
+              (fun b -> qcheck (compiled_matches_interpreter b desc options))
+              [ "covariance"; "decision"; "mutualinfo"; "kmeans" ])
+          all_options
+        @ List.map
+            (fun (desc, options) -> qcheck (random_batches_match desc options))
+            all_options );
+      ( "datagen",
+        [ Alcotest.test_case "all schemas bitwise" `Quick datagen_schemas ] );
+      ("cyclic", [ Alcotest.test_case "interpreter fallback" `Quick cyclic_fallback ]);
+      ( "cache",
+        [
+          Alcotest.test_case "fingerprint cache hits and reuse" `Quick
+            plan_cache_behaviour;
+          Alcotest.test_case "signature revalidates roots" `Quick
+            cache_revalidates_roots;
+        ] );
+      ( "passes",
+        [
+          qcheck passes_preserve_results;
+          Alcotest.test_case "merge reduces slots" `Quick merge_reduces_slots;
+          Alcotest.test_case "dead-slot elimination" `Quick dead_slot_elimination;
+        ] );
+    ]
