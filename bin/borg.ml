@@ -1038,6 +1038,348 @@ let learn_cmd =
 
 (* ---- check-metrics: validate an exported metrics snapshot ---- *)
 
+(* ---- traffic: open-loop overload against the admission frontier ----
+
+   The harness proves the tentpole claim: under offered load far beyond
+   capacity, with transient faults injected into the recompute path, the
+   server answers what it can fresh, degrades the rest to explicitly-tagged
+   stale answers, and NEVER returns a wrong bit.
+
+   The run is built in three phases on the virtual timeline, with the
+   service costs probed on THIS machine first (a hit and a miss are timed,
+   and rates/gates derived from them), so the same command produces the
+   same qualitative picture — admission, shedding, timeouts, coalescing —
+   on any hardware:
+
+   1. WARM: one read per core batch at a leisurely rate — all admitted
+      fresh; seeds the stale shadow cache.
+   2. OVERLOAD: Poisson reads at [--overload]x the measured per-lane hit
+      capacity, Zipf-skewed over batches and tenants, mixed with Poisson
+      delta batches (lattice inserts AND deletes, each batch carrying a
+      duplicated insert so coalescing provably eliminates updates).
+   3. STARVED TENANT: a burst from a fresh tenant drains its token bucket
+      on warmed batches, then asks for never-served "cold" batches
+      (guaranteed Timeout: over quota, nothing to shed) and for warmed
+      batches again (guaranteed Stale) — so all three outcome classes are
+      exercised deterministically, independent of machine speed.
+
+   --check turns on seeded transient faults, audits every answer against a
+   from-scratch recompute for its claimed epoch (BIT-identical — the
+   workload is the exact-arithmetic lattice), and enforces the accounting
+   invariants (admitted + shed + timeout == offered, histogram count ==
+   offered). *)
+
+let traffic_cmd =
+  let requests_arg =
+    Arg.(value & opt int 2000
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Offered reads in the overload phase.")
+  in
+  let overload_arg =
+    Arg.(value & opt float 8.0
+         & info [ "overload" ] ~docv:"X"
+             ~doc:"Offered rate as a multiple of measured per-lane capacity.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 4
+         & info [ "tenants" ] ~docv:"K" ~doc:"Tenant population (Zipf-active).")
+  in
+  let method_arg =
+    let mconv =
+      Arg.enum
+        [
+          ("fivm", Fivm.Maintainer.F_ivm);
+          ("higher", Fivm.Maintainer.Higher_order);
+          ("first", Fivm.Maintainer.First_order);
+        ]
+    in
+    Arg.(value & opt mconv Fivm.Maintainer.F_ivm
+         & info [ "method" ] ~docv:"M" ~doc:"fivm | higher | first")
+  in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault plan for the recompute path (default with --check: \
+                   transient:0.15).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Inject transient faults and audit every answer: fresh \
+                   answers must be bit-identical to a recompute at the \
+                   current epoch, stale answers bit-identical to the answer \
+                   their tagged epoch actually served, and the admission \
+                   accounting must balance. Exits non-zero on any violation.")
+  in
+  let run requests overload tenants strategy faults check seed trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let features = [ "m"; "u"; "v" ] in
+    (* core batches (the served mix: refreshable covariance + invalidating
+       categorical/grouped shapes) and cold batches reads never warm — the
+       starved-tenant phase requests them to force Timeouts *)
+    let core =
+      [|
+        Aggregates.Batch.covariance_numeric features;
+        Aggregates.Batch.mutual_information [ "a"; "b" ];
+        {
+          Aggregates.Batch.name = "grouped";
+          aggregates =
+            [
+              Aggregates.Spec.make ~id:"sum_m_by_a" ~terms:[ ("m", 1) ]
+                ~group_by:[ "a" ] ();
+              Aggregates.Spec.count ~id:"n";
+            ];
+        };
+      |]
+    in
+    let cold =
+      [|
+        {
+          Aggregates.Batch.name = "cold_b";
+          aggregates =
+            [
+              Aggregates.Spec.make ~id:"sum_v_by_b" ~terms:[ ("v", 1) ]
+                ~group_by:[ "b" ] ();
+            ];
+        };
+        {
+          Aggregates.Batch.name = "cold_ab";
+          aggregates =
+            [
+              Aggregates.Spec.make ~id:"n_by_ab" ~terms:[]
+                ~group_by:[ "a"; "b" ] ();
+            ];
+        };
+        {
+          Aggregates.Batch.name = "cold_u2";
+          aggregates =
+            [
+              Aggregates.Spec.make ~id:"sum_u2_by_a" ~terms:[ ("u", 2) ]
+                ~group_by:[ "a" ] ();
+            ];
+        };
+      |]
+    in
+    let catalog = Array.append core cold in
+    let lanes = Util.Pool.num_domains () in
+    let srv = Serve.create strategy (star_db ()) ~features in
+    Serve.apply_deltas srv (lattice_stream ~seed ~steps:300);
+    (* ---- capacity probe: a miss and a hit on this machine ---- *)
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let t_miss =
+      let total =
+        Array.fold_left
+          (fun acc b ->
+            acc
+            +. time (fun () ->
+                   ignore
+                     (Lmfao.Engine.eval ~on_cyclic:`Materialize
+                        (Serve.snapshot srv) b)))
+          0.0 core
+      in
+      Float.max 1e-6 (total /. float_of_int (Array.length core))
+    in
+    let t_hit =
+      Array.iter (fun b -> ignore (Serve.serve srv b)) core;
+      let reps = 50 in
+      let total =
+        time (fun () ->
+            for _ = 1 to reps do
+              Array.iter (fun b -> ignore (Serve.serve srv b)) core
+            done)
+      in
+      Float.max 1e-8 (total /. float_of_int (reps * Array.length core))
+    in
+    (* ---- derived open-loop spec ---- *)
+    let read_rate = overload *. float_of_int lanes /. t_hit in
+    let duration = float_of_int requests /. read_rate in
+    let spec =
+      Traffic.Workload.spec ~seed ~duration ~read_rate
+        ~delta_rate:(30.0 /. duration) ~delta_batch:8 ~tenants
+        ~batch_skew:1.2 ~tenant_skew:1.2 ()
+    in
+    (* lattice updates with persistent insert/delete state; every batch
+       carries one duplicated insert so coalescing provably merges *)
+    let inserted = ref [] in
+    let make_updates rng n =
+      let value rng = float_of_int (1 + Util.Prng.int rng 64) /. 16.0 in
+      let iv n = Value.Int n and fv x = Value.Float x in
+      let one () =
+        if !inserted <> [] && Util.Prng.int rng 4 = 0 then begin
+          let u = Util.Prng.choice rng (Array.of_list !inserted) in
+          inserted := List.filter (fun x -> x != u) !inserted;
+          Fivm.Delta.delete u.Fivm.Delta.relation u.Fivm.Delta.tuple
+        end
+        else begin
+          let rel = [| "F"; "D1"; "D2" |].(Util.Prng.int rng 3) in
+          let tuple =
+            match rel with
+            | "F" ->
+                [| iv (Util.Prng.int rng 4); iv (Util.Prng.int rng 4);
+                   fv (value rng) |]
+            | _ -> [| iv (Util.Prng.int rng 4); fv (value rng) |]
+          in
+          let u = Fivm.Delta.insert rel tuple in
+          inserted := u :: !inserted;
+          u
+        end
+      in
+      let fresh =
+        Fivm.Delta.insert "D1" [| iv (Util.Prng.int rng 4); fv (value rng) |]
+      in
+      fresh :: fresh :: List.init (max 0 (n - 2)) (fun _ -> one ())
+    in
+    let overload_events =
+      Traffic.Workload.generate spec ~catalog:(Array.length core) ~make_updates
+    in
+    (* phase 1: warm reads, spaced far apart, before the overload window *)
+    let warm_gap = 20.0 *. t_miss in
+    let warm_span = warm_gap *. float_of_int (Array.length core + 1) in
+    let warm_events =
+      List.init (Array.length core) (fun i ->
+          Traffic.Workload.Read
+            { at = float_of_int (i + 1) *. warm_gap; tenant = 0; batch = i })
+    in
+    let shift dt = function
+      | Traffic.Workload.Read r ->
+          Traffic.Workload.Read { r with at = r.at +. dt }
+      | Traffic.Workload.Delta d ->
+          Traffic.Workload.Delta { d with at = d.at +. dt }
+    in
+    (* phase 3: the starved tenant — drain its bucket on the hot batch,
+       then cold batches (Timeout: over quota, nothing to shed), then the
+       hot batch again (Stale: over quota, shadow warm) *)
+    let tenant_burst = 8.0 in
+    let t_end = warm_span +. duration +. (2.0 *. t_miss) in
+    let starved = tenants in
+    let burst_events =
+      List.init 8 (fun _ ->
+          Traffic.Workload.Read { at = t_end; tenant = starved; batch = 0 })
+      @ List.init (Array.length cold) (fun i ->
+            Traffic.Workload.Read
+              { at = t_end; tenant = starved; batch = Array.length core + i })
+      @ List.init 4 (fun _ ->
+            Traffic.Workload.Read { at = t_end; tenant = starved; batch = 0 })
+    in
+    let events =
+      warm_events
+      @ List.map (shift warm_span) overload_events
+      @ burst_events
+    in
+    let fault_spec =
+      match (faults, check) with
+      | Some s, _ -> s
+      | None, true -> "transient:0.15"
+      | None, false -> ""
+    in
+    let faults =
+      if fault_spec = "" then Resilience.Faults.none ()
+      else Resilience.Faults.parse ~seed fault_spec
+    in
+    let cfg =
+      Serve.Admission.config
+        ~tenant_rate:(0.25 *. read_rate /. float_of_int tenants)
+        ~tenant_burst
+        ~gate_delay:
+          (Float.max (20.0 *. t_hit)
+             (0.05 *. float_of_int requests *. t_hit /. float_of_int lanes))
+        ~deadline:(Float.max (50.0 *. t_miss) (float_of_int requests *. t_hit))
+        ~max_pending:2048 ~max_retries:6 ~backoff_base:1e-5 ~backoff_cap:1e-3
+        ~faults ~seed ()
+    in
+    let adm = Serve.Admission.create cfg srv in
+    let reads =
+      List.length
+        (List.filter
+           (function Traffic.Workload.Read _ -> true | _ -> false)
+           events)
+    in
+    let report =
+      Traffic.Driver.run ~lanes ~flush_interval:(duration /. 15.0)
+        ~check:(if check then Traffic.Driver.Exact else Traffic.Driver.No_check)
+        adm ~catalog ~events
+    in
+    Printf.printf
+      "traffic (%s, %d lanes, %.0fx overload): offered %d  admitted %d  shed \
+       %d  timeout %d\n"
+      (Fivm.Maintainer.strategy_name strategy)
+      lanes overload report.Traffic.Driver.offered
+      report.Traffic.Driver.admitted report.Traffic.Driver.shed
+      report.Traffic.Driver.timeout;
+    Printf.printf
+      "flushes %d  coalesced %d  backpressure %d  retries %d  epoch %d\n"
+      report.Traffic.Driver.flushes report.Traffic.Driver.coalesced
+      report.Traffic.Driver.backpressure report.Traffic.Driver.retries
+      (Serve.epoch srv);
+    Printf.printf "latency p50 %s  p95 %s  p99 %s  max %s\n"
+      (Util.Timing.to_string report.Traffic.Driver.p50)
+      (Util.Timing.to_string report.Traffic.Driver.p95)
+      (Util.Timing.to_string report.Traffic.Driver.p99)
+      (Util.Timing.to_string report.Traffic.Driver.max_latency);
+    if check then begin
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      let r = report in
+      if r.Traffic.Driver.error_count > 0 then begin
+        List.iter
+          (fun e -> Printf.eprintf "borg traffic: audit: %s\n" e)
+          r.Traffic.Driver.errors;
+        fail "%d audit failures (%d answers checked)"
+          r.Traffic.Driver.error_count r.Traffic.Driver.checked
+      end;
+      if
+        r.Traffic.Driver.admitted + r.Traffic.Driver.shed
+        + r.Traffic.Driver.timeout
+        <> r.Traffic.Driver.offered
+      then
+        fail "accounting: admitted %d + shed %d + timeout %d <> offered %d"
+          r.Traffic.Driver.admitted r.Traffic.Driver.shed
+          r.Traffic.Driver.timeout r.Traffic.Driver.offered;
+      if r.Traffic.Driver.offered <> reads then
+        fail "offered %d <> generated reads %d" r.Traffic.Driver.offered reads;
+      if r.Traffic.Driver.admitted = 0 then fail "no request was admitted";
+      if r.Traffic.Driver.shed = 0 then fail "no request was shed";
+      if r.Traffic.Driver.timeout = 0 then fail "no request timed out";
+      if r.Traffic.Driver.coalesced = 0 then fail "coalescing eliminated nothing";
+      if r.Traffic.Driver.checked = 0 then fail "audit checked no answers";
+      if Obs.is_enabled () then begin
+        (match Obs.histogram_snapshot_by_name "serve.latency" with
+        | Some s ->
+            if s.Obs.hs_count <> r.Traffic.Driver.offered then
+              fail "histogram count %d <> offered %d" s.Obs.hs_count
+                r.Traffic.Driver.offered
+        | None -> fail "serve.latency histogram missing");
+        let cv = Obs.counter_value_by_name in
+        if
+          cv "serve.offered"
+          <> cv "serve.admitted" + cv "serve.shed" + cv "serve.timeout"
+        then fail "serve.* counters do not balance"
+      end;
+      match !failures with
+      | [] ->
+          Printf.printf
+            "check: %d answers audited bit-exact, all outcome classes \
+             exercised, accounting balanced\n"
+            r.Traffic.Driver.checked
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "borg traffic: FAIL: %s\n" f)
+            (List.rev fs);
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Open-loop overload harness: Poisson/Zipf traffic against the \
+          admission-controlled server, with probing-derived rates, injected \
+          faults, and a bit-exactness audit of every degraded answer.")
+    Term.(const run $ requests_arg $ overload_arg $ tenants_arg $ method_arg
+          $ faults_arg $ check_arg $ seed_arg $ trace_arg $ metrics_out_arg)
+
 let check_metrics_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -1053,7 +1395,20 @@ let check_metrics_cmd =
          & info [ "require-counter" ] ~docv:"NAME"
              ~doc:"Fail unless counter $(docv) is present and non-zero. Repeatable.")
   in
-  let run file req_spans req_counters =
+  let require_histogram_arg =
+    Arg.(value & opt_all string []
+         & info [ "require-histogram" ] ~docv:"NAME"
+             ~doc:"Fail unless histogram $(docv) is present with at least one \
+                   observation. Repeatable.")
+  in
+  let require_eq_arg =
+    Arg.(value & opt_all string []
+         & info [ "require-eq" ] ~docv:"A=B+C"
+             ~doc:"Fail unless the counter on the left equals the sum of the \
+                   counters on the right (absent counters read as 0, matching \
+                   the export, which omits zero counters). Repeatable.")
+  in
+  let run file req_spans req_counters req_histograms req_eqs =
     let contents = In_channel.with_open_text file In_channel.input_all in
     match Obs.Json.parse contents with
     | Error msg ->
@@ -1093,6 +1448,44 @@ let check_metrics_cmd =
                 | None -> fail "missing counter %S" req)
               req_counters
         | _ -> if req_counters <> [] then fail "no \"counters\" object");
+        (* counter lookup treating absence as 0 — the export omits counters
+           that never moved, so an accounting identity over them must too *)
+        let counter_value name =
+          match Obs.Json.member "counters" json with
+          | Some (Obs.Json.Obj cs) -> (
+              match List.assoc_opt name cs with
+              | Some (Obs.Json.Num v) -> v
+              | _ -> 0.0)
+          | _ -> 0.0
+        in
+        List.iter
+          (fun eq ->
+            match String.split_on_char '=' eq with
+            | [ lhs; rhs ] ->
+                let lhs = String.trim lhs in
+                let terms =
+                  List.map String.trim (String.split_on_char '+' rhs)
+                in
+                let sum =
+                  List.fold_left (fun a t -> a +. counter_value t) 0.0 terms
+                in
+                let v = counter_value lhs in
+                if v <> sum then
+                  fail "identity %S: %g <> %g" eq v sum
+            | _ -> fail "malformed --require-eq %S (want A=B+C+...)" eq)
+          req_eqs;
+        (match Obs.Json.member "histograms" json with
+        | Some (Obs.Json.Obj hs) ->
+            List.iter
+              (fun req ->
+                match List.assoc_opt req hs with
+                | Some h -> (
+                    match Obs.Json.member "count" h with
+                    | Some (Obs.Json.Num n) when n > 0.0 -> ()
+                    | _ -> fail "histogram %S has no observations" req)
+                | None -> fail "missing histogram %S" req)
+              req_histograms
+        | _ -> if req_histograms <> [] then fail "no \"histograms\" object");
         (match !failures with
         | [] ->
             Printf.printf "check-metrics: %s ok (%d spans, %d required counters)\n"
@@ -1104,7 +1497,8 @@ let check_metrics_cmd =
   Cmd.v
     (Cmd.info "check-metrics"
        ~doc:"Validate a --metrics-out JSON snapshot (used by the CI smoke test).")
-    Term.(const run $ file_arg $ require_span_arg $ require_counter_arg)
+    Term.(const run $ file_arg $ require_span_arg $ require_counter_arg
+          $ require_histogram_arg $ require_eq_arg)
 
 let () =
   let doc = "machine learning over relational data, the structure-aware way" in
@@ -1121,5 +1515,6 @@ let () =
             agg_cmd;
             serve_cmd;
             learn_cmd;
+            traffic_cmd;
             check_metrics_cmd;
           ]))

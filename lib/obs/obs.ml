@@ -78,7 +78,43 @@ let gauge name =
 let set_gauge g v = if !enabled then Atomic.set g.g v
 let gauge_value g = Atomic.get g.g
 
-(* ---------- histograms ---------- *)
+(* ---------- histograms ----------
+
+   Streaming summaries with FIXED log-scaled buckets shared by every
+   histogram: bucket 0 is the underflow bin (v <= 1e-9), the last bucket the
+   overflow bin, and in between each decade of [1e-9, 1e6] is split into
+   [buckets_per_decade] geometric bins. A fixed layout means snapshots from
+   different processes (metrics files, bench runs) aggregate and compare
+   without negotiation, and quantile estimation is a cumulative walk plus a
+   linear interpolation inside one bucket — the Prometheus
+   [histogram_quantile] recipe. The layout spans nanoseconds to ~11 days,
+   enough for every latency/duration this repository observes. *)
+
+let buckets_per_decade = 5
+let bucket_lo = 1e-9
+let bucket_decades = 15
+let bucket_count = 2 + (buckets_per_decade * bucket_decades)
+
+let bucket_upper i =
+  if i <= 0 then bucket_lo
+  else if i >= bucket_count - 1 then infinity
+  else bucket_lo *. (10.0 ** (float_of_int i /. float_of_int buckets_per_decade))
+
+let bucket_index v =
+  if not (v > bucket_lo) then 0 (* also catches nan and negatives *)
+  else begin
+    let raw =
+      1
+      + int_of_float
+          (Float.floor (Float.log10 (v /. bucket_lo) *. float_of_int buckets_per_decade))
+    in
+    let i = Stdlib.max 1 (Stdlib.min (bucket_count - 1) raw) in
+    (* the log is inexact at bucket boundaries; nudge into the invariant
+       upper (i-1) < v <= upper i *)
+    if v > bucket_upper i then Stdlib.min (bucket_count - 1) (i + 1)
+    else if i > 1 && v <= bucket_upper (i - 1) then i - 1
+    else i
+  end
 
 type histogram = {
   h_name : string;
@@ -86,6 +122,15 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array; (* length [bucket_count] *)
+}
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float; (* infinity when empty *)
+  hs_max : float; (* neg_infinity when empty *)
+  hs_buckets : (int * int) list; (* (bucket index, count), non-zero, ascending *)
 }
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
@@ -96,7 +141,14 @@ let histogram name =
       | Some h -> h
       | None ->
           let h =
-            { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity }
+            {
+              h_name = name;
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+              h_buckets = Array.make bucket_count 0;
+            }
           in
           Hashtbl.add histograms name h;
           h)
@@ -107,10 +159,122 @@ let observe h v =
         h.h_count <- h.h_count + 1;
         h.h_sum <- h.h_sum +. v;
         if v < h.h_min then h.h_min <- v;
-        if v > h.h_max then h.h_max <- v)
+        if v > h.h_max then h.h_max <- v;
+        let i = bucket_index v in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
+
+let snapshot_of_histogram h =
+  (* caller holds the registry lock or accepts a racy-but-consistent-enough
+     read; the exported paths go through [histogram_snapshot] below *)
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = h.h_min;
+    hs_max = h.h_max;
+    hs_buckets = !buckets;
+  }
+
+let histogram_snapshot h = locked (fun () -> snapshot_of_histogram h)
+
+let histogram_snapshot_by_name name =
+  locked (fun () ->
+      Option.map snapshot_of_histogram (Hashtbl.find_opt histograms name))
+
+(* Prometheus-style estimate: walk the cumulative counts to the bucket
+   containing rank [q * count], then interpolate linearly inside it. The
+   result is clamped to the observed [min, max], which also grounds the
+   open-ended underflow/overflow buckets. *)
+let snapshot_quantile s q =
+  if s.hs_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int s.hs_count in
+    let rec walk before = function
+      | [] -> s.hs_max
+      | (i, n) :: rest ->
+          let cum = float_of_int (before + n) in
+          if cum < target && rest <> [] then walk (before + n) rest
+          else begin
+            let lower = if i = 0 then 0.0 else bucket_upper (i - 1) in
+            let upper = bucket_upper i in
+            let lower = Float.max lower (Float.min s.hs_min upper) in
+            let upper = if Float.is_finite upper then upper else s.hs_max in
+            let frac =
+              Float.max 0.0 (Float.min 1.0 ((target -. float_of_int before) /. float_of_int n))
+            in
+            let est = lower +. (frac *. (upper -. lower)) in
+            Float.max s.hs_min (Float.min s.hs_max est)
+          end
+    in
+    walk 0 s.hs_buckets
+  end
+
+let histogram_quantile h q = snapshot_quantile (histogram_snapshot h) q
+
+let snapshot_to_json s =
+  Json.Obj
+    (("count", Json.num_int s.hs_count)
+     :: ("sum", Json.Num s.hs_sum)
+     ::
+     (if s.hs_count = 0 then []
+      else
+        [
+          ("min", Json.Num s.hs_min);
+          ("max", Json.Num s.hs_max);
+          ("p50", Json.Num (snapshot_quantile s 0.5));
+          ("p95", Json.Num (snapshot_quantile s 0.95));
+          ("p99", Json.Num (snapshot_quantile s 0.99));
+          ( "buckets",
+            Json.Obj
+              (List.map
+                 (fun (i, n) -> (string_of_int i, Json.num_int n))
+                 s.hs_buckets) );
+        ]))
+
+let snapshot_of_json j =
+  let int_field name =
+    match Json.member name j with
+    | Some (Json.Num x) when Float.is_integer x -> Ok (int_of_float x)
+    | Some _ -> Error (Printf.sprintf "histogram field %S is not an integer" name)
+    | None -> Error (Printf.sprintf "histogram field %S missing" name)
+  in
+  let float_field name default =
+    match Json.member name j with
+    | Some (Json.Num x) -> Ok x
+    | Some _ -> Error (Printf.sprintf "histogram field %S is not a number" name)
+    | None -> Ok default
+  in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* count = int_field "count" in
+  let* sum = float_field "sum" 0.0 in
+  let* mn = float_field "min" infinity in
+  let* mx = float_field "max" neg_infinity in
+  let* buckets =
+    match Json.member "buckets" j with
+    | None -> if count = 0 then Ok [] else Error "histogram field \"buckets\" missing"
+    | Some (Json.Obj fields) ->
+        let rec go acc = function
+          | [] -> Ok (List.sort compare (List.rev acc))
+          | (k, Json.Num n) :: rest when Float.is_integer n -> (
+              match int_of_string_opt k with
+              | Some i when i >= 0 && i < bucket_count && int_of_float n > 0 ->
+                  go ((i, int_of_float n) :: acc) rest
+              | _ -> Error (Printf.sprintf "bad histogram bucket %S" k))
+          | (k, _) :: _ -> Error (Printf.sprintf "bad histogram bucket %S" k)
+        in
+        go [] fields
+    | Some _ -> Error "histogram field \"buckets\" is not an object"
+  in
+  if List.fold_left (fun acc (_, n) -> acc + n) 0 buckets <> count then
+    Error "histogram bucket counts do not sum to count"
+  else Ok { hs_count = count; hs_sum = sum; hs_min = mn; hs_max = mx; hs_buckets = buckets }
 
 (* ---------- spans ---------- *)
 
@@ -211,7 +375,8 @@ let reset () =
           h.h_count <- 0;
           h.h_sum <- 0.0;
           h.h_min <- infinity;
-          h.h_max <- neg_infinity)
+          h.h_max <- neg_infinity;
+          Array.fill h.h_buckets 0 bucket_count 0)
         histograms;
       top_spans := [];
       Hashtbl.iter (fun _ st -> st := []) stacks)
@@ -273,8 +438,10 @@ let pp_report ppf () =
     Format.fprintf ppf "histograms:@,";
     List.iter
       (fun (name, h) ->
-        Format.fprintf ppf "  %-36s n=%d sum=%g min=%g max=%g@," name h.h_count
-          h.h_sum h.h_min h.h_max)
+        let s = histogram_snapshot h in
+        Format.fprintf ppf "  %-36s n=%d sum=%g min=%g max=%g p50=%g p99=%g@,"
+          name s.hs_count s.hs_sum s.hs_min s.hs_max
+          (snapshot_quantile s 0.5) (snapshot_quantile s 0.99))
       hs
   end;
   Format.fprintf ppf "@]"
@@ -306,16 +473,7 @@ let to_json () =
           (List.filter_map
              (fun (k, h) ->
                if h.h_count = 0 then None
-               else
-                 Some
-                   ( k,
-                     Json.Obj
-                       [
-                         ("count", Json.num_int h.h_count);
-                         ("sum", Json.Num h.h_sum);
-                         ("min", Json.Num h.h_min);
-                         ("max", Json.Num h.h_max);
-                       ] ))
+               else Some (k, snapshot_to_json (histogram_snapshot h)))
              (sorted_bindings histograms)) );
     ]
 

@@ -50,7 +50,13 @@ val gauge_value : gauge -> float
 
 (** {1 Histograms}
 
-    Streaming summaries (count / sum / min / max) of observed values. *)
+    Streaming summaries of observed values: count / sum / min / max plus a
+    FIXED log-scaled bucket layout shared by every histogram — bucket 0 is
+    the underflow bin (values <= 1e-9), the last bucket the overflow bin, and
+    each decade of [1e-9, 1e6] in between is split into 5 geometric bins. A
+    fixed layout lets snapshots from different processes aggregate and
+    compare without negotiating boundaries, and supports Prometheus-style
+    quantile estimation ({!histogram_quantile}). *)
 
 type histogram
 
@@ -58,6 +64,51 @@ val histogram : string -> histogram
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+
+val bucket_count : int
+(** Total number of buckets, including underflow and overflow. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of bucket [i]; [infinity] for the overflow
+    bucket. Bucket [i] holds values in [(bucket_upper (i-1), bucket_upper i]]
+    (bucket 0: [(-inf, 1e-9]]). *)
+
+val bucket_index : float -> int
+(** Index of the bucket an observation of [v] lands in. *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;  (** [infinity] when empty *)
+  hs_max : float;  (** [neg_infinity] when empty *)
+  hs_buckets : (int * int) list;
+      (** [(bucket index, count)], non-zero entries only, ascending index *)
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+(** Consistent copy of the histogram's current state (taken under the
+    registry lock). *)
+
+val histogram_snapshot_by_name : string -> histogram_snapshot option
+(** [None] for unregistered names. *)
+
+val snapshot_quantile : histogram_snapshot -> float -> float
+(** [snapshot_quantile s q] estimates the [q]-quantile ([q] clamped to
+    [0,1]) by walking cumulative bucket counts and interpolating linearly
+    inside the target bucket, clamped to the observed [min, max]. [nan] when
+    the snapshot is empty. *)
+
+val histogram_quantile : histogram -> float -> float
+(** [snapshot_quantile] of a fresh {!histogram_snapshot}. *)
+
+val snapshot_to_json : histogram_snapshot -> Json.t
+(** Export as an object with [count], [sum] and — when non-empty — [min],
+    [max], [p50]/[p95]/[p99] and a [buckets] object keyed by bucket index.
+    Round-trips through {!snapshot_of_json}. *)
+
+val snapshot_of_json : Json.t -> (histogram_snapshot, string) result
+(** Parse a snapshot back; tolerates extra keys (such as the exported
+    quantiles) and validates that bucket counts sum to [count]. *)
 
 (** {1 Spans} *)
 

@@ -70,6 +70,7 @@ type t = {
   mutable wal : Wal.writer;
   mutable seq : int;
   mutable dead_letters : (Delta.update * string) list;  (* newest first *)
+  retry_prng : Util.Prng.t;  (* jittered-backoff draws, deterministic per driver *)
 }
 
 type outcome = Applied | Quarantined of string
@@ -159,7 +160,15 @@ let recover cfg make =
 
 let create cfg make =
   let m, seq = recover cfg make in
-  { cfg; make; m; wal = Wal.open_append (wal_path cfg); seq; dead_letters = [] }
+  {
+    cfg;
+    make;
+    m;
+    wal = Wal.open_append (wal_path cfg);
+    seq;
+    dead_letters = [];
+    retry_prng = Util.Prng.create (Hashtbl.hash cfg.dir);
+  }
 
 (* ---- checkpoint / audit ---- *)
 
@@ -219,7 +228,9 @@ let apply_with_retries t u =
         failwith
           (Printf.sprintf "resilience: transient fault persisted after %d retries"
              t.cfg.max_retries);
-      Unix.sleepf (Float.min 0.01 (0.0002 *. float_of_int (1 lsl k)));
+      (* full-jitter backoff decorrelates retry storms across drivers that
+         hit the same transient fault together *)
+      Unix.sleepf (Util.Prng.backoff t.retry_prng ~base:0.0002 ~cap:0.01 ~attempt:k);
       attempt (k + 1)
     end
     else M.apply t.m u

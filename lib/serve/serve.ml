@@ -79,6 +79,7 @@ type t = {
       (* fingerprint -> compiled plan, revalidated against the snapshot *)
   models : (string, mentry) Hashtbl.t; (* registered name -> entry *)
   lock : Mutex.t;
+  writer : bool Atomic.t; (* single-writer contract enforcement *)
   options : Lmfao.Engine.options;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -101,6 +102,24 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+exception Concurrent_writer of string
+
+(* The documented single-writer contract, now enforced: every mutating
+   entry point ([apply_deltas], [Model.register], [Model.refresh]) must
+   hold the writer flag for its whole duration. Overlap raises instead of
+   silently corrupting maintainer or model state — the flag is a CAS, not
+   a lock, because a second writer is a caller BUG to surface, not a
+   queue to wait in. *)
+let with_writer t ~who f =
+  if not (Atomic.compare_and_set t.writer false true) then
+    raise
+      (Concurrent_writer
+         (Printf.sprintf
+            "Serve.%s: another writer (apply_deltas / Model.register / \
+             Model.refresh) is in flight — writes must be serialised"
+            who));
+  Fun.protect ~finally:(fun () -> Atomic.set t.writer false) f
+
 let create ?(options = Lmfao.Engine.default_options) strategy
     (db : Database.t) ~features =
   let maintainer = Maintainer.create strategy db ~features in
@@ -114,6 +133,7 @@ let create ?(options = Lmfao.Engine.default_options) strategy
     plans = Hashtbl.create 16;
     models = Hashtbl.create 8;
     lock = Mutex.create ();
+    writer = Atomic.make false;
     options;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -321,6 +341,7 @@ let refresh_models t ~next =
 
 let apply_deltas t (updates : Fivm.Delta.update list) =
   Obs.with_span "serve.apply" @@ fun () ->
+  with_writer t ~who:"apply_deltas" @@ fun () ->
   Maintainer.apply_batch t.maintainer updates;
   let next = Atomic.fetch_and_add t.epoch 1 + 1 in
   let cov = lazy (Maintainer.covariance t.maintainer) in
@@ -363,6 +384,7 @@ module Model = struct
            "Serve.Model.register: response %s is not a maintained feature"
            response);
     let name = Option.value name ~default:(Ml.Model_intf.name spec) in
+    with_writer t ~who:"Model.register" @@ fun () ->
     let packed =
       Ml.Model_intf.train_packed spec (model_moments t ~response)
     in
@@ -406,6 +428,7 @@ module Model = struct
      client paying for freshness on demand). *)
   let refresh t name =
     let e = find t name in
+    with_writer t ~who:"Model.refresh" @@ fun () ->
     let now = Atomic.get t.epoch in
     if e.m_epoch < now then begin
       e.packed <-
@@ -414,5 +437,319 @@ module Model = struct
       e.m_epoch <- now;
       Atomic.incr t.model_refreshes;
       Obs.incr c_model_refreshes
+    end
+end
+
+(* ---------- overload-robust admission frontier ---------- *)
+
+(* [Admission] wraps the read/write paths with the machinery a server needs
+   when traffic is adversarial rather than cooperative:
+
+   - per-tenant token buckets plus a global queue-delay gate decide who gets
+     engine time at all;
+   - requests that are denied engine time are NOT dropped: they are answered
+     from an epoch-stale shadow cache with an explicit [Stale of epoch] tag.
+     The shadow cache records, for every fresh answer, the exact result
+     bytes served at that epoch — a shed answer is therefore always
+     bit-identical to SOME past epoch's correct answer (the differential in
+     [test_traffic.ml]), never a wrong bit;
+   - admitted requests carry a deadline; answers that complete past it are
+     classified [Timeout] (the caller sees no result — a late answer is a
+     wrong answer in an open-loop system);
+   - the recompute path retries injected transient faults
+     ([Resilience.Faults]) with full-jitter backoff ([Util.Prng.backoff]);
+   - writes go through a bounded pending queue that COALESCES updates (per
+     (relation, tuple) multiplicity sums, zeros dropped) into one maintainer
+     pass, with [`Backpressure] once the queue is full.
+
+   Time is VIRTUAL and owned by the caller (the [Traffic] driver): [request]
+   takes the request's arrival instant and the instant its serving lane
+   frees up, and returns the finish instant. Only the engine work itself is
+   measured in real wall-clock seconds and folded into the virtual
+   timeline — this is how the open-loop harness avoids coordinated
+   omission: queueing delay is simulated, service cost is real.
+
+   Every request resolves to exactly ONE of admitted / shed / timeout, so
+   [serve.offered = serve.admitted + serve.shed + serve.timeout] is a hard
+   invariant (checked by [borg traffic --check]), and each resolution
+   observes [serve.latency] exactly once. *)
+module Admission = struct
+  type status = Fresh of int | Stale of int | Timeout
+
+  type outcome = {
+    status : status;
+    result : (string * Spec.result) list option;
+        (* Some for [Fresh]/[Stale] with a cached answer; None for
+           [Timeout] and for shed requests with no stale entry yet *)
+    started : float;
+    finished : float;
+    latency : float;
+    retries : int;
+    used_lane : bool;
+  }
+
+  type config = {
+    tenant_rate : float;  (* token-bucket refill, requests/second *)
+    tenant_burst : float;  (* bucket capacity *)
+    gate_delay : float;  (* max queue delay before the global gate sheds *)
+    deadline : float;  (* per-request budget from arrival to finish *)
+    max_pending : int;  (* pending delta-queue depth before backpressure *)
+    max_retries : int;  (* transient-fault retry budget per request *)
+    backoff_base : float;
+    backoff_cap : float;
+    faults : Resilience.Faults.t;
+    seed : int;
+  }
+
+  let config ?(tenant_rate = 100.0) ?(tenant_burst = 20.0) ?(gate_delay = 0.05)
+      ?(deadline = 0.25) ?(max_pending = 4096) ?(max_retries = 4)
+      ?(backoff_base = 1e-4) ?(backoff_cap = 1e-2) ?faults ?(seed = 0) () =
+    (* rate 0 is meaningful — a bucket that never refills (tests, frozen
+       tenants) — but a burst below one token could never admit anything *)
+    if tenant_rate < 0.0 || tenant_burst < 1.0 then
+      invalid_arg "Admission.config: tenant_rate < 0 or tenant_burst < 1";
+    if max_pending <= 0 then invalid_arg "Admission.config: max_pending <= 0";
+    let faults =
+      match faults with Some f -> f | None -> Resilience.Faults.none ()
+    in
+    {
+      tenant_rate;
+      tenant_burst;
+      gate_delay;
+      deadline;
+      max_pending;
+      max_retries;
+      backoff_base;
+      backoff_cap;
+      faults;
+      seed;
+    }
+
+  type bucket = { mutable tokens : float; mutable last_refill : float }
+
+  type a = {
+    srv : t;
+    cfg : config;
+    prng : Util.Prng.t;
+    tenants : (string, bucket) Hashtbl.t;
+    shadow : (int, int * (string * Spec.result) list) Hashtbl.t;
+        (* fingerprint -> (epoch, exact result served at that epoch) *)
+    mutable pending : Fivm.Delta.update list list; (* newest first *)
+    mutable pending_updates : int;
+  }
+
+  let c_offered = Obs.counter "serve.offered"
+  let c_admitted = Obs.counter "serve.admitted"
+  let c_shed = Obs.counter "serve.shed"
+  let c_timeout = Obs.counter "serve.timeout"
+  let c_coalesced = Obs.counter "serve.coalesced"
+  let c_retries = Obs.counter "serve.retries"
+  let c_backpressure = Obs.counter "serve.backpressure"
+  let h_latency = Obs.histogram "serve.latency"
+
+  let create cfg srv =
+    {
+      srv;
+      cfg;
+      prng = Util.Prng.create cfg.seed;
+      tenants = Hashtbl.create 16;
+      shadow = Hashtbl.create 64;
+      pending = [];
+      pending_updates = 0;
+    }
+
+  let server a = a.srv
+  let pending_updates a = a.pending_updates
+
+  (* ---- token buckets ---- *)
+
+  let take_token a ~tenant ~now =
+    let b =
+      match Hashtbl.find_opt a.tenants tenant with
+      | Some b -> b
+      | None ->
+          let b = { tokens = a.cfg.tenant_burst; last_refill = now } in
+          Hashtbl.add a.tenants tenant b;
+          b
+    in
+    (* lazy refill at arrival; virtual time is monotone per driver but be
+       robust to equal stamps *)
+    if now > b.last_refill then begin
+      b.tokens <-
+        Float.min a.cfg.tenant_burst
+          (b.tokens +. ((now -. b.last_refill) *. a.cfg.tenant_rate));
+      b.last_refill <- now
+    end;
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      true
+    end
+    else false
+
+  (* ---- the read path ---- *)
+
+  (* Denied engine time: answer from the shadow cache when it has this
+     batch (shed — a degraded but correct answer), otherwise the request is
+     effectively dropped (timeout — no answer at all). Either way the
+     resolution is a cache lookup, free on the virtual timeline. *)
+  let shed_outcome a ~fp ~arrival =
+    Obs.observe h_latency 0.0;
+    let status, result =
+      match Hashtbl.find_opt a.shadow fp with
+      | Some (e, r) ->
+          Obs.incr c_shed;
+          (Stale e, Some r)
+      | None ->
+          Obs.incr c_timeout;
+          (Timeout, None)
+    in
+    {
+      status;
+      result;
+      started = arrival;
+      finished = arrival;
+      latency = 0.0;
+      retries = 0;
+      used_lane = false;
+    }
+
+  let request a ~tenant ~batch ~arrival ~lane_free =
+    Obs.incr c_offered;
+    let fp = Batch.fingerprint batch in
+    if not (take_token a ~tenant ~now:arrival) then
+      (* over quota: this tenant gets a degraded answer, never a lane *)
+      shed_outcome a ~fp ~arrival
+    else begin
+      let started = Float.max arrival lane_free in
+      let queue_delay = started -. arrival in
+      if queue_delay > a.cfg.gate_delay then
+        (* global gate: the lanes are so far behind that admitting would
+           only grow the queue — answer stale instead *)
+        shed_outcome a ~fp ~arrival
+      else begin
+        (* admitted to a lane: real engine work on the virtual timeline,
+           with transient faults retried under full-jitter backoff *)
+        let retries = ref 0 in
+        let rec attempt k backoff_spent =
+          if Resilience.Faults.transient_failure a.cfg.faults then begin
+            Obs.incr c_retries;
+            if k >= a.cfg.max_retries then None
+            else begin
+              incr retries;
+              let delay =
+                Util.Prng.backoff a.prng ~base:a.cfg.backoff_base
+                  ~cap:a.cfg.backoff_cap ~attempt:k
+              in
+              attempt (k + 1) (backoff_spent +. delay)
+            end
+          end
+          else begin
+            let t0 = Obs.Clock.now () in
+            let r = serve a.srv batch in
+            Some (r, backoff_spent +. (Obs.Clock.now () -. t0))
+          end
+        in
+        match attempt 0 0.0 with
+        | None ->
+            (* fault persisted through the retry budget *)
+            Obs.incr c_timeout;
+            Obs.observe h_latency a.cfg.deadline;
+            {
+              status = Timeout;
+              result = None;
+              started;
+              finished = started;
+              latency = a.cfg.deadline;
+              retries = !retries;
+              used_lane = false;
+            }
+        | Some (r, service) ->
+            let finished = started +. service in
+            let latency = finished -. arrival in
+            Obs.observe h_latency latency;
+            if latency > a.cfg.deadline then begin
+              (* completed, but past its budget: in an open-loop system a
+                 late answer is not an answer (the lane time is still
+                 spent — that is what congestion costs) *)
+              Obs.incr c_timeout;
+              {
+                status = Timeout;
+                result = None;
+                started;
+                finished;
+                latency;
+                retries = !retries;
+                used_lane = true;
+              }
+            end
+            else begin
+              let e = Atomic.get a.srv.epoch in
+              Hashtbl.replace a.shadow fp (e, r);
+              Obs.incr c_admitted;
+              {
+                status = Fresh e;
+                result = Some r;
+                started;
+                finished;
+                latency;
+                retries = !retries;
+                used_lane = true;
+              }
+            end
+      end
+    end
+
+  (* ---- the write path: bounded queue + coalescing ---- *)
+
+  let submit_delta a (updates : Fivm.Delta.update list) =
+    if a.pending_updates + List.length updates > a.cfg.max_pending then begin
+      Obs.incr c_backpressure;
+      `Backpressure
+    end
+    else begin
+      a.pending <- updates :: a.pending;
+      a.pending_updates <- a.pending_updates + List.length updates;
+      `Queued
+    end
+
+  (* Merge all pending batches into one maintainer pass: multiplicities sum
+     per (relation, tuple) and zero-sum pairs vanish entirely. Coalescing
+     reorders float accumulation, so bit-identity of the maintained state
+     versus one-by-one application holds on exactly representable inputs
+     (the dyadic lattice of the tests); IEEE inputs agree to rounding. *)
+  let flush a =
+    let batches = List.rev a.pending in
+    a.pending <- [];
+    let before = a.pending_updates in
+    a.pending_updates <- 0;
+    if batches = [] then 0
+    else begin
+      let order = ref [] in
+      let merged : (string * Relational.Tuple.t, int ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (List.iter (fun (u : Fivm.Delta.update) ->
+             let key = (u.Fivm.Delta.relation, u.Fivm.Delta.tuple) in
+             match Hashtbl.find_opt merged key with
+             | Some m -> m := !m + u.Fivm.Delta.multiplicity
+             | None ->
+                 Hashtbl.add merged key (ref u.Fivm.Delta.multiplicity);
+                 order := key :: !order))
+        batches;
+      let coalesced =
+        List.filter_map
+          (fun key ->
+            let m = !(Hashtbl.find merged key) in
+            if m = 0 then None
+            else
+              let relation, tuple = key in
+              Some { Fivm.Delta.relation; tuple; multiplicity = m })
+          (List.rev !order)
+      in
+      let eliminated = before - List.length coalesced in
+      Obs.add c_coalesced eliminated;
+      if coalesced <> [] then apply_deltas a.srv coalesced;
+      eliminated
     end
 end

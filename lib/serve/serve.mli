@@ -28,6 +28,12 @@ module Spec := Aggregates.Spec
 
 type t
 
+exception Concurrent_writer of string
+(** Raised by {!apply_deltas}, {!Model.register} and {!Model.refresh} when
+    another writer is already in flight: the single-writer contract is
+    enforced, not just documented — overlap is a caller bug surfaced loudly
+    instead of silent maintainer/model corruption. *)
+
 type stats = {
   hits : int;
   misses : int;
@@ -73,7 +79,7 @@ val apply_deltas : t -> Fivm.Delta.update list -> unit
     every covariance-backed cache entry from the maintained triple and drop
     the rest, then warm-refresh every registered model whose staleness
     budget the new epoch would exceed. Single-writer: do not overlap with
-    reads. *)
+    reads; overlapping another writer raises {!Concurrent_writer}. *)
 
 (** Epoch-fresh model serving: register a {!Ml.Model_intf} implementation,
     get it trained from the maintained triple and refreshed (warm-started)
@@ -105,6 +111,113 @@ module Model : sig
   val epoch_of : t -> string -> int
   val spec_of : t -> string -> Ml.Model_intf.t
   val response_of : t -> string -> string
+end
+
+(** Overload-robust admission frontier around the read/write paths:
+    per-tenant token buckets plus a global queue-delay gate, per-request
+    deadlines with timeout classification, load shedding that answers from
+    an epoch-stale shadow cache with an explicit [Stale of epoch] tag (a
+    shed answer is always bit-identical to some past epoch's correct
+    answer — never a wrong bit), transient-fault retries with full-jitter
+    backoff, and a bounded delta queue that coalesces updates per
+    (relation, tuple) into one maintainer pass.
+
+    Time is virtual and caller-owned: {!request} takes the arrival instant
+    and the instant the serving lane frees, and returns the finish instant;
+    only engine work is measured in real wall-clock seconds and folded into
+    the virtual timeline (the open-loop harness in [Traffic] avoids
+    coordinated omission this way). Counters: [serve.offered] =
+    [serve.admitted] + [serve.shed] + [serve.timeout] is a hard invariant;
+    [serve.coalesced], [serve.retries], [serve.backpressure] and the
+    [serve.latency] histogram (observed exactly once per request) complete
+    the picture. *)
+module Admission : sig
+  type status =
+    | Fresh of int  (** answered at the current epoch, within deadline *)
+    | Stale of int
+        (** shed: answered from the shadow cache, bit-identical to the
+            answer served at that epoch *)
+    | Timeout
+        (** no answer: deadline exceeded, retry budget exhausted, or shed
+            with no stale entry to degrade to *)
+
+  type outcome = {
+    status : status;
+    result : (string * Spec.result) list option;
+        (** [Some] iff status is [Fresh] or [Stale] *)
+    started : float;  (** when a lane picked the request up (virtual) *)
+    finished : float;  (** when the lane freed again (virtual) *)
+    latency : float;  (** [finished - arrival]; 0 for lane-free outcomes *)
+    retries : int;
+    used_lane : bool;
+        (** whether lane time was consumed (the driver advances the lane's
+            free instant to [finished] only when set) *)
+  }
+
+  type config = {
+    tenant_rate : float;
+    tenant_burst : float;
+    gate_delay : float;
+    deadline : float;
+    max_pending : int;
+    max_retries : int;
+    backoff_base : float;
+    backoff_cap : float;
+    faults : Resilience.Faults.t;
+    seed : int;
+  }
+
+  val config :
+    ?tenant_rate:float ->
+    ?tenant_burst:float ->
+    ?gate_delay:float ->
+    ?deadline:float ->
+    ?max_pending:int ->
+    ?max_retries:int ->
+    ?backoff_base:float ->
+    ?backoff_cap:float ->
+    ?faults:Resilience.Faults.t ->
+    ?seed:int ->
+    unit ->
+    config
+  (** Defaults: 100 req/s per tenant with burst 20, 50 ms gate, 250 ms
+      deadline, 4096 pending updates, 4 retries, backoff 0.1→10 ms, no
+      faults, seed 0. *)
+
+  type a
+
+  val create : config -> t -> a
+  val server : a -> t
+
+  val request :
+    a ->
+    tenant:string ->
+    batch:Aggregates.Batch.t ->
+    arrival:float ->
+    lane_free:float ->
+    outcome
+  (** Resolve one read. Over-quota tenants and requests whose queue delay
+      ([max arrival lane_free - arrival]) exceeds the gate are denied engine
+      time and answered from the shadow cache ([Stale]) or dropped
+      ([Timeout]); admitted requests run {!serve} (transient faults retried
+      with jittered backoff), are timed, and are classified [Fresh] or
+      [Timeout] against the deadline. Exactly one of
+      [serve.admitted]/[serve.shed]/[serve.timeout] is incremented. *)
+
+  val submit_delta :
+    a -> Fivm.Delta.update list -> [ `Queued | `Backpressure ]
+  (** Queue updates for the next {!flush}; [`Backpressure] (and the
+      [serve.backpressure] counter) once the bounded queue is full — the
+      caller must flush before retrying. *)
+
+  val flush : a -> int
+  (** Coalesce all pending updates (multiplicities summed per
+      (relation, tuple), zero sums dropped, first-occurrence order) into at
+      most one {!apply_deltas} pass. Returns the number of updates
+      eliminated by coalescing (also added to [serve.coalesced]).
+      Single-writer, like {!apply_deltas}. *)
+
+  val pending_updates : a -> int
 end
 
 val snapshot : t -> Database.t

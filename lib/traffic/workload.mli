@@ -1,0 +1,50 @@
+(** Open-loop workload generation: Poisson read/delta arrivals fixed in
+    advance (independent of server speed — overload is a property of the
+    event list, avoiding the coordinated-omission trap of closed-loop
+    generators), with Zipf-skewed batch popularity and tenant activity.
+    Fully deterministic per seed. *)
+
+type event =
+  | Read of { at : float; tenant : int; batch : int }
+      (** one request for catalog index [batch] by tenant [tenant] *)
+  | Delta of { at : float; updates : Fivm.Delta.update list }
+      (** one delta batch entering the write queue *)
+
+val at : event -> float
+
+type spec = {
+  seed : int;
+  duration : float;  (** virtual seconds of traffic *)
+  read_rate : float;  (** Poisson reads/second *)
+  delta_rate : float;  (** Poisson delta batches/second *)
+  delta_batch : int;  (** updates per delta batch *)
+  tenants : int;
+  batch_skew : float;  (** Zipf exponent of batch popularity *)
+  tenant_skew : float;  (** Zipf exponent of tenant activity *)
+}
+
+val spec :
+  ?seed:int ->
+  ?duration:float ->
+  ?read_rate:float ->
+  ?delta_rate:float ->
+  ?delta_batch:int ->
+  ?tenants:int ->
+  ?batch_skew:float ->
+  ?tenant_skew:float ->
+  unit ->
+  spec
+(** Defaults: seed 0, 1 s, 100 reads/s, 10 delta batches/s of 8 updates,
+    4 tenants, skew 1.1 on both Zipf draws. Raises on non-positive duration,
+    negative rates, or empty populations. *)
+
+val generate :
+  spec ->
+  catalog:int ->
+  make_updates:(Util.Prng.t -> int -> Fivm.Delta.update list) ->
+  event list
+(** The merged event list, ascending by arrival instant. [catalog] is the
+    number of distinct batches reads choose from (Zipf rank 1 = index 0 =
+    hottest). [make_updates prng n] supplies each delta batch's [n] updates
+    from the given (seed-derived) generator — inserts, deletes and value
+    distributions are the caller's choice. *)

@@ -61,6 +61,17 @@ let split t =
   let seed = Int64.to_int (next_int64 t) in
   { state = Int64.of_int seed }
 
+(* Full-jitter exponential backoff (the AWS architecture-blog variant):
+   uniform in [0, min cap (base * 2^attempt)]. Full jitter beats equal/no
+   jitter at decorrelating retry storms — two clients that failed together
+   do not retry together. The exponent is clamped so [1 lsl attempt] cannot
+   overflow into a negative sleep. *)
+let backoff t ~base ~cap ~attempt =
+  if base < 0.0 || cap < 0.0 then invalid_arg "Prng.backoff: negative base or cap";
+  let attempt = Stdlib.max 0 (Stdlib.min 60 attempt) in
+  let ceiling = Float.min cap (base *. Float.of_int (1 lsl attempt)) in
+  if ceiling <= 0.0 then 0.0 else float t ceiling
+
 (* Zipf-distributed rank in [1, n] with exponent [s], via rejection-free
    inverse-CDF over a precomputed table would be costly per-call; we use the
    standard approximation by rejection sampling (Devroye). Good enough for

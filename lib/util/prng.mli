@@ -45,6 +45,12 @@ val choice : t -> 'a array -> 'a
 val split : t -> t
 (** A generator seeded from this one; both can then be used independently. *)
 
+val backoff : t -> base:float -> cap:float -> attempt:int -> float
+(** [backoff t ~base ~cap ~attempt] draws a full-jitter exponential backoff
+    delay: uniform in [\[0, min cap (base * 2^attempt))]. [attempt] counts
+    from 0 and is clamped internally so large values cannot overflow.
+    Deterministic under seed; raises on negative [base] or [cap]. *)
+
 val zipf : t -> n:int -> s:float -> int
 (** Zipf-distributed rank in [\[1, n\]] with skew exponent [s] (s <= 0 gives
     uniform). Used to generate realistically skewed foreign keys. *)

@@ -126,6 +126,109 @@ let test_gauge_concurrent_writers () =
   Alcotest.(check bool) "final value is a written sentinel" true
     (valid (Obs.gauge_value g) && Obs.gauge_value g <> 0.0)
 
+(* ---- histograms: buckets and quantiles ---- *)
+
+let test_bucket_layout () =
+  (* the bucket function must agree with the published bounds: every value
+     lands in the unique bucket with upper(i-1) < v <= upper(i) *)
+  Alcotest.(check int) "nan underflows" 0 (Obs.bucket_index Float.nan);
+  Alcotest.(check int) "negative underflows" 0 (Obs.bucket_index (-3.0));
+  Alcotest.(check int) "tiny underflows" 0 (Obs.bucket_index 1e-12);
+  Alcotest.(check int) "huge overflows" (Obs.bucket_count - 1)
+    (Obs.bucket_index 1e12);
+  let prng = Util.Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = 10.0 ** Util.Prng.float_range prng (-10.0) 7.0 in
+    let i = Obs.bucket_index v in
+    let lower = if i = 0 then neg_infinity else Obs.bucket_upper (i - 1) in
+    if not (v > lower && v <= Obs.bucket_upper i) then
+      Alcotest.failf "v=%.17g landed in bucket %d (%g, %g]" v i lower
+        (Obs.bucket_upper i)
+  done
+
+let test_quantile_sanity () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let h = Obs.histogram "test.quantiles" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Obs.histogram_quantile h 0.5));
+  (* 1..1000 ms uniformly: quantile estimates must sit near the true values
+     within the geometric bucket resolution (10^(1/5) ~ 58% per bucket) *)
+  for i = 1 to 1000 do
+    Obs.observe h (float_of_int i /. 1000.0)
+  done;
+  let check_q q truth =
+    let est = Obs.histogram_quantile h q in
+    if not (est >= truth /. 1.7 && est <= truth *. 1.7) then
+      Alcotest.failf "q=%g: estimate %g too far from %g" q est truth
+  in
+  check_q 0.5 0.5;
+  check_q 0.95 0.95;
+  check_q 0.99 0.99;
+  (* monotone in q, and clamped to observed extremes *)
+  let p50 = Obs.histogram_quantile h 0.5 and p99 = Obs.histogram_quantile h 0.99 in
+  Alcotest.(check bool) "monotone" true (p50 <= p99);
+  Alcotest.(check bool) "q=0 >= min" true (Obs.histogram_quantile h 0.0 >= 0.001);
+  Alcotest.(check bool) "q=1 <= max" true (Obs.histogram_quantile h 1.0 <= 1.0)
+
+let test_single_value_quantile () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let h = Obs.histogram "test.single" in
+  Obs.observe h 0.25;
+  (* with one observation every quantile is clamped to that exact value *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0)) "clamped to the observation" 0.25
+        (Obs.histogram_quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+(* random snapshots exercise the snapshot codec: counts spread over random
+   buckets, including underflow/overflow *)
+let qcheck_snapshot_round_trip =
+  QCheck2.Test.make ~count:300 ~name:"histogram snapshots round-trip via JSON"
+    QCheck2.Gen.int
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let n = Util.Prng.int prng 50 in
+      Obs.with_enabled true (fun () ->
+          let h = Obs.histogram (Printf.sprintf "test.rt.%d" seed) in
+          for _ = 1 to n do
+            let v =
+              match Util.Prng.int prng 10 with
+              | 0 -> 0.0 (* underflow *)
+              | 1 -> 1e12 (* overflow *)
+              | _ -> 10.0 ** Util.Prng.float_range prng (-10.0) 7.0
+            in
+            Obs.observe h v
+          done;
+          let s = Obs.histogram_snapshot h in
+          match Obs.snapshot_of_json (Obs.Json.parse_exn (Obs.Json.to_string (Obs.snapshot_to_json s))) with
+          | Error e -> QCheck2.Test.fail_reportf "re-parse failed: %s" e
+          | Ok s' ->
+              (* min/max go through %.17g so they round-trip bit-exactly *)
+              s'.Obs.hs_count = s.Obs.hs_count
+              && s'.Obs.hs_buckets = s.Obs.hs_buckets
+              && Int64.bits_of_float s'.Obs.hs_min = Int64.bits_of_float s.Obs.hs_min
+              && Int64.bits_of_float s'.Obs.hs_max = Int64.bits_of_float s.Obs.hs_max
+              && (s.Obs.hs_count = 0
+                  || Float.abs (s'.Obs.hs_sum -. s.Obs.hs_sum)
+                     <= 1e-9 *. Float.abs s.Obs.hs_sum)))
+
+let test_snapshot_of_json_rejects () =
+  List.iter
+    (fun s ->
+      match Obs.snapshot_of_json (Obs.Json.parse_exn s) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected rejection of %s" s)
+    [
+      "{}";                                         (* no count *)
+      "{\"count\":1,\"sum\":0.5}";                  (* buckets missing *)
+      "{\"count\":2,\"sum\":1,\"buckets\":{\"3\":1}}"; (* sum mismatch *)
+      "{\"count\":1,\"sum\":1,\"buckets\":{\"999\":1}}"; (* bad index *)
+      "{\"count\":1.5,\"sum\":1}";                  (* non-integer count *)
+    ]
+
 (* ---- JSON ---- *)
 
 let test_json_round_trip () =
@@ -260,6 +363,16 @@ let () =
         [
           Alcotest.test_case "concurrent writers race-free" `Quick
             test_gauge_concurrent_writers;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket layout" `Quick test_bucket_layout;
+          Alcotest.test_case "quantile sanity" `Quick test_quantile_sanity;
+          Alcotest.test_case "single-value quantile" `Quick
+            test_single_value_quantile;
+          QCheck_alcotest.to_alcotest qcheck_snapshot_round_trip;
+          Alcotest.test_case "snapshot_of_json rejects bad input" `Quick
+            test_snapshot_of_json_rejects;
         ] );
       ( "json",
         [

@@ -194,6 +194,70 @@ let test_concurrent_clients () =
         (results_bit_identical r (List.nth expected (i mod 3))))
     got
 
+(* The single-writer contract must be ENFORCED, not just documented. A model
+   whose refresh parks on an atomic gate holds one [apply_deltas] open
+   mid-flight on a spawned domain; any second writer entering during that
+   window must raise [Serve.Concurrent_writer] instead of interleaving with
+   the maintainer pass. Deterministic: the main domain only proceeds once
+   the gate confirms the writer is inside. *)
+let test_single_writer_enforced () =
+  let entered = Atomic.make false and release = Atomic.make false in
+  let blocking_model : Ml.Model_intf.t =
+    (module struct
+      let name = "blocker"
+      let description = "test model that parks its refresh on a gate"
+
+      type options = unit
+
+      let default_options = ()
+
+      type model = unit
+
+      let needs = `Covariance
+      let train_from_moments ?options:_ ?warm_start:_ _ = ()
+
+      let refresh ?options:_ ~previous:_ _ =
+        Atomic.set entered true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done
+
+      let predict () _ = 0.0
+      let encode _ () = ()
+      let decode _ = ()
+    end)
+  in
+  let srv = Serve.create M.F_ivm (empty_db ()) ~features in
+  Serve.apply_deltas srv (lattice_stream ~seed:3 ~steps:30);
+  ignore (Serve.Model.register srv blocking_model ~response:"m");
+  let update = [ Delta.insert "D1" [| int 0; flt 1.0 |] ] in
+  let writer = Domain.spawn (fun () -> Serve.apply_deltas srv update) in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  (* the first writer is parked inside apply_deltas: every overlapping
+     writer entry point must refuse *)
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Serve.Concurrent_writer _ -> true
+  in
+  Alcotest.(check bool) "overlapping apply_deltas raises" true
+    (raises (fun () -> Serve.apply_deltas srv update));
+  Alcotest.(check bool) "overlapping Model.refresh raises" true
+    (raises (fun () -> Serve.Model.refresh srv "blocker"));
+  Alcotest.(check bool) "overlapping Model.register raises" true
+    (raises (fun () ->
+         Serve.Model.register srv ~name:"second" blocking_model ~response:"m"));
+  Atomic.set release true;
+  Domain.join writer;
+  (* the flag is released: writing works again, and the refused writers
+     left no partial state behind (epoch advanced exactly once) *)
+  let e = Serve.epoch srv in
+  Serve.apply_deltas srv update;
+  Alcotest.(check int) "writer flag released after the race" (e + 1)
+    (Serve.epoch srv)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -206,5 +270,10 @@ let () =
             test_stats_and_epoch;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "single-writer contract enforced" `Quick
+            test_single_writer_enforced;
         ] );
     ]

@@ -30,6 +30,40 @@ let test_zipf_bounds () =
     Alcotest.(check bool) "rank bounds" true (r >= 1 && r <= 50)
   done
 
+let test_backoff_deterministic_and_bounded () =
+  (* same seed, same delay sequence — bit-exact *)
+  let a = Prng.create 11 and b = Prng.create 11 in
+  for k = 0 to 20 do
+    let da = Prng.backoff a ~base:0.001 ~cap:0.25 ~attempt:k in
+    let db = Prng.backoff b ~base:0.001 ~cap:0.25 ~attempt:k in
+    Alcotest.(check bool) "deterministic under seed" true
+      (Int64.bits_of_float da = Int64.bits_of_float db)
+  done;
+  (* every draw respects 0 <= d < min cap (base * 2^k), even for attempts
+     past the overflow-clamp point *)
+  let rng = Prng.create 12 in
+  List.iter
+    (fun k ->
+      for _ = 1 to 200 do
+        let d = Prng.backoff rng ~base:0.001 ~cap:0.25 ~attempt:k in
+        let ceiling = Float.min 0.25 (0.001 *. (2.0 ** float_of_int k)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "attempt %d in [0, %g)" k ceiling)
+          true
+          (d >= 0.0 && d < ceiling)
+      done)
+    [ 0; 1; 3; 7; 30; 100; max_int ];
+  (* different seeds decorrelate: the jitter sequences must differ *)
+  let x = Prng.create 1 and y = Prng.create 2 in
+  let seq p = List.init 8 (fun k -> Prng.backoff p ~base:0.001 ~cap:0.25 ~attempt:k) in
+  Alcotest.(check bool) "seeds decorrelate" true (seq x <> seq y);
+  (* degenerate inputs *)
+  Alcotest.(check (float 0.0)) "zero base gives zero delay" 0.0
+    (Prng.backoff rng ~base:0.0 ~cap:1.0 ~attempt:5);
+  Alcotest.check_raises "negative base rejected"
+    (Invalid_argument "Prng.backoff: negative base or cap") (fun () ->
+      ignore (Prng.backoff rng ~base:(-1.0) ~cap:1.0 ~attempt:0))
+
 let test_gaussian_moments () =
   let rng = Prng.create 5 in
   let n = 20000 in
@@ -343,6 +377,8 @@ let () =
           Alcotest.test_case "int_range bounds" `Quick test_prng_range;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
           Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "backoff deterministic and bounded" `Quick
+            test_backoff_deterministic_and_bounded;
           Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
         ] );
       ("vec", [ Alcotest.test_case "basic ops" `Quick test_vec_ops ]);
