@@ -1380,6 +1380,155 @@ let traffic_cmd =
     Term.(const run $ requests_arg $ overload_arg $ tenants_arg $ method_arg
           $ faults_arg $ check_arg $ seed_arg $ trace_arg $ metrics_out_arg)
 
+(* ---- store: import a dataset into the paged columnar store ---- *)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for the page files (default: a fresh temporary \
+                   directory, removed afterwards).")
+  in
+  let page_rows_arg =
+    Arg.(value & opt int Store.Paged.default_page_rows
+         & info [ "page-rows" ] ~docv:"N" ~doc:"Rows per page.")
+  in
+  let cache_pages_arg =
+    Arg.(value & opt int Store.Paged.default_cache_pages
+         & info [ "cache-pages" ] ~docv:"N"
+             ~doc:"Page-cache budget (decoded pages resident at once).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Also write per-shard page directories, routed like \
+                   Fivm.Shard on the dataset's partition attribute.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Re-open every relation, decode all pages against the \
+                   directory, and check a paged scan reproduces the source \
+                   relation bit for bit. Exits non-zero on any mismatch.")
+  in
+  let tuples_bit_equal a b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri
+          (fun i x ->
+            let y = b.(i) in
+            let eq =
+              match (x, y) with
+              | Value.Float f, Value.Float g ->
+                  Int64.bits_of_float f = Int64.bits_of_float g
+              | _ -> Value.equal x y
+            in
+            if not eq then ok := false)
+          a;
+        !ok)
+  in
+  let run (dataset_name, spec) scale seed dir page_rows cache_pages shards
+      verify trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let db = spec.generate ~scale ~seed () in
+    let made_tmp = dir = None in
+    let dir =
+      match dir with
+      | Some d ->
+          if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+          d
+      | None ->
+          let d = Filename.temp_file "borg-store" "" in
+          Sys.remove d;
+          Unix.mkdir d 0o700;
+          d
+    in
+    Printf.printf "store: importing %s (scale %g, %d rows/page) into %s\n"
+      dataset_name scale page_rows dir;
+    let failures = ref 0 in
+    List.iter
+      (fun rel ->
+        let rname = Relation.name rel in
+        let rows =
+          Obs.with_span "store.import" (fun () ->
+              Store.Loader.import_relation ~dir ~page_rows rel)
+        in
+        let p = Store.Paged.openr ~cache_pages ~dir rname in
+        let bytes = (Unix.stat (Store.Paged.pages_path dir rname)).st_size in
+        Printf.printf "  %-12s %8d rows %6d pages %9d bytes\n" rname rows
+          (Store.Paged.pages p) bytes;
+        if verify then
+          Obs.with_span "store.verify" (fun () ->
+              (match Store.Paged.verify p with
+              | _pages, _rows -> ()
+              | exception Relational.Codec.Decode_error e ->
+                  incr failures;
+                  Printf.printf "  %-12s FAILED verify: %s\n" rname
+                    (Relational.Codec.error_message e));
+              (* paged scan == source, bit for bit, through the page cache
+                 (small budgets force evictions mid-scan) *)
+              let base = ref 0 and bad = ref 0 in
+              Store.Paged.iter_chunks p (fun chunk ->
+                  for i = 0 to Relation.cardinality chunk - 1 do
+                    if
+                      not
+                        (tuples_bit_equal (Relation.get chunk i)
+                           (Relation.get rel (!base + i)))
+                    then incr bad
+                  done;
+                  base := !base + Relation.cardinality chunk);
+              if !base <> Relation.cardinality rel || !bad > 0 then begin
+                incr failures;
+                Printf.printf
+                  "  %-12s FAILED round-trip: %d rows (want %d), %d mismatched\n"
+                  rname !base
+                  (Relation.cardinality rel)
+                  !bad
+              end;
+              (* re-touch the most recent page: it must still be resident,
+                 so this records a cache hit (retention within budget) *)
+              if Store.Paged.pages p > 0 then
+                ignore (Store.Paged.chunk p (Store.Paged.pages p - 1)));
+        Store.Paged.close p)
+      (Database.relations db);
+    if shards > 0 then begin
+      let plan = Fivm.Shard.plan ~shards db in
+      let attr = Fivm.Shard.plan_attr plan in
+      Printf.printf "store: sharding on %s across %d shards\n" attr shards;
+      List.iter
+        (fun rel ->
+          let rname = Relation.name rel in
+          match Schema.position_opt (Relation.schema rel) attr with
+          | None -> Printf.printf "  %-12s broadcast (no %s)\n" rname attr
+          | Some _ ->
+              let per_shard =
+                Store.Loader.import_sharded ~dir ~page_rows ~shards
+                  ~key:[ attr ] rel
+              in
+              Printf.printf "  %-12s [%s] rows/shard\n" rname
+                (String.concat "; " (List.map string_of_int per_shard)))
+        (Database.relations db)
+    end;
+    if made_tmp then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end;
+    if !failures > 0 then begin
+      Printf.printf "store: %d relation(s) FAILED verification\n" !failures;
+      exit 1
+    end
+    else if verify then Printf.printf "store: all relations verified\n"
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:"Import a dataset into the paged columnar store (and optionally \
+             verify pages + scan round-trip).")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ dir_arg
+          $ page_rows_arg $ cache_pages_arg $ shards_arg $ verify_arg
+          $ trace_arg $ metrics_out_arg)
+
 let check_metrics_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -1408,7 +1557,14 @@ let check_metrics_cmd =
                    counters on the right (absent counters read as 0, matching \
                    the export, which omits zero counters). Repeatable.")
   in
-  let run file req_spans req_counters req_histograms req_eqs =
+  let require_le_arg =
+    Arg.(value & opt_all string []
+         & info [ "require-le" ] ~docv:"A<=B"
+             ~doc:"Fail unless metric A is at most metric B. Each side is a \
+                   gauge or counter name (gauges first) or a numeric literal; \
+                   a named metric that is absent fails the check. Repeatable.")
+  in
+  let run file req_spans req_counters req_histograms req_eqs req_les =
     let contents = In_channel.with_open_text file In_channel.input_all in
     match Obs.Json.parse contents with
     | Error msg ->
@@ -1474,6 +1630,40 @@ let check_metrics_cmd =
                   fail "identity %S: %g <> %g" eq v sum
             | _ -> fail "malformed --require-eq %S (want A=B+C+...)" eq)
           req_eqs;
+        (* gauge-or-counter lookup for ordering assertions (e.g. peak cache
+           residency bounded by the configured budget) *)
+        let metric_value name =
+          match float_of_string_opt name with
+          | Some v -> Some v
+          | None -> (
+              let in_obj key =
+                match Obs.Json.member key json with
+                | Some (Obs.Json.Obj kvs) -> (
+                    match List.assoc_opt name kvs with
+                    | Some (Obs.Json.Num v) -> Some v
+                    | _ -> None)
+                | _ -> None
+              in
+              match in_obj "gauges" with
+              | Some v -> Some v
+              | None -> in_obj "counters")
+        in
+        List.iter
+          (fun le ->
+            match String.index_opt le '<' with
+            | Some i
+              when i + 1 < String.length le && le.[i + 1] = '=' ->
+                let lhs = String.trim (String.sub le 0 i) in
+                let rhs =
+                  String.trim (String.sub le (i + 2) (String.length le - i - 2))
+                in
+                (match (metric_value lhs, metric_value rhs) with
+                | Some a, Some b ->
+                    if not (a <= b) then fail "bound %S: %g > %g" le a b
+                | None, _ -> fail "bound %S: missing metric %S" le lhs
+                | _, None -> fail "bound %S: missing metric %S" le rhs)
+            | _ -> fail "malformed --require-le %S (want A<=B)" le)
+          req_les;
         (match Obs.Json.member "histograms" json with
         | Some (Obs.Json.Obj hs) ->
             List.iter
@@ -1498,7 +1688,7 @@ let check_metrics_cmd =
     (Cmd.info "check-metrics"
        ~doc:"Validate a --metrics-out JSON snapshot (used by the CI smoke test).")
     Term.(const run $ file_arg $ require_span_arg $ require_counter_arg
-          $ require_histogram_arg $ require_eq_arg)
+          $ require_histogram_arg $ require_eq_arg $ require_le_arg)
 
 let () =
   let doc = "machine learning over relational data, the structure-aware way" in
@@ -1516,5 +1706,6 @@ let () =
             serve_cmd;
             learn_cmd;
             traffic_cmd;
+            store_cmd;
             check_metrics_cmd;
           ]))

@@ -388,17 +388,10 @@ and compute_node ~options db (node : Ir.node) : view * (int * bool) array =
   let child_views = Array.of_list (List.map fst kids) in
   let child_payloads = Array.of_list (List.map snd kids) in
   let rel = Database.relation db node.Ir.n_rel in
+  let stream = Database.stream db node.Ir.n_rel in
   let n = Relation.cardinality rel in
   let n_children = Array.length child_views in
   let n_slots = Array.length node.Ir.n_slots in
-  ignore (Relation.scan rel);
-  let cols = Relation.columns rel in
-  let own_key = Relation.extractor rel node.Ir.n_key.Ir.k_positions in
-  let child_key =
-    Array.map
-      (fun (k : Ir.key_shape) -> Relation.extractor rel k.Ir.k_positions)
-      node.Ir.n_child_keys
-  in
   let payload, payload_scalars, payload_grouped = payload_map node.Ir.n_slots in
   (* per slot: the child payload indexes its kernel multiplies/merges *)
   let child_refs =
@@ -407,14 +400,25 @@ and compute_node ~options db (node : Ir.node) : view * (int * bool) array =
         Array.mapi (fun c cs -> child_payloads.(c).(cs)) s.Ir.s_children)
       node.Ir.n_slots
   in
-  count_fallbacks node cols;
+  count_fallbacks node (Relation.columns rel);
   let nh = Array.length node.Ir.n_hoisted in
-  (* [scan] is invoked once per chunk; the kernel closures and the hoist
-     buffer are built inside so concurrent chunks never share mutable
-     state. Construction is O(slots), amortised over >= chunk_threshold
-     rows. *)
-  let scan lo len =
+  (* [scan_into] is invoked once per chunk — a parallel slice of the
+     resident relation, or one streamed page chunk. Everything
+     representation-dependent (column readers, key extractors, filters,
+     kernels, the hoist buffer) is specialised inside against THIS
+     relation's live columns, so concurrent chunks never share mutable
+     state and streamed chunks bind to their own pages. Construction is
+     O(slots), amortised over a chunk of rows. *)
+  let scan_into rel view lo len =
     Obs.add c_tuples len;
+    ignore (Relation.scan rel);
+    let cols = Relation.columns rel in
+    let own_key = Relation.extractor rel node.Ir.n_key.Ir.k_positions in
+    let child_key =
+      Array.map
+        (fun (k : Ir.key_shape) -> Relation.extractor rel k.Ir.k_positions)
+        node.Ir.n_child_keys
+    in
     let buf = Array.make (max nh 1) 0.0 in
     let hload =
       Array.map (fun pos -> reader cols pos) node.Ir.n_hoisted
@@ -471,7 +475,6 @@ and compute_node ~options db (node : Ir.node) : view * (int * bool) array =
                   acc.gr.(p_idx))
         node.Ir.n_slots
     in
-    let view : view = Keypack.Hybrid.create 256 in
     let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
     for i = lo to lo + len - 1 do
       (* probe all children; a missing partner voids the row entirely *)
@@ -513,18 +516,37 @@ and compute_node ~options db (node : Ir.node) : view * (int * bool) array =
           done
         end
       end
-    done;
-    view
+    done
   in
   let view =
-    if options.Lmfao.Engine.parallel && n > options.Lmfao.Engine.chunk_threshold
-    then
-      Util.Pool.parallel_chunks n scan
-        ~combine:(fun acc v ->
-          match acc with None -> Some v | Some a -> Some (merge_views a v))
-        ~zero:None
-      |> Option.value ~default:(Keypack.Hybrid.create 1)
-    else scan 0 n
+    match stream with
+    | Some chunks ->
+        (* Out-of-core: sequential page chunks into ONE view, in global row
+           order — the interpreter's sequential float-op sequence, hence
+           bit-identical. Parallel chunking stays off on this path. *)
+        let view : view = Keypack.Hybrid.create 256 in
+        chunks (fun chunk ->
+            scan_into chunk view 0 (Relation.cardinality chunk));
+        view
+    | None ->
+        if
+          options.Lmfao.Engine.parallel
+          && n > options.Lmfao.Engine.chunk_threshold
+        then
+          Util.Pool.parallel_chunks n
+            (fun lo len ->
+              let view : view = Keypack.Hybrid.create 256 in
+              scan_into rel view lo len;
+              view)
+            ~combine:(fun acc v ->
+              match acc with None -> Some v | Some a -> Some (merge_views a v))
+            ~zero:None
+          |> Option.value ~default:(Keypack.Hybrid.create 1)
+        else begin
+          let view : view = Keypack.Hybrid.create 256 in
+          scan_into rel view 0 n;
+          view
+        end
   in
   (view, payload)
 

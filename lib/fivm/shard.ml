@@ -160,6 +160,34 @@ let apply_batch ?domains t updates =
       ignore (Util.Pool.parallel_tasks ?domains tasks));
   t.seconds <- seconds
 
+(* Stream a base relation into the shards from per-shard chunk sources
+   (e.g. the per-shard page directories of [Store.Loader.import_sharded]):
+   shard [k] applies every row of [chunks_of k] as a +1 delta to its own
+   maintainer, one parallel task per shard, so each domain's working set is
+   its own shard's pages — never the whole relation. The caller routes: a
+   keyed relation's shard files must have been split with the SAME
+   [Keypack.shard_of_key] rule as [route_update]; a broadcast relation's
+   source must replay the full relation for every shard. *)
+let load_base ?domains t ~relation chunks_of =
+  Obs.with_span "fivm.shard.load_base" (fun () ->
+      let tasks =
+        List.init t.plan.nshards (fun k () ->
+            let m = t.maintainers.(k) in
+            let count = ref 0 in
+            chunks_of k (fun chunk ->
+                for i = 0 to Relation.cardinality chunk - 1 do
+                  Maintainer.apply m
+                    {
+                      Delta.relation;
+                      tuple = Relation.get chunk i;
+                      multiplicity = 1;
+                    };
+                  incr count
+                done);
+            Obs.add t.deltas.(k) !count)
+      in
+      ignore (Util.Pool.parallel_tasks ?domains tasks))
+
 (* Merge folds FROM shard 0's triple (not from Cov.zero): ring addition
    with a zero can normalise -0.0 payloads, and starting from shard 0
    makes the 1-shard pipeline return its maintainer's triple verbatim. *)

@@ -76,6 +76,21 @@ val apply_batch : ?domains:int -> t -> Delta.update list -> unit
     [fivm.shard.batch] span; updates per-shard [fivm.shard.<k>.deltas]
     counters and the [fivm.shard.skew] gauge (max/mean queue length). *)
 
+val load_base :
+  ?domains:int ->
+  t ->
+  relation:string ->
+  (int -> (Relation.t -> unit) -> unit) ->
+  unit
+(** [load_base t ~relation chunks_of] streams a base relation into the
+    shards: shard [k] applies every row of the chunk iterator
+    [chunks_of k] as a [+1] delta to its own maintainer, one parallel task
+    per shard. Pair with per-shard page directories
+    ([Store.Loader.import_sharded], same [Keypack.shard_of_key] routing)
+    so each domain streams only its own working set; broadcast relations
+    (no partition attribute) must replay the full relation for every
+    shard. Runs inside an [fivm.shard.load_base] span. *)
+
 val covariance : t -> Rings.Covariance.t
 (** Merged covariance: per-shard triples folded with ring addition in
     shard order, starting FROM shard 0's triple (so a 1-shard pipeline

@@ -58,7 +58,7 @@ type slot_plan = {
   canonical : string;
   local_terms : (int * int) array; (* (position, power) over owned attrs *)
   local_groups : (string * int) array; (* owned group-by attrs *)
-  local_filter : int -> bool; (* owned filter conjuncts, over row indexes *)
+  filter_src : Predicate.t list; (* owned filter conjuncts, compiled per scan *)
   child_slots : int array; (* per child: slot in the child's plan *)
   child_refs : (int * bool) array; (* per child: (payload index, is_scalar) *)
   scalar : bool; (* no group-by anywhere in the subtree *)
@@ -67,6 +67,7 @@ type slot_plan = {
 
 type node_plan = {
   rel : Relation.t;
+  stream : Database.chunks option; (* out-of-core: scan THIS, never [rel]'s cells *)
   key_positions : int array; (* this node's join key with its parent *)
   child_keys : int array array; (* per child: child-key positions in OUR schema *)
   slots : slot_plan array;
@@ -90,26 +91,19 @@ let c_partials = Obs.counter "lmfao.partials"
 let c_tuples_scanned = Obs.counter "lmfao.tuples_scanned"
 let c_roots = Obs.counter "lmfao.roots"
 
-(* Instantiate the closure interpreter for a logical plan: compile filter
-   conjuncts to columnar closures, assign payload indexes in slot order
-   (scalars and grouped partials counted separately), and resolve each
-   child slot to its payload. *)
-let rec instantiate (p : Plan.node) : node_plan =
-  let child_plans = List.map instantiate p.Plan.children in
+(* Instantiate the closure interpreter for a logical plan: assign payload
+   indexes in slot order (scalars and grouped partials counted separately)
+   and resolve each child slot to its payload. Filter conjuncts stay as
+   source predicates — they compile against the columns of whatever
+   relation the scan actually reads (the resident relation, or each chunk
+   of a streamed one). *)
+let rec instantiate ~db (p : Plan.node) : node_plan =
+  let child_plans = List.map (instantiate ~db) p.Plan.children in
   let child_plan_arr = Array.of_list child_plans in
-  let schema = Relation.schema p.Plan.rel in
   let n_scalar = ref 0 and n_grouped = ref 0 in
   let slots =
     Array.map
       (fun (s : Plan.slot) ->
-        let local_filter =
-          match s.local_filter with
-          | [] -> fun _ -> true
-          | cs ->
-              let cols = Relation.columns p.Plan.rel in
-              let compiled = List.map (Predicate.compile_cols schema cols) cs in
-              fun i -> List.for_all (fun f -> f i) compiled
-        in
         let child_refs =
           Array.mapi
             (fun c cs ->
@@ -131,7 +125,7 @@ let rec instantiate (p : Plan.node) : node_plan =
           canonical = s.key;
           local_terms = s.local_terms;
           local_groups = s.local_groups;
-          local_filter;
+          filter_src = s.local_filter;
           child_slots = s.child_slots;
           child_refs;
           scalar = s.scalar;
@@ -141,6 +135,7 @@ let rec instantiate (p : Plan.node) : node_plan =
   in
   {
     rel = p.Plan.rel;
+    stream = Database.stream db (Relation.name p.Plan.rel);
     key_positions = p.Plan.key_positions;
     child_keys = p.Plan.child_keys;
     slots;
@@ -217,17 +212,27 @@ and compute_node ~options (plan : node_plan) : view =
     else List.map (compute ~options) plan.children
   in
   let child_views = Array.of_list child_views in
-  let n = Relation.cardinality plan.rel in
   let n_children = Array.length child_views in
-  (* compiled key extractors: this node's own join key and one per child,
-     packing straight out of the typed columns *)
-  ignore (Relation.scan plan.rel);
-  let cols = Relation.columns plan.rel in
-  let own_key = Relation.extractor plan.rel plan.key_positions in
-  let child_key = Array.map (Relation.extractor plan.rel) plan.child_keys in
-  let scan lo len =
+  (* Scan rows [lo, lo+len) of [rel] into [view]. Key extractors and filter
+     closures are compiled against [rel]'s own columns, so the same loop
+     serves the resident relation and each chunk of a streamed one. *)
+  let scan_into rel view lo len =
     Obs.add c_tuples_scanned len;
-    let view : view = Keypack.Hybrid.create 256 in
+    ignore (Relation.scan rel);
+    let cols = Relation.columns rel in
+    let schema = Relation.schema rel in
+    let own_key = Relation.extractor rel plan.key_positions in
+    let child_key = Array.map (Relation.extractor rel) plan.child_keys in
+    let filters =
+      Array.map
+        (fun slot ->
+          match slot.filter_src with
+          | [] -> fun _ -> true
+          | cs ->
+              let compiled = List.map (Predicate.compile_cols schema cols) cs in
+              fun i -> List.for_all (fun f -> f i) compiled)
+        plan.slots
+    in
     let child_rows = Array.make n_children { sc = [||]; gr = [||] } in
     for i = lo to lo + len - 1 do
       (* probe all children; a missing partner voids the row entirely *)
@@ -250,9 +255,9 @@ and compute_node ~options (plan : node_plan) : view =
               Keypack.Hybrid.add view key r;
               r
         in
-        Array.iter
-          (fun slot ->
-            if slot.local_filter i then begin
+        Array.iteri
+          (fun si slot ->
+            if filters.(si) i then begin
               (* product of the owned attribute powers, read unboxed *)
               let local = ref 1.0 in
               Array.iter
@@ -278,27 +283,46 @@ and compute_node ~options (plan : node_plan) : view =
             end)
           plan.slots
       end
-    done;
-    view
+    done
   in
-  if options.parallel && n > options.chunk_threshold then
-    Util.Pool.parallel_chunks n scan
-      ~combine:(fun acc v ->
-        match acc with None -> Some v | Some a -> Some (merge_views a v))
-      ~zero:None
-    |> Option.value ~default:(Keypack.Hybrid.create 1)
-  else scan 0 n
+  match plan.stream with
+  | Some chunks ->
+      (* Out-of-core scan: one page-sized chunk at a time, in global row
+         order, accumulating into a SINGLE view — the float-addition
+         sequence is exactly that of a sequential in-memory scan, so the
+         result is bit-identical. Chunk parallelism stays off here: only
+         the sequential order carries the bit-identity guarantee. *)
+      let view : view = Keypack.Hybrid.create 256 in
+      chunks (fun chunk -> scan_into chunk view 0 (Relation.cardinality chunk));
+      view
+  | None ->
+      let n = Relation.cardinality plan.rel in
+      if options.parallel && n > options.chunk_threshold then
+        Util.Pool.parallel_chunks n
+          (fun lo len ->
+            let view : view = Keypack.Hybrid.create 256 in
+            scan_into plan.rel view lo len;
+            view)
+          ~combine:(fun acc v ->
+            match acc with None -> Some v | Some a -> Some (merge_views a v))
+          ~zero:None
+        |> Option.value ~default:(Keypack.Hybrid.create 1)
+      else begin
+        let view : view = Keypack.Hybrid.create 256 in
+        scan_into plan.rel view 0 n;
+        view
+      end
 
 (* ---------- top level ---------- *)
 
-let run_rooted ~options ~stats (jt : Join_tree.t) root (specs : Spec.t list) :
-    (string * Spec.result) list =
+let run_rooted ~options ~stats ~db (jt : Join_tree.t) root (specs : Spec.t list)
+    : (string * Spec.result) list =
   if specs = [] then []
   else
     Obs.with_span ("lmfao.root:" ^ root) @@ fun () ->
     Obs.incr c_roots;
     let rooted = Plan.build (plan_options options) ~stats jt ~root specs in
-    let plan = instantiate rooted.Plan.tree in
+    let plan = instantiate ~db rooted.Plan.tree in
     let view = compute ~options plan in
     (* the root view has the single empty key, which packs as [P 0] *)
     let row = Keypack.Hybrid.find_opt view (Keypack.P 0) in
@@ -328,7 +352,7 @@ let eval_acyclic ~options (db : Database.t) (batch : Batch.t) :
     (string * Spec.result) list * stats =
   let jt, groups = Plan.group_by_root (plan_options options) db batch in
   let stats = Plan.fresh_stats () in
-  let run_group (root, specs) = run_rooted ~options ~stats jt root specs in
+  let run_group (root, specs) = run_rooted ~options ~stats ~db jt root specs in
   let results =
     if options.parallel && List.length groups > 1 then
       List.concat
@@ -362,7 +386,26 @@ let eval_cyclic (db : Database.t) (batch : Batch.t) :
     (string * Spec.result) list * stats =
   Obs.with_span "lmfao.cyclic_fallback" @@ fun () ->
   Obs.incr c_cyclic_fallback;
-  let join = Factorized.Wcoj.materialise (Database.relations db) in
+  (* WCOJ needs resident cells: pull any streamed relation fully into
+     memory first (cyclic + out-of-core is outside the streaming path). *)
+  let resident r =
+    match Database.stream db (Relation.name r) with
+    | None -> r
+    | Some chunks ->
+        let out =
+          Relation.create
+            ~capacity:(Stdlib.max 1 (Relation.cardinality r))
+            (Relation.name r) (Relation.schema r)
+        in
+        chunks (fun c ->
+            for i = 0 to Relation.cardinality c - 1 do
+              Relation.append_from out c i
+            done);
+        out
+  in
+  let join =
+    Factorized.Wcoj.materialise (List.map resident (Database.relations db))
+  in
   let keyed =
     List.map
       (fun (s : Spec.t) -> (s.id, Spec.eval_flat join s))

@@ -65,7 +65,7 @@ let decode_packed (r : Relational.Codec.reader) : Intf.packed =
   let n = Relational.Codec.read_str r in
   match find n with
   | Some (module M) -> Intf.Packed ((module M), M.decode r)
-  | None -> raise (Relational.Codec.Decode_error ("unknown model " ^ n))
+  | None -> Relational.Codec.fail ("unknown model " ^ n)
 
 (* How a warm refresh must compare to a cold retrain over the SAME
    statistics: direct solves reproduce bit-identically (under exact input

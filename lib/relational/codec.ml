@@ -1,14 +1,34 @@
-(* Binary codec for the durable formats of the resilience layer: fixed-width
-   little-endian primitives plus value/tuple/key encodings.
+(* Binary codec for the durable formats of the resilience layer and the
+   paged columnar store: fixed-width little-endian primitives plus
+   value/tuple/key encodings.
 
    Writers append to a [Buffer.t]; readers consume a [reader] cursor over a
    string and raise [Decode_error] on any malformed or truncated input —
-   callers (WAL replay, checkpoint restore) turn that into "stop at the last
-   valid prefix" rather than crashing. The encoding is self-contained per
-   record: no global symbol table, so a record can be decoded out of any
-   valid byte range. *)
+   callers (WAL replay, checkpoint restore, page decode) turn that into
+   "stop at the last valid prefix" or a located diagnostic rather than
+   crashing. Errors carry the BYTE OFFSET at which the failing read began
+   (mirroring [Util.Csvio.Malformed]'s source position for text input), so
+   a corrupt page or checkpoint can be pointed at, not just detected. The
+   encoding is self-contained per record: no global symbol table, so a
+   record can be decoded out of any valid byte range. *)
 
-exception Decode_error of string
+type error = { offset : int; reason : string }
+(* [offset] is the position in the decoded string where the failing read
+   started; [-1] when the error is semantic rather than positional (e.g. a
+   registry lookup that found no decoder). *)
+
+exception Decode_error of error
+
+let error_message { offset; reason } =
+  if offset < 0 then reason
+  else Printf.sprintf "%s at byte %d" reason offset
+
+let () =
+  Printexc.register_printer (function
+    | Decode_error e -> Some ("Relational.Codec.Decode_error: " ^ error_message e)
+    | _ -> None)
+
+let fail ?(offset = -1) reason = raise (Decode_error { offset; reason })
 
 type reader = { buf : string; mutable pos : int }
 
@@ -18,11 +38,11 @@ let eof r = r.pos >= String.length r.buf
 
 let remaining r = String.length r.buf - r.pos
 
-let fail msg = raise (Decode_error msg)
+let fail_at r reason = fail ~offset:r.pos reason
 
 let need r n =
   if remaining r < n then
-    fail (Printf.sprintf "truncated input: need %d bytes at offset %d" n r.pos)
+    fail_at r (Printf.sprintf "truncated input: need %d bytes" n)
 
 (* ---- primitives ---- *)
 
@@ -66,8 +86,9 @@ let str b s =
   Buffer.add_string b s
 
 let read_str r =
+  let start = r.pos in
   let n = read_u32 r in
-  if n > remaining r then fail "truncated string";
+  if n > remaining r then fail ~offset:start "truncated string";
   let s = String.sub r.buf r.pos n in
   r.pos <- r.pos + n;
   s
@@ -87,21 +108,23 @@ let value b = function
       str b s
 
 let read_value r =
+  let start = r.pos in
   match read_u8 r with
   | 0 -> Value.Null
   | 1 -> Value.Int (read_i64 r)
   | 2 -> Value.Float (read_f64 r)
   | 3 -> Value.Str (read_str r)
-  | tag -> fail (Printf.sprintf "bad value tag %d" tag)
+  | tag -> fail ~offset:start (Printf.sprintf "bad value tag %d" tag)
 
 let tuple b (t : Tuple.t) =
   u32 b (Array.length t);
   Array.iter (value b) t
 
 let read_tuple r : Tuple.t =
+  let start = r.pos in
   let n = read_u32 r in
   (* cheap sanity bound: a tuple cell takes at least one tag byte *)
-  if n > remaining r then fail "truncated tuple";
+  if n > remaining r then fail ~offset:start "truncated tuple";
   Array.init n (fun _ -> read_value r)
 
 (* ---- packed keys ---- *)
@@ -115,16 +138,18 @@ let key b = function
       tuple b t
 
 let read_key r =
+  let start = r.pos in
   match read_u8 r with
   | 0 -> Keypack.P (read_i64 r)
   | 1 -> Keypack.B (read_tuple r)
-  | tag -> fail (Printf.sprintf "bad key tag %d" tag)
+  | tag -> fail ~offset:start (Printf.sprintf "bad key tag %d" tag)
 
 (* ---- checksummed frames ---- *)
 
-(* [len u32][crc32 u32][payload]: the framing used for every WAL record and
-   checkpoint body. A frame only decodes if it is completely present and its
-   checksum matches, so a torn tail or flipped bit reads as "no frame". *)
+(* [len u32][crc32 u32][payload]: the framing used for every WAL record,
+   checkpoint body and store page. A frame only decodes if it is completely
+   present and its checksum matches, so a torn tail or flipped bit reads as
+   "no frame" — located at the frame's start. *)
 
 let frame b payload =
   u32 b (String.length payload);
@@ -132,10 +157,12 @@ let frame b payload =
   Buffer.add_string b payload
 
 let read_frame r =
+  let start = r.pos in
   let len = read_u32 r in
   let crc = read_u32 r in
-  if len > remaining r then fail "truncated frame";
+  if len > remaining r then fail ~offset:start "truncated frame";
+  if Util.Checksum.crc32_sub r.buf ~pos:r.pos ~len <> crc then
+    fail ~offset:start "frame checksum mismatch";
   let payload = String.sub r.buf r.pos len in
-  if Util.Checksum.crc32 payload <> crc then fail "frame checksum mismatch";
   r.pos <- r.pos + len;
   payload

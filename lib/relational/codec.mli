@@ -1,15 +1,31 @@
-(** Binary codec for the resilience layer's durable formats: fixed-width
-    little-endian primitives, value/tuple/key encodings, and checksummed
-    frames. Writers append to a [Buffer.t]; readers raise {!Decode_error} on
-    malformed or truncated input (floats round-trip bit-identically). *)
+(** Binary codec for the durable formats (resilience layer, paged store):
+    fixed-width little-endian primitives, value/tuple/key encodings, and
+    checksummed frames. Writers append to a [Buffer.t]; readers raise
+    {!Decode_error} on malformed or truncated input, LOCATED at the byte
+    offset where the failing read began (floats round-trip
+    bit-identically). *)
 
-exception Decode_error of string
+type error = {
+  offset : int;  (** byte offset of the failing read; [-1] when semantic *)
+  reason : string;
+}
+
+exception Decode_error of error
+
+val error_message : error -> string
+(** ["<reason> at byte <offset>"], or just the reason for semantic errors. *)
+
+val fail : ?offset:int -> string -> 'a
+(** Raise {!Decode_error} ([offset] defaults to [-1]: unlocated). *)
 
 type reader = { buf : string; mutable pos : int }
 
 val reader : ?pos:int -> string -> reader
 val eof : reader -> bool
 val remaining : reader -> int
+
+val fail_at : reader -> string -> 'a
+(** Raise {!Decode_error} located at the reader's current position. *)
 
 val u8 : Buffer.t -> int -> unit
 val read_u8 : reader -> int
@@ -43,6 +59,7 @@ val read_key : reader -> Keypack.key
 
 val frame : Buffer.t -> string -> unit
 (** [[len][crc32][payload]]: a frame decodes only when completely present
-    with a matching checksum — torn tails and bit flips read as "no frame". *)
+    with a matching checksum — torn tails and bit flips read as "no frame",
+    located at the frame's first byte. *)
 
 val read_frame : reader -> string

@@ -29,6 +29,8 @@ let create ty capacity =
   }
 
 let of_ints a = { data = Ints (if Array.length a = 0 then [| 0 |] else a) }
+let of_floats a = { data = Floats (if Array.length a = 0 then [| 0.0 |] else a) }
+let of_boxed a = { data = Boxed (if Array.length a = 0 then [| Value.Null |] else a) }
 let data t = t.data
 
 let capacity t =

@@ -15,6 +15,9 @@ val create : Value.ty -> int -> t
 val of_ints : int array -> t
 (** Wrap a freshly built int array as a column (ownership transfers). *)
 
+val of_floats : float array -> t
+val of_boxed : Value.t array -> t
+
 val data : t -> data
 (** The backing array. Cells at indexes beyond the owning relation's
     cardinality are unspecified; hot loops must bound by it. The

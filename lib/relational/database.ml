@@ -2,9 +2,20 @@
    query they participate in (their natural join), with size accounting used
    throughout the experiments. *)
 
-type t = { name : string; relations : Relation.t list }
+type chunks = (Relation.t -> unit) -> unit
 
-let create name relations =
+type t = {
+  name : string;
+  relations : Relation.t list;
+  (* Out-of-core relations: name -> chunk iterator. A streamed relation's
+     entry in [relations] is a STUB — correct name, schema and cardinality
+     (so planners cost and order it normally) but no resident cells; engines
+     that find a stream here must scan via the chunk iterator and must never
+     read the stub's columns. *)
+  streams : (string, chunks) Hashtbl.t;
+}
+
+let check_distinct relations =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun r ->
@@ -12,8 +23,26 @@ let create name relations =
       if Hashtbl.mem seen n then
         invalid_arg (Printf.sprintf "Database.create: duplicate relation %s" n);
       Hashtbl.add seen n ())
-    relations;
-  { name; relations }
+    relations
+
+let create name relations =
+  check_distinct relations;
+  { name; relations; streams = Hashtbl.create 4 }
+
+let create_streamed name entries =
+  let relations = List.map fst entries in
+  check_distinct relations;
+  let streams = Hashtbl.create 4 in
+  List.iter
+    (fun (r, chunks) ->
+      match chunks with
+      | Some c -> Hashtbl.replace streams (Relation.name r) c
+      | None -> ())
+    entries;
+  { name; relations; streams }
+
+let stream t rel_name = Hashtbl.find_opt t.streams rel_name
+let streamed_names t = Hashtbl.fold (fun n _ acc -> n :: acc) t.streams []
 
 let name t = t.name
 let relations t = t.relations

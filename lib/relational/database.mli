@@ -3,8 +3,24 @@
 
 type t
 
+type chunks = (Relation.t -> unit) -> unit
+(** A sequential chunk iterator over an out-of-core relation: calls its
+    argument once per chunk, in global row order. Each chunk is an ordinary
+    in-memory {!Relation.t} slice sharing the full relation's schema. *)
+
 val create : string -> Relation.t list -> t
 (** Raises on duplicate relation names. *)
+
+val create_streamed : string -> (Relation.t * chunks option) list -> t
+(** Like {!create}, but relations paired with [Some chunks] are out-of-core:
+    the given relation is a stub carrying the true name, schema and
+    cardinality while its cells live on disk. Engines must scan such
+    relations through {!stream} and never read the stub's columns. *)
+
+val stream : t -> string -> chunks option
+(** The chunk iterator for an out-of-core relation, if this one is. *)
+
+val streamed_names : t -> string list
 
 val name : t -> string
 val relations : t -> Relation.t list

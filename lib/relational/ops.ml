@@ -246,6 +246,221 @@ let aggregate rel aggs =
          | Min _ | Max _ -> extremes.(j))
        aggs)
 
+(* ---- spill-aware operators ----
+
+   Variants of [group_by] and [natural_join] that bound their hash state: when
+   the input exceeds [spill_above] rows, row INDEXES are partitioned to disk
+   by [Keypack.shard_of_key] and each partition is processed with its own
+   (small) hash table. Only the index sequences spill — cells stay in the
+   source relation's columns, which the caller may itself be paging.
+
+   Bit-identity with the in-memory operators is by construction: a packed key
+   routes every row of one group (or join key) to exactly ONE partition, and
+   within a partition the spilled indexes replay in ascending global row
+   order. Group accumulators therefore see the same float-addition sequence
+   as a single global scan, and a final merge by first-occurrence row index
+   (group-by) or stable sort by global probe index (join) reproduces the
+   canonical emission order exactly. *)
+
+let spills_counter = Obs.counter "store.spills"
+let spill_rows_counter = Obs.counter "store.spill_rows"
+let spill_partitions = 8
+
+(* One temp file of little-endian i64 row indexes per partition, written
+   through a small buffer so spilling itself stays O(1) in memory. *)
+type spill_file = { path : string; oc : Out_channel.t; buf : Buffer.t }
+
+let spill_open tag p =
+  let path = Filename.temp_file (Printf.sprintf "borg-%s-%d" tag p) ".idx" in
+  { path; oc = Out_channel.open_bin path; buf = Buffer.create 8192 }
+
+let spill_push f i =
+  Codec.i64 f.buf i;
+  if Buffer.length f.buf >= 65536 then begin
+    Buffer.output_buffer f.oc f.buf;
+    Buffer.clear f.buf
+  end
+
+let spill_indexes f =
+  Buffer.output_buffer f.oc f.buf;
+  Buffer.clear f.buf;
+  Out_channel.close f.oc;
+  let s = In_channel.with_open_bin f.path In_channel.input_all in
+  (try Sys.remove f.path with Sys_error _ -> ());
+  let rd = Codec.reader s in
+  Array.init (String.length s / 8) (fun _ -> Codec.read_i64 rd)
+
+(* Partition row indexes [0, n) of [key_of] to disk; returns one ascending
+   index array per partition. *)
+let spill_partition tag n key_of =
+  Obs.incr spills_counter;
+  Obs.add spill_rows_counter n;
+  let files = Array.init spill_partitions (spill_open tag) in
+  for i = 0 to n - 1 do
+    spill_push files.(Keypack.shard_of_key ~shards:spill_partitions (key_of i)) i
+  done;
+  Array.map spill_indexes files
+
+type group_acc = { sums : float array; count : int ref; extremes : float array }
+
+let group_fold rel aggs needs_tuple acc i =
+  incr acc.count;
+  if needs_tuple then begin
+    let t = Relation.get rel i in
+    Array.iteri
+      (fun j agg ->
+        match agg with
+        | Count -> ()
+        | Sum f | Avg f -> acc.sums.(j) <- acc.sums.(j) +. f t
+        | Min f ->
+            let v = f t in
+            if Float.is_nan acc.extremes.(j) || v < acc.extremes.(j) then
+              acc.extremes.(j) <- v
+        | Max f ->
+            let v = f t in
+            if Float.is_nan acc.extremes.(j) || v > acc.extremes.(j) then
+              acc.extremes.(j) <- v)
+      aggs
+  end
+
+(* Group the rows listed in [indexes] (ascending); returns groups in
+   first-seen order, each tagged with its first-occurrence global row. *)
+let group_run rel aggs needs_tuple n_aggs key_of indexes =
+  let groups = Hybrid.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun i ->
+      let k = key_of i in
+      let acc =
+        match Hybrid.find_opt groups k with
+        | Some acc -> acc
+        | None ->
+            let acc =
+              { sums = Array.make n_aggs 0.0; count = ref 0;
+                extremes = Array.make n_aggs nan }
+            in
+            Hybrid.add groups k acc;
+            order := (i, k, acc) :: !order;
+            acc
+      in
+      group_fold rel aggs needs_tuple acc i)
+    indexes;
+  List.rev !order
+
+let group_by_spill ?(name = "gamma") rel ~key ~aggs ~spill_above =
+  let schema = Relation.schema rel in
+  let key_positions = Array.of_list (Schema.positions schema key) in
+  let key_arity = Array.length key_positions in
+  let out_schema =
+    Schema.of_list
+      (List.map (fun n -> Schema.attr_at schema (Schema.position schema n)) key
+      @ List.map (fun (agg_name, _) -> Schema.attr agg_name Value.TFloat) aggs)
+  in
+  let aggs = Array.of_list (List.map snd aggs) in
+  let n_aggs = Array.length aggs in
+  let needs_tuple = Array.exists (function Count -> false | _ -> true) aggs in
+  let n = Relation.cardinality rel in
+  let key_of = Relation.extractor rel key_positions in
+  ignore (Relation.scan rel);
+  let groups =
+    if n <= spill_above then
+      group_run rel aggs needs_tuple n_aggs key_of (Array.init n Fun.id)
+    else begin
+      (* each key lands in exactly one partition, so merging partition
+         results by first-occurrence row reproduces global first-seen order *)
+      let parts = spill_partition "groupby" n key_of in
+      let per_part =
+        Array.map (group_run rel aggs needs_tuple n_aggs key_of) parts
+      in
+      let all = Array.concat (Array.to_list (Array.map Array.of_list per_part)) in
+      Array.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b) all;
+      Array.to_list all
+    end
+  in
+  let out = Relation.create ~capacity:(List.length groups) name out_schema in
+  List.iter
+    (fun (_, k, { sums; count; extremes }) ->
+      let agg_values =
+        Array.mapi
+          (fun j agg ->
+            let x =
+              match agg with
+              | Count -> float_of_int !count
+              | Sum _ -> sums.(j)
+              | Avg _ -> sums.(j) /. float_of_int !count
+              | Min _ | Max _ -> extremes.(j)
+            in
+            Value.Float x)
+          aggs
+      in
+      Relation.append out (Array.append (Keypack.key_tuple key_arity k) agg_values))
+    groups;
+  out
+
+let natural_join_spill ?(name = "join") a b ~spill_above =
+  let build_card = Stdlib.min (Relation.cardinality a) (Relation.cardinality b) in
+  if build_card <= spill_above then natural_join ~name a b
+  else begin
+    let sa = Relation.schema a and sb = Relation.schema b in
+    let key_names = Schema.common sa sb in
+    let ka = Array.of_list (Schema.positions sa key_names) in
+    let kb = Array.of_list (Schema.positions sb key_names) in
+    let out_schema = Schema.join sa sb in
+    let b_extra =
+      Array.of_list
+        (List.filter_map
+           (fun n -> if Schema.mem sa n then None else Some (Schema.position sb n))
+           (Schema.names sb))
+    in
+    let out = Relation.create name out_schema in
+    let build_rel, probe_rel, build_key, probe_key, build_is_a =
+      if Relation.cardinality a <= Relation.cardinality b then (a, b, ka, kb, true)
+      else (b, a, kb, ka, false)
+    in
+    let build_of = Relation.extractor build_rel build_key in
+    let probe_of = Relation.extractor probe_rel probe_key in
+    ignore (Relation.scan probe_rel);
+    let build_parts =
+      spill_partition "join-build" (Relation.cardinality build_rel) build_of
+    in
+    let probe_parts =
+      spill_partition "join-probe" (Relation.cardinality probe_rel) probe_of
+    in
+    (* per-partition (probe row, build row) matches, in the in-memory probe
+       emission order for the rows of that partition *)
+    let matches = ref [] in
+    Array.iteri
+      (fun p build_idx ->
+        let idx = Hybrid.create (Stdlib.max 16 (Array.length build_idx)) in
+        Array.iter
+          (fun i ->
+            let k = build_of i in
+            match Hybrid.find_opt idx k with
+            | Some l -> l := i :: !l
+            | None -> Hybrid.add idx k (ref [ i ]))
+          build_idx;
+        let part = ref [] in
+        Array.iter
+          (fun j ->
+            match Hybrid.find_opt idx (probe_of j) with
+            | None -> ()
+            | Some rows -> List.iter (fun i -> part := (j, i) :: !part) !rows)
+          probe_parts.(p);
+        matches := Array.of_list (List.rev !part) :: !matches)
+      build_parts;
+    (* each probe row lives in exactly one partition: a stable sort on the
+       global probe index interleaves partitions back into probe order while
+       keeping each probe row's build matches in most-recent-first order *)
+    let all = Array.concat (List.rev !matches) in
+    Array.stable_sort (fun (ja, _) (jb, _) -> compare (ja : int) jb) all;
+    Array.iter
+      (fun (j, i) ->
+        if build_is_a then Relation.append_concat out a i b b_extra j
+        else Relation.append_concat out a j b b_extra i)
+      all;
+    out
+  end
+
 let sort_by ?(name = "sort") rel attr_names =
   let schema = Relation.schema rel in
   let positions = Array.of_list (Schema.positions schema attr_names) in

@@ -44,4 +44,26 @@ val group_by :
 val aggregate : Relation.t -> agg list -> float list
 (** Scalar (ungrouped) aggregation. *)
 
+val group_by_spill :
+  ?name:string ->
+  Relation.t ->
+  key:string list ->
+  aggs:(string * agg) list ->
+  spill_above:int ->
+  Relation.t
+(** {!group_by} with bounded hash state: above [spill_above] input rows, row
+    indexes are partitioned to disk by key shard and each partition grouped
+    separately. Output rows are emitted in global first-seen key order and
+    the result is BITWISE identical for every [spill_above] (only the hash
+    table size and [store.spills] / [store.spill_rows] counters change).
+    Note the emission order is first-seen, not {!group_by}'s hash order. *)
+
+val natural_join_spill :
+  ?name:string -> Relation.t -> Relation.t -> spill_above:int -> Relation.t
+(** {!natural_join} with bounded hash state: above [spill_above] build-side
+    rows, both sides partition their row indexes to disk by join-key shard
+    and partitions join independently; a stable merge on the global probe
+    index restores the exact in-memory emission order, so the result is
+    bitwise identical to {!natural_join} at every threshold. *)
+
 val sort_by : ?name:string -> Relation.t -> string list -> Relation.t

@@ -30,7 +30,7 @@ let strategy_of_tag = function
   | 0 -> Maintainer.F_ivm
   | 1 -> Maintainer.Higher_order
   | 2 -> Maintainer.First_order
-  | n -> raise (Codec.Decode_error (Printf.sprintf "bad strategy tag %d" n))
+  | n -> Codec.fail (Printf.sprintf "bad strategy tag %d" n)
 
 let encode_update b (u : Delta.update) =
   Codec.str b u.relation;
@@ -50,7 +50,7 @@ let encode_list b enc xs =
 let decode_list rd dec =
   let n = Codec.read_i64 rd in
   if n < 0 || n > 100_000_000 then
-    raise (Codec.Decode_error (Printf.sprintf "implausible list length %d" n));
+    Codec.fail (Printf.sprintf "implausible list length %d" n);
   List.init n (fun _ -> dec rd)
 
 let encode_cov_payload b = function
@@ -65,7 +65,7 @@ let decode_cov_payload rd : Payload.Cov_dyn.t =
   | 0 -> `Zero
   | 1 -> `One
   | 2 -> `Elem (Cov.decode rd)
-  | n -> raise (Codec.Decode_error (Printf.sprintf "bad payload tag %d" n))
+  | n -> Codec.fail (Printf.sprintf "bad payload tag %d" n)
 
 let encode_group enc_payload b (name, entries) =
   Codec.str b name;
@@ -104,15 +104,15 @@ let decode_views rd : Maintainer.view_dump =
   | 1 ->
       let n = Codec.read_i64 rd in
       if n < 0 || n > 1_000_000 then
-        raise (Codec.Decode_error "implausible aggregate count");
+        Codec.fail "implausible aggregate count";
       Maintainer.Float_views
         (Array.init n (fun _ -> decode_list rd (decode_group Codec.read_f64)))
   | 2 ->
       let n = Codec.read_i64 rd in
       if n < 0 || n > 1_000_000 then
-        raise (Codec.Decode_error "implausible totals length");
+        Codec.fail "implausible totals length";
       Maintainer.Totals (Array.init n (fun _ -> Codec.read_f64 rd))
-  | n -> raise (Codec.Decode_error (Printf.sprintf "bad views tag %d" n))
+  | n -> Codec.fail (Printf.sprintf "bad views tag %d" n)
 
 (* ---- files ---- *)
 
@@ -155,13 +155,13 @@ let decode_file path : int * int * Delta.update list * Maintainer.view_dump =
   let s = In_channel.with_open_bin path In_channel.input_all in
   let mlen = String.length magic in
   if String.length s < mlen || String.sub s 0 mlen <> magic then
-    raise (Codec.Decode_error "bad magic");
+    Codec.fail "bad magic";
   let rd = Codec.reader ~pos:mlen s in
   let payload = Codec.read_frame rd in
   let rd = Codec.reader payload in
   let version = Codec.read_u8 rd in
   if version <> 1 then
-    raise (Codec.Decode_error (Printf.sprintf "unsupported version %d" version));
+    Codec.fail (Printf.sprintf "unsupported version %d" version);
   let tag = Codec.read_u8 rd in
   let seq = Codec.read_i64 rd in
   let storage_dump = decode_list rd decode_update in

@@ -143,7 +143,7 @@ let encode b t =
 
 let decode r =
   let n = Relational.Codec.read_u32 r in
-  if n > 65536 then raise (Relational.Codec.Decode_error "covariance dim");
+  if n > 65536 then Relational.Codec.fail "covariance dim";
   let c = Relational.Codec.read_f64 r in
   let s = Vec.create n in
   for i = 0 to n - 1 do

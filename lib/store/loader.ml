@@ -1,0 +1,72 @@
+(* Chunked loaders: in-memory relations (datagen) and CSV files to pages.
+
+   Page encoding is embarrassingly parallel — each page covers a disjoint
+   row range — so the relation importer encodes waves of [num_domains]
+   pages on [Util.Pool] and appends them in index order; memory stays
+   bounded by one wave of encoded pages. Sharded import runs one task per
+   shard, each routing rows with the same [Keypack.shard_of_key] rule as
+   [Fivm.Shard], so a shard's page file holds exactly the rows that shard
+   would own. *)
+
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Keypack = Relational.Keypack
+module Pool = Util.Pool
+
+let pages_loaded = Obs.counter "store.pages_loaded"
+
+let import_relation ~dir ?(page_rows = Paged.default_page_rows) rel =
+  let n = Relation.cardinality rel in
+  let name = Relation.name rel in
+  let w = Paged.writer ~dir ~page_rows name (Relation.schema rel) in
+  let npages = (n + page_rows - 1) / page_rows in
+  let wave = Stdlib.max 1 (Pool.num_domains ()) in
+  let i = ref 0 in
+  while !i < npages do
+    let base = !i in
+    let batch = Stdlib.min wave (npages - base) in
+    let encoded =
+      Pool.parallel_tasks
+        (List.init batch (fun j () ->
+             let idx = base + j in
+             let lo = idx * page_rows in
+             let rows = Stdlib.min page_rows (n - lo) in
+             (Page.encode ~index:idx rel ~lo ~rows, rows)))
+    in
+    List.iter
+      (fun (enc, rows) ->
+        Paged.append_encoded w enc ~rows;
+        Obs.incr pages_loaded)
+      encoded;
+    i := base + batch
+  done;
+  Paged.close_writer w
+
+let import_csv ~dir ?page_rows ~name ~schema path =
+  let rows = Util.Csvio.read_file_located path in
+  let rel = Relation.of_csv_rows_located name schema rows in
+  import_relation ~dir ?page_rows rel
+
+let shard_name name s = Printf.sprintf "%s.shard%d" name s
+
+(* Write one paged relation per shard, routing rows by the packed key at the
+   given attribute names — the routing [Fivm.Shard] uses, so shard [s]'s
+   pages hold exactly its working set. One parallel task per shard; each
+   task compiles its own extractor (extractors are not shared across
+   domains) and scans the full input, keeping only its rows. *)
+let import_sharded ~dir ?(page_rows = Paged.default_page_rows) ~shards ~key rel =
+  let n = Relation.cardinality rel in
+  let name = Relation.name rel in
+  let schema = Relation.schema rel in
+  let positions = Array.of_list (Schema.positions schema key) in
+  Pool.parallel_tasks
+    (List.init shards (fun s () ->
+         let key_of = Relation.extractor rel positions in
+         let w = Paged.writer ~dir ~page_rows (shard_name name s) schema in
+         for i = 0 to n - 1 do
+           if Keypack.shard_of_key ~shards (key_of i) = s then
+             Paged.append_row w rel i
+         done;
+         Paged.close_writer w))
+
+let open_shard ?cache_pages ~dir name s = Paged.openr ?cache_pages ~dir (shard_name name s)

@@ -1,0 +1,31 @@
+(** Parallel chunked loaders: datagen relations and CSV files to pages. *)
+
+val import_relation :
+  dir:string -> ?page_rows:int -> Relational.Relation.t -> int
+(** Encode the relation's pages in parallel waves on [Util.Pool] and write
+    `<name>.pages` / `<name>.meta` under [dir]. Returns rows written. *)
+
+val import_csv :
+  dir:string ->
+  ?page_rows:int ->
+  name:string ->
+  schema:Relational.Schema.t ->
+  string ->
+  int
+(** Typed CSV import ([Util.Csvio] dialect); raises [Util.Csvio.Malformed]
+    with the source position on bad input. *)
+
+val shard_name : string -> int -> string
+
+val import_sharded :
+  dir:string ->
+  ?page_rows:int ->
+  shards:int ->
+  key:string list ->
+  Relational.Relation.t ->
+  int list
+(** Per-shard page directories: one paged relation per shard, rows routed
+    by [Keypack.shard_of_key] on the named key attributes (the same rule as
+    [Fivm.Shard]). One parallel task per shard; returns rows per shard. *)
+
+val open_shard : ?cache_pages:int -> dir:string -> string -> int -> Paged.t

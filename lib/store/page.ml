@@ -1,0 +1,83 @@
+(* One page of the paged columnar format: a fixed number of rows of every
+   column, encoded column-major in the column's CURRENT representation
+   ([Ints] as i64, [Floats] by bit pattern, [Boxed] as tagged values), so a
+   decode rebuilds columns bit-identical to the slice that was encoded.
+
+   Wire layout:
+
+     page    := magic "BPG1" , Codec.frame(payload)
+     payload := index u32 , rows u32 , ncols u8 , column*
+     column  := tag u8 (0 ints | 1 floats | 2 boxed) , cell{rows}
+
+   The frame ([len][crc32][payload], [Relational.Codec.frame]) makes every
+   header field and cell checksum-protected: a torn tail or a flipped bit
+   reads as "no page", located at the page's byte offset in the file. *)
+
+module Codec = Relational.Codec
+module Column = Relational.Column
+
+let magic = "BPG1"
+
+type t = { index : int; rows : int; columns : Column.t array }
+
+let encode ~index rel ~lo ~rows =
+  let payload = Buffer.create (rows * 16) in
+  Codec.u32 payload index;
+  Codec.u32 payload rows;
+  let cols = Relational.Relation.columns rel in
+  Codec.u8 payload (Array.length cols);
+  Array.iter
+    (fun col ->
+      match Column.data col with
+      | Column.Ints a ->
+          Codec.u8 payload 0;
+          for i = lo to lo + rows - 1 do
+            Codec.i64 payload a.(i)
+          done
+      | Column.Floats a ->
+          Codec.u8 payload 1;
+          for i = lo to lo + rows - 1 do
+            Codec.f64 payload a.(i)
+          done
+      | Column.Boxed a ->
+          Codec.u8 payload 2;
+          for i = lo to lo + rows - 1 do
+            Codec.value payload a.(i)
+          done)
+    cols;
+  let b = Buffer.create (Buffer.length payload + 16) in
+  Buffer.add_string b magic;
+  Codec.frame b (Buffer.contents payload);
+  Buffer.contents b
+
+(* Decode a page from [s]; [at] is the page's byte offset in its file, used
+   to relocate decode errors from page-relative to file-absolute offsets. *)
+let decode ?(at = 0) s =
+  let relocate e =
+    let offset = if e.Codec.offset < 0 then at else at + e.Codec.offset in
+    Codec.fail ~offset e.Codec.reason
+  in
+  try
+    let rd = Codec.reader s in
+    let mlen = String.length magic in
+    if Codec.remaining rd < mlen || String.sub s 0 mlen <> magic then
+      Codec.fail ~offset:0 "bad page magic";
+    rd.Codec.pos <- mlen;
+    let payload = Codec.read_frame rd in
+    let rd = Codec.reader payload in
+    let index = Codec.read_u32 rd in
+    let rows = Codec.read_u32 rd in
+    let ncols = Codec.read_u8 rd in
+    let columns =
+      Array.init ncols (fun _ ->
+          match Codec.read_u8 rd with
+          | 0 -> Column.of_ints (Array.init rows (fun _ -> Codec.read_i64 rd))
+          | 1 -> Column.of_floats (Array.init rows (fun _ -> Codec.read_f64 rd))
+          | 2 -> Column.of_boxed (Array.init rows (fun _ -> Codec.read_value rd))
+          | tag -> Codec.fail_at rd (Printf.sprintf "bad column tag %d" tag))
+    in
+    { index; rows; columns }
+  with Codec.Decode_error e -> relocate e
+
+let to_relation name schema page =
+  Relational.Relation.of_columns name schema page.columns page.rows

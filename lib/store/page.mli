@@ -1,0 +1,16 @@
+(** Page codec of the paged columnar store: CRC-framed, column-major,
+    bit-exact. See the .ml header for the wire grammar. *)
+
+type t = { index : int; rows : int; columns : Relational.Column.t array }
+
+val magic : string
+
+val encode : index:int -> Relational.Relation.t -> lo:int -> rows:int -> string
+(** Encode rows [lo, lo+rows) of the relation as one page. *)
+
+val decode : ?at:int -> string -> t
+(** Decode one page. Raises [Relational.Codec.Decode_error] on torn or
+    corrupt input, located at the absolute file offset [at + relative]. *)
+
+val to_relation : string -> Relational.Schema.t -> t -> Relational.Relation.t
+(** Wrap a decoded page as an in-memory relation chunk. *)

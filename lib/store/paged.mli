@@ -1,0 +1,61 @@
+(** Paged on-disk relations: `<name>.pages` (CRC-framed pages) plus
+    `<name>.meta` (schema + page directory, one checksummed frame, written
+    tmp+rename). Readers decode pages on demand through a bounded LRU
+    {!Cache}, so scans stay out-of-core. *)
+
+val default_page_rows : int
+val default_cache_pages : int
+
+val pages_path : string -> string -> string
+val meta_path : string -> string -> string
+
+(** {1 Writing} *)
+
+type writer
+
+val writer :
+  dir:string -> ?page_rows:int -> string -> Relational.Schema.t -> writer
+
+val append_row : writer -> Relational.Relation.t -> int -> unit
+val append_chunk : writer -> Relational.Relation.t -> unit
+
+val append_encoded : writer -> string -> rows:int -> unit
+(** Append an already-encoded page (parallel loaders); pages must arrive in
+    index order. *)
+
+val close_writer : writer -> int
+(** Flush the trailing partial page, rename the pages file into place and
+    write the meta directory. Returns total rows written. *)
+
+(** {1 Reading} *)
+
+type t
+
+val openr : ?cache_pages:int -> dir:string -> string -> t
+(** Open for reading with the given page-cache budget. Raises
+    [Relational.Codec.Decode_error] (located) on a corrupt meta. *)
+
+val name : t -> string
+val schema : t -> Relational.Schema.t
+val rows : t -> int
+val page_rows : t -> int
+val pages : t -> int
+val close : t -> unit
+
+val chunk : t -> int -> Relational.Relation.t
+(** Page [i] as an in-memory relation chunk (via the cache). *)
+
+val iter_chunks : t -> (Relational.Relation.t -> unit) -> unit
+(** Sequential scan, one page chunk at a time, in global row order. *)
+
+val stream : t -> Relational.Database.chunks
+
+val stub : t -> Relational.Relation.t
+(** Planner stub: true name/schema/cardinality, no resident cells. *)
+
+val verify : t -> int * int
+(** Decode every page against the directory; [(pages, rows)] on success,
+    located [Decode_error] on damage. *)
+
+val to_relation : t -> Relational.Relation.t
+(** Materialise fully in memory (tests, small relations). *)
