@@ -1238,6 +1238,70 @@ let outofcore () =
 
 (* ------------------------------------------------------------- dispatch *)
 
+(* ------------------------------------------------------------ scenarios *)
+
+(* Hostile-stream maintenance throughput: every dataset x shape cell of the
+   scenario grammar (single-tuple and batched inserts, churn past zero,
+   out-of-order windows, Zipf-skewed victims, boxed high-cardinality keys)
+   pushed through F-IVM maintenance. The throughput column is delta tuples
+   per second through the maintained view tree; every cell ends with the
+   same bit-identity differential the scenario harness enforces, so a
+   number is only ever printed for a stream that was maintained CORRECTLY. *)
+let scenarios_bench () =
+  header "Hostile-stream maintenance throughput (dataset x shape, F-IVM)" "";
+  let cov_bits c =
+    let b = Buffer.create 512 in
+    Rings.Covariance.encode b c;
+    Buffer.contents b
+  in
+  let datasets =
+    [
+      ("retailer", Datagen.Retailer.generate, Datagen.Retailer.ivm_features);
+      ("favorita", Datagen.Favorita.generate, Datagen.Favorita.ivm_features);
+      ("yelp", Datagen.Yelp.generate, Datagen.Yelp.ivm_features);
+      ("tpcds", Datagen.Tpcds.generate, Datagen.Tpcds.ivm_features);
+    ]
+  in
+  Printf.printf "%-10s %-14s %9s %9s %12s %14s\n" "dataset" "shape" "updates"
+    "deletes" "wall" "updates/s";
+  List.iter
+    (fun ( name,
+           (generate : ?scale:float -> seed:int -> unit -> Relational.Database.t),
+           features ) ->
+      let db0 = generate ~scale:(0.05 *. scale) ~seed () in
+      List.iter
+        (fun (sname, shape) ->
+          let db, batches = Datagen.Stream_gen.hostile ~seed shape db0 in
+          let updates = List.fold_left (fun n b -> n + List.length b) 0 batches in
+          let deletes =
+            List.fold_left
+              (fun n b ->
+                n
+                + List.length
+                    (List.filter
+                       (fun (u : Fivm.Delta.update) -> u.multiplicity < 0)
+                       b))
+              0 batches
+          in
+          let m = Fivm.Maintainer.create Fivm.Maintainer.F_ivm db ~features in
+          let (), wall =
+            Util.Timing.time (fun () ->
+                List.iter (Fivm.Maintainer.apply_batch m) batches)
+          in
+          if
+            not
+              (String.equal
+                 (cov_bits (Fivm.Maintainer.covariance m))
+                 (cov_bits (Fivm.Maintainer.recompute m)))
+          then failwith (Printf.sprintf "scenarios: %s x %s diverged" name sname);
+          Printf.printf "%-10s %-14s %9d %9d %12s %14.0f\n%!" name sname updates
+            deletes
+            (Util.Timing.to_string wall)
+            (float_of_int updates /. wall);
+          record ~entry:"scenarios" ~engine:(name ^ "/" ^ sname) wall)
+        Datagen.Stream_gen.shapes)
+    datasets
+
 let entries =
   [
     ("fig3", fig3);
@@ -1258,6 +1322,7 @@ let entries =
     ("traffic", traffic_bench);
     ("engines", engines);
     ("outofcore", outofcore);
+    ("scenarios", scenarios_bench);
     ("micro", micro);
   ]
 

@@ -1529,6 +1529,97 @@ let store_cmd =
           $ page_rows_arg $ cache_pages_arg $ shards_arg $ verify_arg
           $ trace_arg $ metrics_out_arg)
 
+(* ---- scenarios: the hostile-stream (dataset x shape x layer) matrix ---- *)
+
+let scenarios_cmd =
+  let shape_arg =
+    let sconv =
+      Arg.enum (List.map (fun (n, s) -> (n, s)) Datagen.Stream_gen.shapes)
+    in
+    Arg.(value & opt_all sconv []
+         & info [ "shape" ] ~docv:"SHAPE"
+             ~doc:(Printf.sprintf
+                     "Stream shape to run (repeatable); default: every shape. One of %s."
+                     (String.concat ", " (List.map fst Datagen.Stream_gen.shapes))))
+  in
+  let layers_arg =
+    let lconv =
+      let parse s =
+        let ls = List.map String.trim (String.split_on_char ',' s) in
+        match List.find_opt (fun l -> not (List.mem l Scenario.layers)) ls with
+        | Some bad ->
+            Error (`Msg (Printf.sprintf "unknown layer %S (have: %s)" bad
+                           (String.concat ", " Scenario.layers)))
+        | None -> Ok ls
+      in
+      Arg.conv (parse, fun ppf ls -> Format.pp_print_string ppf (String.concat "," ls))
+    in
+    Arg.(value & opt lconv Scenario.layers
+         & info [ "layers" ] ~docv:"L,.."
+             ~doc:(Printf.sprintf "Comma-separated layer subset of: %s."
+                     (String.concat ", " Scenario.layers)))
+  in
+  let shards_arg =
+    let sconv =
+      let parse s =
+        try
+          let ns = List.map int_of_string (String.split_on_char ',' (String.trim s)) in
+          if List.for_all (fun n -> n >= 1) ns && ns <> [] then Ok ns
+          else Error (`Msg "shard counts must be >= 1")
+        with Failure _ -> Error (`Msg (Printf.sprintf "bad shard list %S" s))
+      in
+      Arg.conv
+        (parse, fun ppf ns ->
+          Format.pp_print_string ppf (String.concat "," (List.map string_of_int ns)))
+    in
+    Arg.(value & opt sconv [ 1; 4; 8 ]
+         & info [ "shards" ] ~docv:"N,.." ~doc:"Shard counts for the shard layer.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every differential in every cell passed.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.01
+         & info [ "scale" ] ~docv:"S"
+             ~doc:"Dataset scale factor (the matrix applies each stream through \
+                   every layer, so cells are deliberately small).")
+  in
+  let run (name, spec) scale seed shapes layers shards check trace metrics_out =
+    with_obs trace metrics_out @@ fun () ->
+    let shapes =
+      match shapes with [] -> List.map snd Datagen.Stream_gen.shapes | ss -> ss
+    in
+    let cells =
+      List.map
+        (fun shape ->
+          (* a fresh generation per cell: [hostile] transforms the database
+             in place of the stream's initial load *)
+          let db = spec.generate ~scale ~seed () in
+          let cell =
+            Scenario.run_cell ~seed ~shards ~layers ~dataset:name ~shape
+              ~features:spec.ivm_features db
+          in
+          Format.printf "%a@." Scenario.pp_cell cell;
+          cell)
+        shapes
+    in
+    let failed = List.filter (fun c -> not (Scenario.cell_ok c)) cells in
+    Printf.printf "scenarios %s: %d cell(s), %d failed\n" name (List.length cells)
+      (List.length failed);
+    if check && failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"Run hostile-stream differential cells (dataset x shape x layer): \
+             deletes past zero, out-of-order batches, Zipf churn and \
+             high-cardinality keys through maintenance, sharding, crash \
+             recovery, serving, models and the streamed engines, each \
+             checked bit-for-bit against an independent oracle.")
+    Term.(const run $ dataset_arg $ scale_arg $ seed_arg $ shape_arg $ layers_arg
+          $ shards_arg $ check_arg $ trace_arg $ metrics_out_arg)
+
 let check_metrics_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -1707,5 +1798,6 @@ let () =
             learn_cmd;
             traffic_cmd;
             store_cmd;
+            scenarios_cmd;
             check_metrics_cmd;
           ]))

@@ -1,4 +1,6 @@
-(** Update-stream generation for the IVM experiments (Figure 4 right). *)
+(** Update-stream generation for the IVM experiments (Figure 4 right) and
+    the hostile-stream scenario grammar (the dataset x shape x layer
+    differential matrix). *)
 
 val inserts_of_database : ?seed:int -> Relational.Database.t -> Fivm.Delta.update list
 (** All tuples as single-tuple inserts against an initially empty database:
@@ -8,3 +10,51 @@ val inserts_of_database : ?seed:int -> Relational.Database.t -> Fivm.Delta.updat
 val with_churn : ?seed:int -> ?churn:float -> Relational.Database.t -> Fivm.Delta.update list
 (** The insert stream followed by delete/re-insert pairs for a [churn]
     fraction of fact tuples — exercises the additive inverse. *)
+
+val fact_relation : Relational.Database.t -> Relational.Relation.t
+(** The highest-cardinality relation — the stream's fact table. *)
+
+(** Hostile stream shapes, schema-agnostic over any generated database. *)
+type shape =
+  | Single_tuple  (** one update per delta batch *)
+  | Batched of int  (** inserts delivered in batches of K *)
+  | Churn of float  (** delete/re-insert pairs for a fraction of the fact *)
+  | Net_zero
+      (** churn 1.0 with groups deleted for good (net ZERO multiplicity) and
+          double-delete windows (multiplicity dips PAST zero to -1) *)
+  | Out_of_order of int
+      (** delivery shuffled within windows of K: deletes can overtake the
+          inserts they cancel, facts can overtake dimensions *)
+  | Zipf_churn of float
+      (** churn victims drawn Zipf(s): hot fact keys churned repeatedly *)
+  | High_card
+      (** every shared int join key rewritten to a string — forces
+          [Keypack]'s boxed fallback on all shard/index routing *)
+
+val shapes : (string * shape) list
+(** The canonical named cells ("single", "batched", "churn", "net-zero",
+    "out-of-order", "zipf", "high-card") used by the CLI, CI and bench. *)
+
+val shape_name : shape -> string
+val shape_of_string : string -> shape option
+
+val lattice_database : Relational.Database.t -> Relational.Database.t
+(** Copy with every float feature snapped onto the dyadic lattice
+    {1/16 .. 64/16}: covariance-ring arithmetic over such values is EXACT,
+    so maintained results are bit-identical to recomputation under any
+    delivery order, batching or sharding. *)
+
+val high_card_database : Relational.Database.t -> Relational.Database.t
+(** Copy with every shared int join key rewritten (consistently, preserving
+    FK integrity) to a high-cardinality string key. *)
+
+val hostile :
+  ?seed:int ->
+  shape ->
+  Relational.Database.t ->
+  Relational.Database.t * Fivm.Delta.update list list
+(** [hostile shape db] is the pair of the transformed database (lattice
+    floats, plus string keys for [High_card]) and the delta-batch stream of
+    the given shape over it. Every shape's stream nets to a final state with
+    non-negative multiplicities, so maintained == recompute differentials
+    are well-defined at the end of the stream. *)

@@ -24,6 +24,7 @@ module P : Payload.S with type t = GF.t = struct
   let to_string = GF.to_string
   let neg m = GF.KMap.map (fun v -> -.v) m
   let smul k m = GF.KMap.map (fun v -> float_of_int k *. v) m
+  let is_zero m = GF.KMap.for_all (fun _ v -> v = 0.0) m
 end
 
 module Tree = View_tree.Make (P)

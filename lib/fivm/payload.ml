@@ -6,12 +6,19 @@ module type S = sig
 
   val smul : int -> t -> t
   (** [smul m x] is the m-fold sum of [x] (negative m uses [neg]). *)
+
+  val is_zero : t -> bool
+  (** EXACT additive-identity test (no tolerance). Used by the view trees to
+      drop entries whose payload cancelled to zero, so a group that churned
+      down to zero multiplicity leaves no trace — bit-matching a recompute
+      that never saw the group. *)
 end
 
 module Float : S with type t = float = struct
   include Rings.Instances.R
 
   let smul m x = float_of_int m *. x
+  let is_zero x = x = 0.0
 end
 
 (* The covariance ring at a fixed dimension: F-IVM's compound payload. *)
@@ -21,6 +28,7 @@ end) : S with type t = Rings.Covariance.t = struct
   include Rings.Covariance.Make (D)
 
   let smul m x = Rings.Covariance.smul (float_of_int m) x
+  let is_zero = Rings.Covariance.is_zero
 end
 
 let cov n : (module S with type t = Rings.Covariance.t) =
@@ -64,6 +72,11 @@ struct
     | `Zero -> `Zero
     | `Elem e -> `Elem (C.smul (float_of_int m) e)
     | `One -> invalid_arg "Cov_dyn.smul: One has no dimension"
+
+  let is_zero = function
+    | `Zero -> true
+    | `One -> false
+    | `Elem e -> C.is_zero e
 
   let equal a b =
     match (a, b) with

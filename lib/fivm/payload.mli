@@ -6,6 +6,11 @@ module type S = sig
 
   val smul : int -> t -> t
   (** m-fold sum ([neg] for negative m). *)
+
+  val is_zero : t -> bool
+  (** EXACT additive-identity test (no tolerance): view trees drop entries
+      whose payload cancelled to zero, so churn that nets a group to zero
+      multiplicity leaves no 0-weight residue behind. *)
 end
 
 module Float : S with type t = float

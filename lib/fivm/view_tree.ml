@@ -62,10 +62,18 @@ module Make (P : Payload.S) = struct
     | Some r -> Some !r
     | None -> None
 
+  (* Accumulate a delta into the view, DROPPING the entry when the payload
+     cancels to exact zero: a group churned down to zero multiplicity must
+     leave no 0-weight residue, or the maintained state (view_rows,
+     checkpoint dumps, and the -0.0/+0.0 bits reachable through
+     [children_product]) diverges from a recompute that never saw the
+     group. [P.is_zero] is exact, so near-zero accumulations survive. *)
   let view_add (v : vnode) (key : Keypack.key) delta =
     match Keypack.Hybrid.find_opt v.view key with
-    | Some r -> r := P.add !r delta
-    | None -> Keypack.Hybrid.add v.view key (ref delta)
+    | Some r ->
+        let sum = P.add !r delta in
+        if P.is_zero sum then Keypack.Hybrid.remove v.view key else r := sum
+    | None -> if not (P.is_zero delta) then Keypack.Hybrid.add v.view key (ref delta)
 
   (* Product of the children's views for a tuple of [v]'s relation, skipping
      child [except]. [None] if some child has no matching key (no join
@@ -207,7 +215,11 @@ module Make (P : Payload.S) = struct
       Keypack.Hybrid.clear v.view;
       (match List.assoc_opt v.name dump with
       | Some entries ->
-          List.iter (fun (k, p) -> Keypack.Hybrid.add v.view k (ref p)) entries
+          (* skip exact-zero payloads so restoring a dump written before the
+             zero-drop discipline still yields a normalised tree *)
+          List.iter
+            (fun (k, p) -> if not (P.is_zero p) then Keypack.Hybrid.add v.view k (ref p))
+            entries
       | None -> ());
       Array.iter go v.children
     in

@@ -140,16 +140,32 @@ let recover cfg make =
   let prev = replay_file (wal_prev_path cfg) in
   let cur = replay_file (wal_path cfg) in
   let records = prev.Wal.records @ cur.Wal.records in
+  (* The tail is not trusted to be monotone: a crash can leave frames
+     reordered or duplicated (see Faults reorder:K / dup:K), and the two
+     generations overlap the checkpoint. Dedup by seq (first occurrence
+     wins — duplicates are byte-identical copies), drop everything the
+     checkpoint already covers, and apply in ascending seq order. The old
+     fold-while-increasing scheme silently DROPPED any record whose seq
+     dipped below a later frame's — a lost update, not just a re-apply. *)
+  let seen = Hashtbl.create 64 in
+  let fresh =
+    List.filter
+      (fun (r : Wal.record) ->
+        r.seq > seq0
+        && not (Hashtbl.mem seen r.seq)
+        && (Hashtbl.add seen r.seq (); true))
+      records
+  in
+  let fresh =
+    List.sort (fun (a : Wal.record) (b : Wal.record) -> compare a.seq b.seq) fresh
+  in
   let seq =
     List.fold_left
-      (fun seq (r : Wal.record) ->
-        if r.seq > seq then begin
-          M.apply m r.update;
-          Obs.incr c_wal_replayed;
-          r.seq
-        end
-        else seq)
-      seq0 records
+      (fun _ (r : Wal.record) ->
+        M.apply m r.update;
+        Obs.incr c_wal_replayed;
+        r.seq)
+      seq0 fresh
   in
   let had_state =
     restored <> None || corrupt > 0 || prev.Wal.torn || cur.Wal.torn
@@ -210,7 +226,14 @@ let audit_now t =
 let apply_crash_damage t =
   Wal.close t.wal;
   let f = t.cfg.faults in
+  (* the byte-level shear models a write torn at the TRUE end of the log, so
+     it runs first; reorder/dup then rewrite the surviving valid frames. The
+     other order would let the shear eat the LOWEST seq of a reversed window
+     — an acknowledged record destroyed beyond what any replay can repair. *)
   if Faults.torn_tail f > 0 then Wal.shear_tail (wal_path t.cfg) ~bytes:(Faults.torn_tail f);
+  if Faults.reorder_tail f > 0 then
+    Wal.reorder_tail (wal_path t.cfg) ~frames:(Faults.reorder_tail f);
+  if Faults.dup_tail f > 0 then Wal.dup_tail (wal_path t.cfg) ~frames:(Faults.dup_tail f);
   if Faults.flips_checkpoint f then Checkpoint.flip_bit_newest t.cfg.dir
 
 let guarded t thunk =

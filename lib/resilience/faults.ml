@@ -5,6 +5,10 @@
      crash-before:N     raise {!Crash} when update N is logged but not applied
      crash-after:N      raise {!Crash} right after update N commits
      torn-tail:K        when a crash fires, shear K bytes off the WAL tail
+     reorder:K          when a crash fires, reverse the last K WAL records
+                        (replay must cope with a non-monotone seq tail)
+     dup:K              when a crash fires, re-append the last K WAL records
+                        (replay must not double-apply duplicated frames)
      flip-checkpoint    when a crash fires, flip a bit in the newest checkpoint
      transient:P        each apply fails with probability P (seeded; retried)
      corrupt-state:N    silently perturb maintained views after update N
@@ -23,6 +27,8 @@ type t = {
   mutable crash_before : int option;
   mutable crash_after : int option;
   mutable torn_tail : int;
+  mutable reorder_tail : int;
+  mutable dup_tail : int;
   mutable flip_checkpoint : bool;
   mutable transient : float;
   mutable corrupt_state : int option;
@@ -34,6 +40,8 @@ let none () =
     crash_before = None;
     crash_after = None;
     torn_tail = 0;
+    reorder_tail = 0;
+    dup_tail = 0;
     flip_checkpoint = false;
     transient = 0.0;
     corrupt_state = None;
@@ -41,7 +49,7 @@ let none () =
 
 let grammar =
   "comma-separated events: crash-before:N | crash-after:N | torn-tail:K | \
-   flip-checkpoint | transient:P | corrupt-state:N"
+   reorder:K | dup:K | flip-checkpoint | transient:P | corrupt-state:N"
 
 let parse ~seed spec =
   let t = { (none ()) with prng = Util.Prng.create seed } in
@@ -64,6 +72,8 @@ let parse ~seed spec =
                | "crash-before" -> t.crash_before <- Some (int_arg ())
                | "crash-after" -> t.crash_after <- Some (int_arg ())
                | "torn-tail" -> t.torn_tail <- int_arg ()
+               | "reorder" -> t.reorder_tail <- int_arg ()
+               | "dup" -> t.dup_tail <- int_arg ()
                | "flip-checkpoint" -> bad tok
                | "transient" -> t.transient <- float_arg ()
                | "corrupt-state" -> t.corrupt_state <- Some (int_arg ())
@@ -94,4 +104,6 @@ let corrupt_now t ~seq =
   | _ -> false
 
 let torn_tail t = t.torn_tail
+let reorder_tail t = t.reorder_tail
+let dup_tail t = t.dup_tail
 let flips_checkpoint t = t.flip_checkpoint

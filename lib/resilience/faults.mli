@@ -33,5 +33,13 @@ val corrupt_now : t -> seq:int -> bool
 val torn_tail : t -> int
 (** Bytes to shear off the WAL when a crash fires (0 = none). *)
 
+val reorder_tail : t -> int
+(** Records of the WAL tail to reverse when a crash fires (0 = none):
+    recovery must tolerate a non-monotone seq tail. *)
+
+val dup_tail : t -> int
+(** Records of the WAL tail to duplicate when a crash fires (0 = none):
+    recovery must not double-apply duplicated frames. *)
+
 val flips_checkpoint : t -> bool
 (** Flip a bit in the newest checkpoint when a crash fires? *)

@@ -73,3 +73,45 @@ let size path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 
 let shear_tail path ~bytes =
   let n = size path in
   if n > 0 then Unix.truncate path (max 0 (n - bytes))
+
+let rewrite path (records : record list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let payload = Buffer.create 64 in
+      encode_record payload r;
+      Codec.frame b (Buffer.contents payload))
+    records;
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Buffer.contents b))
+
+(* Damage injection: reverse the order of the last [frames] valid records,
+   simulating a log whose tail was flushed out of sequence (seqs arrive
+   non-monotone at replay). A torn suffix, if any, is dropped in the
+   rewrite — the crash that fires this damage would have torn it anyway. *)
+let reorder_tail path ~frames =
+  if frames > 1 then begin
+    let rp = replay path in
+    let n = List.length rp.records in
+    if n > 1 then begin
+      let k = min frames n in
+      let head = ref [] and tail = ref [] in
+      List.iteri
+        (fun i r -> if i < n - k then head := r :: !head else tail := r :: !tail)
+        rp.records;
+      rewrite path (List.rev !head @ !tail)
+    end
+  end
+
+(* Damage injection: append byte-identical copies of the last [frames] valid
+   records, simulating a retried flush that re-sent an acknowledged window —
+   replay sees duplicated (and, for [frames] > 1, non-monotone) seqs. *)
+let dup_tail path ~frames =
+  if frames > 0 then begin
+    let rp = replay path in
+    let n = List.length rp.records in
+    if n > 0 then begin
+      let k = min frames n in
+      let dup = List.filteri (fun i _ -> i >= n - k) rp.records in
+      rewrite path (rp.records @ dup)
+    end
+  end

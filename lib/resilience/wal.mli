@@ -32,3 +32,11 @@ val size : string -> int
 
 val shear_tail : string -> bytes:int -> unit
 (** Damage injection: shear bytes off the end, as a crash mid-write would. *)
+
+val reorder_tail : string -> frames:int -> unit
+(** Damage injection: reverse the last [frames] valid records in place, so
+    replay sees a non-monotone seq tail (out-of-sequence flush). *)
+
+val dup_tail : string -> frames:int -> unit
+(** Damage injection: re-append copies of the last [frames] valid records,
+    so replay sees duplicated (and non-monotone) seqs (retried flush). *)

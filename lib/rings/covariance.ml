@@ -90,6 +90,25 @@ module Acc = struct
     { c = acc.count; s = Vec.copy acc.sums; q = Mat.copy acc.prods }
 end
 
+(* Exact structural zero (no tolerance): the test that decides whether a
+   maintained view entry may be dropped. Tolerant comparison here would
+   discard near-zero-but-real contributions and break bit-identity with a
+   from-scratch recompute; [x = 0.0] admits both float zeros, which is right
+   because an exactly-cancelled group is indistinguishable from one a
+   recompute never saw. *)
+let is_zero a =
+  a.c = 0.0
+  &&
+  let n = dim a in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if a.s.(i) <> 0.0 then ok := false;
+    for j = 0 to n - 1 do
+      if Mat.get a.q i j <> 0.0 then ok := false
+    done
+  done;
+  !ok
+
 let equal ?(eps = 1e-7) a b =
   Float.abs (a.c -. b.c) <= eps && Vec.equal ~eps a.s b.s && Mat.equal ~eps a.q b.q
 

@@ -38,6 +38,11 @@ module Acc : sig
   val freeze : acc -> t
 end
 
+val is_zero : t -> bool
+(** Exact structural zero (every component [= 0.0], either float zero; no
+    tolerance) — safe to use for dropping exactly-cancelled view entries
+    without perturbing bit-identity. *)
+
 val equal : ?eps:float -> t -> t -> bool
 (** Absolute tolerance. *)
 

@@ -101,6 +101,108 @@ let test_features_exist d () =
       Alcotest.(check bool) (f ^ " exists") true (List.mem f attrs))
     (Aggregates.Feature.all d.features @ d.mi_attrs @ d.ivm_features)
 
+(* Foreign-key consistency, schema-agnostically: for every attribute shared
+   between relations, a relation in which the values are UNIQUE (a key —
+   the dimension side) must enumerate a superset of every other relation's
+   values for it. Facts drawing keys a dimension never generated would make
+   tuples silently drop out of joins — exactly the corruption hostile
+   streams at scale would amplify. Checked at scale 0.01 and 0.1 across
+   seeds (the qcheck input). *)
+let fk_consistent d =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:4 ~name:(d.dname ^ " FK-consistent at scale {0.01, 0.1}")
+       QCheck2.Gen.(pair (oneofl [ 0.01; 0.1 ]) (int_range 1 1000))
+       (fun (scale, seed) ->
+         let db = d.generate ~scale ~seed () in
+         let values rel pos =
+           let tbl = Hashtbl.create 256 in
+           Relation.iter (fun t -> Hashtbl.replace tbl t.(pos) ()) rel;
+           tbl
+         in
+         let position rel attr =
+           let rec find i = function
+             | [] -> None
+             | a :: _ when a = attr -> Some i
+             | _ :: rest -> find (i + 1) rest
+           in
+           find 0 (Schema.names (Relation.schema rel))
+         in
+         let rels = Database.relations db in
+         let attrs =
+           List.sort_uniq compare
+             (List.concat_map (fun r -> Schema.names (Relation.schema r)) rels)
+         in
+         List.for_all
+           (fun attr ->
+             let holders =
+               List.filter_map
+                 (fun r -> Option.map (fun p -> (r, p)) (position r attr))
+                 rels
+             in
+             if List.length holders < 2 then true
+             else
+               let with_values =
+                 List.map (fun (r, p) -> (r, values r p)) holders
+               in
+               let owners =
+                 List.filter
+                   (fun (r, vs) -> Hashtbl.length vs = Relation.cardinality r)
+                   with_values
+               in
+               List.for_all
+                 (fun (_, owner_vs) ->
+                   List.for_all
+                     (fun (_, vs) ->
+                       Hashtbl.fold
+                         (fun v () acc -> acc && Hashtbl.mem owner_vs v)
+                         vs true)
+                     with_values)
+                 owners)
+           attrs))
+
+(* A corrupted cell in a generated relation's CSV must surface as a LOCATED
+   [Csvio.Malformed] — the 1-based source line and column of the bad cell,
+   not a generic parse failure half a file away. *)
+let test_csv_malformed d () =
+  let db = d.generate ~scale:0.01 ~seed:13 () in
+  let rel =
+    List.find
+      (fun r ->
+        Relation.cardinality r >= 3
+        && List.exists
+             (fun (a : Schema.attr) -> a.Schema.ty <> Value.TStr)
+             (Schema.attrs (Relation.schema r)))
+      (Database.relations db)
+  in
+  let schema = Relation.schema rel in
+  let col =
+    (* first non-string column: "bogus" cannot parse there *)
+    let rec find i =
+      if (Schema.attr_at schema i).Schema.ty <> Value.TStr then i else find (i + 1)
+    in
+    find 0
+  in
+  let rows = Relation.csv_rows rel in
+  let bad_row = 2 in
+  let rows =
+    List.mapi
+      (fun i row ->
+        if i = bad_row then List.mapi (fun j c -> if j = col then "bogus" else c) row
+        else row)
+      rows
+  in
+  match Relation.of_csv_rows (Relation.name rel) schema rows with
+  | _ -> Alcotest.fail "corrupted cell accepted"
+  | exception Util.Csvio.Malformed { line; column; reason } ->
+      Alcotest.(check int) "line points at the corrupted row" (bad_row + 1) line;
+      Alcotest.(check int) "column points at the corrupted cell" (col + 1) column;
+      Alcotest.(check bool) "reason names the cell contents" true
+        (let rec contains i =
+           i + 5 <= String.length reason
+           && (String.sub reason i 5 = "bogus" || contains (i + 1))
+         in
+         contains 0)
+
 let test_lmfao_runs d () =
   (* the covariance batch must run end to end on each dataset *)
   let db = d.generate ~scale:0.01 ~seed:11 () in
@@ -121,6 +223,8 @@ let suite d =
       Alcotest.test_case "scaling monotone" `Quick (test_scaling d);
       Alcotest.test_case "feature attrs exist" `Quick (test_features_exist d);
       Alcotest.test_case "covariance batch via LMFAO" `Quick (test_lmfao_runs d);
+      fk_consistent d;
+      Alcotest.test_case "corrupted CSV cell is located" `Quick (test_csv_malformed d);
     ] )
 
 let () = Alcotest.run "datagen" (List.map suite datasets)

@@ -461,6 +461,92 @@ let shard_route_roundtrip =
              s = Keypack.shard_of_key ~shards k' && s >= 0 && s < shards)
            [ 1; 2; 3; 8; 16 ])
 
+(* The two key readers — the column extractor used by base-table scans and
+   the tuple packer used by streaming deltas — must agree on representation
+   (packed vs boxed), hash and shard for every logical row, or a delta
+   would route to a different shard / view bucket than the base load that
+   preceded it. *)
+let extractor_matches_tuple_path =
+  QCheck2.Test.make ~count:100
+    ~name:"column extractor and tuple packer agree on key, hash and shard"
+    QCheck2.Gen.(triple (int_range 1 3) (int_range 1 40) int)
+    (fun (key_arity, rows, seed) ->
+      let rng = Util.Prng.create seed in
+      (* per-column value class: packable ints, ints past the per-field
+         budget (box multi-attribute keys), or strings (always boxed) *)
+      let col_class = Array.init key_arity (fun _ -> Util.Prng.int rng 3) in
+      let field c =
+        match col_class.(c) with
+        | 0 -> Value.Int (Util.Prng.int rng 1000)
+        | 1 -> Value.Int ((1 lsl 40) + Util.Prng.int rng 1000)
+        | _ -> Value.Str (Printf.sprintf "key-%06d" (Util.Prng.int rng 1000))
+      in
+      let schema =
+        Schema.make
+          (List.init (key_arity + 1) (fun i ->
+               if i < key_arity then
+                 ( Printf.sprintf "k%d" i,
+                   if col_class.(i) = 2 then Value.TStr else Value.TInt )
+               else ("x", Value.TFloat)))
+      in
+      let rel = Relation.create "R" schema in
+      for _ = 1 to rows do
+        Relation.append rel
+          (Array.init (key_arity + 1) (fun i ->
+               if i < key_arity then field i
+               else Value.Float (float_of_int (Util.Prng.int rng 64) /. 16.0)))
+      done;
+      let positions = Array.init key_arity Fun.id in
+      let from_cols = Relation.extractor rel positions in
+      List.for_all
+        (fun (i, t) ->
+          let kc = from_cols i and kt = Keypack.key_of_tuple positions t in
+          Keypack.key_equal kc kt
+          && Keypack.key_hash kc = Keypack.key_hash kt
+          && List.for_all
+               (fun shards ->
+                 Keypack.shard_of_key ~shards kc = Keypack.shard_of_key ~shards kt)
+               [ 1; 4; 8 ])
+        (List.mapi (fun i t -> (i, t)) (Relation.to_list rel)))
+
+(* Zipf-skewed key traffic: the hot ranks dominate the SAMPLE, but routing
+   only ever sees each distinct key once per table bucket — the distinct
+   keys must still spread within 2x of the per-shard mean, for packed ints
+   and for boxed (string) keys alike. *)
+let test_zipf_shard_distribution () =
+  let rng = Util.Prng.create 77 in
+  let n = 10_000 in
+  let draws = 20_000 in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to draws do
+    Hashtbl.replace seen (Util.Prng.zipf rng ~n ~s:1.2) ()
+  done;
+  let check label key_of =
+    List.iter
+      (fun shards ->
+        let counts = Array.make shards 0 in
+        let distinct = Hashtbl.length seen in
+        Hashtbl.iter
+          (fun rank () ->
+            let s = Keypack.shard_of_key ~shards (key_of rank) in
+            counts.(s) <- counts.(s) + 1)
+          seen;
+        let mean = float_of_int distinct /. float_of_int shards in
+        Array.iteri
+          (fun s c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: shard %d/%d holds %d distinct keys <= 2x mean %g"
+                 label s shards c mean)
+              true
+              (float_of_int c <= 2.0 *. mean))
+          counts)
+      [ 4; 8 ]
+  in
+  Alcotest.(check bool) "skew reached the tail" true (Hashtbl.length seen > 100);
+  check "packed" (fun rank -> Keypack.key_of_tuple [| 0 |] [| Value.Int rank |]);
+  check "boxed" (fun rank ->
+      Keypack.key_of_tuple [| 0 |] [| Value.Str (Printf.sprintf "key-%09d" rank) |])
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -500,7 +586,10 @@ let () =
         [
           Alcotest.test_case "shard distribution sanity" `Quick
             test_shard_distribution;
+          Alcotest.test_case "zipf distinct-key distribution" `Quick
+            test_zipf_shard_distribution;
           qcheck shard_route_roundtrip;
+          qcheck extractor_matches_tuple_path;
         ] );
       ( "hypergraph",
         [
